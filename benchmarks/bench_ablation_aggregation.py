@@ -1,0 +1,74 @@
+"""EX-AGG — aggregation (paper §2.1): one aggregated reduction of k
+values vs k scalar reductions.
+
+"Aggregation is an important extension to the local-view reduction.  It
+allows the programmer to compute multiple reductions simultaneously,
+thus saving the overhead of many smaller messages."
+
+Sweeps k and reports simulated time and message counts for both idioms;
+asserts the aggregated form wins by a growing factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro import mpi
+from repro.localview import LOCAL_ALLREDUCE
+from repro.runtime import spmd_run
+
+P = 16
+KS = [1, 4, 16, 64, 256, 1024]
+
+
+def _run(cost_model):
+    rows = []
+    for k in KS:
+        def aggregated(comm):
+            LOCAL_ALLREDUCE(comm, mpi.SUM, np.ones(k))
+
+        def scalarized(comm):
+            for _ in range(k):
+                LOCAL_ALLREDUCE(comm, mpi.SUM, 1.0)
+
+        agg = spmd_run(aggregated, P, cost_model=cost_model)
+        sca = spmd_run(scalarized, P, cost_model=cost_model)
+        rows.append(
+            (
+                k,
+                agg.time,
+                sca.time,
+                agg.summary_trace.n_sends,
+                sca.summary_trace.n_sends,
+            )
+        )
+    return rows
+
+
+def test_aggregation_beats_scalar_reductions(
+    benchmark, cost_model, results_dir
+):
+    rows = benchmark.pedantic(_run, args=(cost_model,), rounds=1, iterations=1)
+    lines = [
+        f"EX-AGG — aggregated vs scalarized allreduce (p={P})",
+        f"{'k':>5s}  {'t_agg':>12s}  {'t_scalar':>12s}  {'ratio':>7s}  "
+        f"{'msgs_agg':>8s}  {'msgs_scal':>9s}",
+    ]
+    for k, ta, ts, ma, ms in rows:
+        lines.append(
+            f"{k:>5d}  {ta:>12.3e}  {ts:>12.3e}  {ts / ta:>7.1f}  "
+            f"{ma:>8d}  {ms:>9d}"
+        )
+    write_result(results_dir, "ablation_aggregation.txt", "\n".join(lines))
+
+    by_k = {k: (ta, ts, ma, ms) for k, ta, ts, ma, ms in rows}
+    # message count: k scalar reductions send k times the messages
+    _, _, ma, ms = by_k[64]
+    assert ms == 64 * ma
+    # time: the win grows with k and is large by k=64
+    assert by_k[64][1] / by_k[64][0] > 10
+    assert by_k[1024][1] / by_k[1024][0] > by_k[16][1] / by_k[16][0]
+    # k=1 degenerates to (roughly) the same cost
+    t1a, t1s, _, _ = by_k[1]
+    assert abs(t1a - t1s) / max(t1a, t1s) < 0.2

@@ -1,0 +1,60 @@
+"""EX-RING — all-reduce algorithm choice (extension ablation).
+
+The paper's reductions ride on whatever all-reduce the MPI layer
+provides; this ablation maps when that choice matters.  Recursive
+doubling moves the full payload log2(p) times (latency-optimal); the
+ring moves 2(p-1) segments of 1/p each (bandwidth-optimal, commutative
+only).  The crossover is the classic small/large-message boundary —
+relevant to the paper's aggregated reductions, whose payloads grow with
+the aggregation factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro import mpi
+from repro.runtime import spmd_run
+
+P = 16
+PAYLOADS = [1, 64, 1024, 16_384, 262_144]  # doubles
+
+
+def _time(n, algorithm, cost_model):
+    def prog(comm):
+        comm.allreduce(np.zeros(n), mpi.SUM, algorithm=algorithm)
+
+    return spmd_run(prog, P, cost_model=cost_model).time
+
+
+def _sweep(cost_model):
+    rows = []
+    for n in PAYLOADS:
+        rd = _time(n, "recursive_doubling", cost_model)
+        ring = _time(n, "ring", cost_model)
+        rows.append((n, rd, ring))
+    return rows
+
+
+def test_allreduce_algorithm_crossover(benchmark, cost_model, results_dir):
+    rows = benchmark.pedantic(_sweep, args=(cost_model,), rounds=1,
+                              iterations=1)
+    lines = [
+        f"EX-RING — allreduce algorithms, p={P} (SUM of n doubles)",
+        f"{'n':>8s}  {'recursive_dbl':>14s}  {'ring':>12s}  {'winner':>8s}",
+    ]
+    for n, rd, ring in rows:
+        winner = "ring" if ring < rd else "rec.dbl"
+        lines.append(f"{n:>8d}  {rd:>14.3e}  {ring:>12.3e}  {winner:>8s}")
+    write_result(results_dir, "ablation_allreduce_algorithms.txt",
+                 "\n".join(lines))
+
+    by = {n: (rd, ring) for n, rd, ring in rows}
+    # small payloads: latency dominates, recursive doubling wins
+    assert by[1][0] < by[1][1]
+    # large payloads: bandwidth dominates, ring wins
+    assert by[262_144][1] < by[262_144][0]
+    # and there is a crossover in between
+    winners = ["ring" if ring < rd else "rd" for _, rd, ring in rows]
+    assert winners[0] == "rd" and winners[-1] == "ring"

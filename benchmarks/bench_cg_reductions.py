@@ -1,0 +1,79 @@
+"""EX-CG — reductions on an iterative solver's critical path (extension).
+
+The paper motivates good reduction abstractions with their ubiquity; CG
+shows the *latency* side of that story: every iteration runs dot-product
+all-reduces that nothing can hide.  Sweeping the processor count at
+fixed problem size (strong scaling) exposes the all-reduce latency floor
+— and aggregating the two dots into one message (the §2.1 idea applied
+inside a solver, a.k.a. pipelined CG) raises the achievable speedup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import PROC_GRID, write_result
+from repro.analysis import Series, format_series_csv
+from repro.nas.cg import cg_solve, cg_solve_fused, random_rhs
+from repro.runtime import spmd_run
+
+N = 1 << 17  # unknowns
+MAX_ITER = 60  # fixed work per run: time 60 iterations
+
+
+#: A CG iteration streams the local vectors ~8 times (matvec, two dots,
+#: three axpy-like updates); the dot_rate hook charges per element once,
+#: so scale the calibrated single-pass rate by 8.
+PASSES_PER_ITER = 8
+
+
+def _time_per_iter(p, solver, cost_model):
+    rate = cost_model.rates["np_check"] * PASSES_PER_ITER
+    cm = cost_model.with_rates(cg_iter=rate)
+
+    def prog(comm):
+        b = random_rhs(comm, N)
+        return solver(
+            comm, b, max_iter=MAX_ITER, dot_rate="cg_iter"
+        ).iterations
+
+    res = spmd_run(prog, p, cost_model=cm, timeout=600)
+    iters = res.returns[0]
+    return res.time / max(iters, 1)
+
+
+def test_cg_reduction_latency_floor(benchmark, cost_model, results_dir):
+    def sweep():
+        std = Series("CG (2 reductions/iter)")
+        fused = Series("CG fused (1 reduction/iter)")
+        for p in PROC_GRID:
+            std.add(p, _time_per_iter(p, cg_solve, cost_model))
+            fused.add(p, _time_per_iter(p, cg_solve_fused, cost_model))
+        return std, fused
+
+    std, fused = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"EX-CG — time per CG iteration, n={N} (strong scaling)",
+        f"{'p':>4s}  {'2 red/iter':>12s}  {'1 red/iter':>12s}  "
+        f"{'S_std':>6s}  {'S_fused':>8s}",
+    ]
+    for i, p in enumerate(std.procs):
+        lines.append(
+            f"{p:>4d}  {std.times[i]:>12.3e}  {fused.times[i]:>12.3e}  "
+            f"{std.t1 / std.times[i]:>6.2f}  {fused.t1 / fused.times[i]:>8.2f}"
+        )
+    write_result(results_dir, "cg_reductions.txt", "\n".join(lines))
+    (results_dir / "cg_reductions.csv").write_text(
+        format_series_csv([std, fused]) + "\n"
+    )
+
+    # fused is never slower, and wins clearly where latency dominates
+    for t_s, t_f in zip(std.times, fused.times):
+        assert t_f <= t_s * 1.02
+    assert fused.times[-1] < std.times[-1] * 0.8
+    # strong scaling helps at first...
+    assert min(std.times) < std.t1
+    # ...but both hit a latency floor: speedup at p=64 far below ideal,
+    # and the fused variant's floor is lower (higher peak speedup)
+    assert std.t1 / std.times[-1] < 32
+    assert max(fused.speedup()) > max(std.speedup())

@@ -1,0 +1,125 @@
+"""FIG3 — NAS MG ZRAN3: 40 reductions (F+MPI) vs 1 user-defined
+reduction (F+RSMPI) — paper Figure 3.
+
+For classes A, B and C, sweeps the processor count and reports the
+speedup of the ZRAN3 extrema-finding phase (fill excluded, exactly as
+the paper times the subroutine's reduction overhead) for:
+
+* ``MPI (40 red.)`` — per extremum, one MAX/MIN all-reduce plus one
+  MINLOC owner-resolution all-reduce, re-scanning the masked local
+  block each iteration (the F+MPI original);
+* ``RSMPI (1 red.)`` — a single ``extrema`` operator: one accumulate
+  pass, one combine tree.
+
+Paper-claimed shape (§4.2): "The overhead of not using the single
+user-defined reduction is seen more sharply in smaller problem classes
+since the reduction accounts for more of the time.  In larger class
+sizes ... the efficiency is more comparable."  The assertions pin that:
+RSMPI always wins, and its advantage (time ratio) is larger for class A
+than for class C at every processor count above 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import PROC_GRID, write_result
+from repro.analysis import Series, format_series_csv
+from repro.nas import mg_class
+from repro.nas.mg import zran3_mpi, zran3_rsmpi
+from repro.runtime import spmd_run
+
+CLASSES = ["A", "B", "C"]
+
+
+def _phase_time(cls, p, variant, cost_model) -> float:
+    """Virtual time of the extrema phase (t_done - t_fill_end, max over
+    ranks)."""
+    fn = zran3_mpi if variant == "mpi" else zran3_rsmpi
+
+    def prog(comm):
+        r = fn(comm, cls, scan_rate="mg_scan" if variant == "mpi" else "mg_accum")
+        return r.t_done - r.t_fill_end
+
+    res = spmd_run(prog, p, cost_model=cost_model, timeout=600)
+    return max(res.returns)
+
+
+def _sweep_class(cls_name, cost_model):
+    cls = mg_class(cls_name)
+    mpi_s = Series("MPI (40 red.)")
+    rsm_s = Series("RSMPI (1 red.)")
+    for p in PROC_GRID:
+        mpi_s.add(p, _phase_time(cls, p, "mpi", cost_model))
+        rsm_s.add(p, _phase_time(cls, p, "rsmpi", cost_model))
+    return mpi_s, rsm_s
+
+
+_RATIOS: dict[str, list[float]] = {}
+
+
+@pytest.mark.parametrize("cls_name", CLASSES)
+def test_fig3_class(benchmark, cls_name, cost_model, results_dir):
+    mpi_s, rsm_s = benchmark.pedantic(
+        _sweep_class, args=(cls_name, cost_model), rounds=1, iterations=1
+    )
+    base = mpi_s.t1
+    lines = [
+        f"Figure 3 — class {cls_name}: ZRAN3 extrema-phase times and "
+        f"speedups (base = MPI at p=1)",
+        f"{'p':>4s}  {'MPI(40red)':>12s}  {'RSMPI(1red)':>12s}  "
+        f"{'S_mpi':>7s}  {'S_rsmpi':>8s}  {'ratio':>6s}",
+    ]
+    ratios = []
+    for i, p in enumerate(mpi_s.procs):
+        ratio = mpi_s.times[i] / rsm_s.times[i]
+        ratios.append(ratio)
+        lines.append(
+            f"{p:>4d}  {mpi_s.times[i]:>12.3e}  {rsm_s.times[i]:>12.3e}  "
+            f"{base / mpi_s.times[i]:>7.2f}  {base / rsm_s.times[i]:>8.2f}  "
+            f"{ratio:>6.2f}"
+        )
+    _RATIOS[cls_name] = ratios
+    write_result(results_dir, f"fig3_class{cls_name}.txt", "\n".join(lines))
+    (results_dir / f"fig3_class{cls_name}.csv").write_text(
+        format_series_csv([mpi_s, rsm_s]) + "\n"
+    )
+
+    # ---- paper-shape assertions -------------------------------------------
+    # (1) the single user-defined reduction never loses.
+    for t_m, t_r in zip(mpi_s.times, rsm_s.times):
+        assert t_r <= t_m
+    # (2) the win grows with p for the MPI variant's latency term:
+    #     at the largest p the ratio must be clearly above 1.
+    assert ratios[-1] > 1.5
+    # (3) cross-class shape: checked by test_fig3_cross_class_shape.
+
+
+def test_fig3_cross_class_shape(cost_model, results_dir, benchmark):
+    """"Seen more sharply in smaller problem classes": the MPI/RSMPI time
+    ratio at every p > 1 must be at least as large for class A as for
+    class C."""
+
+    def collect():
+        for cls_name in ("A", "C"):
+            if cls_name not in _RATIOS:
+                mpi_s, rsm_s = _sweep_class(cls_name, cost_model)
+                _RATIOS[cls_name] = [
+                    m / r for m, r in zip(mpi_s.times, rsm_s.times)
+                ]
+        return _RATIOS["A"], _RATIOS["C"]
+
+    ratios_a, ratios_c = benchmark.pedantic(collect, rounds=1, iterations=1)
+    lines = ["Figure 3 cross-class check: MPI/RSMPI time ratio",
+             f"{'p':>4s}  {'class A':>8s}  {'class C':>8s}"]
+    for i, p in enumerate(PROC_GRID):
+        lines.append(f"{p:>4d}  {ratios_a[i]:>8.2f}  {ratios_c[i]:>8.2f}")
+    write_result(results_dir, "fig3_cross_class.txt", "\n".join(lines))
+    for i, p in enumerate(PROC_GRID):
+        if p == 1:
+            continue
+        assert ratios_a[i] >= ratios_c[i] * 0.95, (
+            f"p={p}: class-A ratio {ratios_a[i]:.2f} < class-C "
+            f"ratio {ratios_c[i]:.2f}"
+        )

@@ -1,0 +1,147 @@
+"""EX-OPS — micro-benchmarks of the operator machinery itself.
+
+Wall-time measurements (pytest-benchmark) of the pieces the figure
+benchmarks charge for: vectorized accumulate phases of the paper's
+operators, combine functions, the DSL-compiled operator vs. the
+hand-written one, and a whole in-process global reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import global_reduce
+from repro.ops import CountsOp, ExtremaKLocOp, MinKOp, SortedOp, SumOp
+from repro.rsmpi import compile_operator
+from repro.runtime import spmd_run
+
+N = 100_000
+INT_MAX = np.iinfo(np.int64).max
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(11)
+    return rng.integers(0, 1_000_000, N)
+
+
+@pytest.fixture(scope="module")
+def sorted_data(data):
+    return np.sort(data)
+
+
+class TestAccumulatePhase:
+    def test_sum_accum_block(self, benchmark, data):
+        op = SumOp()
+        total = benchmark(lambda: op.accum_block(0, data))
+        assert total == data.sum()
+
+    def test_mink_accum_block(self, benchmark, data):
+        op = MinKOp(10, INT_MAX)
+        out = benchmark(lambda: op.accum_block(op.ident(), data))
+        assert out[-1] == data.min()
+
+    def test_counts_accum_block(self, benchmark, data):
+        op = CountsOp(1024, base=0)
+        small = data % 1024
+        out = benchmark(lambda: op.accum_block(op.ident(), small))
+        assert out.sum() == N
+
+    def test_sorted_accum_block(self, benchmark, sorted_data):
+        op = SortedOp()
+        out = benchmark(lambda: op.accum_block(op.ident(), sorted_data))
+        assert out.status
+
+    def test_extrema_accum_block(self, benchmark, data):
+        op = ExtremaKLocOp(10)
+        pairs = np.column_stack([data.astype(float), np.arange(float(N))])
+        state = benchmark(lambda: op.accum_block(op.ident(), pairs))
+        assert state.top[0, 0] == data.max()
+
+
+class TestCombinePhase:
+    def test_mink_combine(self, benchmark, data):
+        op = MinKOp(10, INT_MAX)
+        s1 = op.accum_block(op.ident(), data[: N // 2])
+        s2 = op.accum_block(op.ident(), data[N // 2 :])
+        benchmark(lambda: op.combine(s1.copy(), s2))
+
+    def test_extrema_combine(self, benchmark, data):
+        op = ExtremaKLocOp(10)
+        pairs = np.column_stack([data.astype(float), np.arange(float(N))])
+        s1 = op.accum_block(op.ident(), pairs[: N // 2])
+        s2 = op.accum_block(op.ident(), pairs[N // 2 :])
+        import copy
+
+        benchmark(lambda: op.combine(copy.deepcopy(s1), s2))
+
+
+class TestDSLOverhead:
+    """The DSL-compiled sorted operator vs the hand-written class, on
+    the per-element (interpreted) path where overhead would show."""
+
+    SRC = """
+    rsmpi operator sorted {
+      non-commutative
+      state { int first, last; int status; int seen; }
+      void ident(state s) { s->first = 0; s->last = 0; s->status = 1;
+                            s->seen = 0; }
+      void accum(state s, int i) {
+        if (!s->seen) { s->first = i; s->seen = 1; }
+        else if (s->last > i) s->status = 0;
+        s->last = i;
+      }
+      void combine(state s1, state s2) {
+        if (s2->seen) {
+          if (s1->seen) {
+            s1->status &= s2->status && (s1->last <= s2->first);
+            s1->last = s2->last;
+          } else {
+            s1->first = s2->first; s1->last = s2->last;
+            s1->status = s2->status; s1->seen = 1;
+          }
+        }
+      }
+      int generate(state s) { return s->status; }
+    }
+    """
+
+    def test_dsl_sorted_per_element(self, benchmark, sorted_data):
+        op = compile_operator(self.SRC)
+        chunk = sorted_data[:2000].tolist()
+
+        def run():
+            s = op.ident()
+            for x in chunk:
+                s = op.accum(s, x)
+            return op.red_gen(s)
+
+        assert benchmark(run) == 1
+
+    def test_native_sorted_per_element(self, benchmark, sorted_data):
+        op = SortedOp()
+        chunk = sorted_data[:2000].tolist()
+
+        def run():
+            s = op.ident()
+            for x in chunk:
+                s = op.accum(s, x)
+            return op.red_gen(s)
+
+        assert benchmark(run) is True
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_global_reduce_wall(self, benchmark, data, p):
+        op = MinKOp(10, INT_MAX)
+        blocks = np.array_split(data, p)
+
+        def run():
+            return spmd_run(
+                lambda comm: global_reduce(comm, op, blocks[comm.rank]), p
+            ).returns[0]
+
+        out = benchmark(run)
+        assert out[-1] == data.min()

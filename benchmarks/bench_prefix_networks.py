@@ -1,0 +1,66 @@
+"""EX-PREFIX — the parallel-prefix design space (§1 / reference [11]).
+
+Scans "are efficiently implemented by the parallel-prefix algorithm":
+this bench maps the depth/size trade-off of the classic networks and
+relates it to simulated scan latency — depth costs rounds of latency,
+size costs combine work — plus a wall-time micro-benchmark of circuit
+evaluation.
+"""
+
+from __future__ import annotations
+
+import operator
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.prefix import ALL_NETWORKS
+
+NS = [64, 256, 1024]
+
+#: A LogGP-flavored circuit latency model: every level costs one message
+#: latency; every op costs one combine.
+LATENCY = 5.0e-6
+COMBINE = 2.0e-7
+
+
+def _metrics():
+    rows = []
+    for n in NS:
+        for name, ctor in sorted(ALL_NETWORKS.items()):
+            c = ctor(n)
+            t_model = c.depth * LATENCY + c.size * COMBINE / max(
+                1, n // 8
+            )  # combines spread over n/8 lanes
+            rows.append((n, name, c.depth, c.size, t_model))
+    return rows
+
+
+def test_prefix_design_space(benchmark, results_dir):
+    rows = _metrics()
+    lines = [
+        "EX-PREFIX — prefix-network depth/size and modeled scan latency",
+        f"{'n':>6s}  {'network':<18s}  {'depth':>5s}  {'size':>7s}  "
+        f"{'t_model':>10s}",
+    ]
+    for n, name, depth, size, t in rows:
+        lines.append(f"{n:>6d}  {name:<18s}  {depth:>5d}  {size:>7d}  {t:>10.3e}")
+    write_result(results_dir, "prefix_networks.txt", "\n".join(lines))
+
+    by = {(n, name): (d, s) for n, name, d, s, _ in rows}
+    for n in NS:
+        k = int(np.log2(n))
+        assert by[(n, "kogge_stone")][0] == k
+        assert by[(n, "serial")][0] == n - 1
+        # Brent–Kung does the least work of the parallel networks
+        sizes = {
+            name: by[(n, name)][1]
+            for name in ("kogge_stone", "sklansky", "brent_kung")
+        }
+        assert sizes["brent_kung"] < sizes["sklansky"] < sizes["kogge_stone"]
+
+    # micro-benchmark: evaluate the work-efficient network on real data
+    vals = list(range(1024))
+    circuit = ALL_NETWORKS["brent_kung"](1024)
+    result = benchmark(lambda: circuit.evaluate(vals, operator.add))
+    assert result[-1] == sum(vals)

@@ -1,0 +1,86 @@
+"""EX-SCANOH — the abstraction is free (extension ablation).
+
+The paper's RSMPI discussion asserts "it is always possible to write MPI
+that is as fast as RSMPI" — the abstraction adds convenience, not cost.
+This ablation checks the converse direction for our implementation: the
+global-view scan driver (Listing 3) must cost the same as hand-written
+local-view code doing exactly what it does — local accumulate, one
+exscan of the partials, local generate pass.
+
+If these ever diverge, the driver has grown overhead the paper's design
+does not license.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import PROC_GRID, write_result
+from repro import mpi
+from repro.core import global_scan
+from repro.localview import LOCAL_XSCAN
+from repro.ops import SumOp
+from repro.runtime import spmd_run
+
+N = 1 << 20  # total elements
+
+
+def _blocks(p):
+    whole = np.arange(N, dtype=np.float64)
+    bounds = [r * N // p for r in range(p + 1)]
+    return [whole[bounds[r] : bounds[r + 1]] for r in range(p)]
+
+
+def _globalview_time(p, cost_model):
+    blocks = _blocks(p)
+
+    def prog(comm):
+        return global_scan(
+            comm, SumOp(0.0), blocks[comm.rank], accum_rate="np_check"
+        )[-1]
+
+    return spmd_run(prog, p, cost_model=cost_model).time
+
+
+def _handwritten_time(p, cost_model):
+    """The local-view chore: what RSMPI generates, written by hand."""
+    blocks = _blocks(p)
+
+    def prog(comm):
+        local = blocks[comm.rank]
+        partial = float(local.sum())  # accumulate phase by hand
+        comm.charge_elements("np_check", len(local), "hand:accum")
+        prefix = LOCAL_XSCAN(comm, lambda: 0.0, mpi.SUM, partial)
+        out = prefix + np.cumsum(local)  # generate phase by hand
+        comm.charge_elements("np_check", len(local), "hand:gen")
+        return out[-1]
+
+    return spmd_run(prog, p, cost_model=cost_model).time
+
+
+def test_scan_abstraction_overhead(benchmark, cost_model, results_dir):
+    def sweep():
+        rows = []
+        for p in PROC_GRID:
+            gv = _globalview_time(p, cost_model)
+            hw = _handwritten_time(p, cost_model)
+            rows.append((p, gv, hw))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"EX-SCANOH — global-view scan vs hand-written local-view "
+        f"({N} doubles, SUM)",
+        f"{'p':>4s}  {'global-view':>12s}  {'hand-written':>12s}  "
+        f"{'overhead':>9s}",
+    ]
+    for p, gv, hw in rows:
+        lines.append(
+            f"{p:>4d}  {gv:>12.3e}  {hw:>12.3e}  {gv / hw - 1:>8.1%}"
+        )
+    write_result(results_dir, "scan_abstraction_overhead.txt",
+                 "\n".join(lines))
+
+    # results identical, virtual times within 10% at every p
+    for p, gv, hw in rows:
+        assert abs(gv - hw) / hw < 0.10, (p, gv, hw)

@@ -1,0 +1,85 @@
+"""Shared benchmark infrastructure.
+
+Every figure benchmark uses one session-scoped cost model whose
+communication parameters follow the paper's cluster era
+(:func:`repro.runtime.cluster_2006`) and whose per-element compute rates
+are **calibrated on this machine** from the real kernels (the honest
+part of the substitution documented in DESIGN.md §2/§5).
+
+Results (tables + CSV) are written under ``results/`` so EXPERIMENTS.md
+can cite them.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.nas.intsort.kernels import (
+    sorted_check_scalar,
+    sorted_check_tworef,
+)
+from repro.ops.extrema import ExtremaKLocOp
+from repro.runtime import CostModel, calibrate_rate, cluster_2006
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: Processor counts for the figure sweeps (the paper's cluster had up to
+#: 92 nodes; powers of two up to 64 cover the same regime).
+PROC_GRID = [1, 2, 4, 8, 16, 32, 64]
+
+
+def _calibrated_model() -> CostModel:
+    """cluster_2006 communication + rates measured from our kernels."""
+    rng = np.random.default_rng(7)
+    sample_list = np.sort(rng.integers(0, 10_000, 20_000)).tolist()
+    sample_arr = np.sort(rng.random(200_000))
+    pairs = np.column_stack([rng.random(200_000), np.arange(200_000.0)])
+
+    rate_tworef = calibrate_rate(
+        lambda n: sorted_check_tworef(sample_list[:n]), 20_000
+    )
+    rate_scalar = calibrate_rate(
+        lambda n: sorted_check_scalar(sample_list[:n]), 20_000
+    )
+    rate_np_check = calibrate_rate(
+        lambda n: bool(np.all(sample_arr[1:n] >= sample_arr[: n - 1])),
+        200_000,
+    )
+    op = ExtremaKLocOp(10)
+    rate_extrema = calibrate_rate(
+        lambda n: op.accum_block(op.ident(), pairs[:n]), 200_000
+    )
+    rate_masked_scan = calibrate_rate(
+        lambda n: int(
+            np.argmax(np.where(np.zeros(n, dtype=bool), -np.inf, sample_arr[:n]))
+        ),
+        200_000,
+    )
+    return cluster_2006().with_rates(
+        is_check_tworef=rate_tworef,
+        is_check_scalar=rate_scalar,
+        np_check=rate_np_check,
+        mg_accum=rate_extrema,
+        mg_scan=rate_masked_scan,
+    )
+
+
+@pytest.fixture(scope="session")
+def cost_model() -> CostModel:
+    return _calibrated_model()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Print a result block and persist it under results/."""
+    print(f"\n{text}\n")
+    (results_dir / name).write_text(text + "\n")

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Conjugate gradients: reductions as an iterative solver's heartbeat.
+
+Solves the 1-D Poisson problem across simulated ranks two ways — the
+textbook recurrence with two dot-product all-reduces per iteration, and
+the communication-fused recurrence with one — then shows where the
+reduction latency bites as the processor count grows, with a per-rank
+utilization breakdown.
+
+Usage:  python examples/cg_solver_demo.py [N] [NPROCS]
+        (defaults: n=65536, 16 ranks)
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.analysis import format_utilization
+from repro.nas.callcounts import census
+from repro.nas.cg import cg_solve, cg_solve_fused, random_rhs
+from repro.runtime import cluster_2006, spmd_run
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1 << 16
+    nprocs = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+    model = cluster_2006().with_rates(cg=8 * 2e-9)  # ~8 vector passes/iter
+    print(f"1-D Poisson, n = {n}, {nprocs} simulated ranks\n")
+
+    results = {}
+    for label, solver in (("standard", cg_solve), ("fused", cg_solve_fused)):
+        res = spmd_run(
+            lambda comm: solver(
+                comm, random_rhs(comm, n), max_iter=80, dot_rate="cg"
+            ),
+            nprocs,
+            cost_model=model,
+            timeout=600,
+        )
+        r = res.returns[0]
+        c = census(res.traces)
+        results[label] = (res, r, c)
+        print(
+            f"  {label:<9s}: {r.iterations} iterations, "
+            f"{c.n_reductions} reductions "
+            f"({c.n_reductions / max(r.iterations, 1):.2f}/iter), "
+            f"simulated {res.time * 1e3:.3f} ms"
+        )
+
+    std, fused = results["standard"][0], results["fused"][0]
+    print(f"\n  fused speedup: {std.time / fused.time:.2f}x "
+          "(same iterates, half the reduction latency)")
+
+    # residuals agree
+    r1, r2 = results["standard"][1], results["fused"][1]
+    print(f"  final residuals: {r1.residual_norm:.3e} vs "
+          f"{r2.residual_norm:.3e}")
+
+    print("\nwhere the time goes (standard CG):")
+    print(format_utilization(std, max_rows=8))
+
+
+if __name__ == "__main__":
+    main()

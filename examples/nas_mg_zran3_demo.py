@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""NAS MG ZRAN3: forty reductions vs one user-defined reduction (the
+Figure 3 scenario).
+
+Fills a 3-D grid with the NAS random stream, finds the 10 largest and 10
+smallest values with their locations both ways, shows they agree exactly,
+and contrasts the communication profiles.
+
+Usage:  python examples/nas_mg_zran3_demo.py [CLASS] [NPROCS]
+        (defaults: class S, 8 ranks)
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.nas import mg_class
+from repro.nas.callcounts import census
+from repro.nas.mg import zran3_mpi, zran3_rsmpi
+from repro.runtime import cluster_2006, spmd_run
+
+
+def main():
+    cls_name = sys.argv[1] if len(sys.argv) > 1 else "S"
+    nprocs = int(sys.argv[2]) if len(sys.argv) > 2 else 8
+    cls = mg_class(cls_name)
+    print(
+        f"NAS MG ZRAN3, class {cls.name}: {cls.nx}x{cls.ny}x{cls.nz} grid, "
+        f"{nprocs} simulated ranks\n"
+    )
+    model = cluster_2006()
+
+    res_mpi = spmd_run(
+        lambda comm: zran3_mpi(comm, cls), nprocs, cost_model=model,
+        timeout=600,
+    )
+    res_rsm = spmd_run(
+        lambda comm: zran3_rsmpi(comm, cls), nprocs, cost_model=model,
+        timeout=600,
+    )
+
+    a, b = res_mpi.returns[0], res_rsm.returns[0]
+    assert np.array_equal(a.top_positions, b.top_positions)
+    assert np.array_equal(a.bot_positions, b.bot_positions)
+
+    print("ten largest (position: value rank):")
+    for j, pos in enumerate(a.top_positions):
+        print(f"  #{j + 1}: grid position {int(pos)}")
+    print(f"ten smallest at positions {a.bot_positions.tolist()}\n")
+
+    c_mpi, c_rsm = census(res_mpi.traces), census(res_rsm.traces)
+    t_mpi = max(r.t_done - r.t_fill_end for r in res_mpi.returns)
+    t_rsm = max(r.t_done - r.t_fill_end for r in res_rsm.returns)
+    print(
+        f"  F+MPI   : {c_mpi.n_reductions:3d} reductions, extrema phase "
+        f"{t_mpi * 1e6:9.1f} us (simulated)"
+    )
+    print(
+        f"  F+RSMPI : {c_rsm.n_reductions:3d} reduction,  extrema phase "
+        f"{t_rsm * 1e6:9.1f} us (simulated)  "
+        f"-> {t_mpi / t_rsm:.1f}x faster"
+    )
+    print(
+        "\nIdentical answers; the single user-defined reduction replaces "
+        "forty\nlatency-bound all-reduces plus twenty re-scans of the grid "
+        "(paper §4.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

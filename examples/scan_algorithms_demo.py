@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Scan is enough: filtering, partitioning and sorting with nothing but
+exclusive scans and routing (Blelloch's vector-model classics).
+
+The paper's conclusion promises "the full power of the parallel prefix
+technique"; this demo spends that power three ways on 100k elements over
+8 simulated ranks — stream compaction, stable split, and a full LSD
+radix sort — and counts exactly which collectives each one needed.
+
+Usage:  python examples/scan_algorithms_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import radix_sort, split_by_flag, stream_compact
+from repro.runtime import cluster_2006, spmd_run
+from repro.util.rng import randlc_array
+
+N = 100_000
+NPROCS = 8
+
+
+def my_block(comm):
+    base, extra = divmod(N, comm.size)
+    lo = comm.rank * base + min(comm.rank, extra)
+    count = base + (1 if comm.rank < extra else 0)
+    return (randlc_array(count, skip=lo) * 65536).astype(np.int64)
+
+
+def compact_demo(comm):
+    keys = my_block(comm)
+    evens = stream_compact(comm, keys, keys % 2 == 0)
+    return len(evens), comm.trace.collective_calls.copy()
+
+
+def split_demo(comm):
+    keys = my_block(comm)
+    parted = split_by_flag(comm, keys, keys >= 32768)
+    n_low_local = int(np.count_nonzero(parted < 32768))
+    return len(parted), n_low_local, comm.trace.collective_calls.copy()
+
+
+def sort_demo(comm):
+    keys = my_block(comm)
+    ordered = radix_sort(comm, keys)
+    locally_sorted = bool(np.all(np.diff(ordered) >= 0))
+    first = int(ordered[0]) if len(ordered) else None
+    last = int(ordered[-1]) if len(ordered) else None
+    return locally_sorted, first, last, comm.trace.collective_calls.copy()
+
+
+def main():
+    model = cluster_2006()
+    print(f"{N} random 16-bit keys over {NPROCS} ranks\n")
+
+    res = spmd_run(compact_demo, NPROCS, cost_model=model)
+    n_even = sum(t[0] for t in res.returns)
+    calls = res.returns[0][1]
+    print(f"stream_compact (keep evens): kept {n_even} "
+          f"[{dict(calls)}]")
+
+    res = spmd_run(split_demo, NPROCS, cost_model=model)
+    total = sum(t[0] for t in res.returns)
+    # the low half must all sit in the earliest blocks
+    lows = [t[1] for t in res.returns]
+    print(f"split_by_flag (< 32768 first): {sum(lows)} low keys lead "
+          f"the {total}-element result "
+          f"[{dict(res.returns[0][2])}]")
+
+    res = spmd_run(sort_demo, NPROCS, cost_model=model, timeout=300)
+    boundaries_ok = True
+    prev_last = None
+    for ok, first, last, _ in res.returns:
+        assert ok
+        if prev_last is not None and first is not None:
+            boundaries_ok &= prev_last <= first
+        if last is not None:
+            prev_last = last
+    calls = res.returns[0][3]
+    print(f"radix_sort: globally sorted = {boundaries_ok}; "
+          f"collectives per rank: {dict(calls)}")
+    print(f"  simulated time: {res.time * 1e3:.3f} ms "
+          f"({res.summary_trace.n_sends} messages)")
+    print("\n16 bits -> 16 stable splits; each split is one aggregated "
+          "exscan,\none aggregated allreduce and one all-to-all. "
+          "Scan really is enough.")
+
+
+if __name__ == "__main__":
+    main()

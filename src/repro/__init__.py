@@ -1,0 +1,57 @@
+"""Reproduction of *Global-View Abstractions for User-Defined Reductions
+and Scans* (Deitz, Callahan, Chamberlain, Snyder — PPoPP 2006).
+
+Quick tour
+----------
+>>> from repro import spmd_run, global_reduce
+>>> from repro.ops import MinKOp
+>>> import numpy as np
+>>> def program(comm):
+...     local = np.arange(comm.rank, 100, comm.size)   # my block
+...     return global_reduce(comm, MinKOp(3), local)
+>>> spmd_run(program, nprocs=4).returns[0]
+array([2., 1., 0.])
+
+Layers (bottom-up):
+
+* :mod:`repro.runtime` — SPMD executor, virtual time, cost models
+* :mod:`repro.mpi` — simulated MPI (communicators, 12 built-in ops,
+  user-defined ops, collectives)
+* :mod:`repro.localview` — the paper's Section-2 LOCAL_* routines
+* :mod:`repro.core` — **the contribution**: global-view operators and
+  the reduce/scan drivers of Listings 2–3
+* :mod:`repro.ops` — the operator library (mink, mini, counts, sorted,
+  extrema, ...)
+* :mod:`repro.rsmpi` — RSMPI API + the operator-DSL preprocessor
+* :mod:`repro.arrays` — Chapel-style distributed arrays
+* :mod:`repro.prefix` — parallel-prefix networks (Ladner–Fischer et al.)
+* :mod:`repro.nas` — NAS IS and MG(ZRAN3) substrates for Figures 2–3
+* :mod:`repro.analysis` — speedup series and paper-style reports
+"""
+
+from repro.core import (
+    ReduceScanOp,
+    check_operator,
+    from_binary,
+    global_reduce,
+    global_scan,
+    global_xscan,
+    make_op,
+)
+from repro.runtime import CostModel, SpmdResult, spmd_run
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "spmd_run",
+    "SpmdResult",
+    "CostModel",
+    "ReduceScanOp",
+    "make_op",
+    "from_binary",
+    "global_reduce",
+    "global_scan",
+    "global_xscan",
+    "check_operator",
+]

@@ -1,0 +1,182 @@
+"""Scan-based data movement: compact, split, radix sort.
+
+All three follow the same two-beat rhythm Blelloch's vector model made
+famous: **scan to find out where everything goes, then route it there.**
+The scans are the library's own aggregated exclusive scans (one small
+vector per tree edge); routing is one all-to-all.
+
+Every function takes and returns *block-distributed* local arrays: the
+concatenation of the returned blocks in rank order is the conceptual
+result array.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import mpi
+from repro.arrays.distribution import BlockDist
+from repro.errors import ReproError
+from repro.mpi.comm import Communicator
+
+__all__ = ["stream_compact", "split_by_flag", "radix_sort", "sample_sort"]
+
+
+def _route(
+    comm: Communicator,
+    values: np.ndarray,
+    dest: np.ndarray,
+    total: int,
+) -> np.ndarray:
+    """Send each ``values[i]`` to global position ``dest[i]`` of a
+    ``total``-element block-distributed array; returns this rank's block.
+    One all-to-all."""
+    p = comm.size
+    dist = BlockDist(total, p)
+    starts = np.array(
+        [dist.bounds(r)[0] for r in range(p)] + [total], dtype=np.int64
+    )
+    owner = np.searchsorted(starts, dest, side="right") - 1
+    outgoing = []
+    for r in range(p):
+        sel = owner == r
+        outgoing.append((dest[sel] - starts[r], values[sel]))
+    incoming = comm.alltoall(outgoing)
+    out = np.empty(dist.local_count(comm.rank), dtype=values.dtype)
+    for offsets, vals in incoming:
+        out[offsets] = vals
+    return out
+
+
+def stream_compact(
+    comm: Communicator,
+    local_values: np.ndarray,
+    local_mask: np.ndarray,
+) -> np.ndarray:
+    """Keep the flagged elements, in order, rebalanced into blocks.
+
+    The classic filter-via-scan: each kept element's global position is
+    the exclusive scan of the keep-counts; one exscan + one allreduce +
+    one all-to-all.
+    """
+    local_values = np.asarray(local_values)
+    local_mask = np.asarray(local_mask, dtype=bool)
+    if local_values.shape != local_mask.shape:
+        raise ReproError(
+            f"stream_compact: values {local_values.shape} and mask "
+            f"{local_mask.shape} differ"
+        )
+    kept = local_values[local_mask]
+    my_count = len(kept)
+    offset = comm.exscan(my_count, mpi.SUM, identity=lambda: 0)
+    total = comm.allreduce(my_count, mpi.SUM)
+    if total == 0:
+        return local_values[:0]
+    dest = offset + np.arange(my_count, dtype=np.int64)
+    return _route(comm, kept, dest, int(total))
+
+
+def split_by_flag(
+    comm: Communicator,
+    local_values: np.ndarray,
+    local_flags: np.ndarray,
+) -> np.ndarray:
+    """Blelloch's stable *split*: all 0-flagged elements (in order)
+    followed by all 1-flagged elements (in order), block-distributed.
+
+    One **aggregated** exscan of the (zeros, ones) count pair — the §2.1
+    trick keeping the two scans in one message — one aggregated
+    allreduce for the totals, one all-to-all.
+    """
+    local_values = np.asarray(local_values)
+    flags = np.asarray(local_flags, dtype=bool)
+    if local_values.shape != flags.shape:
+        raise ReproError(
+            f"split_by_flag: values {local_values.shape} and flags "
+            f"{flags.shape} differ"
+        )
+    n0_local = int(np.count_nonzero(~flags))
+    n1_local = int(len(flags) - n0_local)
+    counts = np.array([n0_local, n1_local], dtype=np.int64)
+    before = comm.exscan(
+        counts, mpi.SUM, identity=lambda: np.zeros(2, dtype=np.int64)
+    )
+    totals = comm.allreduce(counts, mpi.SUM)
+    total = int(totals.sum())
+    if total == 0:
+        return local_values[:0]
+    dest = np.empty(len(flags), dtype=np.int64)
+    zero_pos = np.cumsum(~flags) - 1  # local rank among my zeros
+    one_pos = np.cumsum(flags) - 1
+    dest[~flags] = before[0] + zero_pos[~flags]
+    dest[flags] = int(totals[0]) + before[1] + one_pos[flags]
+    return _route(comm, local_values, dest, total)
+
+
+def radix_sort(
+    comm: Communicator,
+    local_keys: np.ndarray,
+    *,
+    bits: int | None = None,
+) -> np.ndarray:
+    """LSD radix sort of non-negative integer keys: one stable
+    :func:`split_by_flag` per bit.  Nothing but scans and routing — the
+    textbook demonstration that scan is a sufficient primitive for
+    sorting.
+
+    ``bits`` defaults to the width of the global maximum key.
+    """
+    keys = np.asarray(local_keys)
+    if keys.size and keys.min() < 0:
+        raise ReproError("radix_sort requires non-negative keys")
+    if bits is None:
+        local_max = int(keys.max()) if keys.size else 0
+        global_max = int(comm.allreduce(local_max, mpi.MAX))
+        bits = max(1, global_max.bit_length())
+    for b in range(bits):
+        flags = (keys >> b) & 1
+        keys = split_by_flag(comm, keys, flags.astype(bool))
+    return keys
+
+
+def sample_sort(
+    comm: Communicator,
+    local_values: np.ndarray,
+    *,
+    oversample: int = 8,
+) -> np.ndarray:
+    """Sample sort: the general-purpose distributed sort.
+
+    Where :func:`radix_sort` needs integer keys and one pass per bit,
+    sample sort handles any ordered dtype in a constant number of
+    communication rounds: sort locally, choose p-1 splitters from an
+    allgathered regular sample, route each element to its splitter
+    bucket (one all-to-all), and merge locally.  Output blocks follow
+    rank order but are only approximately balanced — the classic
+    trade-off against the bucket sort's count-based balancing.
+    """
+    local = np.sort(np.asarray(local_values))
+    p = comm.size
+    if p == 1:
+        return local
+    # regular sample of my sorted block
+    n_local = len(local)
+    take = min(oversample, n_local)
+    if take > 0:
+        idx = (np.arange(take) * n_local) // take + (n_local // (2 * take))
+        np.clip(idx, 0, n_local - 1, out=idx)
+        my_sample = local[idx]
+    else:
+        my_sample = local[:0]
+    all_samples = np.sort(np.concatenate(comm.allgather(my_sample)))
+    if len(all_samples) == 0:
+        return local  # nothing anywhere
+    # p-1 splitters at regular positions of the gathered sample
+    pos = (np.arange(1, p) * len(all_samples)) // p
+    splitters = all_samples[pos]
+    # partition and route
+    cuts = np.searchsorted(local, splitters, side="right")
+    pieces = np.split(local, cuts)
+    incoming = comm.alltoall(pieces)
+    merged = np.sort(np.concatenate(incoming))
+    return merged

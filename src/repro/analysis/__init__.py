@@ -1,0 +1,28 @@
+"""Analysis: speedup/efficiency series and paper-style reports."""
+
+from repro.analysis.efficiency import Series, crossover, sweep
+from repro.analysis.report import (
+    format_series_csv,
+    format_speedup_figure,
+    format_table,
+)
+from repro.analysis.timeline import to_chrome_trace, write_chrome_trace
+from repro.analysis.utilization import (
+    RankUtilization,
+    format_utilization,
+    utilization,
+)
+
+__all__ = [
+    "Series",
+    "sweep",
+    "crossover",
+    "format_table",
+    "format_speedup_figure",
+    "format_series_csv",
+    "RankUtilization",
+    "utilization",
+    "format_utilization",
+    "to_chrome_trace",
+    "write_chrome_trace",
+]

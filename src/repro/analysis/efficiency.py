@@ -1,0 +1,68 @@
+"""Speedup/efficiency series for the figure benchmarks.
+
+The paper's Figures 2 and 3 are "efficiency graphs showing the speedup"
+of a phase across processor counts for several program variants.  A
+:class:`Series` holds one variant's times; :func:`sweep` produces one by
+running a phase at each processor count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+__all__ = ["Series", "sweep", "crossover"]
+
+
+@dataclass
+class Series:
+    """Times of one program variant across processor counts."""
+
+    label: str
+    procs: list[int] = field(default_factory=list)
+    times: list[float] = field(default_factory=list)
+
+    def add(self, p: int, t: float) -> None:
+        self.procs.append(p)
+        self.times.append(t)
+
+    @property
+    def t1(self) -> float:
+        """The single-processor time (base of the speedup)."""
+        for p, t in zip(self.procs, self.times):
+            if p == 1:
+                return t
+        return self.times[0] * self.procs[0]  # extrapolated base
+
+    def speedup(self, base_t1: float | None = None) -> list[float]:
+        """Speedup at each processor count, relative to ``base_t1``
+        (default: this series' own 1-processor time)."""
+        base = self.t1 if base_t1 is None else base_t1
+        return [base / t if t > 0 else float("inf") for t in self.times]
+
+    def efficiency(self, base_t1: float | None = None) -> list[float]:
+        """Parallel efficiency: speedup / p."""
+        return [s / p for s, p in zip(self.speedup(base_t1), self.procs)]
+
+
+def sweep(
+    label: str,
+    run: Callable[[int], float],
+    procs: Sequence[int],
+) -> Series:
+    """Run ``run(p) -> time`` for every processor count."""
+    s = Series(label)
+    for p in procs:
+        s.add(p, run(p))
+    return s
+
+
+def crossover(a: Series, b: Series) -> int | None:
+    """Smallest processor count at which ``a`` becomes faster than ``b``
+    (None if never); both series must share their proc grid."""
+    if a.procs != b.procs:
+        raise ValueError("crossover needs series over the same proc counts")
+    for p, ta, tb in zip(a.procs, a.times, b.times):
+        if ta < tb:
+            return p
+    return None

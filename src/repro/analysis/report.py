@@ -1,0 +1,84 @@
+"""Plain-text reporting of figure series, paper style.
+
+The benchmarks print these tables (and write them under ``results/``)
+so the reproduced numbers sit next to the paper's claims in
+EXPERIMENTS.md.  Output is deliberately plain monospace text.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.efficiency import Series
+
+__all__ = ["format_table", "format_speedup_figure", "format_series_csv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Align columns; floats get 3 decimals."""
+
+    def cell(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}"
+        return str(v)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_speedup_figure(
+    title: str,
+    series: Sequence[Series],
+    *,
+    show_efficiency: bool = True,
+) -> str:
+    """One figure panel: processor counts down the rows, one speedup
+    column per variant (plus efficiency in parentheses)."""
+    procs = series[0].procs
+    for s in series:
+        if s.procs != procs:
+            raise ValueError(
+                f"series {s.label!r} has a different processor grid"
+            )
+    headers = ["p"] + [s.label for s in series]
+    rows = []
+    speedups = [s.speedup() for s in series]
+    effs = [s.efficiency() for s in series]
+    for i, p in enumerate(procs):
+        row: list[object] = [p]
+        for j in range(len(series)):
+            if show_efficiency:
+                row.append(f"{speedups[j][i]:7.2f} ({effs[j][i]:4.2f})")
+            else:
+                row.append(f"{speedups[j][i]:7.2f}")
+        rows.append(row)
+    note = "columns: speedup (efficiency)" if show_efficiency else "columns: speedup"
+    return format_table(headers, rows, title=title) + f"\n[{note}]"
+
+
+def format_series_csv(series: Sequence[Series]) -> str:
+    """Machine-readable dump: p, then one time column per series."""
+    procs = series[0].procs
+    lines = ["p," + ",".join(s.label.replace(",", ";") for s in series)]
+    for i, p in enumerate(procs):
+        lines.append(
+            f"{p}," + ",".join(f"{s.times[i]:.9e}" for s in series)
+        )
+    return "\n".join(lines)

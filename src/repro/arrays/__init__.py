@@ -1,0 +1,21 @@
+"""Global-view distributed arrays and their distributions."""
+
+from repro.arrays.distribution import (
+    BlockCyclicDist,
+    BlockDist,
+    CyclicDist,
+    Distribution,
+    ExplicitDist,
+)
+from repro.arrays.global_array import GlobalArray
+from repro.arrays.multidim import GlobalMatrix
+
+__all__ = [
+    "Distribution",
+    "BlockDist",
+    "CyclicDist",
+    "BlockCyclicDist",
+    "ExplicitDist",
+    "GlobalArray",
+    "GlobalMatrix",
+]

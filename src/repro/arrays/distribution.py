@@ -1,0 +1,213 @@
+"""1-D data distributions for global-view arrays.
+
+A distribution maps global indices ``0..n-1`` onto ``p`` ranks.  Three
+classics are provided:
+
+* :class:`BlockDist` — contiguous blocks (Chapel's default; the only
+  distribution under which rank order equals global order, hence the
+  only one non-commutative reductions and *all* scans accept);
+* :class:`CyclicDist` — round-robin;
+* :class:`BlockCyclicDist` — round-robin blocks of a given size.
+
+The semantic interplay between distribution and operator commutativity
+is itself one of the paper's points: a commutative reduction is
+distribution-agnostic, a non-commutative one is meaningful only when the
+per-rank runs concatenate in global order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DistributionError
+
+__all__ = ["Distribution", "BlockDist", "CyclicDist", "BlockCyclicDist", "ExplicitDist"]
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Base class; subclasses implement the index algebra."""
+
+    n: int
+    p: int
+
+    def __post_init__(self):
+        if self.n < 0:
+            raise DistributionError(f"array size must be >= 0, got {self.n}")
+        if self.p < 1:
+            raise DistributionError(f"rank count must be >= 1, got {self.p}")
+
+    # -- required ----------------------------------------------------------
+
+    def owner(self, i: int) -> int:
+        """Rank owning global index ``i``."""
+        raise NotImplementedError
+
+    def local_count(self, rank: int) -> int:
+        """Number of elements on ``rank``."""
+        raise NotImplementedError
+
+    def global_indices(self, rank: int) -> np.ndarray:
+        """Global indices owned by ``rank``, in local storage order."""
+        raise NotImplementedError
+
+    # -- derived -----------------------------------------------------------
+
+    @property
+    def is_order_preserving(self) -> bool:
+        """True when concatenating local blocks in rank order yields the
+        global order — the property scans and non-commutative reductions
+        require."""
+        return False
+
+    def check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.p:
+            raise DistributionError(
+                f"rank {rank} out of range [0, {self.p})"
+            )
+
+    def check_index(self, i: int) -> None:
+        if not 0 <= i < self.n:
+            raise DistributionError(
+                f"global index {i} out of range [0, {self.n})"
+            )
+
+
+class BlockDist(Distribution):
+    """Contiguous blocks, remainder spread over the first ranks.
+
+    Rank r owns ``[r*base + min(r, extra), ...)`` of length ``base + 1``
+    for the first ``extra = n % p`` ranks and ``base`` for the rest.
+    """
+
+    @property
+    def is_order_preserving(self) -> bool:
+        return True
+
+    def bounds(self, rank: int) -> tuple[int, int]:
+        """Half-open global range ``[lo, hi)`` owned by ``rank``."""
+        self.check_rank(rank)
+        base, extra = divmod(self.n, self.p)
+        lo = rank * base + min(rank, extra)
+        hi = lo + base + (1 if rank < extra else 0)
+        return lo, hi
+
+    def owner(self, i: int) -> int:
+        self.check_index(i)
+        base, extra = divmod(self.n, self.p)
+        cutoff = (base + 1) * extra
+        if i < cutoff:
+            return i // (base + 1)
+        if base == 0:
+            raise DistributionError(
+                f"index {i} beyond the populated ranks (n < p)"
+            )  # pragma: no cover - check_index already guards
+        return extra + (i - cutoff) // base
+
+    def local_count(self, rank: int) -> int:
+        lo, hi = self.bounds(rank)
+        return hi - lo
+
+    def global_indices(self, rank: int) -> np.ndarray:
+        lo, hi = self.bounds(rank)
+        return np.arange(lo, hi)
+
+    def to_local(self, i: int) -> tuple[int, int]:
+        """Map a global index to ``(owner, local offset)``."""
+        r = self.owner(i)
+        lo, _ = self.bounds(r)
+        return r, i - lo
+
+
+class CyclicDist(Distribution):
+    """Round-robin: global index ``i`` lives on rank ``i % p``."""
+
+    def owner(self, i: int) -> int:
+        self.check_index(i)
+        return i % self.p
+
+    def local_count(self, rank: int) -> int:
+        self.check_rank(rank)
+        return max(0, (self.n - rank + self.p - 1) // self.p)
+
+    def global_indices(self, rank: int) -> np.ndarray:
+        self.check_rank(rank)
+        return np.arange(rank, self.n, self.p)
+
+
+class BlockCyclicDist(Distribution):
+    """Round-robin blocks of ``block`` consecutive elements."""
+
+    def __init__(self, n: int, p: int, block: int):
+        super().__init__(n, p)
+        if block < 1:
+            raise DistributionError(f"block size must be >= 1, got {block}")
+        object.__setattr__(self, "block", block)
+
+    def owner(self, i: int) -> int:
+        self.check_index(i)
+        return (i // self.block) % self.p
+
+    def global_indices(self, rank: int) -> np.ndarray:
+        self.check_rank(rank)
+        idx = np.arange(self.n)
+        return idx[(idx // self.block) % self.p == rank]
+
+    def local_count(self, rank: int) -> int:
+        return len(self.global_indices(rank))
+
+    @property
+    def is_order_preserving(self) -> bool:
+        # Degenerate case: one block per rank at most (block*p >= n means
+        # each rank holds a single contiguous run in rank order).
+        return self.block * self.p >= self.n
+
+
+class ExplicitDist(Distribution):
+    """Contiguous blocks with explicitly given per-rank counts.
+
+    The result shape of data-dependent operations (sorting, filtering)
+    whose blocks are contiguous in rank order but not balanced.  Order
+    preserving, like :class:`BlockDist`.
+    """
+
+    def __init__(self, counts: "list[int] | tuple[int, ...]"):
+        counts = tuple(int(c) for c in counts)
+        if any(c < 0 for c in counts):
+            raise DistributionError(f"negative counts: {counts}")
+        super().__init__(sum(counts), len(counts))
+        object.__setattr__(self, "counts", counts)
+        starts = [0]
+        for c in counts:
+            starts.append(starts[-1] + c)
+        object.__setattr__(self, "_starts", tuple(starts))
+
+    @property
+    def is_order_preserving(self) -> bool:
+        return True
+
+    def bounds(self, rank: int) -> tuple[int, int]:
+        self.check_rank(rank)
+        return self._starts[rank], self._starts[rank + 1]
+
+    def owner(self, i: int) -> int:
+        self.check_index(i)
+        # binary search over the start offsets
+        lo, hi = 0, self.p - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._starts[mid + 1] <= i:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def local_count(self, rank: int) -> int:
+        self.check_rank(rank)
+        return self.counts[rank]
+
+    def global_indices(self, rank: int) -> np.ndarray:
+        lo, hi = self.bounds(rank)
+        return np.arange(lo, hi)

@@ -1,0 +1,253 @@
+"""Chapel-style global-view distributed arrays.
+
+A :class:`GlobalArray` gives SPMD code the paper's *global view*: the
+program manipulates one conceptual array, and the per-processor blocks
+live inside the abstraction.  The Chapel one-liners of §3.1 map directly::
+
+    minimums = mink(integer, 10) reduce A;        # Chapel
+    minimums = A.reduce(MinKOp(10, INT_MAX))      # here
+
+    var (val, loc) = mini(integer) reduce [i in 1..n] (A(i), i);
+    val, loc = A.reduce_with_index(MiniOp())
+
+Scans and non-commutative reductions require an order-preserving
+distribution (Block); commutative reductions accept any distribution —
+enforcing the semantic distinction the paper draws in §1.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.arrays.distribution import BlockDist, Distribution
+from repro.core.operator import ReduceScanOp
+from repro.core.reduce import global_reduce
+from repro.core.scan import global_scan, global_xscan
+from repro.errors import DistributionError
+from repro.mpi.comm import Communicator
+
+__all__ = ["GlobalArray"]
+
+
+class GlobalArray:
+    """One conceptual array of ``n`` elements distributed over the ranks
+    of a communicator.
+
+    Every method is **collective**: all ranks of the communicator must
+    call it with compatible arguments.  ``local`` exposes this rank's
+    block as a NumPy array (mutable in place).
+    """
+
+    def __init__(
+        self,
+        comm: Communicator,
+        local: np.ndarray,
+        dist: Distribution,
+    ):
+        if dist.p != comm.size:
+            raise DistributionError(
+                f"distribution is over {dist.p} ranks but communicator has "
+                f"{comm.size}"
+            )
+        expected = dist.local_count(comm.rank)
+        if len(local) != expected:
+            raise DistributionError(
+                f"rank {comm.rank}: local block has {len(local)} elements, "
+                f"distribution expects {expected}"
+            )
+        self.comm = comm
+        self.local = local
+        self.dist = dist
+
+    # -- constructors -------------------------------------------------------
+
+    @classmethod
+    def zeros(
+        cls,
+        comm: Communicator,
+        n: int,
+        dtype=np.float64,
+        dist_cls: type[Distribution] = BlockDist,
+        **dist_kwargs: Any,
+    ) -> "GlobalArray":
+        dist = dist_cls(n, comm.size, **dist_kwargs)
+        return cls(comm, np.zeros(dist.local_count(comm.rank), dtype=dtype), dist)
+
+    @classmethod
+    def from_function(
+        cls,
+        comm: Communicator,
+        n: int,
+        fn: Callable[[np.ndarray], np.ndarray],
+        dtype=np.float64,
+        dist_cls: type[Distribution] = BlockDist,
+        **dist_kwargs: Any,
+    ) -> "GlobalArray":
+        """Build from a vectorized function of the global indices (each
+        rank evaluates ``fn`` on the indices it owns — no communication)."""
+        dist = dist_cls(n, comm.size, **dist_kwargs)
+        idx = dist.global_indices(comm.rank)
+        local = np.asarray(fn(idx), dtype=dtype)
+        return cls(comm, local, dist)
+
+    @classmethod
+    def from_global(
+        cls,
+        comm: Communicator,
+        data: np.ndarray | Sequence[Any],
+        dist_cls: type[Distribution] = BlockDist,
+        **dist_kwargs: Any,
+    ) -> "GlobalArray":
+        """Build from a replicated global array (every rank passes the
+        same data and keeps only its slice; test/example convenience)."""
+        data = np.asarray(data)
+        dist = dist_cls(len(data), comm.size, **dist_kwargs)
+        return cls(comm, data[dist.global_indices(comm.rank)].copy(), dist)
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.dist.n
+
+    @property
+    def dtype(self):
+        return self.local.dtype
+
+    def global_indices(self) -> np.ndarray:
+        """Global indices of this rank's local elements."""
+        return self.dist.global_indices(self.comm.rank)
+
+    # -- global-view reductions and scans ---------------------------------------
+
+    def _require_order(self, what: str, op: ReduceScanOp | None = None) -> None:
+        if not self.dist.is_order_preserving:
+            name = f" {op.name}" if op is not None else ""
+            raise DistributionError(
+                f"{what}{name} requires an order-preserving distribution "
+                f"(e.g. BlockDist); {type(self.dist).__name__} interleaves "
+                "ranks, so rank-order combining would not follow global order"
+            )
+
+    def reduce(self, op: ReduceScanOp, **kwargs: Any) -> Any:
+        """``op reduce A``: global-view reduction over the whole array."""
+        if not op.commutative:
+            self._require_order("a non-commutative reduction with", op)
+        return global_reduce(self.comm, op, self.local, **kwargs)
+
+    def reduce_with_index(self, op: ReduceScanOp, **kwargs: Any) -> Any:
+        """Reduce over ``(value, global index)`` pairs — the Chapel idiom
+        ``op reduce [i in 1..n] (A(i), i)`` for mini/maxi/extrema."""
+        if not op.commutative:
+            self._require_order("a non-commutative reduction with", op)
+        pairs = np.column_stack(
+            [np.asarray(self.local, dtype=np.float64), self.global_indices()]
+        )
+        return global_reduce(self.comm, op, pairs, **kwargs)
+
+    def scan(self, op: ReduceScanOp, **kwargs: Any) -> "GlobalArray":
+        """``op scan A``: inclusive global-view scan; returns a new
+        GlobalArray with the same distribution."""
+        self._require_order("a scan with", op)
+        out = global_scan(self.comm, op, self.local, **kwargs)
+        return GlobalArray(self.comm, np.asarray(out), self.dist)
+
+    def xscan(self, op: ReduceScanOp, **kwargs: Any) -> "GlobalArray":
+        """Exclusive global-view scan; returns a new GlobalArray."""
+        self._require_order("a scan with", op)
+        out = global_xscan(self.comm, op, self.local, **kwargs)
+        return GlobalArray(self.comm, np.asarray(out), self.dist)
+
+    # -- data movement ------------------------------------------------------------
+
+    def to_global(self) -> np.ndarray:
+        """Collect the full array on every rank (collective; for
+        verification and small results only)."""
+        blocks = self.comm.allgather(self.local)
+        out = np.empty(self.n, dtype=self.local.dtype)
+        for rank, block in enumerate(blocks):
+            out[self.dist.global_indices(rank)] = block
+        return out
+
+    def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> "GlobalArray":
+        """Element-wise transform (no communication)."""
+        return GlobalArray(self.comm, np.asarray(fn(self.local)), self.dist)
+
+    def sort(self) -> "GlobalArray":
+        """Globally sort the array (sample sort); the result is a new
+        GlobalArray over an :class:`ExplicitDist` — contiguous in rank
+        order, approximately balanced."""
+        from repro.algorithms import sample_sort
+        from repro.arrays.distribution import ExplicitDist
+
+        self._require_order("sort() on")
+        out = sample_sort(self.comm, self.local)
+        counts = self.comm.allgather(len(out))
+        return GlobalArray(self.comm, out, ExplicitDist(counts))
+
+    def filter(self, mask: np.ndarray) -> "GlobalArray":
+        """Keep the elements whose local ``mask`` entry is True, in
+        global order, rebalanced into blocks (scan-based compaction)."""
+        from repro.algorithms import stream_compact
+
+        self._require_order("filter() on")
+        out = stream_compact(self.comm, self.local, mask)
+        from repro.arrays.distribution import ExplicitDist
+
+        counts = self.comm.allgather(len(out))
+        return GlobalArray(self.comm, out, ExplicitDist(counts))
+
+    # -- element-wise arithmetic (no communication) --------------------------
+
+    def _binary(self, other: Any, fn) -> "GlobalArray":
+        if isinstance(other, GlobalArray):
+            if type(other.dist) is not type(self.dist) or other.n != self.n:
+                raise DistributionError(
+                    "element-wise operations need identically distributed "
+                    f"arrays; got {self.dist} vs {other.dist}"
+                )
+            return GlobalArray(self.comm, fn(self.local, other.local), self.dist)
+        return GlobalArray(self.comm, fn(self.local, other), self.dist)
+
+    def __add__(self, other):
+        return self._binary(other, np.add)
+
+    def __radd__(self, other):
+        return self._binary(other, lambda a, b: np.add(b, a))
+
+    def __sub__(self, other):
+        return self._binary(other, np.subtract)
+
+    def __rsub__(self, other):
+        return self._binary(other, lambda a, b: np.subtract(b, a))
+
+    def __mul__(self, other):
+        return self._binary(other, np.multiply)
+
+    def __rmul__(self, other):
+        return self._binary(other, lambda a, b: np.multiply(b, a))
+
+    def __truediv__(self, other):
+        return self._binary(other, np.divide)
+
+    def __neg__(self):
+        return GlobalArray(self.comm, -self.local, self.dist)
+
+    def dot(self, other: "GlobalArray") -> Any:
+        """Distributed inner product: one SUM all-reduce."""
+        from repro import mpi as _mpi
+
+        if not isinstance(other, GlobalArray):
+            raise DistributionError("dot() needs another GlobalArray")
+        prod = self._binary(other, np.multiply)
+        local = float(prod.local.sum()) if len(prod.local) else 0.0
+        return self.comm.allreduce(local, _mpi.SUM)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"GlobalArray(n={self.n}, dtype={self.dtype}, "
+            f"dist={type(self.dist).__name__}, rank={self.comm.rank}, "
+            f"local={len(self.local)})"
+        )

@@ -1,0 +1,29 @@
+"""The paper's primary contribution: global-view user-defined
+reductions and scans (Section 3)."""
+
+from repro.core.chapel import ChapelOp, ChapelOpAdapter
+from repro.core.functional import from_binary, make_op
+from repro.core.operator import ReduceScanOp, state_equal
+from repro.core.reduce import accumulate_local, global_reduce
+from repro.core.scan import global_scan, global_xscan
+from repro.core.validation import (
+    check_operator,
+    sequential_reduce,
+    sequential_scan,
+)
+
+__all__ = [
+    "ReduceScanOp",
+    "ChapelOp",
+    "ChapelOpAdapter",
+    "state_equal",
+    "make_op",
+    "from_binary",
+    "global_reduce",
+    "global_scan",
+    "global_xscan",
+    "accumulate_local",
+    "check_operator",
+    "sequential_reduce",
+    "sequential_scan",
+]

@@ -1,0 +1,120 @@
+"""The global-view reduction driver (paper Listing 2).
+
+::
+
+    forall processors q in 0..p-1
+        s_q <- f_ident()
+        if n > 0:   s_q <- f_pre_accum(s_q, in_q(0), ...)
+        for i in 0..n-1:  s_q <- f_accum(s_q, in_q(i), ...)
+        if n > 0:   s_q <- f_post_accum(s_q, in_q(n-1), ...)
+        LOCAL_REDUCE(f_combine, s_q)
+    forall processors q in 0..p-1
+        out_q <- f_red_gen(s_q)
+
+The accumulate phase runs locally with no communication; the combine
+phase is one local-view reduction of the per-rank states; the generate
+phase translates the final state to the output type.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.operator import ReduceScanOp
+from repro.errors import OperatorError
+from repro.localview.api import LOCAL_ALLREDUCE, LOCAL_REDUCE
+from repro.mpi.comm import Communicator
+
+__all__ = ["global_reduce", "accumulate_local"]
+
+
+def accumulate_local(
+    comm: Communicator,
+    op: ReduceScanOp,
+    values: Sequence[Any] | np.ndarray,
+    *,
+    accum_rate: str | None = None,
+) -> Any:
+    """The accumulate phase: fold this rank's local values into a fresh
+    state, with the pre/post hooks of Listing 2 (lines 2–8).
+
+    Charges ``len(values)`` elements of virtual time at ``accum_rate``
+    (or the operator's own ``accum_rate``) when one is set.
+    """
+    state = op.ident()
+    n = len(values)
+    if n > 0:
+        state = op.pre_accum(state, values[0])
+        state = op.accum_block(state, values)
+        state = op.post_accum(state, values[n - 1])
+    rate = accum_rate if accum_rate is not None else op.accum_rate
+    if rate is not None and n > 0:
+        comm.charge_elements(rate, n, f"accum:{op.name}")
+    return state
+
+
+def global_reduce(
+    comm: Communicator,
+    op: ReduceScanOp,
+    values: Sequence[Any] | np.ndarray,
+    *,
+    root: int | None = None,
+    fanout: int = 2,
+    accum_rate: str | None = None,
+    combine_seconds: float | None = None,
+) -> Any:
+    """Globally reduce the distributed data whose local block is
+    ``values``, using the global-view operator ``op``.
+
+    This is the Chapel expression ``op reduce A`` (paper §3.1.1): the
+    caller thinks about one conceptual global array; both the accumulate
+    and the combine phases live inside the abstraction.
+
+    Parameters
+    ----------
+    comm:
+        The communicator; every member must call with its own block.
+        Blocks may be empty on some ranks (their contribution is the
+        identity state).
+    op:
+        The operator.  Its ``commutative`` flag selects between
+        order-preserving and as-available combining.
+    values:
+        This rank's local elements, ordered; across ranks the
+        concatenation in rank order is the conceptual global array
+        (which is what makes non-commutative operators meaningful).
+    root:
+        If None (default) every rank returns the result (allreduce
+        flavor); otherwise only ``root`` returns it and others get None.
+    fanout:
+        Combining-tree fan-out for commutative operators (§1).
+    accum_rate, combine_seconds:
+        Cost-model overrides; default to the operator's own settings.
+
+    Returns
+    -------
+    ``op.red_gen(final_state)`` on the receiving rank(s).
+    """
+    if not isinstance(op, ReduceScanOp):
+        raise OperatorError(
+            f"global_reduce needs a ReduceScanOp, got {type(op).__name__}; "
+            "wrap plain functions with make_op()/from_binary()"
+        )
+    state = accumulate_local(comm, op, values, accum_rate=accum_rate)
+    cs = op.combine_seconds if combine_seconds is None else combine_seconds
+    if root is None:
+        total = LOCAL_ALLREDUCE(
+            comm, op.combine, state,
+            commutative=op.commutative, combine_seconds=cs,
+        )
+        return op.red_gen(total)
+    total = LOCAL_REDUCE(
+        comm, op.combine, state,
+        root=root, commutative=op.commutative, fanout=fanout,
+        combine_seconds=cs,
+    )
+    if comm.rank == root:
+        return op.red_gen(total)
+    return None

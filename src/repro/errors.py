@@ -1,0 +1,115 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+letting genuine programming errors (``TypeError`` from user operator code,
+for instance) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "RuntimeAbort",
+    "SpmdError",
+    "SpmdTimeout",
+    "CommunicatorError",
+    "RankMismatchError",
+    "TruncationError",
+    "OperatorError",
+    "OperatorLawError",
+    "DistributionError",
+    "PreprocessorError",
+    "DslSyntaxError",
+    "DslSemanticError",
+    "VerificationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class RuntimeAbort(ReproError):
+    """Raised inside a rank when the SPMD run is being torn down.
+
+    This is used to unwind ranks that are blocked in ``recv`` after another
+    rank has failed; user code should not catch it.
+    """
+
+
+class SpmdError(ReproError):
+    """One or more ranks of an SPMD run raised an exception.
+
+    Attributes
+    ----------
+    failures:
+        Mapping from rank to the exception instance raised on that rank.
+    """
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = dict(failures)
+        ranks = ", ".join(str(r) for r in sorted(self.failures))
+        first_rank = min(self.failures)
+        first = self.failures[first_rank]
+        super().__init__(
+            f"SPMD run failed on rank(s) {ranks}; "
+            f"first failure (rank {first_rank}): {type(first).__name__}: {first}"
+        )
+
+
+class SpmdTimeout(ReproError):
+    """An SPMD run did not complete within its wall-clock timeout."""
+
+
+class CommunicatorError(ReproError):
+    """Invalid use of a communicator (bad rank, bad tag, empty group...)."""
+
+
+class RankMismatchError(CommunicatorError):
+    """A collective was called with inconsistent arguments across ranks."""
+
+
+class TruncationError(CommunicatorError):
+    """A receive buffer was too small for the incoming message."""
+
+
+class OperatorError(ReproError):
+    """A reduction/scan operator is malformed or misused."""
+
+
+class OperatorLawError(OperatorError):
+    """An operator violates an algebraic law it is required to satisfy.
+
+    Raised by :func:`repro.core.validation.check_operator` when, e.g., the
+    identity law or sampled associativity fails.
+    """
+
+
+class DistributionError(ReproError):
+    """Invalid distributed-array distribution or an unsupported operation
+    for the array's distribution (e.g. a scan over a cyclic distribution)."""
+
+
+class PreprocessorError(ReproError):
+    """Base class for RSMPI preprocessor (DSL) errors."""
+
+
+class DslSyntaxError(PreprocessorError):
+    """The RSMPI operator DSL source failed to tokenize or parse."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        loc = f" at line {line}" if line is not None else ""
+        loc += f", column {col}" if col is not None else ""
+        super().__init__(f"{message}{loc}")
+
+
+class DslSemanticError(PreprocessorError):
+    """The RSMPI operator DSL parsed but is semantically invalid
+    (unknown state field, missing required function, bad types...)."""
+
+
+class VerificationError(ReproError):
+    """A benchmark kernel failed its verification phase."""

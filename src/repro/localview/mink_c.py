@@ -1,0 +1,59 @@
+"""Faithful port of the paper's Listing 1: the local-view ``mink``
+operator as one would write it in C against the local-view routines.
+
+Each processor starts with a vector of ``k`` elements **in sorted order
+from high to low**; the reduction combines the vectors so the result
+contains the ``k`` minimum values over all vectors (still sorted high to
+low).  ``ident``/``combine`` are direct transliterations of the C code —
+including its insertion-bubble inner loop — so tests can confirm the
+local-view and global-view formulations agree.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["mink_ident", "mink_combine", "make_local_mink_op", "INT_MAX"]
+
+INT_MAX = np.iinfo(np.int64).max
+
+
+def mink_ident(k: int) -> np.ndarray:
+    """Listing 1's ``ident``: a k-vector of INT_MAX."""
+    return np.full(k, INT_MAX, dtype=np.int64)
+
+
+def mink_combine(v1: np.ndarray, v2: np.ndarray) -> np.ndarray:
+    """Listing 1's ``combine``: merge ``v1`` into ``v2`` and return ``v2``.
+
+    For every element of ``v1`` smaller than the current largest kept
+    minimum (``v2[0]``), replace it and bubble it down to restore the
+    high-to-low order.  Mirrors the C code line by line, except that the
+    *left* operand is the one mutated in the rest of this library, so the
+    roles are swapped at the call boundary by :func:`make_local_mink_op`.
+    """
+    k = len(v2)
+    for i in range(k):
+        if v1[i] < v2[0]:
+            v2[0] = v1[i]
+            for j in range(1, k):
+                if v2[j - 1] < v2[j]:
+                    v2[j - 1], v2[j] = v2[j], v2[j - 1]
+    return v2
+
+
+def make_local_mink_op(k: int):
+    """Return ``(ident_fn, combine_fn)`` ready for the LOCAL_* routines.
+
+    ``combine_fn(a, b)`` folds ``b`` into ``a`` (mutating the left
+    operand, per the library contract) and returns ``a``.  The mink
+    reduction is commutative, so operand order does not affect results.
+    """
+
+    def ident() -> np.ndarray:
+        return mink_ident(k)
+
+    def combine(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return mink_combine(b, a)
+
+    return ident, combine

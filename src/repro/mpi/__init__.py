@@ -1,0 +1,46 @@
+"""Simulated MPI: communicators, the 12 built-in ops, user-defined ops."""
+
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Communicator
+from repro.mpi.op import (
+    BAND,
+    BOR,
+    BUILTIN_OPS,
+    BXOR,
+    LAND,
+    LOR,
+    LXOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    Op,
+    PROD,
+    SUM,
+    op_create,
+)
+from repro.mpi.topology import binomial_tree, dims_create, kary_tree, tree_depth
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Communicator",
+    "Op",
+    "op_create",
+    "BUILTIN_OPS",
+    "MAX",
+    "MIN",
+    "SUM",
+    "PROD",
+    "LAND",
+    "BAND",
+    "LOR",
+    "BOR",
+    "LXOR",
+    "BXOR",
+    "MAXLOC",
+    "MINLOC",
+    "binomial_tree",
+    "kary_tree",
+    "tree_depth",
+    "dims_create",
+]

@@ -1,0 +1,451 @@
+"""Collective algorithms over point-to-point channels.
+
+Every collective is built from point-to-point messages on a
+:class:`CollChannel`, so its simulated cost *emerges* from the actual
+message pattern rather than from a closed-form formula — the property
+that lets the figure benchmarks reproduce the paper's performance shapes
+honestly.
+
+Algorithm choices mirror common MPI implementations:
+
+* reductions: order-preserving binomial tree (valid for non-commutative
+  operations); optional k-ary "combine-as-available" tree for commutative
+  operations (the paper's §1 fan-out observation);
+* allreduce: recursive doubling with the MPICH non-power-of-two fold-in,
+  order-preserving throughout;
+* scan/exscan: simultaneous binomial (recursive doubling) parallel
+  prefix, order-preserving;
+* broadcast/gather/scatter: binomial trees; allgather: gather+bcast;
+  alltoall(v): shifted pairwise exchange; barrier: dissemination.
+
+All rank arguments are *group* ranks; the channel translates to world
+ranks.  Non-commutative operations always receive the lower-rank operand
+as the left argument of ``op``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, Sequence
+
+from repro.errors import CommunicatorError
+from repro.mpi.op import Op
+from repro.mpi.topology import kary_tree
+from repro.util.sizing import copy_for_transfer
+
+__all__ = [
+    "CollChannel",
+    "reduce_binomial_ordered",
+    "reduce_kary_available",
+    "allreduce_recursive_doubling",
+    "allreduce_ring",
+    "reduce_scatter_ring",
+    "bcast_binomial",
+    "scan_simultaneous_binomial",
+    "gather_binomial",
+    "scatter_binomial",
+    "barrier_dissemination",
+    "alltoall_pairwise",
+]
+
+
+class CollChannel(Protocol):
+    """Point-to-point interface a collective algorithm runs over."""
+
+    rank: int
+    size: int
+
+    def send(self, dest: int, payload: Any) -> None: ...
+    def recv(self, source: int) -> Any: ...
+    def collect(self, source: int): ...  # -> Envelope (no clock effect)
+    def apply(self, env) -> Any: ...  # account for collected envelope
+    def charge(self, seconds: float, label: str) -> None: ...
+
+
+def _charge_combine(ch: CollChannel, seconds: float) -> None:
+    if seconds > 0.0:
+        ch.charge(seconds, "combine")
+
+
+# --------------------------------------------------------------------------
+# Reductions
+# --------------------------------------------------------------------------
+
+
+def reduce_binomial_ordered(
+    ch: CollChannel, value: Any, op: Op | Callable[[Any, Any], Any],
+    *, combine_seconds: float = 0.0,
+) -> Any:
+    """Reduce to group rank 0 over the order-preserving binomial tree.
+
+    Safe for non-commutative operations: every partial covers a
+    contiguous rank range and lower ranges are always the left operand.
+    Returns the reduction on rank 0, ``None`` elsewhere.
+    """
+    rank, size = ch.rank, ch.size
+    partial = value
+    mask = 1
+    while mask < size:
+        if rank & mask:
+            ch.send(rank - mask, partial)
+            return None
+        src = rank + mask
+        if src < size:
+            theirs = ch.recv(src)
+            partial = op(partial, theirs)
+            _charge_combine(ch, combine_seconds)
+        mask <<= 1
+    return partial
+
+
+def reduce_kary_available(
+    ch: CollChannel, value: Any, op: Op | Callable[[Any, Any], Any],
+    *, fanout: int = 2, combine_seconds: float = 0.0,
+) -> Any:
+    """Reduce to group rank 0 over a k-ary tree, combining children in the
+    order their messages *become available* rather than in rank order.
+
+    Only valid for commutative operations (the k-ary heap numbering does
+    not preserve contiguous rank ranges, and availability order is
+    arbitrary).  Returns the reduction on rank 0, ``None`` elsewhere.
+    """
+    if isinstance(op, Op) and not op.commutative:
+        raise CommunicatorError(
+            f"reduce_kary_available requires a commutative op, got {op!r}"
+        )
+    tree = kary_tree(ch.size, fanout)
+    node = tree[ch.rank]
+    partial = value
+    if node.children:
+        envs = [ch.collect(c) for c in node.children]
+        envs.sort(key=lambda e: e.available_at)
+        for env in envs:
+            theirs = ch.apply(env)
+            partial = op(partial, theirs)
+            _charge_combine(ch, combine_seconds)
+    if node.parent is not None:
+        ch.send(node.parent, partial)
+        return None
+    return partial
+
+
+def allreduce_recursive_doubling(
+    ch: CollChannel, value: Any, op: Op | Callable[[Any, Any], Any],
+    *, combine_seconds: float = 0.0,
+) -> Any:
+    """All-reduce by recursive doubling with the MPICH fold-in step for
+    non-power-of-two sizes.  Order-preserving (non-commutative safe)."""
+    rank, size = ch.rank, ch.size
+    if size == 1:
+        return value
+    pof2 = 1 << (size.bit_length() - 1)
+    if pof2 == size:
+        pof2 = size
+    rem = size - pof2
+
+    partial = value
+    # Fold the first 2*rem ranks pairwise so pof2 ranks remain.
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            ch.send(rank + 1, partial)
+            newrank = -1  # idle during the doubling phase
+        else:
+            theirs = ch.recv(rank - 1)
+            partial = op(theirs, partial)  # lower rank on the left
+            _charge_combine(ch, combine_seconds)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+
+    if newrank >= 0:
+        mask = 1
+        while mask < pof2:
+            partner = newrank ^ mask
+            # translate back to real rank
+            real = partner * 2 + 1 if partner < rem else partner + rem
+            ch.send(real, partial)
+            theirs = ch.recv(real)
+            if partner > newrank:
+                partial = op(partial, theirs)
+            else:
+                partial = op(theirs, partial)
+            _charge_combine(ch, combine_seconds)
+            mask <<= 1
+
+    # Send results back to the folded-out even ranks.
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            partial = ch.recv(rank + 1)
+        else:
+            ch.send(rank - 1, partial)
+    return partial
+
+
+# --------------------------------------------------------------------------
+# Scans
+# --------------------------------------------------------------------------
+
+
+def scan_simultaneous_binomial(
+    ch: CollChannel,
+    value: Any,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    exclusive: bool = False,
+    identity: Callable[[], Any] | None = None,
+    combine_seconds: float = 0.0,
+) -> Any:
+    """Parallel prefix over ranks by simultaneous binomial (recursive
+    doubling): ceil(log2 p) rounds, order-preserving.
+
+    For ``exclusive=True``, rank 0 returns ``identity()`` if an identity
+    function is given, else ``None`` (the MPI_Exscan "undefined" slot —
+    the paper's local-view abstraction requires the identity function
+    precisely so that this slot is well-defined).
+    """
+    rank, size = ch.rank, ch.size
+    full = value
+    partial = None if exclusive else value
+    d = 1
+    while d < size:
+        if rank + d < size:
+            ch.send(rank + d, full)
+        if rank - d >= 0:
+            theirs = ch.recv(rank - d)  # covers ranks [rank-2d+1 .. rank-d]
+            # A combine may mutate its left operand (the Chapel/RSMPI
+            # contract), and ``theirs`` feeds two combines — isolate one use.
+            if partial is None:
+                partial = theirs
+                theirs_for_full = copy_for_transfer(theirs)
+            else:
+                theirs_for_full = copy_for_transfer(theirs)
+                partial = op(theirs, partial)
+                _charge_combine(ch, combine_seconds)
+            full = op(theirs_for_full, full)
+            _charge_combine(ch, combine_seconds)
+        d <<= 1
+    if exclusive and partial is None:
+        # rank 0's exclusive prefix: the identity, if one is known
+        # (MPI_Exscan leaves it undefined; the paper's LOCAL_XSCAN takes
+        # the identity function so that it is well-defined).
+        partial = identity() if identity is not None else None
+    return partial
+
+
+# --------------------------------------------------------------------------
+# Data movement
+# --------------------------------------------------------------------------
+
+
+def bcast_binomial(ch: CollChannel, value: Any, root: int = 0) -> Any:
+    """Broadcast from ``root`` over a binomial tree (rank-renamed)."""
+    rank, size = ch.rank, ch.size
+    if not 0 <= root < size:
+        raise CommunicatorError(f"bcast root {root} out of range [0, {size})")
+    vr = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if vr & mask:
+            src = (vr - mask + root) % size
+            value = ch.recv(src)
+            break
+        mask <<= 1
+    mask >>= 1
+    while mask >= 1:
+        if vr + mask < size and not (vr & mask):
+            ch.send((vr + mask + root) % size, value)
+        mask >>= 1
+    return value
+
+
+def gather_binomial(ch: CollChannel, value: Any, root: int = 0) -> list[Any] | None:
+    """Gather one value per rank to ``root`` over a binomial tree.
+
+    Returns the list ordered by group rank on the root, ``None`` elsewhere.
+    """
+    rank, size = ch.rank, ch.size
+    if not 0 <= root < size:
+        raise CommunicatorError(f"gather root {root} out of range [0, {size})")
+    vr = (rank - root) % size
+    # items[i] holds the value of virtual rank vr + i
+    items: list[Any] = [value]
+    mask = 1
+    while mask < size:
+        if vr & mask:
+            dest = (vr - mask + root) % size
+            ch.send(dest, items)
+            return None
+        src_vr = vr + mask
+        if src_vr < size:
+            theirs = ch.recv((src_vr + root) % size)
+            items.extend(theirs)
+        mask <<= 1
+    # vr == 0 == root: rotate from virtual order back to group order
+    return [items[(r - root) % size] for r in range(size)]
+
+
+def scatter_binomial(
+    ch: CollChannel, items: Sequence[Any] | None, root: int = 0
+) -> Any:
+    """Scatter ``items[i]`` (given on the root) to group rank ``i`` over a
+    binomial tree; returns this rank's item."""
+    rank, size = ch.rank, ch.size
+    if not 0 <= root < size:
+        raise CommunicatorError(f"scatter root {root} out of range [0, {size})")
+    vr = (rank - root) % size
+    my: list[Any] | None = None
+    if vr == 0:
+        if items is None or len(items) != size:
+            raise CommunicatorError(
+                f"scatter root must supply exactly {size} items, got "
+                f"{'None' if items is None else len(items)}"
+            )
+        # reorder into virtual-rank order
+        my = [items[(v + root) % size] for v in range(size)]
+    lo, hi = 0, size
+    while hi - lo > 1:
+        half = 1 << ((hi - lo - 1).bit_length() - 1)
+        mid = lo + half
+        if vr < mid:
+            if vr == lo:
+                assert my is not None
+                ch.send((mid + root) % size, my[mid - lo :])
+                my = my[: mid - lo]
+            hi = mid
+        else:
+            if vr == mid:
+                my = ch.recv((lo + root) % size)
+            lo = mid
+    assert my is not None and len(my) == 1
+    return my[0]
+
+
+def barrier_dissemination(ch: CollChannel) -> None:
+    """Dissemination barrier: ceil(log2 p) rounds of shifted token passing."""
+    rank, size = ch.rank, ch.size
+    d = 1
+    while d < size:
+        ch.send((rank + d) % size, None)
+        ch.recv((rank - d) % size)
+        d <<= 1
+
+
+def alltoall_pairwise(ch: CollChannel, items: Sequence[Any]) -> list[Any]:
+    """All-to-all personalized exchange: ``items[i]`` goes to rank ``i``;
+    returns the list received (indexed by source rank).  Uses the shifted
+    pairwise schedule (size-1 rounds)."""
+    rank, size = ch.rank, ch.size
+    if len(items) != size:
+        raise CommunicatorError(
+            f"alltoall needs exactly {size} items per rank, got {len(items)}"
+        )
+    out: list[Any] = [None] * size
+    out[rank] = items[rank]
+    for shift in range(1, size):
+        dest = (rank + shift) % size
+        src = (rank - shift) % size
+        ch.send(dest, items[dest])
+        out[src] = ch.recv(src)
+    return out
+
+
+def allreduce_ring(
+    ch: CollChannel,
+    value,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    combine_seconds: float = 0.0,
+):
+    """Bandwidth-optimal ring all-reduce for NumPy arrays.
+
+    Reduce-scatter around the ring (p-1 steps, each moving 1/p of the
+    data) followed by a ring all-gather (another p-1 steps): every rank
+    sends ~2n/p * (p-1) bytes total versus recursive doubling's
+    n * log2(p).  The combining order is a ring rotation, not rank
+    order, so this schedule requires a **commutative** operation.
+    """
+    import numpy as np
+
+    if isinstance(op, Op) and not op.commutative:
+        raise CommunicatorError(
+            f"allreduce_ring requires a commutative op, got {op!r}"
+        )
+    rank, size = ch.rank, ch.size
+    arr = np.array(value, copy=True)
+    if arr.ndim == 0:
+        arr = arr.reshape(1)
+        scalar = True
+    else:
+        scalar = False
+    if size == 1:
+        out = op(arr, arr[:0]) if False else arr  # no-op; keep dtype
+        return out[0] if scalar else out
+
+    bounds = np.linspace(0, len(arr), size + 1).astype(int)
+
+    def seg(i: int) -> slice:
+        i %= size
+        return slice(bounds[i], bounds[i + 1])
+
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+
+    # reduce-scatter: after this, segment (rank+1)%size is fully reduced
+    for t in range(size - 1):
+        ch.send(right, arr[seg(rank - t)].copy())
+        got = ch.recv(left)
+        s = seg(rank - t - 1)
+        arr[s] = op(got, arr[s])
+        _charge_combine(ch, combine_seconds)
+
+    # all-gather: circulate the finished segments
+    for t in range(size - 1):
+        ch.send(right, arr[seg(rank + 1 - t)].copy())
+        got = ch.recv(left)
+        arr[seg(rank - t)] = got
+
+    return arr[0] if scalar else arr
+
+
+def reduce_scatter_ring(
+    ch: CollChannel,
+    value,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    combine_seconds: float = 0.0,
+):
+    """Ring reduce-scatter: rank r ends up with segment r of the
+    element-wise reduction, having moved only (p-1)/p of the data.
+
+    Returns ``(segment, (lo, hi))`` where ``[lo, hi)`` is the global
+    index range of the segment.  Commutative operations only (ring
+    order).
+    """
+    import numpy as np
+
+    if isinstance(op, Op) and not op.commutative:
+        raise CommunicatorError(
+            f"reduce_scatter_ring requires a commutative op, got {op!r}"
+        )
+    rank, size = ch.rank, ch.size
+    arr = np.array(value, copy=True)
+    bounds = np.linspace(0, len(arr), size + 1).astype(int)
+
+    def seg(i: int) -> slice:
+        i %= size
+        return slice(bounds[i], bounds[i + 1])
+
+    if size == 1:
+        return arr, (0, len(arr))
+
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    # Shifted by -1 relative to allreduce_ring so the final fully
+    # reduced segment at rank r is segment r (MPI_Reduce_scatter_block).
+    for t in range(size - 1):
+        ch.send(right, arr[seg(rank - t - 1)].copy())
+        got = ch.recv(left)
+        s = seg(rank - t - 2)
+        arr[s] = op(got, arr[s])
+        _charge_combine(ch, combine_seconds)
+    lo, hi = int(bounds[rank]), int(bounds[rank + 1])
+    return arr[lo:hi], (lo, hi)

@@ -1,0 +1,361 @@
+"""The simulated MPI communicator.
+
+:class:`Communicator` is the per-rank handle an SPMD function receives
+from :func:`repro.runtime.spmd_run`.  It offers the familiar MPI surface —
+point-to-point ``send``/``recv``, the collective set, ``split``/``dup`` —
+over the virtual-time runtime.  Collective message tags are namespaced by
+a per-communicator context id and a per-rank collective sequence number,
+so concurrent communicators and back-to-back collectives can never match
+each other's messages (the same guarantee real MPI provides via context
+ids).
+
+Group ranks vs. world ranks: a communicator addresses its members by
+*group* rank (0..size-1); translation to world ranks happens here, at the
+lowest level, exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Sequence
+
+from repro.errors import CommunicatorError
+from repro.mpi import collectives as _coll
+from repro.mpi.op import Op
+from repro.runtime.channels import ANY_SOURCE, ANY_TAG
+from repro.runtime.world import RankContext
+
+__all__ = ["Communicator", "ANY_SOURCE", "ANY_TAG"]
+
+
+class _Channel:
+    """Binds a communicator and one collective call's wire tag; this is
+    the :class:`repro.mpi.collectives.CollChannel` implementation."""
+
+    __slots__ = ("comm", "tag")
+
+    def __init__(self, comm: "Communicator", tag: Hashable):
+        self.comm = comm
+        self.tag = tag
+
+    @property
+    def rank(self) -> int:
+        return self.comm.rank
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    def send(self, dest: int, payload: Any) -> None:
+        self.comm._ctx.send_raw(self.comm._world_rank(dest), self.tag, payload)
+
+    def recv(self, source: int) -> Any:
+        return self.comm._ctx.recv_raw(self.comm._world_rank(source), self.tag)
+
+    def collect(self, source: int):
+        return self.comm._ctx.collect_envelope(
+            self.comm._world_rank(source), self.tag
+        )
+
+    def apply(self, env) -> Any:
+        return self.comm._ctx.apply_recv(env)
+
+    def charge(self, seconds: float, label: str) -> None:
+        self.comm._ctx.charge(seconds, label)
+
+
+class Communicator:
+    """MPI-like communicator over the simulated runtime."""
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        members: Sequence[int] | None = None,
+        cid: Hashable = 0,
+    ):
+        self._ctx = ctx
+        if members is None:
+            members = range(ctx.nprocs)
+        self._members = tuple(members)
+        if ctx.rank not in self._members:
+            raise CommunicatorError(
+                f"world rank {ctx.rank} is not a member of this communicator"
+            )
+        self._rank = self._members.index(ctx.rank)
+        self._cid = cid
+        self._coll_seq = 0
+        self._split_seq = 0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator's group."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of processes in the communicator's group."""
+        return len(self._members)
+
+    @property
+    def world_rank(self) -> int:
+        return self._ctx.rank
+
+    @property
+    def context(self) -> RankContext:
+        """The underlying rank context (clock, trace, raw messaging)."""
+        return self._ctx
+
+    @property
+    def trace(self):
+        return self._ctx.trace
+
+    def charge(self, seconds: float, label: str = "compute") -> None:
+        """Charge modeled local-compute time to this rank's virtual clock."""
+        self._ctx.charge(seconds, label)
+
+    def charge_elements(
+        self, rate_name: str, n_elements: float, label: str | None = None
+    ) -> None:
+        """Charge ``n_elements`` of work at a named cost-model rate."""
+        self._ctx.charge_elements(rate_name, n_elements, label)
+
+    def _world_rank(self, group_rank: int) -> int:
+        if not 0 <= group_rank < len(self._members):
+            raise CommunicatorError(
+                f"rank {group_rank} out of range for communicator of size "
+                f"{len(self._members)}"
+            )
+        return self._members[group_rank]
+
+    def _group_rank(self, world_rank: int) -> int:
+        try:
+            return self._members.index(world_rank)
+        except ValueError:
+            raise CommunicatorError(
+                f"world rank {world_rank} is not in this communicator"
+            ) from None
+
+    # -- point-to-point -----------------------------------------------------
+
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send ``obj`` to group rank ``dest`` (eager/non-blocking)."""
+        self._ctx.trace.on_p2p("send")
+        self._ctx.send_raw(self._world_rank(dest), ("u", self._cid, tag), obj)
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Any:
+        """Receive from group rank ``source`` (or any member) and return
+        the payload.  Blocks until a matching message arrives."""
+        self._ctx.trace.on_p2p("recv")
+        wsource = ANY_SOURCE if source == ANY_SOURCE else self._world_rank(source)
+        wtag = ANY_TAG if tag == ANY_TAG else ("u", self._cid, tag)
+        return self._ctx.recv_raw(wsource, wtag)
+
+    def sendrecv(
+        self,
+        obj: Any,
+        dest: int,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = 0,
+    ) -> Any:
+        """Combined send+receive (deadlock-free: sends are eager)."""
+        self.send(obj, dest, sendtag)
+        return self.recv(source, recvtag)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
+        """True if a matching message is already queued (non-blocking)."""
+        wsource = ANY_SOURCE if source == ANY_SOURCE else self._world_rank(source)
+        wtag = ANY_TAG if tag == ANY_TAG else ("u", self._cid, tag)
+        return self._ctx.world.mailboxes[self._ctx.rank].probe(wsource, wtag)
+
+    # -- collective plumbing -------------------------------------------------
+
+    def _channel(self, name: str) -> _Channel:
+        """Start a collective: record it, allocate its wire tag.
+
+        The tag carries the collective's *name* in addition to the
+        context id and sequence number, so mismatched collectives across
+        ranks (one calls bcast, another barrier) can never cross-match —
+        they deadlock and are caught by the run's wall-clock timeout
+        instead of silently exchanging wrong payloads.
+        """
+        self._coll_seq += 1
+        self._ctx.trace.on_collective(name, self._ctx.clock.t)
+        return _Channel(self, ("c", self._cid, self._coll_seq, name))
+
+    # -- collectives ----------------------------------------------------------
+
+    def barrier(self) -> None:
+        """Block until every member has entered the barrier."""
+        _coll.barrier_dissemination(self._channel("barrier"))
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root``; every rank returns the value."""
+        return _coll.bcast_binomial(self._channel("bcast"), obj, root)
+
+    def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
+        """Gather one value per rank; root returns the rank-ordered list."""
+        return _coll.gather_binomial(self._channel("gather"), obj, root)
+
+    def allgather(self, obj: Any) -> list[Any]:
+        """Gather one value per rank onto every rank (gather + bcast)."""
+        ch = self._channel("allgather")
+        items = _coll.gather_binomial(ch, obj, 0)
+        return _coll.bcast_binomial(ch, items, 0)
+
+    def scatter(self, items: Sequence[Any] | None, root: int = 0) -> Any:
+        """Scatter ``items[i]`` (on root) to rank ``i``; returns my item."""
+        return _coll.scatter_binomial(self._channel("scatter"), items, root)
+
+    def alltoall(self, items: Sequence[Any]) -> list[Any]:
+        """Personalized all-to-all: ``items[i]`` goes to rank ``i``."""
+        return _coll.alltoall_pairwise(self._channel("alltoall"), items)
+
+    def reduce(
+        self,
+        value: Any,
+        op: Op | Callable[[Any, Any], Any],
+        root: int = 0,
+        *,
+        fanout: int = 2,
+        combine_seconds: float = 0.0,
+    ) -> Any:
+        """Reduce ``value`` across ranks with ``op``; the result lands on
+        ``root`` (``None`` elsewhere).
+
+        Aggregation: pass NumPy arrays to reduce many values at once
+        (MPI's ``count > 1``).  Non-commutative ``Op`` instances always
+        use the order-preserving binomial schedule; commutative ones may
+        use a wider fan-out tree (``fanout > 2``) that combines children
+        as their messages become available.
+
+        An op that mutates its left operand may mutate the ``value``
+        passed in (the local contribution seeds the combining chain);
+        pass a copy if the input must survive.  The global-view drivers
+        always pass freshly accumulated states, so operators defined
+        through :class:`~repro.core.operator.ReduceScanOp` are unaffected.
+        """
+        ch = self._channel("reduce")
+        commutative = op.commutative if isinstance(op, Op) else True
+        if fanout > 2 and commutative:
+            result = _coll.reduce_kary_available(
+                ch, value, op, fanout=fanout, combine_seconds=combine_seconds
+            )
+        else:
+            result = _coll.reduce_binomial_ordered(
+                ch, value, op, combine_seconds=combine_seconds
+            )
+        if root == 0:
+            return result
+        # Re-root: forward from rank 0 (keeps the tree order-preserving).
+        if self.rank == 0:
+            ch.send(root, result)
+            return None
+        if self.rank == root:
+            return ch.recv(0)
+        return None
+
+    def allreduce(
+        self,
+        value: Any,
+        op: Op | Callable[[Any, Any], Any],
+        *,
+        combine_seconds: float = 0.0,
+        algorithm: str = "recursive_doubling",
+    ) -> Any:
+        """Reduce across ranks; every rank returns the result.
+
+        ``algorithm`` selects the schedule: ``"recursive_doubling"``
+        (default; latency-optimal, order-preserving, works for any
+        operand) or ``"ring"`` (bandwidth-optimal for large NumPy
+        arrays; commutative operations only).
+        """
+        ch = self._channel("allreduce")
+        if algorithm == "ring":
+            return _coll.allreduce_ring(
+                ch, value, op, combine_seconds=combine_seconds
+            )
+        if algorithm != "recursive_doubling":
+            raise CommunicatorError(
+                f"unknown allreduce algorithm {algorithm!r}; choose "
+                "'recursive_doubling' or 'ring'"
+            )
+        return _coll.allreduce_recursive_doubling(
+            ch, value, op, combine_seconds=combine_seconds,
+        )
+
+    def reduce_scatter(
+        self,
+        value: Any,
+        op: Op | Callable[[Any, Any], Any],
+        *,
+        combine_seconds: float = 0.0,
+    ) -> tuple[Any, tuple[int, int]]:
+        """Element-wise reduce a NumPy array and scatter it: rank r
+        returns ``(segment_r, (lo, hi))`` of the reduced array
+        (MPI_Reduce_scatter_block semantics; commutative ops only).
+
+        Moves (p-1)/p of the data per rank — the building block of the
+        ring all-reduce and of bandwidth-bound aggregated reductions.
+        """
+        return _coll.reduce_scatter_ring(
+            self._channel("reduce_scatter"), value, op,
+            combine_seconds=combine_seconds,
+        )
+
+    def scan(
+        self,
+        value: Any,
+        op: Op | Callable[[Any, Any], Any],
+        *,
+        combine_seconds: float = 0.0,
+    ) -> Any:
+        """Inclusive prefix reduction over ranks (MPI_Scan)."""
+        return _coll.scan_simultaneous_binomial(
+            self._channel("scan"), value, op,
+            exclusive=False, combine_seconds=combine_seconds,
+        )
+
+    def exscan(
+        self,
+        value: Any,
+        op: Op | Callable[[Any, Any], Any],
+        *,
+        identity: Callable[[], Any] | None = None,
+        combine_seconds: float = 0.0,
+    ) -> Any:
+        """Exclusive prefix reduction over ranks (MPI_Exscan).
+
+        Rank 0 returns ``identity()`` if given (or the op's own identity),
+        else ``None`` — MPI leaves this slot undefined; the paper's
+        LOCAL_XSCAN takes an identity function to define it.
+        """
+        if identity is None and isinstance(op, Op):
+            identity = op.identity
+        return _coll.scan_simultaneous_binomial(
+            self._channel("exscan"), value, op,
+            exclusive=True, identity=identity, combine_seconds=combine_seconds,
+        )
+
+    # -- communicator management ----------------------------------------------
+
+    def dup(self) -> "Communicator":
+        """A new communicator with the same group but isolated tags."""
+        self._split_seq += 1
+        cid = ("dup", self._cid, self._split_seq)
+        return Communicator(self._ctx, self._members, cid)
+
+    def split(self, color: int, key: int | None = None) -> "Communicator":
+        """Partition the communicator by ``color``; order within each new
+        group follows ``(key, old rank)`` (like ``MPI_Comm_split``)."""
+        if key is None:
+            key = self.rank
+        self._split_seq += 1
+        entries = self.allgather((color, key, self.rank))
+        mine = sorted(
+            (k, r) for (c, k, r) in entries if c == color
+        )
+        members = tuple(self._world_rank(r) for (_k, r) in mine)
+        cid = ("split", self._cid, self._split_seq, color)
+        return Communicator(self._ctx, members, cid)

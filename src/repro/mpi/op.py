@@ -1,0 +1,190 @@
+"""Reduction operations for the simulated MPI layer.
+
+MPI defines twelve built-in operations (MPI-1 §4.9.2): ``MAX``, ``MIN``,
+``SUM``, ``PROD``, ``LAND``, ``BAND``, ``LOR``, ``BOR``, ``LXOR``,
+``BXOR``, ``MAXLOC`` and ``MINLOC`` — the paper cites exactly this set —
+plus user-defined operations created from a combine function and a
+commutativity flag (``MPI_Op_create``).  This module reproduces both.
+
+Aggregation (the ``count`` argument of ``MPI_Reduce``) is expressed by
+passing NumPy arrays: every built-in operation applies element-wise to
+arrays, exactly as MPI applies the operation to each of ``count``
+elements.  ``MAXLOC``/``MINLOC`` operate on ``(value, index)`` pairs or on
+arrays of pairs (shape ``(n, 2)``), mirroring MPI's pair datatypes.
+
+A combine function ``fn(a, b)`` receives the operand from the *lower*
+group rank as ``a`` (MPI's ``inoutvec`` ordering), which is what makes
+non-commutative user operations well-defined.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.errors import OperatorError
+
+__all__ = [
+    "Op",
+    "op_create",
+    "MAX",
+    "MIN",
+    "SUM",
+    "PROD",
+    "LAND",
+    "BAND",
+    "LOR",
+    "BOR",
+    "LXOR",
+    "BXOR",
+    "MAXLOC",
+    "MINLOC",
+    "BUILTIN_OPS",
+]
+
+
+class Op:
+    """A binary reduction operation with MPI-like metadata.
+
+    Parameters
+    ----------
+    fn:
+        ``fn(a, b) -> combined`` where ``a`` comes from the lower rank.
+        Mutation contract (the Chapel/RSMPI ``combine(s1, s2)`` contract):
+        ``fn`` may mutate and return its *left* operand, but must never
+        mutate its right operand.  The collective algorithms isolate
+        operands accordingly.
+    commutative:
+        If False, the runtime restricts itself to order-preserving
+        combining schedules.
+    identity:
+        Optional zero-argument callable producing the operation's
+        identity element; required only by exclusive scans.
+    name:
+        Diagnostic name.
+    """
+
+    __slots__ = ("fn", "commutative", "identity", "name")
+
+    def __init__(
+        self,
+        fn: Callable[[Any, Any], Any],
+        *,
+        commutative: bool = True,
+        identity: Callable[[], Any] | None = None,
+        name: str = "user_op",
+    ):
+        if not callable(fn):
+            raise OperatorError(f"Op function must be callable, got {fn!r}")
+        if identity is not None and not callable(identity):
+            raise OperatorError(
+                f"Op identity must be a zero-argument callable, got {identity!r}"
+            )
+        self.fn = fn
+        self.commutative = bool(commutative)
+        self.identity = identity
+        self.name = name
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:
+        kind = "commutative" if self.commutative else "non-commutative"
+        return f"Op({self.name}, {kind})"
+
+
+def op_create(
+    fn: Callable[[Any, Any], Any],
+    commute: bool = True,
+    *,
+    identity: Callable[[], Any] | None = None,
+    name: str = "user_op",
+) -> Op:
+    """Create a user-defined operation (the analogue of ``MPI_Op_create``)."""
+    return Op(fn, commutative=commute, identity=identity, name=name)
+
+
+# --------------------------------------------------------------------------
+# Built-in element-wise operations.
+# --------------------------------------------------------------------------
+
+
+def _elementwise(np_fn, py_fn):
+    def apply(a, b):
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return np_fn(a, b)
+        return py_fn(a, b)
+
+    return apply
+
+
+def _logical(np_fn, py_fn):
+    def apply(a, b):
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            return np_fn(a, b)
+        return py_fn(bool(a), bool(b))
+
+    return apply
+
+
+def _pair_rows(x) -> np.ndarray:
+    """Normalize MAXLOC/MINLOC operands to an (n, 2) float view."""
+    arr = np.asarray(x)
+    if arr.ndim == 1 and arr.shape[0] == 2:
+        return arr.reshape(1, 2)
+    if arr.ndim == 2 and arr.shape[1] == 2:
+        return arr
+    raise OperatorError(
+        "MAXLOC/MINLOC operands must be (value, index) pairs or (n, 2) "
+        f"arrays of pairs, got shape {arr.shape}"
+    )
+
+
+def _loc_combine(a, b, *, want_max: bool):
+    """MPI MAXLOC/MINLOC semantics: pick the extreme value; on ties pick
+    the smaller index (MPI-1 §4.9.3)."""
+    scalar = not (
+        (isinstance(a, np.ndarray) and np.asarray(a).ndim == 2)
+        or (isinstance(b, np.ndarray) and np.asarray(b).ndim == 2)
+    )
+    ra, rb = _pair_rows(a), _pair_rows(b)
+    if ra.shape != rb.shape:
+        raise OperatorError(
+            f"MAXLOC/MINLOC operand shapes differ: {ra.shape} vs {rb.shape}"
+        )
+    va, ia = ra[:, 0], ra[:, 1]
+    vb, ib = rb[:, 0], rb[:, 1]
+    if want_max:
+        take_a = (va > vb) | ((va == vb) & (ia <= ib))
+    else:
+        take_a = (va < vb) | ((va == vb) & (ia <= ib))
+    out = np.where(take_a[:, None], ra, rb)
+    if scalar:
+        v, i = out[0]
+        if isinstance(a, tuple):
+            # preserve tuple form; non-finite "no location" markers
+            # (e.g. +inf padding on non-participating ranks) stay floats
+            return (float(v), int(i) if np.isfinite(i) else float(i))
+        return out[0]
+    return out
+
+
+MAX = Op(_elementwise(np.maximum, max), name="MAX")
+MIN = Op(_elementwise(np.minimum, min), name="MIN")
+SUM = Op(_elementwise(np.add, lambda a, b: a + b), name="SUM")
+PROD = Op(_elementwise(np.multiply, lambda a, b: a * b), name="PROD")
+LAND = Op(_logical(np.logical_and, lambda a, b: a and b), name="LAND")
+BAND = Op(_elementwise(np.bitwise_and, lambda a, b: a & b), name="BAND")
+LOR = Op(_logical(np.logical_or, lambda a, b: a or b), name="LOR")
+BOR = Op(_elementwise(np.bitwise_or, lambda a, b: a | b), name="BOR")
+LXOR = Op(_logical(np.logical_xor, lambda a, b: bool(a) != bool(b)), name="LXOR")
+BXOR = Op(_elementwise(np.bitwise_xor, lambda a, b: a ^ b), name="BXOR")
+MAXLOC = Op(lambda a, b: _loc_combine(a, b, want_max=True), name="MAXLOC")
+MINLOC = Op(lambda a, b: _loc_combine(a, b, want_max=False), name="MINLOC")
+
+#: The twelve MPI built-ins, by name.
+BUILTIN_OPS: dict[str, Op] = {
+    op.name: op
+    for op in (MAX, MIN, SUM, PROD, LAND, BAND, LOR, BOR, LXOR, BXOR, MAXLOC, MINLOC)
+}

@@ -1,0 +1,209 @@
+"""NAS EP (Embarrassingly Parallel) — gaussian deviates by acceptance.
+
+EP generates ``n`` pseudo-random coordinate pairs in (-1, 1)², accepts
+those inside the unit circle, converts them to gaussian deviates via the
+Marsaglia polar method, and reports the sums of the deviates plus a
+count of them per concentric square annulus::
+
+    t = x² + y²;  if t <= 1:
+        f = sqrt(-2 ln t / t);  X = x f;  Y = y f
+        sx += X;  sy += Y;  q[floor(max(|X|, |Y|))] += 1
+
+Communication-wise EP is the anti-MG: a handful of reductions and
+nothing else — which is why it rounds out the call census — and its
+entire result is *one fused reduction* in the global-view formulation:
+
+* :func:`ep_mpi` — the NPB idiom: vectorized local loop, then three
+  all-reduces (sx, sy, q);
+* :func:`ep_rsmpi` — a single :class:`EPOp` global-view reduction whose
+  accumulate phase performs the gaussian transformation itself (the
+  input elements are the *raw* coordinate pairs).
+
+Both produce bit-identical results for any rank count (each rank
+generates its slice of the shared randlc stream by jump-ahead).
+Default classes are scaled (the paper-era classes run 2^28+ pairs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import mpi
+from repro.core.operator import ReduceScanOp
+from repro.core.reduce import global_reduce
+from repro.errors import ReproError
+from repro.mpi.comm import Communicator
+from repro.util.rng import randlc_array
+from repro.util.sizing import TransferSized
+
+__all__ = ["EPClass", "EP_CLASSES", "EP_CLASSES_FULL", "ep_class",
+           "EPResult", "EPOp", "ep_mpi", "ep_rsmpi"]
+
+#: NPB EP seed (271828183 — digits of e).
+EP_SEED = 271828183
+
+#: Number of annulus bins.
+NQ = 10
+
+
+@dataclass(frozen=True)
+class EPClass:
+    name: str
+    n_pairs: int
+
+
+EP_CLASSES_FULL = {
+    "S": EPClass("S", 1 << 24),
+    "W": EPClass("W", 1 << 25),
+    "A": EPClass("A", 1 << 28),
+    "B": EPClass("B", 1 << 30),
+    "C": EPClass("C", 1 << 32),
+}
+
+EP_CLASSES = {
+    "S": EPClass("S", 1 << 16),
+    "W": EPClass("W", 1 << 18),
+    "A": EPClass("A", 1 << 20),
+    "B": EPClass("B", 1 << 22),
+    "C": EPClass("C", 1 << 24),
+}
+
+
+def ep_class(name: str, *, full: bool = False) -> EPClass:
+    table = EP_CLASSES_FULL if full else EP_CLASSES
+    try:
+        return table[name.upper()]
+    except KeyError:
+        raise ReproError(
+            f"unknown EP class {name!r}; choose from {sorted(table)}"
+        ) from None
+
+
+@dataclass
+class EPResult:
+    sx: float
+    sy: float
+    q: np.ndarray  # annulus counts, length NQ
+    n_accepted: int
+
+    def close_to(self, other: "EPResult", tol: float = 1e-9) -> bool:
+        return (
+            abs(self.sx - other.sx) <= tol * max(1.0, abs(other.sx))
+            and abs(self.sy - other.sy) <= tol * max(1.0, abs(other.sy))
+            and np.array_equal(self.q, other.q)
+            and self.n_accepted == other.n_accepted
+        )
+
+
+def _local_pairs(comm: Communicator, cls: EPClass) -> np.ndarray:
+    """This rank's (count, 2) slice of the global pair stream."""
+    n, p, r = cls.n_pairs, comm.size, comm.rank
+    base, extra = divmod(n, p)
+    start = r * base + min(r, extra)
+    count = base + (1 if r < extra else 0)
+    raw = randlc_array(2 * count, seed=EP_SEED, skip=2 * start)
+    return 2.0 * raw.reshape(count, 2) - 1.0
+
+
+def _transform(pairs: np.ndarray):
+    """Accept-and-transform: returns (X, Y, bins) of accepted pairs."""
+    if len(pairs) == 0:
+        empty = np.empty(0)
+        return empty, empty, np.empty(0, dtype=np.int64)
+    x, y = pairs[:, 0], pairs[:, 1]
+    t = x * x + y * y
+    ok = (t <= 1.0) & (t > 0.0)
+    xo, yo, to = x[ok], y[ok], t[ok]
+    f = np.sqrt(-2.0 * np.log(to) / to)
+    gx, gy = xo * f, yo * f
+    bins = np.maximum(np.abs(gx), np.abs(gy)).astype(np.int64)
+    np.clip(bins, 0, NQ - 1, out=bins)
+    return gx, gy, bins
+
+
+class _EPState(TransferSized):
+    __slots__ = ("sx", "sy", "q", "n")
+
+    def __init__(self):
+        self.sx = 0.0
+        self.sy = 0.0
+        self.q = np.zeros(NQ, dtype=np.int64)
+        self.n = 0
+
+    def transfer_nbytes(self) -> int:
+        return 16 + int(self.q.nbytes) + 8
+
+
+class EPOp(ReduceScanOp):
+    """The whole EP tally as one global-view operator.
+
+    Input elements are *raw* (x, y) pairs; the accumulate phase performs
+    acceptance and the gaussian transform (the paper's point that the
+    per-processor code belongs inside the abstraction); the combine
+    phase adds tallies.
+    """
+
+    commutative = True
+
+    @property
+    def name(self) -> str:
+        return "ep_tally"
+
+    def ident(self) -> _EPState:
+        return _EPState()
+
+    def accum(self, state: _EPState, pair) -> _EPState:
+        return self.accum_block(state, np.asarray([pair]))
+
+    def accum_block(self, state: _EPState, values) -> _EPState:
+        arr = np.asarray(values, dtype=np.float64)
+        if arr.size == 0:
+            return state
+        gx, gy, bins = _transform(arr.reshape(-1, 2))
+        state.sx += float(gx.sum())
+        state.sy += float(gy.sum())
+        state.q += np.bincount(bins, minlength=NQ)
+        state.n += len(gx)
+        return state
+
+    def combine(self, s1: _EPState, s2: _EPState) -> _EPState:
+        s1.sx += s2.sx
+        s1.sy += s2.sy
+        s1.q += s2.q
+        s1.n += s2.n
+        return s1
+
+    def red_gen(self, state: _EPState) -> EPResult:
+        return EPResult(state.sx, state.sy, state.q.copy(), state.n)
+
+
+def ep_mpi(
+    comm: Communicator,
+    cls: EPClass,
+    *,
+    compute_rate: str | None = None,
+) -> EPResult:
+    """The NPB idiom: local tally, then three all-reduces."""
+    pairs = _local_pairs(comm, cls)
+    gx, gy, bins = _transform(pairs)
+    if compute_rate is not None:
+        comm.charge_elements(compute_rate, len(pairs), "ep:transform")
+    sx = comm.allreduce(float(gx.sum()), mpi.SUM)
+    sy = comm.allreduce(float(gy.sum()), mpi.SUM)
+    q = comm.allreduce(np.bincount(bins, minlength=NQ), mpi.SUM)
+    # like NPB: the accepted count is the sum of the annulus counts,
+    # no fourth reduction needed
+    return EPResult(sx, sy, q, int(q.sum()))
+
+
+def ep_rsmpi(
+    comm: Communicator,
+    cls: EPClass,
+    *,
+    compute_rate: str | None = None,
+) -> EPResult:
+    """The global-view idiom: the whole tally is one fused reduction."""
+    pairs = _local_pairs(comm, cls)
+    return global_reduce(comm, EPOp(), pairs, accum_rate=compute_rate)

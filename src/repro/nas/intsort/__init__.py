@@ -1,0 +1,35 @@
+"""NAS IS (Integer Sort): keygen, parallel bucket sort, and the three
+verification variants of the paper's Figure 2."""
+
+from repro.nas.intsort.bucket_sort import SortResult, bucket_sort, local_key_block
+from repro.nas.intsort.driver import ISRun, VERIFIERS, run_is
+from repro.nas.intsort.kernels import (
+    count_unsorted_vectorized,
+    sorted_check_scalar,
+    sorted_check_tworef,
+    sorted_check_vectorized,
+)
+from repro.nas.intsort.keygen import generate_keys, generate_keys_block
+from repro.nas.intsort.verify import (
+    verify_mpi,
+    verify_rsmpi,
+    verify_rsmpi_commutative,
+)
+
+__all__ = [
+    "generate_keys",
+    "generate_keys_block",
+    "bucket_sort",
+    "local_key_block",
+    "SortResult",
+    "verify_mpi",
+    "verify_rsmpi",
+    "verify_rsmpi_commutative",
+    "run_is",
+    "ISRun",
+    "VERIFIERS",
+    "sorted_check_tworef",
+    "sorted_check_scalar",
+    "sorted_check_vectorized",
+    "count_unsorted_vectorized",
+]

@@ -1,0 +1,50 @@
+"""NAS IS key generation.
+
+Per the NPB specification, key ``i`` is the scaled average of four
+consecutive values of the shared ``randlc`` stream::
+
+    k_i = floor( B_max * (r_{4i} + r_{4i+1} + r_{4i+2} + r_{4i+3}) / 4 )
+
+which produces an approximately binomial (bell-shaped) key distribution
+— the non-uniformity is what makes IS's bucket balancing interesting.
+Every rank generates exactly its slice of the global stream via the
+generator's O(log n) jump-ahead, so the key sequence is independent of
+the number of ranks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nas.common import ISClass
+from repro.util.rng import RANDLC_SEED, randlc_array
+
+__all__ = ["generate_keys", "generate_keys_block"]
+
+
+def generate_keys(cls: ISClass, *, seed: int = RANDLC_SEED) -> np.ndarray:
+    """All ``cls.n_keys`` keys of the instance (single address space)."""
+    return generate_keys_block(cls, 0, cls.n_keys, seed=seed)
+
+
+def generate_keys_block(
+    cls: ISClass,
+    start: int,
+    count: int,
+    *,
+    seed: int = RANDLC_SEED,
+) -> np.ndarray:
+    """Keys ``start .. start+count-1`` of the global key sequence.
+
+    Ranks call this with their block bounds; the result is identical to
+    slicing :func:`generate_keys`, for any partitioning.
+    """
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    r = randlc_array(4 * count, seed=seed, skip=4 * start)
+    quads = r.reshape(count, 4).sum(axis=1)
+    keys = (cls.max_key * quads / 4.0).astype(np.int64)
+    # floor() of a quantity strictly below max_key: clamp defensively
+    # against the r == 0.999.. * 4 edge.
+    np.clip(keys, 0, cls.max_key - 1, out=keys)
+    return keys

@@ -1,0 +1,18 @@
+"""NAS MG's ZRAN3 initialization: the 40-reduction F+MPI variant vs. the
+single user-defined-reduction F+RSMPI variant (paper Figure 3)."""
+
+from repro.nas.mg.comm3 import comm3, norm2u3, vcycle_communication_round
+from repro.nas.mg.grid import Block3D, fill_zran_block
+from repro.nas.mg.zran3 import MM, Zran3Result, zran3_mpi, zran3_rsmpi
+
+__all__ = [
+    "comm3",
+    "norm2u3",
+    "vcycle_communication_round",
+    "Block3D",
+    "fill_zran_block",
+    "zran3_mpi",
+    "zran3_rsmpi",
+    "Zran3Result",
+    "MM",
+]

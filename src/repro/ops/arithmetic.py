@@ -1,0 +1,103 @@
+"""Built-in arithmetic operators in global-view form.
+
+These are the ``sum``/``product``/``min``/``max`` every high-level
+language bakes in; expressing them through the same
+:class:`~repro.core.operator.ReduceScanOp` protocol as user operators
+demonstrates the paper's point that built-ins are just the degenerate
+case (input type == state type == output type) — and gives the tests a
+family of operators whose answers NumPy can check independently.
+
+All four vectorize both phases: ``accum_block`` uses the ufunc's
+``reduce`` and ``scan_block`` its ``accumulate``, so large local blocks
+cost O(n) NumPy work, not O(n) interpreter iterations (the accumulate
+phase "should be optimized", §3).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.operator import ReduceScanOp
+
+__all__ = ["SumOp", "ProdOp", "MinOp", "MaxOp", "UfuncOp"]
+
+
+class UfuncOp(ReduceScanOp):
+    """A global-view operator defined by a binary NumPy ufunc and an
+    identity value.  State, input and output types coincide."""
+
+    commutative = True
+
+    def __init__(self, ufunc: np.ufunc, identity_value: Any, name: str):
+        self._ufunc = ufunc
+        self._identity_value = identity_value
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def identity_value(self) -> Any:
+        return self._identity_value
+
+    def ident(self):
+        return self._identity_value
+
+    def accum(self, state, x):
+        return self._ufunc(state, x)
+
+    def combine(self, s1, s2):
+        return self._ufunc(s1, s2)
+
+    def accum_block(self, state, values):
+        if len(values) == 0:
+            return state
+        arr = np.asarray(values)
+        return self._ufunc(state, self._ufunc.reduce(arr))
+
+    def scan_block(self, state, values, *, exclusive: bool):
+        n = len(values)
+        if n == 0:
+            return [], state
+        arr = np.asarray(values)
+        inclusive = self._ufunc(state, self._ufunc.accumulate(arr))
+        final = inclusive[-1]
+        if exclusive:
+            out = np.concatenate(([state], inclusive[:-1]))
+            return list(out), final
+        return list(inclusive), final
+
+
+class SumOp(UfuncOp):
+    """Global-view sum; identity 0."""
+
+    def __init__(self, identity_value: Any = 0):
+        super().__init__(np.add, identity_value, "sum")
+
+
+class ProdOp(UfuncOp):
+    """Global-view product; identity 1."""
+
+    def __init__(self, identity_value: Any = 1):
+        super().__init__(np.multiply, identity_value, "prod")
+
+
+class MinOp(UfuncOp):
+    """Global-view minimum; identity +inf (or the dtype's max).
+
+    Pass e.g. ``MinOp(np.iinfo(np.int64).max)`` for pure-integer data
+    where an inf identity would upcast.
+    """
+
+    def __init__(self, identity_value: Any = np.inf):
+        super().__init__(np.minimum, identity_value, "min")
+
+
+class MaxOp(UfuncOp):
+    """Global-view maximum; identity -inf (or the dtype's min)."""
+
+    def __init__(self, identity_value: Any = -np.inf):
+        super().__init__(np.maximum, identity_value, "max")

@@ -1,0 +1,96 @@
+"""Collection-building operators: set union and ordered concatenation.
+
+Reductions need not shrink data to scalars; these operators build
+*collections*, rounding out the library:
+
+* :class:`UnionOp` — distinct elements (a set union; commutative).
+  ``DistinctCountOp`` is its counting cousin.
+* :class:`ConcatOp` — the ordered concatenation of all elements.  The
+  canonical **non-commutative** reduction (it literally *is* the global
+  order), and a useful oracle in tests: any order-preserving combining
+  schedule must reproduce the original sequence exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.operator import ReduceScanOp
+from repro.util.sizing import payload_nbytes
+
+__all__ = ["UnionOp", "DistinctCountOp", "ConcatOp"]
+
+
+class UnionOp(ReduceScanOp):
+    """The set of distinct elements (elements must be hashable)."""
+
+    commutative = True
+
+    @property
+    def name(self) -> str:
+        return "union"
+
+    def ident(self) -> set:
+        return set()
+
+    def accum(self, state: set, x: Any) -> set:
+        state.add(x)
+        return state
+
+    def combine(self, s1: set, s2: set) -> set:
+        s1 |= s2
+        return s1
+
+    def accum_block(self, state: set, values) -> set:
+        state.update(values.tolist() if hasattr(values, "tolist") else values)
+        return state
+
+    def gen(self, state: set) -> frozenset:
+        return frozenset(state)
+
+    def state_eq(self, s1: set, s2: set) -> bool:
+        return s1 == s2
+
+
+class DistinctCountOp(UnionOp):
+    """Number of distinct elements (exact; state is the set itself)."""
+
+    @property
+    def name(self) -> str:
+        return "distinct_count"
+
+    def gen(self, state: set) -> int:
+        return len(state)
+
+
+class ConcatOp(ReduceScanOp):
+    """The ordered concatenation of all elements, as a list.
+
+    Non-commutative by construction; scanning with it yields each
+    position's prefix of the global sequence (an expensive but perfectly
+    legal scan — useful for oracle testing).
+    """
+
+    commutative = False
+
+    @property
+    def name(self) -> str:
+        return "concat"
+
+    def ident(self) -> list:
+        return []
+
+    def accum(self, state: list, x: Any) -> list:
+        state.append(x)
+        return state
+
+    def combine(self, s1: list, s2: list) -> list:
+        s1.extend(s2)
+        return s1
+
+    def accum_block(self, state: list, values) -> list:
+        state.extend(values.tolist() if hasattr(values, "tolist") else values)
+        return state
+
+    def gen(self, state: list) -> list:
+        return list(state)

@@ -1,0 +1,214 @@
+"""The ``extrema`` operator: k largest **and** k smallest values with
+their global locations, in one reduction.
+
+This is the operator the paper's NAS MG case study calls for (§4.2):
+ZRAN3 needs "the ten largest numbers and their locations ... along with
+the ten smallest numbers and their locations", which the F+MPI original
+computes with *forty* reductions and the F+RSMPI version with *one*
+user-defined reduction "similar to the mink and mini reductions".
+
+Input elements are ``(value, location)`` pairs; ``accum_block`` also
+accepts an ``(n, 2)`` array and vectorizes the selection with
+``lexsort``.  Ties on value resolve to the smaller location, so results
+are independent of the data distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.operator import ReduceScanOp
+from repro.errors import OperatorError
+from repro.util.sizing import TransferSized
+
+__all__ = ["ExtremaState", "ExtremaKLocOp", "MinKLocOp", "MaxKLocOp"]
+
+
+class ExtremaState(TransferSized):
+    """Up to k (value, loc) rows for each extreme, kept canonically
+    sorted: top by (-value, loc), bottom by (value, loc)."""
+
+    __slots__ = ("top", "bot")
+
+    def __init__(self, top: np.ndarray, bot: np.ndarray):
+        self.top = top  # shape (<=k, 2): k largest
+        self.bot = bot  # shape (<=k, 2): k smallest
+
+    def transfer_nbytes(self) -> int:
+        return int(self.top.nbytes + self.bot.nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"ExtremaState(top={self.top.tolist()}, bot={self.bot.tolist()})"
+
+
+def _select_top(rows: np.ndarray, k: int) -> np.ndarray:
+    """The k largest rows, sorted by (-value, loc)."""
+    if len(rows) == 0:
+        return rows.reshape(0, 2)
+    order = np.lexsort((rows[:, 1], -rows[:, 0]))
+    return rows[order[:k]]
+
+
+def _select_bot(rows: np.ndarray, k: int) -> np.ndarray:
+    """The k smallest rows, sorted by (value, loc)."""
+    if len(rows) == 0:
+        return rows.reshape(0, 2)
+    order = np.lexsort((rows[:, 1], rows[:, 0]))
+    return rows[order[:k]]
+
+
+def _prefilter(arr: np.ndarray, k: int, *, largest: bool) -> np.ndarray:
+    """Cut an (n, 2) block down to exactly the k extreme rows using
+    O(n) partitions, with value ties resolved by the smaller location
+    (so the cut never changes the final, distribution-independent
+    answer).  Returns unsorted rows; callers re-sort."""
+    n = len(arr)
+    if n <= k:
+        return arr
+    vals = arr[:, 0]
+    if largest:
+        thresh = np.partition(vals, n - k)[n - k]
+        strict = arr[vals > thresh]
+    else:
+        thresh = np.partition(vals, k - 1)[k - 1]
+        strict = arr[vals < thresh]
+    need = k - len(strict)
+    ties = arr[vals == thresh]
+    if need <= 0:  # unreachable: strict keeps at most k-1 rows; defensive
+        ties = ties[:0]
+    elif len(ties) > need:
+        # smallest locations win among tied values
+        ties = ties[np.argpartition(ties[:, 1], need - 1)[:need]]
+    return np.concatenate([strict, ties])
+
+
+class ExtremaKLocOp(ReduceScanOp):
+    """k largest and k smallest values with locations, in one reduction.
+
+    The output is a pair of ``(k, 2)`` arrays ``(top, bot)``:
+    ``top[j] = (j-th largest value, its location)`` and
+    ``bot[j] = (j-th smallest value, its location)``.
+    """
+
+    commutative = True
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise OperatorError(f"extrema needs k >= 1, got {k}")
+        self.k = int(k)
+
+    @property
+    def name(self) -> str:
+        return f"extrema(k={self.k})"
+
+    def ident(self) -> ExtremaState:
+        empty = np.empty((0, 2), dtype=np.float64)
+        return ExtremaState(empty, empty.copy())
+
+    def accum(self, state: ExtremaState, x: Any) -> ExtremaState:
+        row = np.asarray([[x[0], x[1]]], dtype=np.float64)
+        state.top = _select_top(np.concatenate([state.top, row]), self.k)
+        state.bot = _select_bot(np.concatenate([state.bot, row]), self.k)
+        return state
+
+    def combine(self, s1: ExtremaState, s2: ExtremaState) -> ExtremaState:
+        s1.top = _select_top(np.concatenate([s1.top, s2.top]), self.k)
+        s1.bot = _select_bot(np.concatenate([s1.bot, s2.bot]), self.k)
+        return s1
+
+    def accum_block(self, state: ExtremaState, values) -> ExtremaState:
+        n = len(values)
+        if n == 0:
+            return state
+        arr = (
+            values.astype(np.float64, copy=False)
+            if isinstance(values, np.ndarray)
+            else np.asarray(values, dtype=np.float64)
+        )
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise OperatorError(
+                f"extrema expects (value, loc) pairs; got shape {arr.shape}"
+            )
+        state.top = _select_top(
+            np.concatenate([state.top, _prefilter(arr, self.k, largest=True)]),
+            self.k,
+        )
+        state.bot = _select_bot(
+            np.concatenate([state.bot, _prefilter(arr, self.k, largest=False)]),
+            self.k,
+        )
+        return state
+
+    def gen(self, state: ExtremaState) -> tuple[np.ndarray, np.ndarray]:
+        return state.top.copy(), state.bot.copy()
+
+
+class _OneSidedKLocOp(ReduceScanOp):
+    """Shared machinery for MinKLocOp/MaxKLocOp: k extreme (value, loc)
+    rows on one side only (half the state traffic of ExtremaKLocOp)."""
+
+    commutative = True
+    _largest: bool
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise OperatorError(f"k-extrema needs k >= 1, got {k}")
+        self.k = int(k)
+
+    def _select(self, rows: np.ndarray) -> np.ndarray:
+        if self._largest:
+            return _select_top(rows, self.k)
+        return _select_bot(rows, self.k)
+
+    def ident(self) -> np.ndarray:
+        return np.empty((0, 2), dtype=np.float64)
+
+    def accum(self, state: np.ndarray, x: Any) -> np.ndarray:
+        row = np.asarray([[x[0], x[1]]], dtype=np.float64)
+        return self._select(np.concatenate([state, row]))
+
+    def combine(self, s1: np.ndarray, s2: np.ndarray) -> np.ndarray:
+        return self._select(np.concatenate([s1, s2]))
+
+    def accum_block(self, state: np.ndarray, values) -> np.ndarray:
+        if len(values) == 0:
+            return state
+        arr = (
+            values.astype(np.float64, copy=False)
+            if isinstance(values, np.ndarray)
+            else np.asarray(values, dtype=np.float64)
+        )
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise OperatorError(
+                f"k-extrema expects (value, loc) pairs; got shape {arr.shape}"
+            )
+        cut = _prefilter(arr, self.k, largest=self._largest)
+        return self._select(np.concatenate([state, cut]))
+
+    def gen(self, state: np.ndarray) -> np.ndarray:
+        return state.copy()
+
+
+class MinKLocOp(_OneSidedKLocOp):
+    """The k smallest values with their locations, sorted ascending —
+    ``mink`` and ``mini`` merged, as the paper's §4.2 suggests
+    ("a single user-defined reduction, similar to the mink and mini
+    reductions")."""
+
+    _largest = False
+
+    @property
+    def name(self) -> str:
+        return f"minkloc(k={self.k})"
+
+
+class MaxKLocOp(_OneSidedKLocOp):
+    """The k largest values with their locations, sorted descending."""
+
+    _largest = True
+
+    @property
+    def name(self) -> str:
+        return f"maxkloc(k={self.k})"

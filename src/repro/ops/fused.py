@@ -1,0 +1,122 @@
+"""Operator fusion: several global-view operators in one reduction.
+
+The operator-level counterpart of §2.1's aggregation: where aggregation
+amortizes message overhead across many instances of the *same*
+reduction, fusion amortizes it across *different* operators over the
+same data — one accumulate pass, one combine tree, one message per tree
+edge carrying all the fused states.
+
+This is exactly the transformation the paper's MG case study performs by
+hand ("a single user-defined reduction, similar to the mink and mini
+reductions"): ``FusedOp([MinKOp(10), MaxKOp(10)])`` mechanizes it.
+
+The fused state is a tuple of member states; results are tuples of
+member results.  Non-commutativity is contagious: the fusion is
+commutative only if every member is.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.core.operator import ReduceScanOp
+from repro.errors import OperatorError
+from repro.util.sizing import payload_nbytes
+
+__all__ = ["FusedOp"]
+
+
+class _FusedState(list):
+    """Tuple-of-states with a wire size that sums the members."""
+
+    def transfer_nbytes(self) -> int:
+        return sum(payload_nbytes(s) for s in self)
+
+
+class FusedOp(ReduceScanOp):
+    """Run several operators over the same input in one reduction/scan.
+
+    >>> op = FusedOp([SumOp(), MinKOp(3), MeanVarOp()])
+    >>> total, mins, stats = global_reduce(comm, op, values)
+
+    Every member sees every input element; members needing different
+    *views* of the element can wrap it via the optional ``projections``
+    (one callable per member, applied to each element before accum).
+    """
+
+    def __init__(
+        self,
+        members: Sequence[ReduceScanOp],
+        *,
+        projections: Sequence[Any] | None = None,
+    ):
+        members = list(members)
+        if not members:
+            raise OperatorError("FusedOp needs at least one member operator")
+        for m in members:
+            if not isinstance(m, ReduceScanOp):
+                raise OperatorError(
+                    f"FusedOp members must be ReduceScanOp, got "
+                    f"{type(m).__name__}"
+                )
+        if projections is not None and len(projections) != len(members):
+            raise OperatorError(
+                f"got {len(projections)} projections for {len(members)} "
+                "members"
+            )
+        self.members = members
+        self.projections = list(projections) if projections else None
+        self.commutative = all(m.commutative for m in members)
+
+    @property
+    def name(self) -> str:
+        inner = ", ".join(m.name for m in self.members)
+        return f"fused({inner})"
+
+    def _view(self, i: int, x: Any) -> Any:
+        if self.projections is None or self.projections[i] is None:
+            return x
+        return self.projections[i](x)
+
+    def ident(self) -> _FusedState:
+        return _FusedState(m.ident() for m in self.members)
+
+    def pre_accum(self, state: _FusedState, x: Any) -> _FusedState:
+        for i, m in enumerate(self.members):
+            state[i] = m.pre_accum(state[i], self._view(i, x))
+        return state
+
+    def accum(self, state: _FusedState, x: Any) -> _FusedState:
+        for i, m in enumerate(self.members):
+            state[i] = m.accum(state[i], self._view(i, x))
+        return state
+
+    def post_accum(self, state: _FusedState, x: Any) -> _FusedState:
+        for i, m in enumerate(self.members):
+            state[i] = m.post_accum(state[i], self._view(i, x))
+        return state
+
+    def accum_block(self, state: _FusedState, values) -> _FusedState:
+        if self.projections is None:
+            for i, m in enumerate(self.members):
+                state[i] = m.accum_block(state[i], values)
+            return state
+        for i, m in enumerate(self.members):
+            proj = self.projections[i]
+            view = values if proj is None else [proj(x) for x in values]
+            state[i] = m.accum_block(state[i], view)
+        return state
+
+    def combine(self, s1: _FusedState, s2: _FusedState) -> _FusedState:
+        for i, m in enumerate(self.members):
+            s1[i] = m.combine(s1[i], s2[i])
+        return s1
+
+    def red_gen(self, state: _FusedState) -> tuple:
+        return tuple(m.red_gen(state[i]) for i, m in enumerate(self.members))
+
+    def scan_gen(self, state: _FusedState, x: Any) -> tuple:
+        return tuple(
+            m.scan_gen(state[i], self._view(i, x))
+            for i, m in enumerate(self.members)
+        )

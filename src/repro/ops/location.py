@@ -1,0 +1,110 @@
+"""The ``mini``/``maxi`` operators: extreme value **and its location**
+(paper Listing 5, and MPI's MINLOC/MAXLOC).
+
+Input elements are ``(value, location)`` pairs — in Chapel this is the
+tuple expression ``[i in 1..n] (A(i), i)`` — and the output is the pair
+for the extreme value.  Ties resolve to the smaller location (MPI-1
+§4.9.3 semantics), which keeps results independent of the distribution.
+
+``accum_block`` accepts either a sequence of pairs or an ``(n, 2)`` NumPy
+array and vectorizes with ``argmin``/``argmax``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.operator import ReduceScanOp
+
+__all__ = ["MiniOp", "MaxiOp"]
+
+
+class _LocState:
+    """Mutable (value, location) state; location None means empty."""
+
+    __slots__ = ("val", "loc")
+
+    def __init__(self, val: float, loc: int | None):
+        self.val = val
+        self.loc = loc
+
+    def transfer_nbytes(self) -> int:
+        return 16  # one double + one index
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"_LocState(val={self.val}, loc={self.loc})"
+
+
+class _ExtremeLocOp(ReduceScanOp):
+    commutative = True
+
+    #: -1 for mini (minimize), +1 for maxi (maximize)
+    _sign: int = -1
+    _sentinel: float = math.inf
+
+    def ident(self):
+        return _LocState(self._sentinel, None)
+
+    def _better(self, val: Any, loc: int, state: "_LocState") -> bool:
+        if state.loc is None:
+            return True
+        if self._sign < 0:
+            if val < state.val:
+                return True
+        else:
+            if val > state.val:
+                return True
+        return val == state.val and loc < state.loc
+
+    def accum(self, state: "_LocState", x: Sequence[Any]) -> "_LocState":
+        val, loc = x[0], int(x[1])
+        if self._better(val, loc, state):
+            state.val, state.loc = val, loc
+        return state
+
+    def combine(self, s1: "_LocState", s2: "_LocState") -> "_LocState":
+        if s2.loc is not None and self._better(s2.val, s2.loc, s1):
+            s1.val, s1.loc = s2.val, s2.loc
+        return s1
+
+    def accum_block(self, state, values):
+        n = len(values)
+        if n == 0:
+            return state
+        arr = values if isinstance(values, np.ndarray) else np.asarray(values)
+        vals, locs = arr[:, 0], arr[:, 1]
+        best = vals.min() if self._sign < 0 else vals.max()
+        # smallest location among the tied extreme values
+        loc = int(locs[vals == best].min())
+        return self.accum(state, (best, loc))
+
+    def gen(self, state: "_LocState"):
+        return (state.val, state.loc)
+
+
+class MiniOp(_ExtremeLocOp):
+    """Minimum value and its location (Listing 5's ``mini``).
+
+    >>> # var (val, loc) = mini(integer) reduce [i in 1..n] (A(i), i);
+    """
+
+    _sign = -1
+    _sentinel = math.inf
+
+    @property
+    def name(self) -> str:
+        return "mini"
+
+
+class MaxiOp(_ExtremeLocOp):
+    """Maximum value and its location."""
+
+    _sign = 1
+    _sentinel = -math.inf
+
+    @property
+    def name(self) -> str:
+        return "maxi"

@@ -1,0 +1,68 @@
+"""Logical and bitwise operators in global-view form.
+
+Mirrors MPI's six logical/bitwise built-ins through the ReduceScanOp
+protocol.  ``AllOp``/``AnyOp`` are the idiomatic aliases (Chapel spells
+them ``&&``/``||`` reductions); the bitwise family works on integers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.operator import ReduceScanOp
+from repro.ops.arithmetic import UfuncOp
+
+__all__ = ["AllOp", "AnyOp", "XorOp", "BandOp", "BorOp", "BxorOp"]
+
+
+class AllOp(UfuncOp):
+    """Logical AND over booleans (MPI_LAND); identity True."""
+
+    def __init__(self):
+        super().__init__(np.logical_and, True, "all")
+
+    def gen(self, state) -> bool:
+        return bool(state)
+
+
+class AnyOp(UfuncOp):
+    """Logical OR over booleans (MPI_LOR); identity False."""
+
+    def __init__(self):
+        super().__init__(np.logical_or, False, "any")
+
+    def gen(self, state) -> bool:
+        return bool(state)
+
+
+class XorOp(UfuncOp):
+    """Logical XOR (parity) over booleans (MPI_LXOR); identity False."""
+
+    def __init__(self):
+        super().__init__(np.logical_xor, False, "xor")
+
+    def gen(self, state) -> bool:
+        return bool(state)
+
+
+class BandOp(UfuncOp):
+    """Bitwise AND over integers (MPI_BAND); identity all-ones."""
+
+    def __init__(self, dtype=np.int64):
+        ones = np.array(-1, dtype=dtype) if np.issubdtype(dtype, np.signedinteger) \
+            else np.array(np.iinfo(dtype).max, dtype=dtype)
+        super().__init__(np.bitwise_and, ones, "band")
+
+
+class BorOp(UfuncOp):
+    """Bitwise OR over integers (MPI_BOR); identity 0."""
+
+    def __init__(self, dtype=np.int64):
+        super().__init__(np.bitwise_or, np.array(0, dtype=dtype), "bor")
+
+
+class BxorOp(UfuncOp):
+    """Bitwise XOR over integers (MPI_BXOR); identity 0."""
+
+    def __init__(self, dtype=np.int64):
+        super().__init__(np.bitwise_xor, np.array(0, dtype=dtype), "bxor")

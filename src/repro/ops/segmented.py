@@ -1,0 +1,119 @@
+"""Segmented scans as a user-defined operator.
+
+Blelloch's vector model (which the paper cites as the case for scan as a
+primary primitive) leans heavily on *segmented* scans: the data carries
+head flags that restart the running reduction at every segment boundary.
+The classic trick turns any base operator ⊕ into a segmented one over
+(value, flag) pairs::
+
+    (v1, f1) ⊕' (v2, f2) = (v2 if f2 else v1 ⊕ v2,  f1 or f2)
+
+⊕' is associative whenever ⊕ is, but **never commutative** — a nice
+stress test for the library's non-commutative schedules, and a
+demonstration that the global-view protocol composes: this operator is
+generic over any inner binary function.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.operator import ReduceScanOp
+
+__all__ = ["SegmentedOp"]
+
+
+class _SegState:
+    __slots__ = ("value", "flag", "seen")
+
+    def __init__(self, value: Any, flag: bool, seen: bool):
+        self.value = value
+        self.flag = flag  # does the covered run contain a segment head?
+        self.seen = seen
+
+    def transfer_nbytes(self) -> int:
+        return 16
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"_SegState(value={self.value!r}, flag={self.flag}, seen={self.seen})"
+
+
+class SegmentedOp(ReduceScanOp):
+    """Segmented reduction/scan over ``(value, head_flag)`` elements.
+
+    Parameters
+    ----------
+    fn:
+        The inner binary function (associative).
+    identity_value:
+        Its identity; used for empty prefixes and for the exclusive
+        scan's output at segment heads.
+    """
+
+    commutative = False  # segmented combination is inherently ordered
+
+    def __init__(
+        self, fn: Callable[[Any, Any], Any], identity_value: Any, name: str = "seg"
+    ):
+        self._fn = fn
+        self._identity_value = identity_value
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        return f"segmented({self._name})"
+
+    def ident(self) -> _SegState:
+        return _SegState(self._identity_value, False, False)
+
+    def accum(self, state: _SegState, x) -> _SegState:
+        v, f = x[0], bool(x[1])
+        if f or not state.seen:
+            # A head (or the very first element) restarts the running value.
+            state.value = v if f else self._fn(state.value, v)
+            state.flag = state.flag or f
+        else:
+            state.value = self._fn(state.value, v)
+        state.seen = True
+        return state
+
+    def combine(self, s1: _SegState, s2: _SegState) -> _SegState:
+        if not s2.seen:
+            return s1
+        if not s1.seen:
+            s1.value, s1.flag, s1.seen = s2.value, s2.flag, True
+            return s1
+        if s2.flag:
+            s1.value = s2.value
+        else:
+            s1.value = self._fn(s1.value, s2.value)
+        s1.flag = s1.flag or s2.flag
+        s1.seen = True
+        return s1
+
+    def red_gen(self, state: _SegState):
+        """The reduction of the *last* segment."""
+        return state.value
+
+    def scan_gen(self, state: _SegState, x):
+        """Inclusive-style generate: the running value of the element's
+        segment (the state was already restarted by ``accum`` at heads).
+        Exclusive scans need head-awareness, handled in ``scan_block``."""
+        return state.value if state.seen else self._identity_value
+
+    def scan_block(self, state: _SegState, values, *, exclusive: bool):
+        out = []
+        if exclusive:
+            for x in values:
+                # An element at a segment head has no same-segment
+                # predecessors: its exclusive output is the identity.
+                if bool(x[1]) or not state.seen:
+                    out.append(self._identity_value)
+                else:
+                    out.append(state.value)
+                state = self.accum(state, x)
+        else:
+            for x in values:
+                state = self.accum(state, x)
+                out.append(state.value)
+        return out, state

@@ -1,0 +1,128 @@
+"""The ``sorted`` operator (paper Listings 7 and 8): is the conceptual
+global array in non-decreasing order?
+
+This is the paper's canonical **non-commutative** operator and the
+kernel of its NAS IS case study (§4.1): the accumulate phase tracks each
+rank's first and last elements and whether the local run is sorted; the
+combine phase checks that adjacent runs are individually sorted *and*
+meet in order at the boundary.  Reordering combines gives wrong answers,
+which is precisely the paper's commutative-flag experiment ("the program
+did fail to verify that the array was sorted (as expected)") —
+reproduced here by :class:`DishonestCommutativeSortedOp`.
+
+The state mirrors Listing 8's ``struct { first, last, status }`` with a
+``seen`` flag instead of INT_MAX/INT_MIN sentinels so the operator works
+for any ordered element type (floats, strings, tuples...).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.operator import ReduceScanOp
+
+__all__ = ["SortedState", "SortedOp", "DishonestCommutativeSortedOp"]
+
+
+class SortedState:
+    """first/last/status of a contiguous run; ``seen=False`` == identity."""
+
+    __slots__ = ("first", "last", "status", "seen")
+
+    def __init__(self):
+        self.first: Any = None
+        self.last: Any = None
+        self.status: bool = True
+        self.seen: bool = False
+
+    def transfer_nbytes(self) -> int:
+        return 24  # two boundary elements + one flag word
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"SortedState(first={self.first!r}, last={self.last!r}, "
+            f"status={self.status}, seen={self.seen})"
+        )
+
+
+class SortedOp(ReduceScanOp):
+    """True iff the global data is in non-decreasing order (Listing 7)."""
+
+    commutative = False  # Listing 7: ``param commutative = false``
+
+    @property
+    def name(self) -> str:
+        return "sorted"
+
+    def ident(self) -> SortedState:
+        return SortedState()
+
+    def pre_accum(self, state: SortedState, x) -> SortedState:
+        state.first = x
+        return state
+
+    def accum(self, state: SortedState, x) -> SortedState:
+        if not state.seen:
+            if state.first is None:
+                state.first = x
+            state.seen = True
+        elif state.last > x:
+            state.status = False
+        state.last = x
+        return state
+
+    def post_accum(self, state: SortedState, x) -> SortedState:
+        state.last = x
+        return state
+
+    def combine(self, s1: SortedState, s2: SortedState) -> SortedState:
+        if not s2.seen:
+            return s1
+        if not s1.seen:
+            s1.first, s1.last = s2.first, s2.last
+            s1.status = s2.status
+            s1.seen = True
+            return s1
+        s1.status = s1.status and s2.status and (s1.last <= s2.first)
+        s1.last = s2.last
+        return s1
+
+    def accum_block(self, state: SortedState, values) -> SortedState:
+        """Single-pass vectorized check for NumPy blocks — one memory
+        reference per element, the RSMPI "scalar improvement" of §4.1."""
+        n = len(values)
+        if n == 0:
+            return state
+        if not isinstance(values, np.ndarray):
+            for x in values:
+                state = self.accum(state, x)
+            return state
+        first, last = values[0], values[-1]
+        ok = bool(np.all(values[1:] >= values[:-1])) if n > 1 else True
+        if not state.seen:
+            if state.first is None:
+                state.first = first
+            state.seen = True
+            state.status = state.status and ok
+        else:
+            state.status = state.status and ok and (state.last <= first)
+        state.last = last
+        return state
+
+    def gen(self, state: SortedState) -> bool:
+        return bool(state.status)
+
+
+class DishonestCommutativeSortedOp(SortedOp):
+    """The §4.1 ablation: the sorted operator dishonestly flagged
+    commutative.  The runtime is then licensed to reorder combines, and
+    the reduction's boundary checks compare the wrong runs — results are
+    expected to be wrong whenever the schedule actually reorders."""
+
+    commutative = True
+
+    @property
+    def name(self) -> str:
+        return "sorted(flagged-commutative)"

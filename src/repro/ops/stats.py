@@ -1,0 +1,99 @@
+"""Streaming statistics as global-view operators.
+
+``MeanVarOp`` computes count/mean/variance in one reduction using
+Welford's streaming update for the accumulate phase and the Chan
+et al. pairwise-combination formula for the combine phase — a textbook
+example of the paper's point that the *state* type (count, mean, M2) can
+differ from both the input type (a number) and the output type (a
+statistics record).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.operator import ReduceScanOp
+
+__all__ = ["MeanVarState", "MeanVarResult", "MeanVarOp"]
+
+
+class MeanVarState:
+    """Welford accumulator: n, mean, and M2 = sum of squared deviations."""
+
+    __slots__ = ("n", "mean", "m2")
+
+    def __init__(self, n: int = 0, mean: float = 0.0, m2: float = 0.0):
+        self.n = n
+        self.mean = mean
+        self.m2 = m2
+
+    def transfer_nbytes(self) -> int:
+        return 24
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"MeanVarState(n={self.n}, mean={self.mean}, m2={self.m2})"
+
+
+@dataclass(frozen=True)
+class MeanVarResult:
+    """The reduction's output record."""
+
+    n: int
+    mean: float
+    variance: float  # population variance (ddof=0); nan when n == 0
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+
+class MeanVarOp(ReduceScanOp):
+    """Count, mean and population variance in a single reduction."""
+
+    commutative = True
+
+    @property
+    def name(self) -> str:
+        return "meanvar"
+
+    def ident(self) -> MeanVarState:
+        return MeanVarState()
+
+    def accum(self, state: MeanVarState, x) -> MeanVarState:
+        state.n += 1
+        delta = x - state.mean
+        state.mean += delta / state.n
+        state.m2 += delta * (x - state.mean)
+        return state
+
+    def combine(self, s1: MeanVarState, s2: MeanVarState) -> MeanVarState:
+        if s2.n == 0:
+            return s1
+        if s1.n == 0:
+            s1.n, s1.mean, s1.m2 = s2.n, s2.mean, s2.m2
+            return s1
+        n = s1.n + s2.n
+        delta = s2.mean - s1.mean
+        s1.mean += delta * s2.n / n
+        s1.m2 += s2.m2 + delta * delta * (s1.n * s2.n / n)
+        s1.n = n
+        return s1
+
+    def accum_block(self, state: MeanVarState, values) -> MeanVarState:
+        n = len(values)
+        if n == 0:
+            return state
+        arr = np.asarray(values, dtype=np.float64)
+        block = MeanVarState(
+            n=n,
+            mean=float(arr.mean()),
+            m2=float(((arr - arr.mean()) ** 2).sum()),
+        )
+        return self.combine(state, block)
+
+    def gen(self, state: MeanVarState) -> MeanVarResult:
+        if state.n == 0:
+            return MeanVarResult(0, float("nan"), float("nan"))
+        return MeanVarResult(state.n, state.mean, state.m2 / state.n)

@@ -1,0 +1,31 @@
+"""Parallel-prefix networks and algorithms (Ladner–Fischer et al.)."""
+
+from repro.prefix.blelloch import (
+    blelloch_scan,
+    blelloch_xscan,
+    inclusive_from_exclusive,
+)
+from repro.prefix.circuits import PrefixCircuit
+from repro.prefix.networks import (
+    ALL_NETWORKS,
+    brent_kung,
+    hillis_steele,
+    kogge_stone,
+    ladner_fischer,
+    serial,
+    sklansky,
+)
+
+__all__ = [
+    "PrefixCircuit",
+    "serial",
+    "kogge_stone",
+    "hillis_steele",
+    "sklansky",
+    "brent_kung",
+    "ladner_fischer",
+    "ALL_NETWORKS",
+    "blelloch_scan",
+    "blelloch_xscan",
+    "inclusive_from_exclusive",
+]

@@ -1,0 +1,121 @@
+"""Prefix-circuit representation and analysis.
+
+A prefix circuit over ``n`` inputs is an ordered list of combine
+operations ``(i, j)`` with ``i < j``, each meaning ``x[j] = x[i] ⊕ x[j]``;
+a valid circuit leaves ``x[j] = a_0 ⊕ ... ⊕ a_j`` for every j (the
+inclusive scan).  This is the abstraction under which Ladner & Fischer
+(the paper's reference [11]) study the depth/size trade-off that makes
+scans efficient in parallel.
+
+``depth`` is computed by dependency scheduling (unbounded parallelism,
+unit-time ⊕): an operation is ready one step after both its operands'
+values are.  ``size`` is the operation count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import ReproError
+
+__all__ = ["PrefixCircuit"]
+
+
+@dataclass
+class PrefixCircuit:
+    """An ordered prefix circuit: apply ``ops`` left to right."""
+
+    n: int
+    ops: list[tuple[int, int]] = field(default_factory=list)
+    name: str = "circuit"
+
+    def __post_init__(self) -> None:
+        for i, j in self.ops:
+            if not (0 <= i < j < self.n):
+                raise ReproError(
+                    f"{self.name}: bad op ({i}, {j}) for width {self.n}; "
+                    "need 0 <= i < j < n"
+                )
+
+    # -- metrics -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of ⊕ operations."""
+        return len(self.ops)
+
+    @property
+    def depth(self) -> int:
+        """Critical-path length in ⊕ steps (unbounded parallelism)."""
+        ready = [0] * self.n
+        for i, j in self.ops:
+            ready[j] = max(ready[i], ready[j]) + 1
+        return max(ready, default=0)
+
+    def levels(self) -> list[list[tuple[int, int]]]:
+        """Group operations into dependency levels (ops within a level
+        are concurrent).  Level k contains ops whose result becomes
+        available at step k+1."""
+        ready = [0] * self.n
+        levels: dict[int, list[tuple[int, int]]] = {}
+        for i, j in self.ops:
+            lvl = max(ready[i], ready[j])
+            levels.setdefault(lvl, []).append((i, j))
+            ready[j] = lvl + 1
+        return [levels[k] for k in sorted(levels)]
+
+    # -- semantics ------------------------------------------------------------
+
+    def evaluate(
+        self, values: Sequence[Any], fn: Callable[[Any, Any], Any]
+    ) -> list[Any]:
+        """Run the circuit; returns the inclusive scan of ``values``."""
+        if len(values) != self.n:
+            raise ReproError(
+                f"{self.name}: expected {self.n} inputs, got {len(values)}"
+            )
+        x = list(values)
+        for i, j in self.ops:
+            x[j] = fn(x[i], x[j])
+        return x
+
+    def verify(
+        self,
+        values: Sequence[Any],
+        fn: Callable[[Any, Any], Any],
+    ) -> bool:
+        """Check the circuit computes the inclusive scan of ``values``."""
+        got = self.evaluate(values, fn)
+        acc = None
+        for k, v in enumerate(values):
+            acc = v if k == 0 else fn(acc, v)
+            if got[k] != acc:
+                return False
+        return True
+
+    def to_networkx(self):
+        """The circuit as a DAG: nodes are (wire, version) value events,
+        edges feed operations.  Requires networkx (an optional
+        dependency, used by analysis only)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        version = [0] * self.n
+        for w in range(self.n):
+            g.add_node((w, 0), wire=w, kind="input")
+        for i, j in self.ops:
+            src_i = (i, version[i])
+            src_j = (j, version[j])
+            version[j] += 1
+            dst = (j, version[j])
+            g.add_node(dst, wire=j, kind="op")
+            g.add_edge(src_i, dst)
+            g.add_edge(src_j, dst)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"PrefixCircuit({self.name}, n={self.n}, size={self.size}, "
+            f"depth={self.depth})"
+        )

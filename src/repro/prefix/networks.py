@@ -1,0 +1,170 @@
+"""Classic prefix-network constructions.
+
+Four families spanning the depth/size trade-off Ladner & Fischer mapped
+out (the paper's reference [11] — "scans are efficiently implemented by
+the parallel-prefix algorithm"):
+
+====================  ===================  ==========================
+network               depth                size
+====================  ===================  ==========================
+serial                n - 1                n - 1
+Kogge–Stone           ⌈log2 n⌉             n⌈log2 n⌉ - 2^⌈log2 n⌉ + 1
+Sklansky              ⌈log2 n⌉             ~ (n/2)·log2 n
+Brent–Kung            2⌈log2 n⌉ - 2        2n - 2 - ⌈log2 n⌉   (n=2^k)
+Ladner–Fischer P_k    ⌈log2 n⌉ (+1 if k=0) tunable between BK and Sklansky
+====================  ===================  ==========================
+
+(Kogge–Stone is the circuit form of the Hillis–Steele data-parallel scan;
+both names are exported.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.prefix.circuits import PrefixCircuit
+
+__all__ = [
+    "serial",
+    "kogge_stone",
+    "hillis_steele",
+    "sklansky",
+    "brent_kung",
+    "ladner_fischer",
+    "ALL_NETWORKS",
+]
+
+
+def _check_n(n: int) -> None:
+    if n < 1:
+        raise ReproError(f"prefix network width must be >= 1, got {n}")
+
+
+def serial(n: int) -> PrefixCircuit:
+    """The sequential chain: depth and size both n-1."""
+    _check_n(n)
+    return PrefixCircuit(n, [(j - 1, j) for j in range(1, n)], "serial")
+
+
+def kogge_stone(n: int) -> PrefixCircuit:
+    """Minimum depth, maximum size: level d combines (j - 2^d, j)."""
+    _check_n(n)
+    ops = []
+    d = 1
+    while d < n:
+        # Descending j within the level: op (j-d, j) must read the
+        # pre-level value of j-d, which a later op in this level writes.
+        # Ordering writes after reads makes the sequential evaluation of
+        # the ordered op list equal to the level-synchronous circuit.
+        ops.extend((j - d, j) for j in range(n - 1, d - 1, -1))
+        d <<= 1
+    return PrefixCircuit(n, ops, "kogge_stone")
+
+
+def hillis_steele(n: int) -> PrefixCircuit:
+    """Alias of :func:`kogge_stone` (the data-parallel formulation)."""
+    c = kogge_stone(n)
+    c.name = "hillis_steele"
+    return c
+
+
+def sklansky(n: int) -> PrefixCircuit:
+    """Divide-and-conquer: minimum depth with ~ (n/2) log n size.
+
+    At level d, every position whose bit d is set combines with the last
+    position of the preceding 2^d-block.
+    """
+    _check_n(n)
+    ops = []
+    d = 0
+    while (1 << d) < n:
+        block = 1 << d
+        for j in range(n):
+            if j & block:
+                i = (j >> d << d) - 1
+                ops.append((i, j))
+        d += 1
+    return PrefixCircuit(n, ops, "sklansky")
+
+
+def brent_kung(n: int) -> PrefixCircuit:
+    """Work-efficient: up-sweep over pairs, then a down-sweep fix-up."""
+    _check_n(n)
+    ops: list[tuple[int, int]] = []
+    # up-sweep
+    d = 1
+    while d < n:
+        ops.extend(
+            (j - d, j) for j in range(2 * d - 1, n, 2 * d)
+        )
+        d <<= 1
+    # down-sweep
+    d >>= 2
+    while d >= 1:
+        ops.extend(
+            (j, j + d) for j in range(2 * d - 1, n - d, 2 * d)
+        )
+        d >>= 1
+    return PrefixCircuit(n, ops, "brent_kung")
+
+
+def ladner_fischer(n: int, k: int = 0) -> PrefixCircuit:
+    """The Ladner–Fischer P_k construction.
+
+    ``k`` trades size for depth: larger k recurses with the
+    minimum-depth split more aggressively (depth ⌈log2 n⌉, size growing
+    toward Sklansky's), while k = 0 inserts pair-contraction stages
+    (one extra level of depth, markedly fewer operations — e.g. at
+    n = 1024: depth 11/size 2695 for P_0 vs depth 10/size 5120 for
+    Sklansky vs depth 18/size 2036 for Brent–Kung).  Following Ladner &
+    Fischer (1977):
+
+    * P_k(n), k ≥ 1: apply P_{k-1} to the first ⌈n/2⌉ positions and P_k
+      to the rest, then fan the first half's total into every position
+      of the second half.
+    * P_0(n): combine adjacent pairs, apply P_1 to the pair totals (the
+      odd positions), then fix up the interior even positions.
+    """
+    _check_n(n)
+    if k < 0:
+        raise ReproError(f"ladner_fischer needs k >= 0, got {k}")
+    ops: list[tuple[int, int]] = []
+
+    def build(pos: list[int], k: int) -> None:
+        m = len(pos)
+        if m <= 1:
+            return
+        if m == 2:
+            ops.append((pos[0], pos[1]))
+            return
+        if k >= 1:
+            half = (m + 1) // 2
+            left, right = pos[:half], pos[half:]
+            build(left, k - 1)
+            build(right, k)
+            last = left[-1]
+            ops.extend((last, j) for j in right)
+        else:
+            # pair up adjacents; odd positions carry the pair totals
+            for a, b in zip(pos[0::2], pos[1::2]):
+                ops.append((a, b))
+            build(pos[1::2], 1)
+            # fix up interior even positions from the preceding odd one
+            evens = pos[2::2]
+            for j in evens:
+                idx = pos.index(j)
+                ops.append((pos[idx - 1], j))
+
+    build(list(range(n)), k)
+    return PrefixCircuit(n, ops, f"ladner_fischer(k={k})")
+
+
+#: All constructions, for sweeps; callables n -> PrefixCircuit.
+ALL_NETWORKS = {
+    "serial": serial,
+    "kogge_stone": kogge_stone,
+    "sklansky": sklansky,
+    "brent_kung": brent_kung,
+    "ladner_fischer_0": lambda n: ladner_fischer(n, 0),
+    "ladner_fischer_1": lambda n: ladner_fischer(n, 1),
+    "ladner_fischer_2": lambda n: ladner_fischer(n, 2),
+}

@@ -1,0 +1,83 @@
+"""RSMPI: the global-view abstraction for MPI programs (paper Section 4).
+
+RSMPI (Reduce and Scan MPI) lets an MPI programmer apply a user-defined
+operator to the *conceptual entire array* in one call — "it makes it
+possible to build up a library of operators that compute an entire
+reduction or scan, not just the combine portion".
+
+The call shapes mirror the paper's::
+
+    RSMPI_Reduceall(&result, sorted, iter, KEY_ARRAY(iter.i))
+
+becomes::
+
+    result = RSMPI_Reduceall(sorted_op, key_array, comm)
+
+with the communicator defaulting to the calling context's world
+communicator ("we allow the common case of using the MPI_COMM_WORLD
+communication group as a default if another is omitted" — here the
+default is simply the last positional argument being optional only in
+the sense that every call site already holds its communicator; Python
+has no ambient MPI_COMM_WORLD).
+
+Operators may come from three places, all equivalent:
+
+* any :class:`~repro.core.operator.ReduceScanOp` subclass (Chapel style);
+* :mod:`repro.rsmpi.operator_spec` declarations (decorator style);
+* the DSL preprocessor (:func:`repro.rsmpi.compile_operator`), the
+  closest analogue of the paper's Perl preprocessor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.operator import ReduceScanOp
+from repro.core.reduce import global_reduce
+from repro.core.scan import global_scan, global_xscan
+from repro.mpi.comm import Communicator
+from repro.rsmpi.iterators import materialize
+
+__all__ = ["RSMPI_Reduce", "RSMPI_Reduceall", "RSMPI_Scan", "RSMPI_Xscan"]
+
+
+def RSMPI_Reduceall(
+    op: ReduceScanOp,
+    iterator: Iterable[Any],
+    comm: Communicator,
+    **kwargs: Any,
+) -> Any:
+    """Reduce the conceptual global array; result on **all** ranks."""
+    return global_reduce(comm, op, materialize(iterator), root=None, **kwargs)
+
+
+def RSMPI_Reduce(
+    op: ReduceScanOp,
+    iterator: Iterable[Any],
+    comm: Communicator,
+    root: int = 0,
+    **kwargs: Any,
+) -> Any:
+    """Reduce the conceptual global array; result on ``root`` only."""
+    return global_reduce(comm, op, materialize(iterator), root=root, **kwargs)
+
+
+def RSMPI_Scan(
+    op: ReduceScanOp,
+    iterator: Iterable[Any],
+    comm: Communicator,
+    **kwargs: Any,
+) -> list[Any]:
+    """Inclusive scan of the conceptual global array; each rank returns
+    the outputs for its local elements."""
+    return global_scan(comm, op, materialize(iterator), **kwargs)
+
+
+def RSMPI_Xscan(
+    op: ReduceScanOp,
+    iterator: Iterable[Any],
+    comm: Communicator,
+    **kwargs: Any,
+) -> list[Any]:
+    """Exclusive scan of the conceptual global array."""
+    return global_xscan(comm, op, materialize(iterator), **kwargs)

@@ -1,0 +1,52 @@
+"""RSMPI iterators: descriptions of the local values to accumulate.
+
+In the paper, "the programmer first defines an iterator to describe the
+values passed to the accumulate function and then calls an RSMPI routine
+to reduce or scan"; the accumulate function "is applied to the input
+expression within this iterator and then inlined into the code".
+
+Here an iterator is any object the accumulate phase can walk:
+
+* a NumPy array or Python sequence — used directly (and eligible for
+  the operator's vectorized ``accum_block``);
+* :func:`indexed` — pairs each local element with its **global** index,
+  the ``[i in 1..n] (A(i), i)`` idiom for mini/maxi/extrema;
+* :func:`mapped` — applies an input expression element-wise, lazily;
+* :func:`strided` — a strided view of a local array.
+
+Iterators with a known length and array backing stay vectorizable;
+generator-backed iterators fall back to the per-element ``accum`` path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["indexed", "mapped", "strided", "materialize"]
+
+
+def indexed(local: np.ndarray, global_offset: int) -> np.ndarray:
+    """Pairs ``(value, global_index)`` for a contiguous local block that
+    starts at ``global_offset`` in the conceptual global array."""
+    local = np.asarray(local)
+    idx = np.arange(global_offset, global_offset + len(local), dtype=np.float64)
+    return np.column_stack([local.astype(np.float64, copy=False), idx])
+
+
+def mapped(fn: Callable[[Any], Any], values: Iterable[Any]) -> list[Any]:
+    """Apply the input expression ``fn`` to each local value."""
+    return [fn(v) for v in values]
+
+
+def strided(local: np.ndarray, start: int = 0, stop: int | None = None, step: int = 1) -> np.ndarray:
+    """A strided (no-copy) view of a local array."""
+    return np.asarray(local)[start:stop:step]
+
+
+def materialize(it: Iterable[Any]) -> Sequence[Any] | np.ndarray:
+    """Give the accumulate phase something with ``len`` and indexing."""
+    if isinstance(it, np.ndarray) or isinstance(it, (list, tuple)):
+        return it
+    return list(it)

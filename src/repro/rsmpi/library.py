@@ -1,0 +1,259 @@
+"""A library of ready-made RSMPI DSL operators.
+
+The paper's point about RSMPI is exactly this module: "it makes it
+possible to build up a library of operators that compute an entire
+reduction or scan, not just the combine portion."  Each entry is DSL
+*source* (so it doubles as documentation and as preprocessor test
+corpus); :func:`load_operator` compiles one on demand, with parameters.
+
+>>> sorted_op = load_operator("sorted")
+>>> mink = load_operator("mink", k=5)
+
+Every library operator is tested against its hand-written twin in
+``repro.ops``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ReproError
+from repro.rsmpi.preprocessor import compile_operator
+
+__all__ = ["OPERATOR_SOURCES", "load_operator", "operator_names"]
+
+OPERATOR_SOURCES: dict[str, str] = {
+    # ------------------------------------------------------------------
+    # Note: this is Listing 8 hardened with a `seen` flag.  The paper's
+    # sentinel version (INT_MAX/INT_MIN boundaries) assumes every rank
+    # holds data; an identity state combined on the LEFT keeps
+    # first == INT_MAX, which silently passes a later boundary check it
+    # should have failed.  The library version must satisfy the identity
+    # law (check_operator flags the sentinel version), so empty states
+    # are tracked explicitly.  The verbatim Listing 8 lives in the test
+    # suite as the preprocessor's fidelity corpus.
+    "sorted": """
+    rsmpi operator sorted {
+      non-commutative
+      state { int first, last; int status; int seen; }
+      void ident(state s) {
+        s->first = 0; s->last = 0; s->status = 1; s->seen = 0;
+      }
+      void accum(state s, int i) {
+        if (!s->seen) { s->first = i; s->seen = 1; }
+        else if (s->last > i) s->status = 0;
+        s->last = i;
+      }
+      void combine(state s1, state s2) {
+        if (s2->seen) {
+          if (s1->seen) {
+            s1->status &= s2->status && (s1->last <= s2->first);
+            s1->last = s2->last;
+          } else {
+            s1->first = s2->first; s1->last = s2->last;
+            s1->status = s2->status; s1->seen = 1;
+          }
+        }
+      }
+      int generate(state s) { return s->status; }
+    }
+    """,
+    # ------------------------------------------------------------------
+    "mink": """
+    rsmpi operator mink {
+      commutative
+      param int k = 10;
+      state { int v[k]; }
+      void ident(state s) {
+        int i;
+        for (i = 0; i < k; i++) s->v[i] = INT_MAX;
+      }
+      void accum(state s, int x) {
+        int i, tmp;
+        if (x < s->v[0]) {
+          s->v[0] = x;
+          for (i = 1; i < k; i++)
+            if (s->v[i-1] < s->v[i]) {
+              tmp = s->v[i]; s->v[i] = s->v[i-1]; s->v[i-1] = tmp;
+            }
+        }
+      }
+      void combine(state s1, state s2) {
+        int i;
+        for (i = 0; i < k; i++) accum(s1, s2->v[i]);
+      }
+      void generate(state s) { return s->v; }
+    }
+    """,
+    # ------------------------------------------------------------------
+    "maxk": """
+    rsmpi operator maxk {
+      commutative
+      param int k = 10;
+      state { int v[k]; }
+      void ident(state s) {
+        int i;
+        for (i = 0; i < k; i++) s->v[i] = INT_MIN;
+      }
+      void accum(state s, int x) {
+        int i, tmp;
+        if (x > s->v[0]) {
+          s->v[0] = x;
+          for (i = 1; i < k; i++)
+            if (s->v[i-1] > s->v[i]) {
+              tmp = s->v[i]; s->v[i] = s->v[i-1]; s->v[i-1] = tmp;
+            }
+        }
+      }
+      void combine(state s1, state s2) {
+        int i;
+        for (i = 0; i < k; i++) accum(s1, s2->v[i]);
+      }
+      void generate(state s) { return s->v; }
+    }
+    """,
+    # ------------------------------------------------------------------
+    "counts": """
+    rsmpi operator counts {
+      commutative
+      param int k = 8;
+      param int base = 1;
+      state { int v[k]; }
+      void ident(state s) {
+        int i;
+        for (i = 0; i < k; i++) s->v[i] = 0;
+      }
+      void accum(state s, int x) { s->v[x - base] += 1; }
+      void combine(state s1, state s2) {
+        int i;
+        for (i = 0; i < k; i++) s1->v[i] += s2->v[i];
+      }
+      void red_generate(state s) { return s->v; }
+      int scan_generate(state s, int x) { return s->v[x - base]; }
+    }
+    """,
+    # ------------------------------------------------------------------
+    "mini": """
+    rsmpi operator mini {
+      commutative
+      state { double val; int loc; int seen; }
+      void ident(state s) { s->val = DBL_MAX; s->loc = -1; s->seen = 0; }
+      void accum(state s, double x, int i) {
+        if (!s->seen || x < s->val || (x == s->val && i < s->loc)) {
+          s->val = x; s->loc = i; s->seen = 1;
+        }
+      }
+      void combine(state s1, state s2) {
+        if (s2->seen) {
+          if (!s1->seen || s2->val < s1->val ||
+              (s2->val == s1->val && s2->loc < s1->loc)) {
+            s1->val = s2->val; s1->loc = s2->loc; s1->seen = 1;
+          }
+        }
+      }
+      void red_generate(state s) { return s; }
+    }
+    """,
+    # ------------------------------------------------------------------
+    "maxi": """
+    rsmpi operator maxi {
+      commutative
+      state { double val; int loc; int seen; }
+      void ident(state s) { s->val = DBL_MIN; s->loc = -1; s->seen = 0; }
+      void accum(state s, double x, int i) {
+        if (!s->seen || x > s->val || (x == s->val && i < s->loc)) {
+          s->val = x; s->loc = i; s->seen = 1;
+        }
+      }
+      void combine(state s1, state s2) {
+        if (s2->seen) {
+          if (!s1->seen || s2->val > s1->val ||
+              (s2->val == s1->val && s2->loc < s1->loc)) {
+            s1->val = s2->val; s1->loc = s2->loc; s1->seen = 1;
+          }
+        }
+      }
+      void red_generate(state s) { return s; }
+    }
+    """,
+    # ------------------------------------------------------------------
+    "sum": """
+    rsmpi operator sum {
+      commutative
+      state { double total; }
+      void ident(state s) { s->total = 0; }
+      void accum(state s, double x) { s->total += x; }
+      void combine(state s1, state s2) { s1->total += s2->total; }
+      double generate(state s) { return s->total; }
+    }
+    """,
+    # ------------------------------------------------------------------
+    "range": """
+    rsmpi operator range {
+      commutative
+      state { double lo; double hi; int seen; }
+      void ident(state s) { s->lo = DBL_MAX; s->hi = DBL_MIN; s->seen = 0; }
+      void accum(state s, double x) {
+        if (x < s->lo) s->lo = x;
+        if (x > s->hi) s->hi = x;
+        s->seen = 1;
+      }
+      void combine(state s1, state s2) {
+        if (s2->seen) {
+          if (s2->lo < s1->lo) s1->lo = s2->lo;
+          if (s2->hi > s1->hi) s1->hi = s2->hi;
+          s1->seen = 1;
+        }
+      }
+      void red_generate(state s) { return s; }
+    }
+    """,
+    # ------------------------------------------------------------------
+    "meanvar": """
+    rsmpi operator meanvar {
+      commutative
+      state { double n; double mean; double m2; }
+      void ident(state s) { s->n = 0; s->mean = 0; s->m2 = 0; }
+      void accum(state s, double x) {
+        double delta;
+        s->n += 1;
+        delta = x - s->mean;
+        s->mean += delta / s->n;
+        s->m2 += delta * (x - s->mean);
+      }
+      void combine(state s1, state s2) {
+        double n, delta;
+        if (s2->n > 0) {
+          if (s1->n == 0) {
+            s1->n = s2->n; s1->mean = s2->mean; s1->m2 = s2->m2;
+          } else {
+            n = s1->n + s2->n;
+            delta = s2->mean - s1->mean;
+            s1->mean += delta * s2->n / n;
+            s1->m2 += s2->m2 + delta * delta * (s1->n * s2->n / n);
+            s1->n = n;
+          }
+        }
+      }
+      void red_generate(state s) { return s; }
+    }
+    """,
+}
+
+
+def operator_names() -> list[str]:
+    """Names available to :func:`load_operator`."""
+    return sorted(OPERATOR_SOURCES)
+
+
+def load_operator(name: str, **params: Any):
+    """Compile a library operator by name; keyword arguments override its
+    ``param`` constants (e.g. ``load_operator("mink", k=5)``)."""
+    try:
+        src = OPERATOR_SOURCES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown library operator {name!r}; available: "
+            f"{operator_names()}"
+        ) from None
+    return compile_operator(src, params=params or None)

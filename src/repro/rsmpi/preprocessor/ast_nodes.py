@@ -1,0 +1,229 @@
+"""AST for the RSMPI operator DSL."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "OperatorDecl",
+    "ParamDecl",
+    "FieldDecl",
+    "FuncDecl",
+    "ParamVar",
+    # statements
+    "Stmt",
+    "Block",
+    "VarDecl",
+    "ExprStmt",
+    "If",
+    "For",
+    "While",
+    "Return",
+    "Break",
+    "Continue",
+    # expressions
+    "Expr",
+    "Num",
+    "BoolLit",
+    "Name",
+    "Unary",
+    "Binary",
+    "Assign",
+    "AugAssign",
+    "Ternary",
+    "Index",
+    "Field",
+    "Call",
+    "IncDec",
+]
+
+
+# -- expressions -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    pass
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: int | float
+
+
+@dataclass(frozen=True)
+class BoolLit(Expr):
+    value: bool
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    ident: str
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # "!", "-", "+", "~"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Ternary(Expr):
+    cond: Expr
+    then: Expr
+    other: Expr
+
+
+@dataclass(frozen=True)
+class Assign(Expr):
+    target: Expr  # Name | Index | Field
+    value: Expr
+
+
+@dataclass(frozen=True)
+class AugAssign(Expr):
+    op: str  # "+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>"
+    target: Expr
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Index(Expr):
+    base: Expr
+    index: Expr
+
+
+@dataclass(frozen=True)
+class Field(Expr):
+    base: Expr
+    name: str  # via "->" or "."
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    func: str
+    args: tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class IncDec(Expr):
+    op: str  # "++" or "--"
+    target: Expr
+    prefix: bool
+
+
+# -- statements --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    pass
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    stmts: tuple[Stmt, ...]
+
+
+@dataclass(frozen=True)
+class VarDecl(Stmt):
+    ctype: str
+    names: tuple[tuple[str, Optional[Expr], Optional[Expr]], ...]
+    # each entry: (name, array-size or None, initializer or None)
+
+
+@dataclass(frozen=True)
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then: Stmt
+    other: Optional[Stmt]
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    init: Optional[Stmt]  # VarDecl or ExprStmt
+    cond: Optional[Expr]
+    update: Optional[Expr]
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr
+    body: Stmt
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class Break(Stmt):
+    pass
+
+
+@dataclass(frozen=True)
+class Continue(Stmt):
+    pass
+
+
+# -- declarations -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParamDecl:
+    """``param int k = 10;`` — a compile-time constant, overridable at
+    compile_operator() time (our analogue of Chapel's ``const k``)."""
+
+    ctype: str
+    name: str
+    default: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    """One state field: ``int v[10];`` has array_size; scalars don't."""
+
+    ctype: str
+    name: str
+    array_size: Optional[Expr]
+
+
+@dataclass(frozen=True)
+class ParamVar:
+    """A function parameter: ``state s`` or ``int i`` or ``int a[]``."""
+
+    ctype: str  # "state" or a scalar type
+    name: str
+    is_array: bool = False
+
+
+@dataclass(frozen=True)
+class FuncDecl:
+    rettype: str
+    name: str
+    params: tuple[ParamVar, ...]
+    body: Block
+
+
+@dataclass
+class OperatorDecl:
+    name: str
+    commutative: bool = True
+    params: list[ParamDecl] = field(default_factory=list)
+    state_fields: list[FieldDecl] = field(default_factory=list)
+    functions: dict[str, FuncDecl] = field(default_factory=dict)

@@ -1,0 +1,373 @@
+"""Code generation: RSMPI DSL AST -> Python functions -> OperatorSpec.
+
+This plays the role of the paper's Perl preprocessor ("superficial
+changes made by a preprocessor translate this code into a set of
+functions that can then be used at the call-site"), except the target is
+Python rather than C+MPI: each DSL function becomes a compiled Python
+function over :class:`~repro.rsmpi.operator_spec.StateRecord` states,
+and the whole operator becomes a ready-to-use
+:class:`~repro.core.operator.ReduceScanOp`.
+
+C semantics preserved where they differ from Python's:
+
+* ``/`` and ``%`` on integers truncate toward zero / take the dividend's
+  sign (``_c_div``/``_c_mod`` helpers);
+* ``&&``/``||``/``!`` short-circuit and yield 0/1;
+* comparisons yield bools, which are ints in Python — compatible with
+  expressions like ``s1->status &= s2->status && (...)`` from Listing 8.
+
+Assignments and ``++``/``--`` are statements (or for-update clauses)
+only; using them as sub-expressions is a compile-time error rather than
+a silent mis-compile.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+from repro.errors import DslSemanticError
+from repro.rsmpi.preprocessor import ast_nodes as A
+
+__all__ = ["generate_python", "CompiledOperator", "C_CONSTANTS"]
+
+C_CONSTANTS: dict[str, Any] = {
+    "INT_MAX": 2**31 - 1,
+    "INT_MIN": -(2**31),
+    "LONG_MAX": 2**63 - 1,
+    "LONG_MIN": -(2**63),
+    "DBL_MAX": 1.7976931348623157e308,
+    "DBL_MIN": -1.7976931348623157e308,  # DSL convention: most-negative
+    "FLT_MAX": 3.4028234663852886e38,
+    "FLT_MIN": -3.4028234663852886e38,
+}
+
+_ZERO = {"int": 0, "long": 0, "float": 0.0, "double": 0.0, "bool": 0}
+
+_KNOWN_FUNCS = {"abs": abs, "min": min, "max": max, "floor": math.floor,
+                "ceil": math.ceil, "sqrt": math.sqrt, "fabs": abs}
+
+
+def _c_div(a, b):
+    """C division: truncates toward zero for two integers."""
+    if isinstance(a, int) and isinstance(b, int):
+        q = abs(a) // abs(b)
+        return -q if (a < 0) != (b < 0) else q
+    return a / b
+
+
+def _c_mod(a, b):
+    """C remainder: takes the sign of the dividend for integers."""
+    if isinstance(a, int) and isinstance(b, int):
+        return a - _c_div(a, b) * b
+    return math.fmod(a, b)
+
+
+class _Scope:
+    """Tracks which bare names are legal in the current function."""
+
+    def __init__(self, names: set[str]):
+        self.names = set(names)
+
+    def declare(self, name: str) -> None:
+        self.names.add(name)
+
+    def check(self, name: str) -> None:
+        if name not in self.names:
+            raise DslSemanticError(
+                f"unknown name {name!r}; declare it as a local, parameter, "
+                "param constant, or use a known constant "
+                "(INT_MAX, DBL_MAX, ...)"
+            )
+
+
+class _FuncGen:
+    """Generates the Python source of one DSL function."""
+
+    def __init__(self, decl: A.FuncDecl, global_names: set[str]):
+        self.decl = decl
+        self.lines: list[str] = []
+        self.scope = _Scope(global_names | {p.name for p in decl.params})
+        self._loops: list[str] = []  # "for" | "while" nesting
+
+    def emit(self, line: str, indent: int) -> None:
+        self.lines.append("    " * indent + line)
+
+    def generate(self) -> str:
+        params = ", ".join(p.name for p in self.decl.params)
+        self.emit(f"def {self.decl.name}({params}):", 0)
+        body_start = len(self.lines)
+        self.stmt_block(self.decl.body, 1)
+        if len(self.lines) == body_start:
+            self.emit("pass", 1)
+        return "\n".join(self.lines)
+
+    # -- statements ------------------------------------------------------------
+
+    def stmt_block(self, block: A.Block, indent: int) -> None:
+        for s in block.stmts:
+            self.stmt(s, indent)
+
+    def stmt(self, s: A.Stmt, indent: int) -> None:
+        if isinstance(s, A.Block):
+            if not s.stmts:
+                self.emit("pass", indent)
+            else:
+                self.stmt_block(s, indent)
+        elif isinstance(s, A.VarDecl):
+            for name, size, init in s.names:
+                self.scope.declare(name)
+                if size is not None:
+                    zero = _ZERO[s.ctype]
+                    self.emit(
+                        f"{name} = [{zero!r}] * ({self.expr(size)})", indent
+                    )
+                    if init is not None:
+                        raise DslSemanticError(
+                            f"array {name!r}: initializers on array "
+                            "declarations are not supported"
+                        )
+                elif init is not None:
+                    self.emit(f"{name} = {self.expr(init)}", indent)
+                else:
+                    self.emit(f"{name} = {_ZERO[s.ctype]!r}", indent)
+        elif isinstance(s, A.ExprStmt):
+            self.expr_stmt(s.expr, indent)
+        elif isinstance(s, A.If):
+            self.emit(f"if {self.expr(s.cond)}:", indent)
+            self.stmt_or_pass(s.then, indent + 1)
+            if s.other is not None:
+                self.emit("else:", indent)
+                self.stmt_or_pass(s.other, indent + 1)
+        elif isinstance(s, A.While):
+            self.emit(f"while {self.expr(s.cond)}:", indent)
+            self._loops.append("while")
+            self.stmt_or_pass(s.body, indent + 1)
+            self._loops.pop()
+        elif isinstance(s, A.For):
+            if s.init is not None:
+                self.stmt(s.init, indent)
+            cond = self.expr(s.cond) if s.cond is not None else "True"
+            self.emit(f"while {cond}:", indent)
+            self._loops.append("for")
+            self.stmt_or_pass(s.body, indent + 1)
+            self._loops.pop()
+            if s.update is not None:
+                self.expr_stmt(s.update, indent + 1)
+        elif isinstance(s, A.Break):
+            if not self._loops:
+                raise DslSemanticError("'break' outside a loop")
+            self.emit("break", indent)
+        elif isinstance(s, A.Continue):
+            if not self._loops:
+                raise DslSemanticError("'continue' outside a loop")
+            if self._loops[-1] == "for":
+                raise DslSemanticError(
+                    "'continue' inside a C-style 'for' is not supported "
+                    "(the loop update would be skipped); rewrite as a "
+                    "'while' loop"
+                )
+            self.emit("continue", indent)
+        elif isinstance(s, A.Return):
+            if s.value is None:
+                self.emit("return", indent)
+            else:
+                self.emit(f"return {self.expr(s.value)}", indent)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise DslSemanticError(f"unsupported statement {type(s).__name__}")
+
+    def stmt_or_pass(self, s: A.Stmt, indent: int) -> None:
+        before = len(self.lines)
+        self.stmt(s, indent)
+        if len(self.lines) == before:
+            self.emit("pass", indent)
+
+    def expr_stmt(self, e: A.Expr, indent: int) -> None:
+        """Assignments / increments are legal here; plain calls too."""
+        if isinstance(e, A.Assign):
+            # flatten a = b = c
+            targets = [e.target]
+            value = e.value
+            while isinstance(value, A.Assign):
+                targets.append(value.target)
+                value = value.value
+            rhs = self.expr(value)
+            lhs = " = ".join(self.lvalue(t) for t in targets)
+            self.emit(f"{lhs} = {rhs}", indent)
+        elif isinstance(e, A.AugAssign):
+            self.emit(
+                f"{self.lvalue(e.target)} = "
+                f"{self._binary(e.op, self.lvalue(e.target), self.expr(e.value))}",
+                indent,
+            )
+        elif isinstance(e, A.IncDec):
+            delta = "+ 1" if e.op == "++" else "- 1"
+            self.emit(
+                f"{self.lvalue(e.target)} = {self.lvalue(e.target)} {delta}",
+                indent,
+            )
+        elif isinstance(e, A.Call):
+            self.emit(self.expr(e), indent)
+        else:
+            # e.g. a bare `x;` — harmless, still check names
+            self.emit(f"{self.expr(e)}", indent)
+
+    # -- expressions -----------------------------------------------------------
+
+    def lvalue(self, e: A.Expr) -> str:
+        if isinstance(e, A.Name):
+            self.scope.check(e.ident)
+            return e.ident
+        if isinstance(e, A.Index):
+            return f"{self.expr(e.base)}[{self.expr(e.index)}]"
+        if isinstance(e, A.Field):
+            return f"{self.expr(e.base)}.{e.name}"
+        raise DslSemanticError(
+            f"invalid assignment target {type(e).__name__}"
+        )  # pragma: no cover - parser already rejects
+
+    def _binary(self, op: str, left: str, right: str) -> str:
+        if op == "/":
+            return f"_c_div({left}, {right})"
+        if op == "%":
+            return f"_c_mod({left}, {right})"
+        return f"({left} {op} {right})"
+
+    def expr(self, e: A.Expr) -> str:
+        if isinstance(e, A.Num):
+            return repr(e.value)
+        if isinstance(e, A.BoolLit):
+            return "1" if e.value else "0"
+        if isinstance(e, A.Name):
+            self.scope.check(e.ident)
+            return e.ident
+        if isinstance(e, A.Unary):
+            inner = self.expr(e.operand)
+            if e.op == "!":
+                return f"(0 if {inner} else 1)"
+            return f"({e.op}{inner})"
+        if isinstance(e, A.Binary):
+            if e.op == "&&":
+                return f"(1 if ({self.expr(e.left)}) and ({self.expr(e.right)}) else 0)"
+            if e.op == "||":
+                return f"(1 if ({self.expr(e.left)}) or ({self.expr(e.right)}) else 0)"
+            return self._binary(e.op, self.expr(e.left), self.expr(e.right))
+        if isinstance(e, A.Ternary):
+            return (
+                f"(({self.expr(e.then)}) if ({self.expr(e.cond)}) "
+                f"else ({self.expr(e.other)}))"
+            )
+        if isinstance(e, A.Index):
+            return f"{self.expr(e.base)}[{self.expr(e.index)}]"
+        if isinstance(e, A.Field):
+            return f"{self.expr(e.base)}.{e.name}"
+        if isinstance(e, A.Call):
+            self.scope.check(e.func)
+            args = ", ".join(self.expr(a) for a in e.args)
+            return f"{e.func}({args})"
+        if isinstance(e, (A.Assign, A.AugAssign, A.IncDec)):
+            raise DslSemanticError(
+                "assignments and ++/-- are statements in this DSL; "
+                "they cannot be used inside expressions"
+            )
+        raise DslSemanticError(  # pragma: no cover
+            f"unsupported expression {type(e).__name__}"
+        )
+
+
+class CompiledOperator:
+    """The output of the preprocessor: generated source + namespace."""
+
+    def __init__(
+        self,
+        decl: A.OperatorDecl,
+        source: str,
+        namespace: dict[str, Any],
+        params: dict[str, Any],
+    ):
+        self.decl = decl
+        self.source = source
+        self.namespace = namespace
+        self.params = params
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+
+def _const_eval(e: A.Expr, env: Mapping[str, Any]) -> Any:
+    """Evaluate a compile-time-constant expression (param defaults,
+    state array sizes)."""
+    if isinstance(e, A.Num):
+        return e.value
+    if isinstance(e, A.BoolLit):
+        return 1 if e.value else 0
+    if isinstance(e, A.Name):
+        if e.ident in env:
+            return env[e.ident]
+        raise DslSemanticError(
+            f"constant expression references unknown name {e.ident!r}"
+        )
+    if isinstance(e, A.Unary):
+        v = _const_eval(e.operand, env)
+        return {"-": lambda: -v, "+": lambda: v, "!": lambda: 0 if v else 1,
+                "~": lambda: ~v}[e.op]()
+    if isinstance(e, A.Binary):
+        a, b = _const_eval(e.left, env), _const_eval(e.right, env)
+        if e.op == "/":
+            return _c_div(a, b)
+        if e.op == "%":
+            return _c_mod(a, b)
+        if e.op == "&&":
+            return 1 if (a and b) else 0
+        if e.op == "||":
+            return 1 if (a or b) else 0
+        return eval(f"a {e.op} b", {}, {"a": a, "b": b})  # noqa: S307 - fixed op set
+    raise DslSemanticError(
+        f"unsupported constant expression {type(e).__name__}"
+    )
+
+
+def generate_python(
+    decl: A.OperatorDecl, params: Mapping[str, Any] | None = None
+) -> CompiledOperator:
+    """Compile a parsed operator declaration to Python functions.
+
+    ``params`` overrides the declaration's ``param`` constants (like
+    instantiating Chapel's ``mink(integer, 10)`` with a concrete k).
+    """
+    # Resolve param constants.
+    env: dict[str, Any] = dict(C_CONSTANTS)
+    overrides = dict(params or {})
+    for p in decl.params:
+        if p.name in overrides:
+            env[p.name] = overrides.pop(p.name)
+        elif p.default is not None:
+            env[p.name] = _const_eval(p.default, env)
+        else:
+            raise DslSemanticError(
+                f"param {p.name!r} has no default; pass a value via "
+                "compile_operator(..., params={...})"
+            )
+    if overrides:
+        raise DslSemanticError(
+            f"unknown params passed: {sorted(overrides)}; declared params: "
+            f"{[p.name for p in decl.params]}"
+        )
+
+    global_names = (
+        set(env) | set(_KNOWN_FUNCS) | set(decl.functions)
+    )
+    sources = []
+    for fn in decl.functions.values():
+        sources.append(_FuncGen(fn, global_names).generate())
+    source = "\n\n".join(sources)
+
+    namespace: dict[str, Any] = dict(env)
+    namespace.update(_KNOWN_FUNCS)
+    namespace["_c_div"] = _c_div
+    namespace["_c_mod"] = _c_mod
+    exec(  # noqa: S102 - executing our own generated code
+        compile(source, f"<rsmpi:{decl.name}>", "exec"), namespace
+    )
+    return CompiledOperator(decl, source, namespace, dict(env))

@@ -1,0 +1,29 @@
+"""SPMD runtime: simulated ranks, virtual time, cost models, traces."""
+
+from repro.runtime.clock import VirtualClock
+from repro.runtime.costmodel import (
+    CostModel,
+    DEFAULT_RATES,
+    calibrate_rate,
+    cluster_2006,
+    modern_node,
+)
+from repro.runtime.executor import SpmdResult, spmd_run
+from repro.runtime.trace import Trace, TraceEvent, merge_traces
+from repro.runtime.world import RankContext, World
+
+__all__ = [
+    "VirtualClock",
+    "CostModel",
+    "DEFAULT_RATES",
+    "calibrate_rate",
+    "cluster_2006",
+    "modern_node",
+    "SpmdResult",
+    "spmd_run",
+    "Trace",
+    "TraceEvent",
+    "merge_traces",
+    "RankContext",
+    "World",
+]

@@ -1,0 +1,107 @@
+"""Deterministic point-to-point message channels between ranks.
+
+Each rank owns one :class:`Mailbox`.  A message is addressed by its
+``(source, tag)`` pair and queued FIFO within that pair, so matching is
+deterministic regardless of the thread schedule — the property that makes
+virtual-time results bit-reproducible.
+
+``ANY_SOURCE`` / ``ANY_TAG`` wildcard receives are supported for
+completeness (MPI has them) but matching order for wildcards depends on
+arrival order and is therefore only deterministic when a single candidate
+message can exist, which is how the library itself uses them.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import RuntimeAbort
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Envelope", "Mailbox"]
+
+ANY_SOURCE: int = -1
+ANY_TAG: int = -1
+
+_POLL_INTERVAL = 0.05  # seconds between abort-flag checks while blocked
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A delivered message: payload plus wire metadata."""
+
+    source: int
+    tag: int
+    payload: Any
+    nbytes: int
+    available_at: float  # virtual time at which the message reaches the rank
+
+
+class Mailbox:
+    """Inbox for a single rank, with per-(source, tag) FIFO ordering."""
+
+    def __init__(self, rank: int, abort_event: threading.Event):
+        self.rank = rank
+        self._abort = abort_event
+        self._cond = threading.Condition()
+        self._queues: dict[tuple[int, int], deque[Envelope]] = {}
+
+    def deliver(self, env: Envelope) -> None:
+        """Called by a sender thread to enqueue a message."""
+        key = (env.source, env.tag)
+        with self._cond:
+            self._queues.setdefault(key, deque()).append(env)
+            self._cond.notify_all()
+
+    def _match(self, source: int, tag: int) -> Envelope | None:
+        if source != ANY_SOURCE and tag != ANY_TAG:
+            q = self._queues.get((source, tag))
+            if q:
+                return q.popleft()
+            return None
+        for (src, tg), q in self._queues.items():
+            if not q:
+                continue
+            if (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, tg)):
+                return q.popleft()
+        return None
+
+    def collect(self, source: int, tag: int) -> Envelope:
+        """Block until a matching message arrives; honor run aborts.
+
+        Raises
+        ------
+        RuntimeAbort
+            If the SPMD run is being torn down (another rank failed).
+        """
+        with self._cond:
+            while True:
+                if self._abort.is_set():
+                    raise RuntimeAbort(
+                        f"rank {self.rank}: run aborted while waiting for "
+                        f"message (source={source}, tag={tag})"
+                    )
+                env = self._match(source, tag)
+                if env is not None:
+                    return env
+                self._cond.wait(timeout=_POLL_INTERVAL)
+
+    def probe(self, source: int, tag: int) -> bool:
+        """Return True if a matching message is already queued."""
+        with self._cond:
+            if source != ANY_SOURCE and tag != ANY_TAG:
+                q = self._queues.get((source, tag))
+                return bool(q)
+            return any(
+                q
+                and (source in (ANY_SOURCE, src))
+                and (tag in (ANY_TAG, tg))
+                for (src, tg), q in self._queues.items()
+            )
+
+    def pending_count(self) -> int:
+        """Total queued messages (diagnostics; used by leak checks)."""
+        with self._cond:
+            return sum(len(q) for q in self._queues.values())

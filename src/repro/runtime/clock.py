@@ -1,0 +1,40 @@
+"""Per-rank virtual clocks for the simulated-time execution model.
+
+Each rank of an SPMD run owns a :class:`VirtualClock`.  Local work advances
+the clock by a modeled (or measured) duration; message receipt merges the
+sender's timestamp so that causality is respected:
+
+    t_recv' = max(t_recv, t_msg_available) + o_recv
+
+The maximum over all ranks' final clocks is the simulated makespan, the
+quantity reported as "time" by every figure-reproduction benchmark.
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A monotonically advancing virtual timestamp for one rank."""
+
+    __slots__ = ("t",)
+
+    def __init__(self, t: float = 0.0):
+        self.t = float(t)
+
+    def advance(self, dt: float) -> float:
+        """Advance the clock by ``dt`` seconds (must be >= 0); return t."""
+        if dt < 0:
+            raise ValueError(f"cannot advance a clock by a negative dt ({dt})")
+        self.t += dt
+        return self.t
+
+    def merge(self, other_t: float) -> float:
+        """Synchronize with an external timestamp: t = max(t, other_t)."""
+        if other_t > self.t:
+            self.t = other_t
+        return self.t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualClock(t={self.t:.9f})"

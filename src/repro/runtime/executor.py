@@ -1,0 +1,158 @@
+"""The SPMD executor: run one function on ``nprocs`` simulated ranks.
+
+:func:`spmd_run` is the single entry point every example, test and
+benchmark uses.  Each rank is a Python thread executing the same user
+function with its own :class:`repro.mpi.Communicator`; message matching is
+deterministic (per-(source, tag) FIFO), so results and virtual times do
+not depend on the thread schedule.
+
+Error handling follows "fail fast, unwind everyone": the first rank to
+raise sets the world's abort flag, which wakes every rank blocked in a
+receive with :class:`~repro.errors.RuntimeAbort`; the original exceptions
+are re-raised in the caller wrapped in :class:`~repro.errors.SpmdError`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.errors import RuntimeAbort, SpmdError, SpmdTimeout
+from repro.runtime.costmodel import CostModel
+from repro.runtime.trace import Trace, merge_traces
+from repro.runtime.world import World
+
+__all__ = ["SpmdResult", "spmd_run"]
+
+
+@dataclass
+class SpmdResult:
+    """Outcome of an SPMD run."""
+
+    returns: list[Any]  # per-rank return values of the user function
+    clocks: list[float]  # per-rank final virtual times
+    traces: list[Trace]  # per-rank traces
+    wall_seconds: float  # real elapsed wall-clock time of the whole run
+
+    @property
+    def nprocs(self) -> int:
+        """Number of simulated ranks in the run."""
+        return len(self.returns)
+
+    @property
+    def time(self) -> float:
+        """Simulated makespan: the maximum final virtual time."""
+        return max(self.clocks)
+
+    @property
+    def summary_trace(self) -> Trace:
+        """All ranks' traces merged into one aggregate."""
+        return merge_traces(self.traces)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SpmdResult(nprocs={self.nprocs}, time={self.time:.6e}s, "
+            f"msgs={self.summary_trace.n_sends})"
+        )
+
+
+def spmd_run(
+    fn: Callable[..., Any],
+    nprocs: int,
+    *,
+    args: Sequence[Any] = (),
+    cost_model: CostModel | None = None,
+    record_events: bool = False,
+    isolate_payloads: bool = True,
+    timeout: float = 300.0,
+) -> SpmdResult:
+    """Execute ``fn(comm, *args)`` on ``nprocs`` simulated ranks.
+
+    Parameters
+    ----------
+    fn:
+        The SPMD program.  Called once per rank with that rank's
+        :class:`repro.mpi.Communicator` as the first argument.
+    nprocs:
+        Number of ranks.
+    args:
+        Extra positional arguments passed to every rank (shared objects —
+        treat them as read-only, exactly like command-line arguments of an
+        ``mpiexec``-launched program).
+    cost_model:
+        Communication/computation cost parameters; defaults to
+        :class:`repro.runtime.costmodel.CostModel()`.
+    record_events:
+        Keep full per-rank event timelines (memory-heavy; off by default).
+    isolate_payloads:
+        Deep-copy message payloads to model distinct address spaces.
+        Leave on unless a benchmark has verified aliasing is safe.
+    timeout:
+        Wall-clock seconds after which the run is aborted and
+        :class:`~repro.errors.SpmdTimeout` is raised (deadlock guard).
+
+    Returns
+    -------
+    SpmdResult with per-rank return values, virtual clocks and traces.
+    """
+    import time as _time
+
+    from repro.mpi.comm import Communicator  # local import: avoids cycle
+
+    world = World(
+        nprocs,
+        cost_model,
+        record_events=record_events,
+        isolate_payloads=isolate_payloads,
+    )
+    returns: list[Any] = [None] * nprocs
+    failures: dict[int, BaseException] = {}
+    failures_lock = threading.Lock()
+
+    def run_rank(rank: int) -> None:
+        comm = Communicator(world.context(rank))
+        try:
+            returns[rank] = fn(comm, *args)
+        except RuntimeAbort:
+            pass  # unwound because another rank failed
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            with failures_lock:
+                failures[rank] = exc
+            world.abort_event.set()
+
+    t0 = _time.perf_counter()
+    if nprocs == 1:
+        # Single rank: run inline (cheaper, and keeps tracebacks direct).
+        run_rank(0)
+    else:
+        threads = [
+            threading.Thread(
+                target=run_rank, args=(r,), name=f"spmd-rank-{r}", daemon=True
+            )
+            for r in range(nprocs)
+        ]
+        for t in threads:
+            t.start()
+        deadline = _time.perf_counter() + timeout
+        for t in threads:
+            remaining = deadline - _time.perf_counter()
+            t.join(timeout=max(remaining, 0.0))
+            if t.is_alive():
+                world.abort_event.set()
+                for t2 in threads:
+                    t2.join(timeout=5.0)
+                raise SpmdTimeout(
+                    f"SPMD run did not finish within {timeout} s "
+                    f"(possible deadlock); aborted"
+                )
+    wall = _time.perf_counter() - t0
+
+    if failures:
+        raise SpmdError(failures)
+    return SpmdResult(
+        returns=returns,
+        clocks=[c.t for c in world.clocks],
+        traces=world.traces,
+        wall_seconds=wall,
+    )

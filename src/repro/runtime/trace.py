@@ -1,0 +1,119 @@
+"""Per-rank execution traces: message counters and optional event logs.
+
+Traces serve two distinct purposes in this reproduction:
+
+* **Cost accounting** — the analysis layer reads message/byte counters to
+  explain where simulated time went.
+* **Call census** — ``repro.nas.callcounts`` reproduces the paper's
+  "nearly 9% of MPI calls are reductions" statistic by classifying the
+  collective-call counters recorded here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+__all__ = ["TraceEvent", "Trace", "merge_traces", "REDUCTION_CALLS"]
+
+#: Collective names that count as "reductions" for the NPB call census
+#: (MPI classifies scan as a reduction-family collective as well).
+REDUCTION_CALLS = frozenset(
+    {"reduce", "allreduce", "scan", "exscan", "reduce_scatter"}
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single timestamped event on one rank's timeline."""
+
+    kind: str  # "send" | "recv" | "compute" | "collective"
+    t: float  # virtual time at completion of the event
+    detail: tuple[Any, ...] = ()
+
+
+@dataclass
+class Trace:
+    """Counters (always on) plus an optional event log for one rank."""
+
+    rank: int = 0
+    record_events: bool = False
+    n_sends: int = 0
+    n_recvs: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    compute_seconds: float = 0.0
+    collective_calls: Counter = field(default_factory=Counter)
+    p2p_calls: Counter = field(default_factory=Counter)
+    events: list[TraceEvent] = field(default_factory=list)
+
+    # -- recording hooks (called by the communicator/runtime) -------------
+
+    def on_send(self, dest: int, tag: int, nbytes: int, t: float) -> None:
+        """Record one outgoing message (called by the runtime)."""
+        self.n_sends += 1
+        self.bytes_sent += nbytes
+        if self.record_events:
+            self.events.append(TraceEvent("send", t, (dest, tag, nbytes)))
+
+    def on_recv(self, source: int, tag: int, nbytes: int, t: float) -> None:
+        """Record one received message (called by the runtime)."""
+        self.n_recvs += 1
+        self.bytes_received += nbytes
+        if self.record_events:
+            self.events.append(TraceEvent("recv", t, (source, tag, nbytes)))
+
+    def on_compute(self, label: str, seconds: float, t: float) -> None:
+        """Record charged local-compute time (called by the runtime)."""
+        self.compute_seconds += seconds
+        if self.record_events:
+            self.events.append(TraceEvent("compute", t, (label, seconds)))
+
+    def on_collective(self, name: str, t: float) -> None:
+        """Record entry into a named collective (called by Communicator)."""
+        self.collective_calls[name] += 1
+        if self.record_events:
+            self.events.append(TraceEvent("collective", t, (name,)))
+
+    def on_p2p(self, name: str) -> None:
+        """Record an explicit user point-to-point call (send/recv)."""
+        self.p2p_calls[name] += 1
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def n_collective_calls(self) -> int:
+        """Total collective calls recorded on this rank."""
+        return sum(self.collective_calls.values())
+
+    @property
+    def n_reduction_calls(self) -> int:
+        """Collective calls that are reductions (see REDUCTION_CALLS)."""
+        return sum(
+            count
+            for name, count in self.collective_calls.items()
+            if name in REDUCTION_CALLS
+        )
+
+    def reduction_fraction(self) -> float:
+        """Fraction of all communication *calls* that are reductions,
+        counting both collectives and explicit point-to-point calls."""
+        total = self.n_collective_calls + sum(self.p2p_calls.values())
+        if total == 0:
+            return 0.0
+        return self.n_reduction_calls / total
+
+
+def merge_traces(traces: Iterable[Trace]) -> Trace:
+    """Aggregate several ranks' traces into one summary trace."""
+    out = Trace(rank=-1)
+    for tr in traces:
+        out.n_sends += tr.n_sends
+        out.n_recvs += tr.n_recvs
+        out.bytes_sent += tr.bytes_sent
+        out.bytes_received += tr.bytes_received
+        out.compute_seconds += tr.compute_seconds
+        out.collective_calls.update(tr.collective_calls)
+        out.p2p_calls.update(tr.p2p_calls)
+    return out

@@ -1,0 +1,175 @@
+"""Shared SPMD world state and per-rank contexts.
+
+A :class:`World` owns everything shared by the ranks of one SPMD run:
+mailboxes, clocks, traces, the cost model and the abort flag.  Each rank
+gets a :class:`RankContext` — the object through which *all* simulated
+communication and all simulated-time charging flows.
+
+The context's ``send_raw``/``recv_raw`` are the only way bytes move
+between ranks; every higher layer (MPI collectives, local-view routines,
+global-view drivers) bottoms out here, so message counts, byte counts and
+virtual-time causality are accounted for exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Hashable
+
+from repro.errors import CommunicatorError
+from repro.runtime.channels import Envelope, Mailbox
+from repro.runtime.clock import VirtualClock
+from repro.runtime.costmodel import CostModel
+from repro.runtime.trace import Trace
+from repro.util.sizing import copy_for_transfer, payload_nbytes
+
+__all__ = ["World", "RankContext"]
+
+
+class World:
+    """All state shared by the ranks of one SPMD run."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        cost_model: CostModel | None = None,
+        *,
+        record_events: bool = False,
+        isolate_payloads: bool = True,
+    ):
+        if nprocs < 1:
+            raise CommunicatorError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = nprocs
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        self.isolate_payloads = isolate_payloads
+        self.abort_event = threading.Event()
+        self.mailboxes = [Mailbox(r, self.abort_event) for r in range(nprocs)]
+        self.clocks = [VirtualClock() for _ in range(nprocs)]
+        self.traces = [
+            Trace(rank=r, record_events=record_events) for r in range(nprocs)
+        ]
+        self._cid_lock = threading.Lock()
+        self._next_cid = 1
+
+    def allocate_context_id(self) -> int:
+        """Allocate a communicator context id (unique per World)."""
+        with self._cid_lock:
+            cid = self._next_cid
+            self._next_cid += 1
+            return cid
+
+    def context(self, rank: int) -> "RankContext":
+        """The per-rank handle for ``rank`` (clock, trace, messaging)."""
+        if not 0 <= rank < self.nprocs:
+            raise CommunicatorError(
+                f"rank {rank} out of range for world of size {self.nprocs}"
+            )
+        return RankContext(self, rank)
+
+    @property
+    def makespan(self) -> float:
+        """Simulated completion time of the run: max over rank clocks."""
+        return max(c.t for c in self.clocks)
+
+
+class RankContext:
+    """One rank's handle on the world: clock, trace, and raw messaging."""
+
+    __slots__ = ("world", "rank", "clock", "trace")
+
+    def __init__(self, world: World, rank: int):
+        self.world = world
+        self.rank = rank
+        self.clock = world.clocks[rank]
+        self.trace = world.traces[rank]
+
+    @property
+    def nprocs(self) -> int:
+        """Total ranks in the world this context belongs to."""
+        return self.world.nprocs
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The run's communication/computation cost parameters."""
+        return self.world.cost_model
+
+    # -- simulated computation --------------------------------------------
+
+    def charge(self, seconds: float, label: str = "compute") -> None:
+        """Advance this rank's virtual clock by a modeled compute time."""
+        self.clock.advance(seconds)
+        self.trace.on_compute(label, seconds, self.clock.t)
+
+    def charge_elements(self, rate_name: str, n_elements: float, label: str | None = None) -> None:
+        """Charge ``n_elements`` of work at a named cost-model rate."""
+        seconds = self.cost_model.compute_time(rate_name, n_elements)
+        self.charge(seconds, label or rate_name)
+
+    # -- raw point-to-point -------------------------------------------------
+
+    def send_raw(self, dest: int, tag: Hashable, payload: Any) -> None:
+        """Eagerly send ``payload`` to world-rank ``dest``.
+
+        The sender pays its send overhead; the message becomes available
+        to the receiver after wire latency plus per-byte time.  The payload
+        is deep-copied to model distinct address spaces.
+        """
+        if not 0 <= dest < self.world.nprocs:
+            raise CommunicatorError(
+                f"send: destination rank {dest} out of range "
+                f"[0, {self.world.nprocs})"
+            )
+        if dest == self.rank:
+            # Self-sends are legal (MPI allows them); no wire cost beyond
+            # overheads, but still isolate the payload.
+            pass
+        cm = self.cost_model
+        nbytes = payload_nbytes(payload)
+        self.clock.advance(cm.send_overhead)
+        available_at = self.clock.t + (0.0 if dest == self.rank else cm.wire_time(nbytes))
+        if self.world.isolate_payloads:
+            payload = copy_for_transfer(payload)
+        self.trace.on_send(dest, tag, nbytes, self.clock.t)
+        self.world.mailboxes[dest].deliver(
+            Envelope(self.rank, tag, payload, nbytes, available_at)
+        )
+
+    def recv_raw(self, source: int, tag: Hashable) -> Any:
+        """Receive the next message matching ``(source, tag)``; blocks.
+
+        The receiver's clock merges the message's availability time and
+        then pays the receive overhead.
+        """
+        env = self.world.mailboxes[self.rank].collect(source, tag)
+        self.clock.merge(env.available_at)
+        self.clock.advance(self.cost_model.recv_overhead)
+        self.trace.on_recv(env.source, env.tag, env.nbytes, self.clock.t)
+        return env.payload
+
+    def recv_raw_envelope(self, source: int, tag: Hashable) -> Envelope:
+        """Like :meth:`recv_raw` but returns the full envelope."""
+        env = self.world.mailboxes[self.rank].collect(source, tag)
+        self.clock.merge(env.available_at)
+        self.clock.advance(self.cost_model.recv_overhead)
+        self.trace.on_recv(env.source, env.tag, env.nbytes, self.clock.t)
+        return env
+
+    # -- deferred receives (deterministic "combine as available") ----------
+
+    def collect_envelope(self, source: int, tag: Hashable) -> Envelope:
+        """Dequeue a matching message *without* any clock or trace effect.
+
+        Used by commutative reductions that want to process children in
+        availability order rather than rank order: collect all envelopes
+        first (thread-blocking only), sort by ``available_at``, then apply
+        each with :meth:`apply_recv`.  Splitting collection from
+        accounting keeps virtual time deterministic.
+        """
+        return self.world.mailboxes[self.rank].collect(source, tag)
+
+    def apply_recv(self, env: Envelope) -> Any:
+        """Account for a previously collected envelope and return payload."""
+        self.clock.merge(env.available_at)
+        self.clock.advance(self.cost_model.recv_overhead)
+        self.trace.on_recv(env.source, env.tag, env.nbytes, self.clock.t)
+        return env.payload

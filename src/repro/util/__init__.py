@@ -1,0 +1,22 @@
+"""Shared utilities: the NAS ``randlc`` generator and transfer sizing."""
+
+from repro.util.rng import (
+    RANDLC_A,
+    RANDLC_SEED,
+    Randlc,
+    randlc_array,
+    randlc_pow,
+    randlc_skip,
+)
+from repro.util.sizing import payload_nbytes, copy_for_transfer
+
+__all__ = [
+    "RANDLC_A",
+    "RANDLC_SEED",
+    "Randlc",
+    "randlc_array",
+    "randlc_pow",
+    "randlc_skip",
+    "payload_nbytes",
+    "copy_for_transfer",
+]

@@ -1,0 +1,102 @@
+"""Transfer semantics for the simulated message-passing substrate.
+
+Two questions must be answered for every message payload:
+
+1. **How many bytes does it occupy on the wire?**  The virtual-time cost
+   model charges bandwidth per byte, so message sizes must reflect what a
+   real MPI implementation would send (:func:`payload_nbytes`).
+
+2. **How is it isolated from the sender?**  Ranks in this simulator are
+   threads in one address space, but they model processes in *distinct*
+   address spaces.  If a payload were delivered by reference, a receiver
+   mutating its reduction state would corrupt the sender's copy — a bug
+   class that cannot exist on real hardware.  :func:`copy_for_transfer`
+   therefore deep-copies every payload at the send boundary.
+"""
+
+from __future__ import annotations
+
+import copy
+import pickle
+from typing import Any
+
+import numpy as np
+
+__all__ = ["payload_nbytes", "copy_for_transfer", "TransferSized"]
+
+_SCALAR_BYTES = 8
+_PER_ITEM_OVERHEAD = 8
+
+
+class TransferSized:
+    """Mixin for payload classes that know their own wire size.
+
+    A class may define ``transfer_nbytes() -> int`` to report the number
+    of bytes a real implementation would serialize for it; this lets
+    operator states (e.g. a mink state of k integers) be costed exactly
+    instead of by pickled size.
+    """
+
+    def transfer_nbytes(self) -> int:  # pragma: no cover - interface
+        """Bytes a real implementation would serialize for this value."""
+        raise NotImplementedError
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Estimate the wire size of ``obj`` in bytes.
+
+    NumPy arrays and scalars report their exact buffer size; built-in
+    scalars count as 8 bytes; containers sum their elements plus a small
+    per-item overhead; objects implementing ``transfer_nbytes`` are asked;
+    anything else falls back to its pickle length.
+    """
+    if obj is None:
+        return 1
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, np.generic):
+        return int(obj.nbytes)
+    if isinstance(obj, (bool, int, float, complex)):
+        return _SCALAR_BYTES
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, TransferSized):
+        return int(obj.transfer_nbytes())
+    meth = getattr(obj, "transfer_nbytes", None)
+    if callable(meth):
+        return int(meth())
+    if isinstance(obj, (tuple, list, set, frozenset)):
+        return sum(payload_nbytes(x) + _PER_ITEM_OVERHEAD for x in obj)
+    if isinstance(obj, dict):
+        return sum(
+            payload_nbytes(k) + payload_nbytes(v) + _PER_ITEM_OVERHEAD
+            for k, v in obj.items()
+        )
+    try:
+        return len(pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return _SCALAR_BYTES
+
+
+def copy_for_transfer(obj: Any) -> Any:
+    """Return a copy of ``obj`` isolated from the sender's address space.
+
+    Immutable scalars are returned as-is; NumPy arrays are copied with
+    ``.copy()`` (cheaper than deepcopy); containers are rebuilt
+    recursively; everything else is ``copy.deepcopy``-ed.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, complex, str, bytes)):
+        return obj
+    if isinstance(obj, np.generic):
+        return obj  # numpy scalars are immutable
+    if isinstance(obj, np.ndarray):
+        return obj.copy()
+    if isinstance(obj, tuple):
+        return tuple(copy_for_transfer(x) for x in obj)
+    if isinstance(obj, list):
+        return [copy_for_transfer(x) for x in obj]
+    if isinstance(obj, dict):
+        return {copy_for_transfer(k): copy_for_transfer(v) for k, v in obj.items()}
+    return copy.deepcopy(obj)

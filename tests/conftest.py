@@ -1,0 +1,50 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import spmd_run
+
+#: The paper's running example data set (§1): sum-reduce = 55,
+#: scan = [6,13,19,22,30,32,40,44,52,55], octant counts = [0,1,2,1,0,2,1,3].
+PAPER_DATA = [6, 7, 6, 3, 8, 2, 8, 4, 8, 3]
+
+
+def block_split(data, p: int, r: int):
+    """Contiguous block decomposition (BlockDist bounds) of a sequence."""
+    n = len(data)
+    base, extra = divmod(n, p)
+    lo = r * base + min(r, extra)
+    hi = lo + base + (1 if r < extra else 0)
+    return data[lo:hi]
+
+
+def run_all(fn, nprocs: int, **kwargs):
+    """spmd_run and return the per-rank returns list."""
+    return spmd_run(fn, nprocs, **kwargs).returns
+
+
+def gather_scan(fn, nprocs: int, **kwargs):
+    """spmd_run a function returning per-rank lists; concatenate them."""
+    out = []
+    for part in spmd_run(fn, nprocs, **kwargs).returns:
+        out.extend(part)
+    return out
+
+
+@pytest.fixture
+def paper_data():
+    return list(PAPER_DATA)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running test (integration sweeps)"
+    )

@@ -1,0 +1,205 @@
+"""Tests for the scan-based algorithms (compact, split, radix sort)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import radix_sort, split_by_flag, stream_compact
+from repro.errors import ReproError, SpmdError
+from repro.runtime import spmd_run
+from tests.conftest import block_split, run_all
+
+SIZES = [1, 2, 3, 5, 8]
+
+
+def _gathered(fn, data, p, *extra_arrays):
+    """Run a block-distributed algorithm and concatenate rank results."""
+
+    def prog(comm):
+        sl = block_split(np.arange(len(data)), comm.size, comm.rank)
+        args = [np.asarray(data)[sl]] + [np.asarray(a)[sl] for a in extra_arrays]
+        return fn(comm, *args)
+
+    res = spmd_run(prog, p, timeout=60)
+    return np.concatenate(res.returns)
+
+
+class TestStreamCompact:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_keeps_flagged_in_order(self, p, rng):
+        data = rng.integers(0, 1000, 97)
+        mask = rng.random(97) < 0.4
+        out = _gathered(stream_compact, data, p, mask)
+        assert np.array_equal(out, data[mask])
+
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_all_kept_and_none_kept(self, p, rng):
+        data = rng.integers(0, 9, 20)
+        assert np.array_equal(
+            _gathered(stream_compact, data, p, np.ones(20, bool)), data
+        )
+        assert len(
+            _gathered(stream_compact, data, p, np.zeros(20, bool))
+        ) == 0
+
+    def test_result_blocks_balanced(self, rng):
+        data = rng.integers(0, 100, 100)
+        mask = np.ones(100, bool)
+
+        def prog(comm):
+            sl = block_split(np.arange(100), comm.size, comm.rank)
+            return len(stream_compact(comm, data[sl], mask[sl]))
+
+        counts = run_all(prog, 7)
+        assert sum(counts) == 100
+        assert max(counts) - min(counts) <= 1
+
+    def test_shape_mismatch(self):
+        def prog(comm):
+            stream_compact(comm, np.zeros(3), np.zeros(4, bool))
+
+        with pytest.raises(SpmdError) as ei:
+            spmd_run(prog, 2, timeout=10)
+        assert any(
+            isinstance(e, ReproError) for e in ei.value.failures.values()
+        )
+
+
+class TestSplitByFlag:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_stable_partition(self, p, rng):
+        data = rng.integers(0, 1000, 83)
+        flags = rng.random(83) < 0.5
+        out = _gathered(split_by_flag, data, p, flags)
+        expected = np.concatenate([data[~flags], data[flags]])
+        assert np.array_equal(out, expected)
+
+    @pytest.mark.parametrize("p", [1, 3])
+    def test_all_one_side(self, p, rng):
+        data = rng.integers(0, 50, 30)
+        same = _gathered(split_by_flag, data, p, np.zeros(30, bool))
+        assert np.array_equal(same, data)
+        same = _gathered(split_by_flag, data, p, np.ones(30, bool))
+        assert np.array_equal(same, data)
+
+    def test_empty(self):
+        out = _gathered(split_by_flag, np.array([], dtype=int), 3,
+                        np.array([], dtype=bool))
+        assert len(out) == 0
+
+    def test_single_aggregated_exscan(self, rng):
+        data = rng.integers(0, 9, 40)
+        flags = data % 2 == 1
+
+        def prog(comm):
+            sl = block_split(np.arange(40), comm.size, comm.rank)
+            split_by_flag(comm, data[sl], flags[sl])
+
+        res = spmd_run(prog, 4)
+        calls = res.traces[0].collective_calls
+        assert calls["exscan"] == 1  # aggregated: one scan, two counters
+        assert calls["allreduce"] == 1
+        assert calls["alltoall"] == 1
+
+
+class TestRadixSort:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sorts(self, p, rng):
+        data = rng.integers(0, 1 << 16, 120)
+        out = _gathered(lambda comm, d: radix_sort(comm, d), data, p)
+        assert np.array_equal(out, np.sort(data))
+
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_duplicates_and_zeros(self, p, rng):
+        data = rng.integers(0, 4, 50)
+        out = _gathered(lambda comm, d: radix_sort(comm, d), data, p)
+        assert np.array_equal(out, np.sort(data))
+
+    def test_explicit_bit_width(self, rng):
+        data = rng.integers(0, 256, 64)
+        out = _gathered(
+            lambda comm, d: radix_sort(comm, d, bits=8), data, 4
+        )
+        assert np.array_equal(out, np.sort(data))
+
+    def test_negative_rejected(self):
+        def prog(comm):
+            radix_sort(comm, np.array([-1, 2]))
+
+        with pytest.raises(SpmdError):
+            spmd_run(prog, 2, timeout=10)
+
+    def test_empty_everywhere(self):
+        out = _gathered(
+            lambda comm, d: radix_sort(comm, d), np.array([], dtype=int), 3
+        )
+        assert len(out) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data=st.lists(st.integers(0, 1023), max_size=60),
+        p=st.integers(1, 5),
+    )
+    def test_property_equals_numpy_sort(self, data, p):
+        arr = np.array(data, dtype=np.int64)
+        out = _gathered(lambda comm, d: radix_sort(comm, d), arr, p)
+        assert np.array_equal(out, np.sort(arr))
+
+
+class TestSampleSort:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sorts_floats(self, p, rng):
+        from repro.algorithms import sample_sort
+
+        data = rng.normal(size=150)
+        out = _gathered(lambda comm, d: sample_sort(comm, d), data, p)
+        assert np.array_equal(out, np.sort(data))
+
+    @pytest.mark.parametrize("p", [1, 4, 8])
+    def test_duplicates(self, p, rng):
+        from repro.algorithms import sample_sort
+
+        data = rng.integers(0, 5, 80).astype(float)
+        out = _gathered(lambda comm, d: sample_sort(comm, d), data, p)
+        assert np.array_equal(out, np.sort(data))
+
+    def test_empty_and_tiny(self):
+        from repro.algorithms import sample_sort
+
+        out = _gathered(
+            lambda comm, d: sample_sort(comm, d),
+            np.array([], dtype=float), 3,
+        )
+        assert len(out) == 0
+        out = _gathered(
+            lambda comm, d: sample_sort(comm, d), np.array([2.0, 1.0]), 5
+        )
+        assert out.tolist() == [1.0, 2.0]
+
+    def test_roughly_balanced(self, rng):
+        from repro.algorithms import sample_sort
+
+        data = rng.normal(size=4000)
+
+        def prog(comm):
+            sl = block_split(np.arange(4000), comm.size, comm.rank)
+            return len(sample_sort(comm, data[sl]))
+
+        counts = run_all(prog, 8)
+        assert sum(counts) == 4000
+        assert max(counts) < 3 * (4000 / 8)  # oversampling bounds skew
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        data=st.lists(
+            st.floats(-1e6, 1e6, allow_nan=False), max_size=60
+        ),
+        p=st.integers(1, 5),
+    )
+    def test_property_equals_numpy_sort(self, data, p):
+        from repro.algorithms import sample_sort
+
+        arr = np.array(data, dtype=np.float64)
+        out = _gathered(lambda comm, d: sample_sort(comm, d), arr, p)
+        assert np.array_equal(out, np.sort(arr))

@@ -1,0 +1,347 @@
+"""Tests for distributions and the Chapel-style GlobalArray."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import BlockCyclicDist, BlockDist, CyclicDist, GlobalArray
+from repro.errors import DistributionError, SpmdError
+from repro.ops import CountsOp, MiniOp, MinKOp, SortedOp, SumOp
+from repro.runtime import spmd_run
+from tests.conftest import run_all
+
+
+class TestBlockDist:
+    @pytest.mark.parametrize("n,p", [(10, 3), (10, 10), (3, 5), (0, 4), (100, 7)])
+    def test_partition_properties(self, n, p):
+        d = BlockDist(n, p)
+        counts = [d.local_count(r) for r in range(p)]
+        assert sum(counts) == n
+        assert max(counts) - min(counts) <= 1
+        seen = []
+        for r in range(p):
+            idx = d.global_indices(r)
+            assert len(idx) == counts[r]
+            seen.extend(idx.tolist())
+        assert seen == list(range(n))  # rank order == global order
+
+    def test_owner_consistent_with_indices(self):
+        d = BlockDist(23, 4)
+        for i in range(23):
+            r = d.owner(i)
+            assert i in d.global_indices(r)
+
+    def test_to_local(self):
+        d = BlockDist(10, 3)
+        for i in range(10):
+            r, off = d.to_local(i)
+            assert d.global_indices(r)[off] == i
+
+    def test_order_preserving(self):
+        assert BlockDist(10, 3).is_order_preserving
+
+    def test_bad_args(self):
+        with pytest.raises(DistributionError):
+            BlockDist(-1, 2)
+        with pytest.raises(DistributionError):
+            BlockDist(5, 0)
+        with pytest.raises(DistributionError):
+            BlockDist(5, 2).owner(5)
+        with pytest.raises(DistributionError):
+            BlockDist(5, 2).local_count(2)
+
+
+class TestCyclicDist:
+    def test_round_robin(self):
+        d = CyclicDist(10, 3)
+        assert d.owner(0) == 0 and d.owner(1) == 1 and d.owner(5) == 2
+        assert d.global_indices(0).tolist() == [0, 3, 6, 9]
+        assert d.local_count(0) == 4 and d.local_count(2) == 3
+
+    def test_not_order_preserving(self):
+        assert not CyclicDist(10, 3).is_order_preserving
+
+    def test_covers_everything(self):
+        d = CyclicDist(17, 5)
+        all_idx = sorted(
+            i for r in range(5) for i in d.global_indices(r).tolist()
+        )
+        assert all_idx == list(range(17))
+
+
+class TestBlockCyclicDist:
+    def test_blocks_cycle(self):
+        d = BlockCyclicDist(12, 2, block=3)
+        assert d.global_indices(0).tolist() == [0, 1, 2, 6, 7, 8]
+        assert d.global_indices(1).tolist() == [3, 4, 5, 9, 10, 11]
+
+    def test_degenerate_case_order_preserving(self):
+        assert BlockCyclicDist(6, 3, block=2).is_order_preserving
+        assert not BlockCyclicDist(12, 2, block=3).is_order_preserving
+
+    def test_bad_block(self):
+        with pytest.raises(DistributionError):
+            BlockCyclicDist(10, 2, block=0)
+
+
+class TestGlobalArray:
+    def test_from_global_and_to_global_roundtrip(self):
+        data = np.arange(23) * 2
+
+        def prog(comm):
+            a = GlobalArray.from_global(comm, data)
+            return a.to_global()
+
+        for out in run_all(prog, 4):
+            assert np.array_equal(out, data)
+
+    def test_from_function(self):
+        def prog(comm):
+            a = GlobalArray.from_function(comm, 10, lambda i: i * i)
+            return a.to_global()
+
+        for out in run_all(prog, 3):
+            assert out.tolist() == [i * i for i in range(10)]
+
+    def test_zeros(self):
+        def prog(comm):
+            a = GlobalArray.zeros(comm, 7, dtype=np.int64)
+            return (a.n, len(a.local), a.local.sum())
+
+        out = run_all(prog, 3)
+        assert sum(t[1] for t in out) == 7
+        assert all(t[0] == 7 and t[2] == 0 for t in out)
+
+    def test_chapel_reduce_one_liner(self, rng):
+        data = rng.integers(0, 1000, 50)
+
+        def prog(comm):
+            a = GlobalArray.from_global(comm, data)
+            return a.reduce(MinKOp(4, np.iinfo(np.int64).max))
+
+        expected = np.sort(data)[:4][::-1].tolist()
+        for v in run_all(prog, 5):
+            assert v.tolist() == expected
+
+    def test_reduce_with_index(self):
+        data = np.array([5.0, 1.0, 3.0, 1.0])
+
+        def prog(comm):
+            a = GlobalArray.from_global(comm, data)
+            return a.reduce_with_index(MiniOp())
+
+        for val, loc in run_all(prog, 2):
+            assert (val, loc) == (1.0, 1)
+
+    def test_scan_returns_global_array(self, rng):
+        data = rng.integers(0, 10, 20)
+
+        def prog(comm):
+            a = GlobalArray.from_global(comm, data)
+            return a.scan(SumOp()).to_global()
+
+        for out in run_all(prog, 4):
+            assert [int(v) for v in out] == np.cumsum(data).tolist()
+
+    def test_xscan(self, rng):
+        data = rng.integers(0, 10, 20)
+
+        def prog(comm):
+            a = GlobalArray.from_global(comm, data)
+            return a.xscan(SumOp()).to_global()
+
+        expected = np.concatenate([[0], np.cumsum(data)[:-1]])
+        for out in run_all(prog, 3):
+            assert [int(v) for v in out] == expected.tolist()
+
+    def test_map_elementwise(self):
+        def prog(comm):
+            a = GlobalArray.from_function(comm, 8, lambda i: i)
+            return a.map(lambda x: x * 10).to_global()
+
+        assert run_all(prog, 2)[0].tolist() == [i * 10 for i in range(8)]
+
+    def test_commutative_reduce_on_cyclic_ok(self, rng):
+        data = rng.integers(0, 100, 30)
+
+        def prog(comm):
+            a = GlobalArray.from_global(comm, data, dist_cls=CyclicDist)
+            return a.reduce(SumOp())
+
+        assert all(v == data.sum() for v in run_all(prog, 4))
+
+    def test_noncommutative_reduce_on_cyclic_rejected(self):
+        def prog(comm):
+            a = GlobalArray.from_global(
+                comm, np.arange(12), dist_cls=CyclicDist
+            )
+            a.reduce(SortedOp())
+
+        with pytest.raises(SpmdError) as ei:
+            spmd_run(prog, 3, timeout=10)
+        assert any(
+            isinstance(e, DistributionError)
+            for e in ei.value.failures.values()
+        )
+
+    def test_scan_on_cyclic_rejected(self):
+        def prog(comm):
+            a = GlobalArray.from_global(
+                comm, np.arange(12), dist_cls=CyclicDist
+            )
+            a.scan(SumOp())
+
+        with pytest.raises(SpmdError):
+            spmd_run(prog, 3, timeout=10)
+
+    def test_sorted_reduce_on_block_works(self):
+        def prog(comm):
+            a = GlobalArray.from_global(comm, np.arange(17))
+            return a.reduce(SortedOp())
+
+        assert all(run_all(prog, 4))
+
+    def test_counts_scan_paper_octants(self, paper_data):
+        def prog(comm):
+            a = GlobalArray.from_global(
+                comm, np.array(paper_data, dtype=np.int64)
+            )
+            return a.scan(CountsOp(8)).to_global()
+
+        out = run_all(prog, 3)[0]
+        assert out.tolist() == [1, 1, 2, 1, 1, 1, 2, 1, 3, 2]
+
+    def test_wrong_local_size_rejected(self):
+        def prog(comm):
+            GlobalArray(comm, np.zeros(99), BlockDist(10, comm.size))
+
+        with pytest.raises(SpmdError):
+            spmd_run(prog, 2, timeout=10)
+
+    def test_dist_comm_mismatch_rejected(self):
+        def prog(comm):
+            GlobalArray(comm, np.zeros(5), BlockDist(10, comm.size + 1))
+
+        with pytest.raises(SpmdError):
+            spmd_run(prog, 2, timeout=10)
+
+
+class TestElementwiseArithmetic:
+    def _pair(self, comm):
+        a = GlobalArray.from_function(comm, 12, lambda i: i.astype(float))
+        b = GlobalArray.from_function(comm, 12, lambda i: (i * 2).astype(float))
+        return a, b
+
+    def test_add_sub_mul(self):
+        def prog(comm):
+            a, b = self._pair(comm)
+            return ((a + b).to_global(), (b - a).to_global(),
+                    (a * b).to_global(), (a * 3).to_global(),
+                    (10 + a).to_global(), (-a).to_global())
+
+        add, sub, mul, scal, radd, neg = run_all(prog, 3)[0]
+        i = np.arange(12.0)
+        assert np.array_equal(add, 3 * i)
+        assert np.array_equal(sub, i)
+        assert np.array_equal(mul, 2 * i * i)
+        assert np.array_equal(scal, 3 * i)
+        assert np.array_equal(radd, 10 + i)
+        assert np.array_equal(neg, -i)
+
+    def test_dot_is_single_allreduce(self):
+        def prog(comm):
+            a, b = self._pair(comm)
+            return a.dot(b)
+
+        res = spmd_run(prog, 4)
+        i = np.arange(12.0)
+        assert all(v == float((i * 2 * i).sum()) for v in res.returns)
+        assert res.traces[0].collective_calls["allreduce"] == 1
+
+    def test_mismatched_sizes_rejected(self):
+        def prog(comm):
+            a = GlobalArray.from_function(comm, 10, lambda i: i)
+            b = GlobalArray.from_function(comm, 11, lambda i: i)
+            a + b
+
+        with pytest.raises(SpmdError) as ei:
+            spmd_run(prog, 2, timeout=10)
+        assert any(
+            isinstance(e, DistributionError)
+            for e in ei.value.failures.values()
+        )
+
+    def test_dot_rejects_plain_arrays(self):
+        def prog(comm):
+            a = GlobalArray.from_function(comm, 10, lambda i: i)
+            a.dot(np.arange(10))
+
+        with pytest.raises(SpmdError):
+            spmd_run(prog, 2, timeout=10)
+
+
+class TestExplicitDist:
+    def test_bounds_and_owner(self):
+        from repro.arrays import ExplicitDist
+
+        d = ExplicitDist([3, 0, 5, 2])
+        assert d.n == 10 and d.p == 4
+        assert d.bounds(0) == (0, 3)
+        assert d.bounds(1) == (3, 3)
+        assert d.bounds(2) == (3, 8)
+        assert [d.owner(i) for i in range(10)] == [0, 0, 0, 2, 2, 2, 2, 2, 3, 3]
+        assert d.is_order_preserving
+
+    def test_negative_counts_rejected(self):
+        from repro.arrays import ExplicitDist
+
+        with pytest.raises(DistributionError):
+            ExplicitDist([1, -1])
+
+
+class TestSortAndFilter:
+    def test_global_sort(self, rng):
+        data = rng.normal(size=200)
+
+        def prog(comm):
+            a = GlobalArray.from_global(comm, data)
+            s = a.sort()
+            return s.to_global(), s.reduce(SortedOp())
+
+        for out, ok in run_all(prog, 5):
+            assert np.array_equal(out, np.sort(data))
+            assert ok is True  # sorted + order-preserving dist composes
+
+    def test_filter(self, rng):
+        data = rng.integers(0, 100, 90)
+
+        def prog(comm):
+            a = GlobalArray.from_global(comm, data)
+            kept = a.filter(a.local % 2 == 0)
+            return kept.to_global(), kept.n
+
+        for out, n in run_all(prog, 4):
+            assert np.array_equal(out, data[data % 2 == 0])
+            assert n == int(np.sum(data % 2 == 0))
+
+    def test_filter_then_reduce(self, rng):
+        data = rng.integers(0, 100, 60)
+
+        def prog(comm):
+            a = GlobalArray.from_global(comm, data)
+            return a.filter(a.local > 50).reduce(SumOp())
+
+        expected = int(data[data > 50].sum())
+        assert all(v == expected for v in run_all(prog, 3))
+
+    def test_sort_scan_composition(self, rng):
+        """sort -> running max is just the sorted values themselves."""
+        from repro.ops import MaxOp
+
+        data = rng.normal(size=40)
+
+        def prog(comm):
+            a = GlobalArray.from_global(comm, data)
+            return a.sort().scan(MaxOp()).to_global()
+
+        out = run_all(prog, 4)[0]
+        assert np.allclose(out, np.sort(data))

@@ -1,0 +1,257 @@
+"""Tests for the Chapel-style operator adapter: the paper's Listings
+4–7 translated line for line, with state in ``self``."""
+
+import numpy as np
+import pytest
+
+from repro.core import ChapelOp, check_operator, global_reduce, global_scan
+from repro.errors import OperatorError
+from repro.runtime import spmd_run
+from tests.conftest import PAPER_DATA, block_split, gather_scan, run_all
+
+INT_MAX = np.iinfo(np.int64).max
+INT_MIN = np.iinfo(np.int64).min
+SIZES = [1, 2, 3, 5, 8]
+
+
+# --- Listing 4: mink ----------------------------------------------------------
+class Mink(ChapelOp):
+    commutative = True
+
+    def __init__(self, k):
+        self.k = k
+        self.v = np.full(k, INT_MAX)
+
+    def accum(self, x):
+        if x < self.v[0]:
+            self.v[0] = x
+            for i in range(1, self.k):
+                if self.v[i - 1] < self.v[i]:
+                    self.v[i - 1], self.v[i] = self.v[i], self.v[i - 1]
+
+    def combine(self, s):
+        for x in s.v:
+            self.accum(x)
+
+    def gen(self):
+        return self.v.copy()
+
+
+# --- Listing 5: mini ----------------------------------------------------------
+class Mini(ChapelOp):
+    def __init__(self):
+        self.val = INT_MAX
+        self.loc = 0
+
+    def accum(self, x):
+        if x[0] < self.val:
+            self.val, self.loc = x
+
+    def combine(self, s):
+        self.accum((s.val, s.loc))
+
+    def gen(self):
+        return (self.val, self.loc)
+
+
+# --- Listing 6: counts --------------------------------------------------------
+class Counts(ChapelOp):
+    def __init__(self, k=8):
+        self.v = np.zeros(k, dtype=np.int64)
+
+    def accum(self, x):
+        self.v[x - 1] += 1
+
+    def combine(self, s):
+        self.v += s.v
+
+    def red_gen(self):
+        return self.v.copy()
+
+    def scan_gen(self, x):
+        return int(self.v[x - 1])
+
+
+# --- Listing 7: sorted --------------------------------------------------------
+class Sorted(ChapelOp):
+    commutative = False  # param commutative = false
+
+    def __init__(self):
+        self.status = True
+        self.first = INT_MAX
+        self.last = INT_MIN
+
+    def pre_accum(self, x):
+        self.first = x
+
+    def accum(self, x):
+        if self.last > x:
+            self.status = False
+        self.last = x
+
+    def combine(self, s):
+        self.status = self.status and s.status and self.last <= s.first
+        self.last = s.last
+
+    def gen(self):
+        return self.status
+
+
+class TestListing4Mink:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_chapel_call_shape(self, p, rng):
+        """minimums = mink(integer, 10) reduce A;"""
+        data = rng.integers(0, 100_000, 200)
+
+        def prog(comm):
+            return global_reduce(
+                comm, Mink.as_op(10), block_split(data, comm.size, comm.rank)
+            )
+
+        expected = np.sort(data)[:10][::-1].tolist()
+        for v in run_all(prog, p):
+            assert v.tolist() == expected
+
+    def test_fresh_instances_per_state(self):
+        op = Mink.as_op(3)
+        s1, s2 = op.ident(), op.ident()
+        op.accum(s1, 5)
+        assert s2.v[0] == INT_MAX  # states do not share fields
+
+    def test_laws(self, rng):
+        check_operator(
+            Mink.as_op(4), [int(v) for v in rng.integers(0, 500, 30)],
+            n_trials=10,
+        )
+
+
+class TestListing5Mini:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_reduce_pairs(self, p):
+        """var (val, loc) = mini(integer) reduce [i in 1..n] (A(i), i);"""
+        data = [5, 2, 9, 2, 7, 1, 3]
+        pairs = [(v, i) for i, v in enumerate(data)]
+
+        def prog(comm):
+            return global_reduce(
+                comm, Mini.as_op(), block_split(pairs, comm.size, comm.rank)
+            )
+
+        for val, loc in run_all(prog, p):
+            assert (val, loc) == (1, 5)
+
+
+class TestListing6Counts:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_reduce(self, p):
+        def prog(comm):
+            return global_reduce(
+                comm, Counts.as_op(),
+                block_split(PAPER_DATA, comm.size, comm.rank),
+            )
+
+        for v in run_all(prog, p):
+            assert v.tolist() == [0, 1, 2, 1, 0, 2, 1, 3]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_scan_uses_scan_gen(self, p):
+        out = gather_scan(
+            lambda comm: global_scan(
+                comm, Counts.as_op(),
+                block_split(PAPER_DATA, comm.size, comm.rank),
+            ),
+            p,
+        )
+        assert out == [1, 1, 2, 1, 1, 1, 2, 1, 3, 2]
+
+
+class TestListing7Sorted:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sorted_true_false(self, p):
+        asc = list(range(40))
+        desc = asc[::-1]
+
+        def check(data):
+            return run_all(
+                lambda comm: global_reduce(
+                    comm, Sorted.as_op(),
+                    block_split(data, comm.size, comm.rank),
+                ),
+                p,
+            )
+
+        assert all(check(asc))
+        assert not any(check(desc))
+
+    def test_noncommutative_flag_carried(self):
+        assert Sorted.as_op().commutative is False
+
+    def test_pre_accum_hook_called(self):
+        op = Sorted.as_op()
+        s = op.ident()
+        s = op.pre_accum(s, 42)
+        assert s.first == 42
+
+
+class TestAdapterMachinery:
+    def test_requires_chapelop_subclass(self):
+        from repro.core import ChapelOpAdapter
+
+        with pytest.raises(OperatorError):
+            ChapelOpAdapter(int, (), {})
+
+    def test_missing_methods_raise(self):
+        class Incomplete(ChapelOp):
+            def __init__(self):
+                pass
+
+        op = Incomplete.as_op()
+        with pytest.raises(NotImplementedError):
+            op.accum(op.ident(), 1)
+        with pytest.raises(NotImplementedError):
+            op.combine(op.ident(), op.ident())
+
+    def test_default_gen_returns_state(self):
+        class Tally(ChapelOp):
+            def __init__(self):
+                self.n = 0
+
+            def accum(self, x):
+                self.n += 1
+
+            def combine(self, s):
+                self.n += s.n
+
+        out = run_all(
+            lambda comm: global_reduce(comm, Tally.as_op(), [1, 2, 3]), 1
+        )[0]
+        assert out.n == 3
+
+    def test_accum_block_hook_used(self):
+        calls = []
+
+        class Vec(ChapelOp):
+            def __init__(self):
+                self.total = 0
+
+            def accum(self, x):
+                raise AssertionError("block path should be used")
+
+            def accum_block(self, values):
+                calls.append(len(values))
+                self.total += int(np.sum(values))
+
+            def combine(self, s):
+                self.total += s.total
+
+            def gen(self):
+                return self.total
+
+        out = run_all(
+            lambda comm: global_reduce(comm, Vec.as_op(), np.arange(10)), 1
+        )[0]
+        assert out == 45 and calls == [10]
+
+    def test_transfer_nbytes_from_fields(self):
+        m = Mink(4)
+        assert m.transfer_nbytes() >= 32

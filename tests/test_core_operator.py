@@ -1,0 +1,213 @@
+"""Tests for the ReduceScanOp protocol, make_op, from_binary and
+state_equal."""
+
+import numpy as np
+import pytest
+
+from repro.core import from_binary, make_op
+from repro.core.operator import ReduceScanOp, state_equal
+from repro.errors import OperatorError
+
+
+class TestProtocolDefaults:
+    def test_required_methods_raise(self):
+        class Incomplete(ReduceScanOp):
+            pass
+
+        op = Incomplete()
+        with pytest.raises(NotImplementedError):
+            op.ident()
+        with pytest.raises(NotImplementedError):
+            op.accum(None, 1)
+        with pytest.raises(NotImplementedError):
+            op.combine(None, None)
+
+    def test_commutative_defaults_true(self):
+        class Minimal(ReduceScanOp):
+            def ident(self):
+                return 0
+
+            def accum(self, s, x):
+                return s + x
+
+            def combine(self, a, b):
+                return a + b
+
+        assert Minimal().commutative is True  # "assumed to be true"
+
+    def test_pre_post_default_noop(self):
+        class Minimal(ReduceScanOp):
+            def ident(self):
+                return 0
+
+            def accum(self, s, x):
+                return s + x
+
+            def combine(self, a, b):
+                return a + b
+
+        op = Minimal()
+        assert op.pre_accum(5, 99) == 5
+        assert op.post_accum(5, 99) == 5
+
+    def test_gen_defaults_to_state(self):
+        class Minimal(ReduceScanOp):
+            def ident(self):
+                return 0
+
+            def accum(self, s, x):
+                return s + x
+
+            def combine(self, a, b):
+                return a + b
+
+        op = Minimal()
+        assert op.red_gen(42) == 42
+        assert op.scan_gen(42, "ignored") == 42
+
+    def test_accum_block_default_loops(self):
+        class Minimal(ReduceScanOp):
+            def ident(self):
+                return 0
+
+            def accum(self, s, x):
+                return s + x
+
+            def combine(self, a, b):
+                return a + b
+
+        assert Minimal().accum_block(10, [1, 2, 3]) == 16
+
+    def test_scan_block_exclusive_vs_inclusive(self):
+        class Minimal(ReduceScanOp):
+            def ident(self):
+                return 0
+
+            def accum(self, s, x):
+                return s + x
+
+            def combine(self, a, b):
+                return a + b
+
+        op = Minimal()
+        exc, final = op.scan_block(0, [1, 2, 3], exclusive=True)
+        assert exc == [0, 1, 3] and final == 6
+        inc, final = op.scan_block(0, [1, 2, 3], exclusive=False)
+        assert inc == [1, 3, 6] and final == 6
+
+    def test_repr_mentions_commutativity(self):
+        class NC(ReduceScanOp):
+            commutative = False
+
+            def ident(self):
+                return 0
+
+            def accum(self, s, x):
+                return s
+
+            def combine(self, a, b):
+                return a
+
+        assert "non-commutative" in repr(NC())
+
+
+class TestMakeOp:
+    def test_minimal(self):
+        op = make_op(
+            ident=lambda: 1,
+            accum=lambda s, x: s * x,
+            combine=lambda a, b: a * b,
+            name="prod",
+        )
+        assert op.ident() == 1
+        assert op.accum_block(1, [2, 3, 4]) == 24
+        assert op.name == "prod"
+
+    def test_rejects_noncallables(self):
+        with pytest.raises(OperatorError):
+            make_op(ident=0, accum=lambda s, x: s, combine=lambda a, b: a)
+
+    def test_all_hooks_wired(self):
+        op = make_op(
+            ident=lambda: [],
+            accum=lambda s, x: s + [x],
+            combine=lambda a, b: a + b,
+            pre_accum=lambda s, x: s + ["pre"],
+            post_accum=lambda s, x: s + ["post"],
+            red_gen=lambda s: ("red", s),
+            scan_gen=lambda s, x: ("scan", x),
+            commutative=False,
+            accum_rate="python_loop",
+            combine_seconds=0.25,
+        )
+        assert op.pre_accum([], 0) == ["pre"]
+        assert op.post_accum([], 0) == ["post"]
+        assert op.red_gen([1]) == ("red", [1])
+        assert op.scan_gen([1], 9) == ("scan", 9)
+        assert op.commutative is False
+        assert op.accum_rate == "python_loop"
+        assert op.combine_seconds == 0.25
+
+    def test_custom_accum_block(self):
+        op = make_op(
+            ident=lambda: 0,
+            accum=lambda s, x: s + x,
+            combine=lambda a, b: a + b,
+            accum_block=lambda s, vs: s + int(np.sum(vs)),
+        )
+        assert op.accum_block(5, np.arange(10)) == 50
+
+
+class TestFromBinary:
+    def test_degenerate_operator(self):
+        op = from_binary(lambda a, b: max(a, b), lambda: -1, name="max")
+        assert op.ident() == -1
+        assert op.accum_block(-1, [3, 9, 2]) == 9
+        assert op.combine(4, 7) == 7
+
+    def test_vectorized_uses_ufunc_reduce(self):
+        op = from_binary(np.add, lambda: 0.0, vectorized=True)
+        assert op.accum_block(1.0, np.arange(4.0)) == 7.0
+
+    def test_vectorized_falls_back_pairwise(self):
+        op = from_binary(lambda a, b: a + b, lambda: "", vectorized=True,
+                         commutative=False)
+        assert op.accum_block("x", np.array(["a", "b"], dtype=object)) == "xab"
+
+
+class TestStateEqual:
+    def test_scalars(self):
+        assert state_equal(1, 1)
+        assert not state_equal(1, 2)
+        assert state_equal(1.5, 1.5)
+        assert state_equal(float("nan"), float("nan"))
+
+    def test_arrays(self):
+        assert state_equal(np.arange(3), np.arange(3))
+        assert not state_equal(np.arange(3), np.arange(4))
+        assert state_equal(np.array([0.1 + 0.2]), np.array([0.3]))
+
+    def test_containers(self):
+        assert state_equal((1, [2, 3]), (1, [2, 3]))
+        assert not state_equal((1,), (2,))
+        assert state_equal({"a": np.zeros(2)}, {"a": np.zeros(2)})
+        assert not state_equal({"a": 1}, {"b": 1})
+
+    def test_objects_with_dict(self):
+        class S:
+            def __init__(self, v):
+                self.v = v
+
+        assert state_equal(S([1, 2]), S([1, 2]))
+        assert not state_equal(S(1), S(2))
+
+    def test_objects_with_slots(self):
+        class S:
+            __slots__ = ("a", "b")
+
+            def __init__(self, a, b):
+                self.a = a
+                self.b = b
+
+        assert state_equal(S(1, np.arange(2)), S(1, np.arange(2)))
+        assert not state_equal(S(1, 2), S(1, 3))

@@ -1,0 +1,199 @@
+"""Tests for the global-view reduction driver (Listing 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import from_binary, global_reduce, make_op
+from repro.errors import OperatorError, SpmdError
+from repro.ops import MinKOp, SortedOp, SumOp
+from repro.runtime import CostModel, spmd_run
+from tests.conftest import PAPER_DATA, block_split, run_all
+
+SIZES = [1, 2, 3, 4, 7, 10]
+
+
+class TestBasics:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_paper_sum_is_55(self, p):
+        def prog(comm):
+            local = block_split(PAPER_DATA, comm.size, comm.rank)
+            return global_reduce(comm, SumOp(), local)
+
+        assert run_all(prog, p) == [55] * p
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_root_variant(self, p):
+        def prog(comm):
+            local = block_split(PAPER_DATA, comm.size, comm.rank)
+            return global_reduce(comm, SumOp(), local, root=p - 1)
+
+        out = run_all(prog, p)
+        assert out[p - 1] == 55
+        assert all(v is None for v in out[: p - 1])
+
+    def test_rejects_plain_function(self):
+        def prog(comm):
+            global_reduce(comm, lambda a, b: a + b, [1, 2])
+
+        with pytest.raises(SpmdError) as ei:
+            spmd_run(prog, 2, timeout=10)
+        assert any(
+            isinstance(e, OperatorError) for e in ei.value.failures.values()
+        )
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_empty_ranks_contribute_identity(self, p):
+        # all data on rank 0; others have nothing
+        def prog(comm):
+            local = PAPER_DATA if comm.rank == 0 else []
+            return global_reduce(comm, SumOp(), local)
+
+        assert run_all(prog, p) == [55] * p
+
+    def test_all_ranks_empty(self):
+        out = run_all(lambda comm: global_reduce(comm, SumOp(), []), 3)
+        assert out == [0] * 3  # the identity
+
+
+class TestHooks:
+    """pre_accum / post_accum are called exactly once with the first and
+    last local elements (Listing 2 lines 3-4 and 7-8)."""
+
+    def _tracking_op(self):
+        calls = []
+        op = make_op(
+            ident=lambda: [],
+            accum=lambda s, x: (s.append(("a", x)), s)[1],
+            combine=lambda a, b: a + b,
+            pre_accum=lambda s, x: (s.append(("pre", x)), s)[1],
+            post_accum=lambda s, x: (s.append(("post", x)), s)[1],
+            red_gen=lambda s: s,
+            commutative=False,
+        )
+        return op
+
+    def test_hook_order_single_rank(self):
+        op = self._tracking_op()
+        out = run_all(
+            lambda comm: global_reduce(comm, op, [10, 20, 30]), 1
+        )[0]
+        assert out[0] == ("pre", 10)
+        assert out[-1] == ("post", 30)
+        assert [x for t, x in out if t == "a"] == [10, 20, 30]
+
+    def test_hooks_skipped_on_empty(self):
+        op = self._tracking_op()
+        out = run_all(lambda comm: global_reduce(comm, op, []), 1)[0]
+        assert out == []
+
+
+class TestDegenerateEquivalence:
+    """Paper §3: when in == state == out the global view reduces to the
+    local view: a from_binary op over pre-accumulated scalars matches
+    LOCAL_ALLREDUCE exactly."""
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_matches_local_view(self, p, rng):
+        data = rng.integers(0, 100, 60)
+
+        def prog(comm):
+            local = block_split(data, comm.size, comm.rank)
+            op = from_binary(
+                lambda a, b: a + b, lambda: 0, name="sum", vectorized=False
+            )
+            gv = global_reduce(comm, op, local)
+            from repro.localview import LOCAL_ALLREDUCE
+
+            lv = LOCAL_ALLREDUCE(comm, lambda a, b: a + b, int(sum(local)))
+            return gv == lv == int(data.sum())
+
+        assert all(run_all(prog, p))
+
+
+class TestNonCommutative:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sorted_true_on_sorted(self, p):
+        data = np.arange(57)
+
+        def prog(comm):
+            return global_reduce(
+                comm, SortedOp(), block_split(data, comm.size, comm.rank)
+            )
+
+        assert all(run_all(prog, p))
+
+    @pytest.mark.parametrize("p", SIZES)
+    @pytest.mark.parametrize("swap_at", [0, 17, 40, 55])
+    def test_sorted_false_on_violation(self, p, swap_at):
+        data = list(range(57))
+        data[swap_at], data[swap_at + 1] = data[swap_at + 1], data[swap_at]
+
+        def prog(comm):
+            return global_reduce(
+                comm, SortedOp(), block_split(data, comm.size, comm.rank)
+            )
+
+        assert not any(run_all(prog, p))
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 8])
+    def test_boundary_only_violation_detected(self, p):
+        """Each block is locally sorted but blocks don't meet in order —
+        only the combine's boundary check can catch this."""
+        # block r holds [100*(p-r), 100*(p-r)+9]: descending across blocks
+        def prog(comm):
+            lo = 100 * (comm.size - comm.rank)
+            return global_reduce(
+                comm, SortedOp(), np.arange(lo, lo + 10)
+            )
+
+        assert not any(run_all(prog, p))
+
+
+class TestCostCharging:
+    def test_accum_rate_charges_per_element(self):
+        cm = CostModel().with_rates(acc=1e-3)
+
+        def prog(comm):
+            op = SumOp()
+            global_reduce(comm, op, np.ones(100), accum_rate="acc")
+
+        res = spmd_run(prog, 1, cost_model=cm)
+        assert res.time == pytest.approx(0.1)
+
+    def test_combine_seconds_charged_per_combine(self):
+        def prog(comm):
+            global_reduce(comm, SumOp(), [1.0], combine_seconds=0.5)
+
+        res = spmd_run(prog, 4)
+        # rank 0's reduce path sees ceil(log2 4) = 2 combines (allreduce
+        # recursive doubling); every rank performs log p combines
+        assert res.time >= 1.0
+
+    def test_operator_default_rates_used(self):
+        cm = CostModel().with_rates(myop=2e-3)
+        op = MinKOp(3)
+        op.accum_rate = "myop"
+
+        def prog(comm):
+            global_reduce(comm, op, np.arange(50.0))
+
+        res = spmd_run(prog, 1, cost_model=cm)
+        assert res.time == pytest.approx(0.1)
+
+
+class TestMinKGlobalView:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_mink_chapel_call_shape(self, p, rng):
+        """var minimums: [1..10] integer; minimums = mink(integer, 10)
+        reduce A;  — the §3.1.1 call."""
+        data = rng.integers(0, 100_000, 333)
+
+        def prog(comm):
+            op = MinKOp(10, np.iinfo(np.int64).max)
+            return global_reduce(
+                comm, op, block_split(data, comm.size, comm.rank)
+            )
+
+        expected = np.sort(data)[:10][::-1].tolist()
+        for v in run_all(prog, p):
+            assert v.tolist() == expected

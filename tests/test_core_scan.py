@@ -1,0 +1,179 @@
+"""Tests for the global-view scan drivers (Listing 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import global_reduce, global_scan, global_xscan, make_op
+from repro.ops import CountsOp, MinKOp, SortedOp, SumOp
+from repro.runtime import spmd_run
+from tests.conftest import PAPER_DATA, block_split, gather_scan, run_all
+
+SIZES = [1, 2, 3, 4, 7, 10]
+
+
+class TestPaperExamples:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_inclusive_scan_paper_values(self, p):
+        out = gather_scan(
+            lambda comm: global_scan(
+                comm, SumOp(), block_split(PAPER_DATA, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert [int(v) for v in out] == [6, 13, 19, 22, 30, 32, 40, 44, 52, 55]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_exclusive_scan_paper_values(self, p):
+        out = gather_scan(
+            lambda comm: global_xscan(
+                comm, SumOp(), block_split(PAPER_DATA, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert [int(v) for v in out] == [0, 6, 13, 19, 22, 30, 32, 40, 44, 52]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_counts_ranking_scan(self, p):
+        out = gather_scan(
+            lambda comm: global_scan(
+                comm, CountsOp(8), block_split(PAPER_DATA, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert out == [1, 1, 2, 1, 1, 1, 2, 1, 3, 2]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_counts_exclusive_is_zero_based_rank(self, p):
+        out = gather_scan(
+            lambda comm: global_xscan(
+                comm, CountsOp(8), block_split(PAPER_DATA, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert out == [0, 0, 1, 0, 0, 0, 1, 0, 2, 1]
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_last_of_inclusive_equals_reduce(self, p, rng):
+        data = rng.integers(0, 50, 41)
+
+        def prog(comm):
+            local = block_split(data, comm.size, comm.rank)
+            inc = global_scan(comm, SumOp(), local)
+            red = global_reduce(comm, SumOp(), local)
+            return inc, red
+
+        res = run_all(prog, p)
+        flat = [v for inc, _ in res for v in inc]
+        assert flat[-1] == res[0][1] == data.sum()
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_inclusive_from_exclusive_locally(self, p, rng):
+        """Paper §1: inclusive[i] == exclusive[i] + a[i], elementwise —
+        a purely local identity."""
+        data = rng.integers(0, 50, 37)
+
+        def prog(comm):
+            local = block_split(data, comm.size, comm.rank)
+            inc = global_scan(comm, SumOp(), local)
+            exc = global_xscan(comm, SumOp(), local)
+            return all(
+                i == e + x for i, e, x in zip(inc, exc, local)
+            )
+
+        assert all(run_all(prog, p))
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_result_independent_of_p(self, p, rng):
+        data = rng.integers(0, 9, 29)
+        base = gather_scan(
+            lambda comm: global_scan(
+                comm, CountsOp(10, base=0),
+                block_split(data, comm.size, comm.rank),
+            ),
+            1,
+        )
+        out = gather_scan(
+            lambda comm: global_scan(
+                comm, CountsOp(10, base=0),
+                block_split(data, comm.size, comm.rank),
+            ),
+            p,
+        )
+        assert out == base
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    def test_empty_ranks_ok(self, p):
+        def prog(comm):
+            local = PAPER_DATA if comm.rank == p // 2 else []
+            return global_scan(comm, SumOp(), local)
+
+        res = run_all(prog, p)
+        flat = [int(v) for part in res for v in part]
+        assert flat == [6, 13, 19, 22, 30, 32, 40, 44, 52, 55]
+
+
+class TestSortedScan:
+    """Scanning with sorted gives a 'sorted so far' prefix indicator."""
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 5])
+    def test_sorted_so_far(self, p):
+        data = [1, 2, 3, 10, 4, 5, 6, 7]  # violation at index 4
+
+        def prog(comm):
+            local = block_split(data, comm.size, comm.rank)
+            return global_scan(comm, SortedOp(), local)
+
+        flat = gather_scan(lambda comm: prog(comm), p)
+        assert flat == [True, True, True, True, False, False, False, False]
+
+
+class TestMinKScan:
+    @pytest.mark.parametrize("p", [1, 3, 6])
+    def test_running_minimums(self, p):
+        data = [9, 4, 7, 1, 8, 2, 5]
+        k = 2
+
+        def prog(comm):
+            op = MinKOp(k, np.iinfo(np.int64).max)
+            local = block_split(data, comm.size, comm.rank)
+            return [list(v) for v in global_scan(comm, op, local)]
+
+        flat = gather_scan(lambda comm: prog(comm), p)
+        M = np.iinfo(np.int64).max
+        assert flat == [
+            [M, 9],
+            [9, 4],
+            [7, 4],
+            [4, 1],
+            [4, 1],
+            [2, 1],
+            [2, 1],
+        ]
+
+
+class TestScanGenSharing:
+    """Operators without scan_gen share gen between reduce and scan
+    (paper: 'In many cases, reductions and scans can share the same
+    generate functions')."""
+
+    def test_default_gen_used_for_scan(self):
+        op = make_op(
+            ident=lambda: 0,
+            accum=lambda s, x: s + x,
+            combine=lambda a, b: a + b,
+            gen=lambda s: f"<{s}>",
+        )
+        out = run_all(lambda comm: global_scan(comm, op, [1, 2, 3]), 1)[0]
+        assert out == ["<1>", "<3>", "<6>"]
+
+    def test_scan_gen_receives_input_element(self):
+        op = make_op(
+            ident=lambda: 0,
+            accum=lambda s, x: s + x,
+            combine=lambda a, b: a + b,
+            scan_gen=lambda s, x: (s, x),
+        )
+        out = run_all(lambda comm: global_xscan(comm, op, [5, 6]), 1)[0]
+        assert out == [(0, 5), (5, 6)]

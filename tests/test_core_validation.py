@@ -1,0 +1,153 @@
+"""Tests that the operator-law validator catches real operator bugs."""
+
+import numpy as np
+import pytest
+
+from repro.core import check_operator, make_op, sequential_reduce, sequential_scan
+from repro.core.validation import (
+    check_associativity,
+    check_commutativity,
+    check_identity_law,
+    check_split_consistency,
+)
+from repro.errors import OperatorLawError
+from repro.ops import (
+    AllOp,
+    AnyOp,
+    CountsOp,
+    DishonestCommutativeSortedOp,
+    HistogramOp,
+    MaxiOp,
+    MeanVarOp,
+    MiniOp,
+    MinKOp,
+    SegmentedOp,
+    SortedOp,
+    SumOp,
+    TopKOp,
+)
+
+SAMPLES = [7, 3, 9, 1, 4, 4, 8, 2, 6, 5, 0, 9]
+
+
+class TestGoodOperatorsPass:
+    @pytest.mark.parametrize(
+        "op,values",
+        [
+            (SumOp(), SAMPLES),
+            (MinKOp(3, np.iinfo(np.int64).max), SAMPLES),
+            (CountsOp(10, base=0), SAMPLES),
+            (SortedOp(), SAMPLES),
+            (SortedOp(), sorted(SAMPLES)),
+            (MeanVarOp(), [float(v) for v in SAMPLES]),
+            (TopKOp(4), SAMPLES),
+            (MiniOp(), [(v, i) for i, v in enumerate(SAMPLES)]),
+            (MaxiOp(), [(v, i) for i, v in enumerate(SAMPLES)]),
+            (AllOp(), [v % 2 == 0 for v in SAMPLES]),
+            (AnyOp(), [v > 7 for v in SAMPLES]),
+            (HistogramOp([0.0, 3.0, 6.0, 10.0]), [float(v) for v in SAMPLES]),
+            (
+                SegmentedOp(lambda a, b: a + b, 0),
+                [(v, i % 4 == 0) for i, v in enumerate(SAMPLES)],
+            ),
+        ],
+    )
+    def test_passes(self, op, values):
+        check_operator(op, values, n_trials=15)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(ValueError):
+            check_operator(SumOp(), [1])
+
+
+class TestBrokenOperatorsCaught:
+    def test_wrong_identity(self):
+        op = make_op(
+            ident=lambda: 1,  # wrong: 1 is not the additive identity
+            accum=lambda s, x: s + x,
+            combine=lambda a, b: a + b,
+        )
+        with pytest.raises(OperatorLawError, match="identity"):
+            check_operator(op, SAMPLES)
+
+    def test_nonassociative_combine(self):
+        op = make_op(
+            ident=lambda: 0.0,
+            accum=lambda s, x: (s + x) / 2,  # averaging is not a monoid
+            combine=lambda a, b: (a + b) / 2,
+        )
+        with pytest.raises(OperatorLawError):
+            check_operator(op, [float(v) for v in SAMPLES])
+
+    def test_dishonest_commutative_flag(self):
+        with pytest.raises(OperatorLawError, match="commutative"):
+            check_operator(DishonestCommutativeSortedOp(), SAMPLES)
+
+    def test_accum_not_homomorphic(self):
+        # accum counts elements but combine multiplies: split-inconsistent
+        op = make_op(
+            ident=lambda: 0,
+            accum=lambda s, x: s + 1,
+            combine=lambda a, b: a * b,
+        )
+        with pytest.raises(OperatorLawError):
+            check_operator(op, SAMPLES)
+
+    def test_split_inconsistency_detected_directly(self):
+        op = make_op(
+            ident=lambda: 0,
+            accum=lambda s, x: s + x,
+            combine=lambda a, b: a + b + 1,  # combine adds junk
+        )
+        with pytest.raises(OperatorLawError, match="split"):
+            check_split_consistency(op, SAMPLES, 5)
+
+
+class TestIndividualChecks:
+    def test_identity_law_direct(self):
+        check_identity_law(SumOp(), 42)
+        bad = make_op(
+            ident=lambda: 5,
+            accum=lambda s, x: s + x,
+            combine=lambda a, b: a + b,
+        )
+        with pytest.raises(OperatorLawError):
+            check_identity_law(bad, 10)
+
+    def test_associativity_direct(self):
+        check_associativity(SumOp(), 1, 2, 3)
+        bad = make_op(
+            ident=lambda: 0.0,
+            accum=lambda s, x: s - x,
+            combine=lambda a, b: a - b,
+        )
+        with pytest.raises(OperatorLawError):
+            check_associativity(bad, 1.0, 2.0, 3.0)
+
+    def test_commutativity_skipped_for_noncommutative(self):
+        # must NOT raise: the op declares non-commutativity honestly
+        check_commutativity(SortedOp(), SortedOp().ident(), SortedOp().ident())
+
+    def test_checks_do_not_mutate_inputs(self):
+        op = MinKOp(3, np.iinfo(np.int64).max)
+        s = op.accum_block(op.ident(), np.array(SAMPLES))
+        snapshot = s.copy()
+        check_identity_law(op, s)
+        check_associativity(op, s, s.copy(), s.copy())
+        assert np.array_equal(s, snapshot)
+
+
+class TestSequentialReferences:
+    def test_sequential_reduce(self):
+        assert sequential_reduce(SumOp(), SAMPLES) == sum(SAMPLES)
+        assert sequential_reduce(SumOp(), []) == 0
+
+    def test_sequential_scan(self):
+        inc = sequential_scan(SumOp(), [1, 2, 3])
+        assert [int(v) for v in inc] == [1, 3, 6]
+        exc = sequential_scan(SumOp(), [1, 2, 3], exclusive=True)
+        assert [int(v) for v in exc] == [0, 1, 3]
+
+    def test_sequential_scan_counts_ranking(self, paper_data):
+        out = sequential_scan(CountsOp(8), paper_data)
+        assert out == [1, 1, 2, 1, 1, 1, 2, 1, 3, 2]

@@ -1,0 +1,91 @@
+"""Documentation-consistency guards: every file, command and module the
+docs reference must actually exist."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _read(name: str) -> str:
+    return (ROOT / name).read_text()
+
+
+class TestReadme:
+    def test_referenced_benchmark_files_exist(self):
+        for match in re.finditer(r"benchmarks/(bench_\w+\.py)", _read("README.md")):
+            assert (ROOT / "benchmarks" / match.group(1)).exists(), match.group(0)
+
+    def test_referenced_examples_exist(self):
+        for match in re.finditer(r"examples/(\w+\.py)", _read("README.md")):
+            assert (ROOT / "examples" / match.group(1)).exists(), match.group(0)
+
+    def test_referenced_docs_exist(self):
+        for name in ("DESIGN.md", "EXPERIMENTS.md"):
+            assert name in _read("README.md")
+            assert (ROOT / name).exists()
+        for match in re.finditer(r"docs/(\w+\.md)", _read("README.md")):
+            assert (ROOT / "docs" / match.group(1)).exists(), match.group(0)
+
+    def test_quickstart_snippet_imports_resolve(self):
+        import repro
+        from repro import global_reduce, spmd_run  # noqa: F401
+        from repro.arrays import GlobalArray  # noqa: F401
+        from repro.ops import CountsOp, MinKOp, SortedOp  # noqa: F401
+        from repro.rsmpi import RSMPI_Reduceall, compile_operator  # noqa: F401
+
+        assert repro.__version__
+
+
+class TestDesign:
+    def test_experiment_index_bench_targets_exist(self):
+        for match in re.finditer(
+            r"`benchmarks/(bench_\w+\.py)`", _read("DESIGN.md")
+        ):
+            assert (ROOT / "benchmarks" / match.group(1)).exists(), match.group(0)
+
+    def test_inventory_packages_exist(self):
+        design = _read("DESIGN.md")
+        for pkg in ("runtime", "mpi", "localview", "core", "ops", "rsmpi",
+                    "arrays", "prefix", "nas", "analysis", "algorithms"):
+            assert pkg in design
+            assert (ROOT / "src" / "repro" / pkg / "__init__.py").exists(), pkg
+
+
+class TestExperiments:
+    def test_every_benchmark_file_is_documented(self):
+        exp = _read("EXPERIMENTS.md") + _read("README.md")
+        for bench in sorted((ROOT / "benchmarks").glob("bench_*.py")):
+            assert bench.name in exp, (
+                f"{bench.name} has no entry in EXPERIMENTS.md or README.md"
+            )
+
+    def test_commands_reference_existing_files(self):
+        for match in re.finditer(
+            r"pytest (benchmarks/bench_\w+\.py)", _read("EXPERIMENTS.md")
+        ):
+            assert (ROOT / match.group(1)).exists(), match.group(0)
+
+
+class TestApiDoc:
+    def test_documented_names_importable(self):
+        """Spot-check the api.md tables: the named operators must exist."""
+        import repro.nas as nas
+        import repro.ops as ops
+
+        doc = _read("docs/api.md")
+        for name in re.findall(r"`(\w+Op)\b", doc):
+            if name in ("ReduceScanOp", "ChapelOp", "UfuncOp"):
+                continue
+            assert hasattr(ops, name) or hasattr(nas, name), (
+                f"docs/api.md names missing {name}"
+            )
+
+    def test_library_operator_names_current(self):
+        from repro.rsmpi import operator_names
+
+        doc = _read("docs/api.md")
+        for name in operator_names():
+            assert name in doc, f"library operator {name!r} not in api.md"

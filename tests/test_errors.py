@@ -1,0 +1,35 @@
+"""Tests for the exception hierarchy's messages and structure."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_reproerror(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            if isinstance(exc, type) and issubclass(exc, BaseException):
+                assert issubclass(exc, errors.ReproError), name
+
+    def test_spmderror_message_names_ranks(self):
+        e = errors.SpmdError({3: ValueError("boom"), 1: KeyError("k")})
+        msg = str(e)
+        assert "1, 3" in msg
+        assert "rank 1" in msg  # first failure detailed
+        assert e.failures[3].args == ("boom",)
+
+    def test_dsl_syntax_error_positions(self):
+        e = errors.DslSyntaxError("bad token", line=3, col=7)
+        assert "line 3" in str(e) and "column 7" in str(e)
+        assert (e.line, e.col) == (3, 7)
+
+    def test_dsl_syntax_error_without_position(self):
+        e = errors.DslSyntaxError("oops")
+        assert str(e) == "oops"
+
+    def test_catching_the_root_catches_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.OperatorLawError("x")
+        with pytest.raises(errors.OperatorError):
+            raise errors.OperatorLawError("x")

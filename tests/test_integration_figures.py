@@ -1,0 +1,139 @@
+"""Miniature end-to-end runs of the figure pipelines.
+
+The full sweeps live in ``benchmarks/``; these integration tests drive
+the exact same code paths at tiny scale so that ``pytest tests/`` alone
+validates the figure plumbing, including the cost-model charging and
+the paper-shape directions.
+"""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.nas import is_class, mg_class
+from repro.nas.callcounts import census
+from repro.nas.intsort import (
+    generate_keys,
+    run_is,
+    verify_mpi,
+    verify_rsmpi,
+)
+from repro.nas.mg import zran3_mpi, zran3_rsmpi
+from repro.runtime import CostModel, cluster_2006, spmd_run
+
+MODEL = cluster_2006().with_rates(
+    is_check_tworef=2.0e-7,
+    is_check_scalar=1.0e-7,
+    mg_scan=2.0e-9,
+    mg_accum=6.0e-9,
+)
+
+
+class TestFig2Pipeline:
+    @pytest.fixture(scope="class")
+    def blocks(self):
+        whole = np.sort(generate_keys(is_class("S")))
+        out = {}
+        for p in (1, 4, 8):
+            bounds = [r * len(whole) // p for r in range(p + 1)]
+            out[p] = [whole[bounds[r] : bounds[r + 1]] for r in range(p)]
+        return out
+
+    def _time(self, blocks, p, verify, rate):
+        return spmd_run(
+            lambda comm: verify(comm, blocks[p][comm.rank], check_rate=rate),
+            p,
+            cost_model=MODEL,
+        ).time
+
+    def test_scalar_improvement_direction(self, blocks):
+        t_2ref = self._time(blocks, 1, verify_mpi, "is_check_tworef")
+        t_scal = self._time(blocks, 1, verify_mpi, "is_check_scalar")
+        t_rsm = self._time(blocks, 1, verify_rsmpi, "is_check_scalar")
+        assert t_2ref > t_scal
+        assert t_rsm == pytest.approx(t_scal, rel=0.05)
+
+    def test_parallel_speedup(self, blocks):
+        t1 = self._time(blocks, 1, verify_rsmpi, "is_check_scalar")
+        t8 = self._time(blocks, 8, verify_rsmpi, "is_check_scalar")
+        assert t8 < t1 / 4  # at least half-efficient at p=8
+
+    def test_rsmpi_never_slower_than_2ref(self, blocks):
+        for p in (1, 4, 8):
+            t_m = self._time(blocks, p, verify_mpi, "is_check_tworef")
+            t_r = self._time(blocks, p, verify_rsmpi, "is_check_scalar")
+            assert t_r <= t_m * 1.05
+
+
+class TestFig3Pipeline:
+    def _phase(self, p, variant):
+        cls = mg_class("S")
+        fn = zran3_mpi if variant == "mpi" else zran3_rsmpi
+        rate = "mg_scan" if variant == "mpi" else "mg_accum"
+        res = spmd_run(
+            lambda comm: fn(comm, cls, scan_rate=rate), p, cost_model=MODEL
+        )
+        return max(r.t_done - r.t_fill_end for r in res.returns)
+
+    @pytest.mark.parametrize("p", [2, 8])
+    def test_one_reduction_beats_forty(self, p):
+        assert self._phase(p, "rsmpi") < self._phase(p, "mpi")
+
+    def test_gap_grows_with_p(self):
+        r2 = self._phase(2, "mpi") / self._phase(2, "rsmpi")
+        r8 = self._phase(8, "mpi") / self._phase(8, "rsmpi")
+        assert r8 > r2
+
+    def test_reduction_counts_exact(self):
+        cls = mg_class("S")
+        res_m = spmd_run(lambda comm: zran3_mpi(comm, cls), 4)
+        res_r = spmd_run(lambda comm: zran3_rsmpi(comm, cls), 4)
+        assert census(res_m.traces).n_reductions == 40
+        assert census(res_r.traces).n_reductions == 1
+
+
+class TestEndToEndIS:
+    @pytest.mark.parametrize("verifier", ["mpi", "rsmpi"])
+    def test_full_run_with_charging(self, verifier):
+        res = spmd_run(
+            lambda comm: run_is(
+                comm,
+                is_class("S"),
+                verifier=verifier,
+                check_rate="is_check_scalar",
+                sort_rate="mg_scan",
+            ),
+            4,
+            cost_model=MODEL,
+        )
+        assert all(r.sorted_ok for r in res.returns)
+        assert res.time > 0
+
+
+class TestReduceScatterIntegration:
+    @pytest.mark.parametrize("p", [1, 2, 5, 8])
+    def test_segments_tile_reduction(self, p, rng):
+        data = rng.normal(size=(p, 40))
+
+        def prog(comm):
+            seg, (lo, hi) = comm.reduce_scatter(
+                data[comm.rank].copy(), mpi.SUM
+            )
+            return seg, lo, hi
+
+        res = spmd_run(prog, p)
+        expected = data.sum(axis=0)
+        merged = np.empty(40)
+        covered = 0
+        for seg, lo, hi in res.returns:
+            merged[lo:hi] = seg
+            covered += hi - lo
+        assert covered == 40
+        assert np.allclose(merged, expected)
+
+    def test_counts_as_reduction_in_census(self):
+        def prog(comm):
+            comm.reduce_scatter(np.zeros(8), mpi.SUM)
+
+        res = spmd_run(prog, 4)
+        assert census(res.traces).n_reductions == 1

@@ -1,0 +1,209 @@
+"""Tests for the Section-2 local-view abstraction and the Listing-1 port."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.localview import (
+    LOCAL_ALLREDUCE,
+    LOCAL_REDUCE,
+    LOCAL_SCAN,
+    LOCAL_XSCAN,
+    make_local_mink_op,
+    mink_combine,
+    mink_ident,
+)
+from repro.runtime import spmd_run
+from tests.conftest import run_all
+
+SIZES = [1, 2, 3, 5, 8, 13]
+
+
+class TestLocalRoutines:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_allreduce(self, p):
+        out = run_all(
+            lambda comm: LOCAL_ALLREDUCE(comm, lambda a, b: a + b, comm.rank + 1),
+            p,
+        )
+        assert out == [p * (p + 1) // 2] * p
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_reduce_root_only(self, p):
+        out = run_all(
+            lambda comm: LOCAL_REDUCE(comm, lambda a, b: a * b, comm.rank + 1),
+            p,
+        )
+        import math
+
+        assert out[0] == math.factorial(p)
+        assert all(v is None for v in out[1:])
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_scan_inclusive(self, p):
+        out = run_all(
+            lambda comm: LOCAL_SCAN(
+                comm, lambda: 0, lambda a, b: a + b, comm.rank + 1
+            ),
+            p,
+        )
+        assert out == [(r + 1) * (r + 2) // 2 for r in range(p)]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_xscan_exclusive_uses_identity(self, p):
+        out = run_all(
+            lambda comm: LOCAL_XSCAN(
+                comm, lambda: 100, lambda a, b: a + b, comm.rank + 1
+            ),
+            p,
+        )
+        assert out[0] == 100  # rank 0 receives the identity
+        # ranks > 0 get the genuine prefix (no identity folded in,
+        # matching MPI_Exscan with a defined first slot)
+        assert out[1:] == [r * (r + 1) // 2 for r in range(1, p)]
+
+    def test_xscan_requires_identity(self):
+        from repro.errors import SpmdError
+
+        def prog(comm):
+            LOCAL_XSCAN(comm, None, lambda a, b: a + b, 1)
+
+        with pytest.raises(SpmdError) as ei:
+            spmd_run(prog, 2, timeout=10)
+        assert any(
+            isinstance(e, TypeError) for e in ei.value.failures.values()
+        )
+
+    def test_op_instance_accepted(self):
+        out = run_all(lambda comm: LOCAL_ALLREDUCE(comm, mpi.MAX, comm.rank), 5)
+        assert out == [4] * 5
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_noncommutative_flag_respected(self, p):
+        out = run_all(
+            lambda comm: LOCAL_ALLREDUCE(
+                comm, lambda a, b: a + b, [comm.rank], commutative=False
+            ),
+            p,
+        )
+        assert out == [list(range(p))] * p
+
+
+class TestAggregation:
+    """Paper §2.1: element-wise simultaneous reductions via arrays."""
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_aggregated_min(self, p):
+        def prog(comm):
+            vec = np.array([comm.rank + i for i in range(4)])
+            return LOCAL_ALLREDUCE(comm, mpi.MIN, vec)
+
+        out = run_all(prog, p)
+        for v in out:
+            assert v.tolist() == [0, 1, 2, 3]
+
+    def test_aggregated_message_count_advantage(self):
+        """One aggregated allreduce moves the same data in far fewer
+        messages than k scalar allreduces (the point of aggregation)."""
+        k, p = 32, 8
+
+        def aggregated(comm):
+            LOCAL_ALLREDUCE(comm, mpi.SUM, np.ones(k))
+
+        def scalarized(comm):
+            for _ in range(k):
+                LOCAL_ALLREDUCE(comm, mpi.SUM, 1.0)
+
+        agg = spmd_run(aggregated, p)
+        sca = spmd_run(scalarized, p)
+        assert agg.summary_trace.n_sends < sca.summary_trace.n_sends / (k / 2)
+        assert agg.time < sca.time
+
+
+class TestListing1MinK:
+    def test_ident_is_intmax(self):
+        v = mink_ident(4)
+        assert (v == np.iinfo(np.int64).max).all()
+
+    def test_combine_merges_sorted_high_to_low(self):
+        v1 = np.array([50, 30, 10], dtype=np.int64)  # high to low
+        v2 = np.array([40, 25, 5], dtype=np.int64)
+        out = mink_combine(v1, v2)
+        assert out is v2
+        assert out.tolist() == [25, 10, 5]
+
+    def test_combine_with_identity(self):
+        v = np.array([9, 6, 3], dtype=np.int64)
+        out = mink_combine(v.copy(), mink_ident(3))
+        assert out.tolist() == [9, 6, 3]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_distributed_mink_matches_sorted(self, p, rng):
+        k = 5
+        data = rng.integers(0, 10_000, 200)
+
+        def prog(comm):
+            ident, combine = make_local_mink_op(k)
+            # the local-view burden: build the local k-vector by hand by
+            # folding singleton states into the accumulator
+            local = np.sort(data[comm.rank :: comm.size])
+            state = ident()
+            for x in local:
+                single = mink_ident(k)
+                single[0] = x
+                state = combine(state, single)
+            return LOCAL_ALLREDUCE(comm, combine, state)
+
+        out = run_all(prog, p)
+        expected = np.sort(data)[:k][::-1].tolist()
+        for v in out:
+            assert v.tolist() == expected
+
+
+class TestScanDirectionAsymmetry:
+    """Paper §2: inclusive derives from exclusive locally; the reverse
+    needs a shift across processors."""
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_shift_matches_direct_exscan(self, p):
+        from repro.localview import exclusive_from_inclusive_shift
+
+        def prog(comm):
+            v = comm.rank + 1
+            inc = LOCAL_SCAN(comm, lambda: 0, lambda a, b: a + b, v)
+            via_shift = exclusive_from_inclusive_shift(comm, inc, lambda: 0)
+            direct = LOCAL_XSCAN(comm, lambda: 0, lambda a, b: a + b, v)
+            return via_shift == direct
+
+        assert all(run_all(prog, p))
+
+    def test_shift_costs_one_neighbor_message(self):
+        from repro.localview import exclusive_from_inclusive_shift
+
+        def prog(comm):
+            exclusive_from_inclusive_shift(comm, comm.rank, lambda: 0)
+
+        res = spmd_run(prog, 6)
+        # p-1 sends total: a ring-free chain, no collective
+        assert res.summary_trace.n_sends == 5
+        assert res.traces[0].collective_calls == {}
+
+    def test_works_for_noninvertible_min(self):
+        """min cannot be inverted (the paper's example): the shift is the
+        only way back from inclusive to exclusive."""
+        from repro.localview import exclusive_from_inclusive_shift
+
+        vals = [5, 3, 7, 1, 9, 2]
+
+        def prog(comm):
+            v = vals[comm.rank]
+            inc = LOCAL_SCAN(comm, lambda: 10**9, min, v)
+            return exclusive_from_inclusive_shift(
+                comm, inc, lambda: 10**9
+            )
+
+        out = run_all(prog, 6)
+        expected = [10**9]
+        for i in range(5):
+            expected.append(min(vals[: i + 1]))
+        assert out == expected

@@ -1,0 +1,396 @@
+"""Tests for every collective across sizes, roots and operand kinds."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.runtime import spmd_run
+from tests.conftest import run_all
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 12, 16]
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_completes(self, p):
+        run_all(lambda comm: comm.barrier(), p)
+
+    def test_synchronizes_virtual_clocks_forward(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.charge(1.0, "slow")
+            comm.barrier()
+            return comm.context.clock.t
+
+        out = run_all(prog, 4)
+        assert all(t >= 1.0 for t in out)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_all_ranks_get_value(self, p):
+        def prog(comm):
+            return comm.bcast("v" if comm.rank == 0 else None, root=0)
+
+        assert run_all(prog, p) == ["v"] * p
+
+    @pytest.mark.parametrize("root", [0, 1, 3, 4])
+    def test_nonzero_roots(self, root):
+        p = 5
+
+        def prog(comm):
+            return comm.bcast(comm.rank if comm.rank == root else None, root)
+
+        assert run_all(prog, p) == [root] * p
+
+    def test_numpy_payload(self):
+        def prog(comm):
+            data = np.arange(6) if comm.rank == 2 else None
+            return comm.bcast(data, root=2)
+
+        for arr in run_all(prog, 4):
+            assert np.array_equal(arr, np.arange(6))
+
+    def test_bad_root(self):
+        from repro.errors import SpmdError
+
+        with pytest.raises(SpmdError):
+            spmd_run(lambda comm: comm.bcast(1, root=9), 2)
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("p", SIZES)
+    @pytest.mark.parametrize("root", [0, "last"])
+    def test_gather_ordered(self, p, root):
+        r = p - 1 if root == "last" else 0
+
+        def prog(comm):
+            return comm.gather(comm.rank * 2, root=r)
+
+        out = run_all(prog, p)
+        assert out[r] == [2 * i for i in range(p)]
+        for q, v in enumerate(out):
+            if q != r:
+                assert v is None
+
+    @pytest.mark.parametrize("p", SIZES)
+    @pytest.mark.parametrize("root", [0, "mid"])
+    def test_scatter(self, p, root):
+        r = p // 2 if root == "mid" else 0
+
+        def prog(comm):
+            items = [f"item{i}" for i in range(p)] if comm.rank == r else None
+            return comm.scatter(items, root=r)
+
+        assert run_all(prog, p) == [f"item{i}" for i in range(p)]
+
+    def test_scatter_wrong_count(self):
+        from repro.errors import SpmdError
+
+        def prog(comm):
+            comm.scatter([1] if comm.rank == 0 else None, root=0)
+
+        with pytest.raises(SpmdError):
+            spmd_run(prog, 3, timeout=10)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_allgather(self, p):
+        out = run_all(lambda comm: comm.allgather(comm.rank ** 2), p)
+        assert out == [[i ** 2 for i in range(p)]] * p
+
+    def test_scatter_then_gather_roundtrip(self):
+        def prog(comm):
+            items = list(range(100, 100 + comm.size)) if comm.rank == 0 else None
+            mine = comm.scatter(items, root=0)
+            return comm.gather(mine, root=0)
+
+        out = run_all(prog, 6)
+        assert out[0] == list(range(100, 106))
+
+
+class TestAlltoall:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_personalized_exchange(self, p):
+        def prog(comm):
+            return comm.alltoall([(comm.rank, d) for d in range(p)])
+
+        out = run_all(prog, p)
+        for r in range(p):
+            assert out[r] == [(s, r) for s in range(p)]
+
+    def test_wrong_length_rejected(self):
+        from repro.errors import SpmdError
+
+        with pytest.raises(SpmdError):
+            spmd_run(lambda comm: comm.alltoall([1]), 3, timeout=10)
+
+    def test_numpy_blocks(self):
+        def prog(comm):
+            blocks = [np.full(3, comm.rank * 10 + d) for d in range(comm.size)]
+            got = comm.alltoall(blocks)
+            return [b.tolist() for b in got]
+
+        out = run_all(prog, 3)
+        assert out[1] == [[1] * 3, [11] * 3, [21] * 3]
+
+
+class TestReduce:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sum_to_root(self, p):
+        def prog(comm):
+            return comm.reduce(comm.rank + 1, mpi.SUM, root=0)
+
+        out = run_all(prog, p)
+        assert out[0] == p * (p + 1) // 2
+        assert all(v is None for v in out[1:])
+
+    @pytest.mark.parametrize("root", [1, 2])
+    def test_nonzero_root(self, root):
+        def prog(comm):
+            return comm.reduce(comm.rank, mpi.MAX, root=root)
+
+        out = run_all(prog, 4)
+        assert out[root] == 3
+
+    @pytest.mark.parametrize("p", SIZES)
+    @pytest.mark.parametrize("fanout", [2, 4, 8])
+    def test_kary_fanout_same_result(self, p, fanout):
+        def prog(comm):
+            return comm.reduce(comm.rank + 1, mpi.SUM, root=0, fanout=fanout)
+
+        assert run_all(prog, p)[0] == p * (p + 1) // 2
+
+    def test_kary_rejects_noncommutative(self):
+        from repro.errors import SpmdError
+
+        cat = mpi.op_create(lambda a, b: a + b, commute=False)
+
+        def prog(comm):
+            # comm.reduce silently falls back to ordered for
+            # non-commutative ops; calling the kary algorithm directly
+            # must raise.
+            from repro.mpi.collectives import reduce_kary_available
+
+            ch = comm._channel("reduce")
+            reduce_kary_available(ch, "x", cat, fanout=4)
+
+        with pytest.raises(SpmdError) as ei:
+            spmd_run(prog, 4, timeout=10)
+        from repro.errors import CommunicatorError
+
+        assert any(
+            isinstance(e, CommunicatorError) for e in ei.value.failures.values()
+        )
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_aggregated_array_reduce(self, p):
+        def prog(comm):
+            return comm.reduce(np.arange(5) * (comm.rank + 1), mpi.SUM, root=0)
+
+        out = run_all(prog, p)
+        total = p * (p + 1) // 2
+        assert np.array_equal(out[0], np.arange(5) * total)
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sum_everywhere(self, p):
+        out = run_all(lambda comm: comm.allreduce(comm.rank + 1, mpi.SUM), p)
+        assert out == [p * (p + 1) // 2] * p
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_noncommutative_order(self, p):
+        cat = mpi.op_create(lambda a, b: a + b, commute=False, name="concat")
+
+        def prog(comm):
+            return comm.allreduce(chr(ord("A") + comm.rank), cat)
+
+        expected = "".join(chr(ord("A") + i) for i in range(p))
+        assert run_all(prog, p) == [expected] * p
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_maxloc(self, p):
+        def prog(comm):
+            val = float((comm.rank * 7) % p)
+            return comm.allreduce((val, comm.rank), mpi.MAXLOC)
+
+        out = run_all(prog, p)
+        vals = [(float((r * 7) % p), r) for r in range(p)]
+        best = max(vals, key=lambda t: (t[0], -t[1]))
+        # MPI tie-break: smallest index among maxima
+        maxi = max(v for v, _ in vals)
+        expect = min(i for v, i in vals if v == maxi)
+        assert all(v == (maxi, expect) for v in out)
+
+
+class TestScan:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_inclusive(self, p):
+        out = run_all(lambda comm: comm.scan(comm.rank + 1, mpi.SUM), p)
+        assert out == [(r + 1) * (r + 2) // 2 for r in range(p)]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_exclusive_with_identity(self, p):
+        out = run_all(
+            lambda comm: comm.exscan(
+                comm.rank + 1, mpi.SUM, identity=lambda: 0
+            ),
+            p,
+        )
+        assert out == [r * (r + 1) // 2 for r in range(p)]
+
+    def test_exclusive_without_identity_rank0_none(self):
+        out = run_all(lambda comm: comm.exscan(comm.rank + 1, mpi.SUM), 4)
+        assert out[0] is None
+        assert out[1:] == [1, 3, 6]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_noncommutative_scan(self, p):
+        cat = mpi.op_create(lambda a, b: a + b, commute=False)
+
+        def prog(comm):
+            return comm.scan(chr(ord("a") + comm.rank), cat)
+
+        expected = ["".join(chr(ord("a") + i) for i in range(r + 1)) for r in range(p)]
+        assert run_all(prog, p) == expected
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_scan_exscan_consistency(self, p):
+        """inclusive == combine(exclusive, own) on every rank (paper §1)."""
+
+        def prog(comm):
+            v = (comm.rank + 1) ** 2
+            inc = comm.scan(v, mpi.SUM)
+            exc = comm.exscan(v, mpi.SUM, identity=lambda: 0)
+            return inc == exc + v
+
+        assert all(run_all(prog, p))
+
+    def test_array_scan(self):
+        def prog(comm):
+            return comm.scan(np.full(3, comm.rank + 1), mpi.SUM)
+
+        out = run_all(prog, 4)
+        for r, arr in enumerate(out):
+            assert arr.tolist() == [(r + 1) * (r + 2) // 2] * 3
+
+
+class TestMutatingCombine:
+    """The Chapel/RSMPI contract: combine may mutate its left operand."""
+
+    def _mutating_op(self, commute):
+        def fn(a, b):
+            a.extend(b)  # mutate left, read right
+            return a
+
+        return mpi.op_create(fn, commute=commute, identity=list)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_allreduce_with_mutating_op(self, p):
+        op = self._mutating_op(False)
+
+        def prog(comm):
+            return comm.allreduce([comm.rank], op)
+
+        assert run_all(prog, p) == [list(range(p))] * p
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_scan_with_mutating_op(self, p):
+        op = self._mutating_op(False)
+
+        def prog(comm):
+            return comm.scan([comm.rank], op)
+
+        assert run_all(prog, p) == [list(range(r + 1)) for r in range(p)]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_exscan_with_mutating_op(self, p):
+        op = self._mutating_op(False)
+
+        def prog(comm):
+            return comm.exscan([comm.rank], op, identity=list)
+
+        assert run_all(prog, p) == [list(range(r)) for r in range(p)]
+
+
+class TestCommManagement:
+    def test_split_groups(self):
+        def prog(comm):
+            sub = comm.split(color=comm.rank % 2)
+            return (sub.rank, sub.size, sub.allreduce(comm.rank, mpi.SUM))
+
+        out = run_all(prog, 7)  # evens: 0,2,4,6; odds: 1,3,5
+        assert out[0] == (0, 4, 12)
+        assert out[1] == (0, 3, 9)
+        assert out[6] == (3, 4, 12)
+
+    def test_split_key_reorders(self):
+        def prog(comm):
+            sub = comm.split(color=0, key=-comm.rank)  # reverse order
+            return sub.rank
+
+        assert run_all(prog, 4) == [3, 2, 1, 0]
+
+    def test_dup_isolates_traffic(self):
+        def prog(comm):
+            dup = comm.dup()
+            if comm.rank == 0:
+                comm.send("on_comm", 1, tag=0)
+                dup.send("on_dup", 1, tag=0)
+                return None
+            # receive from the dup first: tags are namespaced per cid
+            a = dup.recv(0, tag=0)
+            b = comm.recv(0, tag=0)
+            return (a, b)
+
+        assert run_all(prog, 2)[1] == ("on_dup", "on_comm")
+
+    def test_nested_split(self):
+        def prog(comm):
+            half = comm.split(color=comm.rank // 4)
+            quarter = half.split(color=half.rank // 2)
+            return quarter.allreduce(comm.rank, mpi.SUM)
+
+        out = run_all(prog, 8)
+        assert out == [1, 1, 5, 5, 9, 9, 13, 13]
+
+
+class TestFanoutFallback:
+    @pytest.mark.parametrize("p", [4, 8])
+    def test_noncommutative_with_fanout_falls_back_to_ordered(self, p):
+        """comm.reduce(fanout>2) with a non-commutative Op must quietly
+        use the order-preserving schedule and stay correct."""
+        cat = mpi.op_create(lambda a, b: a + b, commute=False, name="concat")
+
+        def prog(comm):
+            return comm.reduce(chr(65 + comm.rank), cat, root=0, fanout=8)
+
+        out = run_all(prog, p)
+        assert out[0] == "".join(chr(65 + i) for i in range(p))
+
+    def test_plain_function_with_fanout_uses_kary(self):
+        """A bare callable (no Op wrapper) is assumed commutative."""
+
+        def prog(comm):
+            return comm.reduce(comm.rank + 1, lambda a, b: a + b, root=0,
+                               fanout=4)
+
+        assert run_all(prog, 9)[0] == 45
+
+
+class TestCombineChargingAcrossAlgorithms:
+    def _time(self, p, combine_seconds, **kw):
+        def prog(comm):
+            comm.allreduce(
+                np.ones(4), mpi.SUM, combine_seconds=combine_seconds, **kw
+            )
+
+        return spmd_run(prog, p).time
+
+    def test_combine_seconds_increase_time(self):
+        assert self._time(8, 1e-3) > self._time(8, 0.0)
+
+    def test_ring_charges_combines_too(self):
+        slow = self._time(8, 1e-3, algorithm="ring")
+        fast = self._time(8, 0.0, algorithm="ring")
+        assert slow > fast

@@ -1,0 +1,133 @@
+"""Tests for the 12 MPI built-in operations and user-defined ops."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OperatorError
+from repro.mpi.op import (
+    BAND,
+    BOR,
+    BUILTIN_OPS,
+    BXOR,
+    LAND,
+    LOR,
+    LXOR,
+    MAX,
+    MAXLOC,
+    MIN,
+    MINLOC,
+    Op,
+    PROD,
+    SUM,
+    op_create,
+)
+
+
+class TestBuiltinScalars:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            (MAX, 3, 7, 7),
+            (MIN, 3, 7, 3),
+            (SUM, 3, 7, 10),
+            (PROD, 3, 7, 21),
+            (LAND, 1, 0, False),
+            (LAND, 2, 3, True),
+            (LOR, 0, 0, False),
+            (LOR, 0, 5, True),
+            (LXOR, 1, 1, False),
+            (LXOR, 0, 1, True),
+            (BAND, 0b1100, 0b1010, 0b1000),
+            (BOR, 0b1100, 0b1010, 0b1110),
+            (BXOR, 0b1100, 0b1010, 0b0110),
+        ],
+    )
+    def test_scalar_semantics(self, op, a, b, expected):
+        assert op(a, b) == expected
+
+    def test_all_twelve_registered(self):
+        assert len(BUILTIN_OPS) == 12
+        assert set(BUILTIN_OPS) == {
+            "MAX", "MIN", "SUM", "PROD", "LAND", "BAND", "LOR", "BOR",
+            "LXOR", "BXOR", "MAXLOC", "MINLOC",
+        }
+
+    def test_builtins_commutative(self):
+        for op in BUILTIN_OPS.values():
+            assert op.commutative
+
+
+class TestAggregation:
+    """MPI count>1 semantics: element-wise over arrays (paper §2.1)."""
+
+    def test_sum_elementwise(self):
+        a, b = np.array([1, 2, 3]), np.array([10, 20, 30])
+        assert SUM(a, b).tolist() == [11, 22, 33]
+
+    def test_min_elementwise(self):
+        a, b = np.array([5, 2, 9]), np.array([3, 8, 1])
+        assert MIN(a, b).tolist() == [3, 2, 1]
+
+    def test_logical_elementwise(self):
+        a = np.array([True, True, False])
+        b = np.array([True, False, False])
+        assert LAND(a, b).tolist() == [True, False, False]
+        assert LXOR(a, b).tolist() == [False, True, False]
+
+    def test_bitwise_elementwise(self):
+        a, b = np.array([12, 12]), np.array([10, 10])
+        assert BXOR(a, b).tolist() == [6, 6]
+
+
+class TestLocOps:
+    def test_maxloc_picks_max(self):
+        assert MAXLOC((3.0, 5), (7.0, 2)) == (7.0, 2)
+
+    def test_minloc_picks_min(self):
+        assert MINLOC((3.0, 5), (7.0, 2)) == (3.0, 5)
+
+    def test_ties_resolve_to_smaller_index(self):
+        assert MAXLOC((5.0, 9), (5.0, 4)) == (5.0, 4)
+        assert MINLOC((5.0, 9), (5.0, 4)) == (5.0, 4)
+
+    def test_aggregated_pairs(self):
+        a = np.array([[1.0, 0], [9.0, 1]])
+        b = np.array([[2.0, 10], [3.0, 11]])
+        out = MINLOC(a, b)
+        assert out.tolist() == [[1.0, 0], [3.0, 11]]
+        out = MAXLOC(a, b)
+        assert out.tolist() == [[2.0, 10], [9.0, 1]]
+
+    def test_nonfinite_marker_preserved(self):
+        v, i = MINLOC((0.0, np.inf), (0.0, 3))
+        assert (v, i) == (0.0, 3)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(OperatorError):
+            MAXLOC(np.zeros((2, 3)), np.zeros((2, 3)))
+        with pytest.raises(OperatorError):
+            MAXLOC(np.zeros((2, 2)), np.zeros((3, 2)))
+
+
+class TestUserOps:
+    def test_op_create_defaults(self):
+        op = op_create(lambda a, b: a + b)
+        assert op.commutative and op.identity is None
+        assert op(2, 3) == 5
+
+    def test_op_create_noncommutative(self):
+        op = op_create(lambda a, b: a + b, commute=False, name="concat")
+        assert not op.commutative
+        assert "non-commutative" in repr(op)
+
+    def test_identity_callable(self):
+        op = op_create(lambda a, b: a + b, identity=lambda: 0)
+        assert op.identity() == 0
+
+    def test_invalid_fn_rejected(self):
+        with pytest.raises(OperatorError):
+            Op("not callable")
+
+    def test_invalid_identity_rejected(self):
+        with pytest.raises(OperatorError):
+            Op(lambda a, b: a, identity=42)

@@ -1,0 +1,124 @@
+"""Tests for point-to-point messaging through communicators."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.errors import CommunicatorError, SpmdError
+from repro.runtime import spmd_run
+from tests.conftest import run_all
+
+
+class TestSendRecv:
+    def test_roundtrip_python_object(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send({"a": [1, 2]}, 1)
+                return None
+            return comm.recv(0)
+
+        assert run_all(prog, 2)[1] == {"a": [1, 2]}
+
+    def test_roundtrip_numpy(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(10), 1)
+                return None
+            return comm.recv(0)
+
+        assert np.array_equal(run_all(prog, 2)[1], np.arange(10))
+
+    def test_tags_discriminate(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("tag5", 1, tag=5)
+                comm.send("tag3", 1, tag=3)
+                return None
+            # receive in the opposite order of sending
+            a = comm.recv(0, tag=3)
+            b = comm.recv(0, tag=5)
+            return (a, b)
+
+        assert run_all(prog, 2)[1] == ("tag3", "tag5")
+
+    def test_fifo_within_source_tag(self):
+        def prog(comm):
+            if comm.rank == 0:
+                for i in range(10):
+                    comm.send(i, 1)
+                return None
+            return [comm.recv(0) for _ in range(10)]
+
+        assert run_all(prog, 2)[1] == list(range(10))
+
+    def test_self_send(self):
+        def prog(comm):
+            comm.send("self", comm.rank, tag=1)
+            return comm.recv(comm.rank, tag=1)
+
+        assert run_all(prog, 2) == ["self", "self"]
+
+    def test_any_source(self):
+        def prog(comm):
+            if comm.rank == 0:
+                got = comm.recv(mpi.ANY_SOURCE, tag=9)
+                return got
+            comm.send(f"from{comm.rank}", 0, tag=9)
+            return None
+
+        out = run_all(prog, 2)
+        assert out[0] == "from1"
+
+    def test_sendrecv(self):
+        def prog(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, source=left)
+
+        out = run_all(prog, 5)
+        assert out == [4, 0, 1, 2, 3]
+
+    def test_probe(self):
+        def prog(comm):
+            if comm.rank == 0:
+                before = comm.probe(1, tag=2)
+                comm.send("go", 1, tag=1)
+                comm.recv(1, tag=3)  # handshake: message now queued
+                after = comm.probe(1, tag=2)
+                comm.recv(1, tag=2)
+                return (before, after)
+            comm.recv(0, tag=1)
+            comm.send("payload", 0, tag=2)
+            comm.send("sync", 0, tag=3)
+            return None
+
+        before, after = run_all(prog, 2)[0]
+        assert before is False
+        # delivery into the mailbox is immediate at send time (only the
+        # virtual availability is delayed), and rank 1 sent tag-2 before
+        # the tag-3 handshake, so the probe must see it
+        assert after is True
+
+    def test_out_of_range_dest(self):
+        def prog(comm):
+            comm.send("x", 5)
+
+        with pytest.raises(SpmdError) as ei:
+            spmd_run(prog, 2)
+        assert isinstance(
+            next(iter(ei.value.failures.values())), CommunicatorError
+        )
+
+
+class TestMessageOrderingAcrossPairs:
+    def test_interleaved_sources(self):
+        def prog(comm):
+            if comm.rank == 0:
+                a = comm.recv(1)
+                b = comm.recv(2)
+                return (a, b)
+            comm.send(comm.rank * 100, 0)
+            return None
+
+        out = run_all(prog, 3)
+        assert out[0] == (100, 200)

@@ -1,0 +1,106 @@
+"""Tests for communication-tree topologies."""
+
+import math
+
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.mpi.topology import binomial_tree, dims_create, kary_tree, tree_depth
+
+
+def _check_tree_wellformed(nodes, size):
+    assert len(nodes) == size
+    assert nodes[0].parent is None
+    seen_children = set()
+    for node in nodes:
+        for c in node.children:
+            assert nodes[c].parent == node.rank
+            assert c not in seen_children
+            seen_children.add(c)
+    # every non-root appears exactly once as a child
+    assert seen_children == set(range(1, size))
+
+
+class TestBinomialTree:
+    @pytest.mark.parametrize("size", [1, 2, 3, 4, 5, 8, 13, 16, 31, 64])
+    def test_wellformed(self, size):
+        _check_tree_wellformed(binomial_tree(size), size)
+
+    @pytest.mark.parametrize("size", [2, 4, 8, 16, 64])
+    def test_depth_is_log(self, size):
+        assert tree_depth(binomial_tree(size)) == int(math.log2(size))
+
+    def test_subtrees_cover_contiguous_ranges(self):
+        # the property that licenses non-commutative reductions
+        for size in (5, 8, 12, 16):
+            nodes = binomial_tree(size)
+
+            def span(r):
+                lo = hi = r
+                for c in nodes[r].children:
+                    clo, chi = span(c)
+                    lo, hi = min(lo, clo), max(hi, chi)
+                return lo, hi
+
+            def covered(r):
+                out = {r}
+                for c in nodes[r].children:
+                    out |= covered(c)
+                return out
+
+            for r in range(size):
+                lo, hi = span(r)
+                assert covered(r) == set(range(lo, hi + 1)), (size, r)
+
+    def test_invalid_size(self):
+        with pytest.raises(CommunicatorError):
+            binomial_tree(0)
+
+
+class TestKaryTree:
+    @pytest.mark.parametrize("size,fanout", [(1, 2), (7, 2), (10, 3), (20, 4), (17, 8)])
+    def test_wellformed(self, size, fanout):
+        _check_tree_wellformed(kary_tree(size, fanout), size)
+
+    def test_fanout_bounds_children(self):
+        for node in kary_tree(50, 4):
+            assert len(node.children) <= 4
+
+    def test_higher_fanout_shallower(self):
+        d2 = tree_depth(kary_tree(64, 2))
+        d4 = tree_depth(kary_tree(64, 4))
+        d8 = tree_depth(kary_tree(64, 8))
+        assert d8 < d4 < d2
+
+    def test_invalid_fanout(self):
+        with pytest.raises(CommunicatorError):
+            kary_tree(4, 1)
+
+
+class TestDimsCreate:
+    @pytest.mark.parametrize(
+        "n,ndims,expected",
+        [
+            (8, 3, (2, 2, 2)),
+            (12, 3, (3, 2, 2)),
+            (7, 3, (7, 1, 1)),
+            (16, 2, (4, 4)),
+            (1, 3, (1, 1, 1)),
+            (60, 3, (5, 4, 3)),
+            (64, 3, (4, 4, 4)),
+        ],
+    )
+    def test_balanced_factorization(self, n, ndims, expected):
+        assert dims_create(n, ndims) == expected
+
+    @pytest.mark.parametrize("n", range(1, 40))
+    def test_product_always_exact(self, n):
+        dims = dims_create(n, 3)
+        assert math.prod(dims) == n
+        assert dims == tuple(sorted(dims, reverse=True))
+
+    def test_invalid(self):
+        with pytest.raises(CommunicatorError):
+            dims_create(0, 3)
+        with pytest.raises(CommunicatorError):
+            dims_create(4, 0)

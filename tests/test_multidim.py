@@ -1,0 +1,192 @@
+"""Tests for GlobalMatrix and the exclusive-scan-based 2-D prefixes."""
+
+import numpy as np
+import pytest
+
+from repro.arrays import GlobalMatrix
+from repro.errors import DistributionError, SpmdError
+from repro.ops import MaxOp, MinOp, ProdOp, SortedOp, SumOp
+from repro.runtime import spmd_run
+from tests.conftest import run_all
+
+SIZES = [1, 2, 3, 5, 8]
+INT_MIN = np.iinfo(np.int64).min
+INT_MAX = np.iinfo(np.int64).max
+
+
+@pytest.fixture
+def matrix(rng):
+    return rng.integers(0, 10, (23, 7)).astype(np.int64)
+
+
+class TestConstruction:
+    def test_from_global_roundtrip(self, matrix):
+        def prog(comm):
+            return GlobalMatrix.from_global(comm, matrix).to_global()
+
+        for out in run_all(prog, 4):
+            assert np.array_equal(out, matrix)
+
+    def test_from_function(self):
+        def prog(comm):
+            g = GlobalMatrix.from_function(
+                comm, 6, 4, lambda r, c: r * 10 + c
+            )
+            return g.to_global()
+
+        out = run_all(prog, 3)[0]
+        assert out[2, 3] == 23 and out.shape == (6, 4)
+
+    def test_row_offsets_partition(self, matrix):
+        def prog(comm):
+            g = GlobalMatrix.from_global(comm, matrix)
+            return (g.row_offset, len(g.local))
+
+        parts = run_all(prog, 5)
+        covered = sorted(
+            (off, off + n) for off, n in parts
+        )
+        assert covered[0][0] == 0 and covered[-1][1] == 23
+
+    def test_bad_local_shape(self):
+        def prog(comm):
+            GlobalMatrix(comm, np.zeros(5), 5)
+
+        with pytest.raises(SpmdError):
+            spmd_run(prog, 2, timeout=10)
+
+
+class TestPrefix2D:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_summed_area_table(self, p, matrix):
+        expected = matrix.cumsum(axis=0).cumsum(axis=1)
+
+        def prog(comm):
+            g = GlobalMatrix.from_global(comm, matrix)
+            return g.prefix2d(SumOp(0)).to_global()
+
+        for out in run_all(prog, p):
+            assert np.array_equal(out, expected)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_running_max_2d(self, p, matrix):
+        expected = np.maximum.accumulate(
+            np.maximum.accumulate(matrix, axis=0), axis=1
+        )
+
+        def prog(comm):
+            g = GlobalMatrix.from_global(comm, matrix)
+            return g.prefix2d(MaxOp(INT_MIN)).to_global()
+
+        for out in run_all(prog, p):
+            assert np.array_equal(out, expected)
+
+    @pytest.mark.parametrize("p", [1, 3, 8])
+    def test_running_min_2d(self, p, matrix):
+        expected = np.minimum.accumulate(
+            np.minimum.accumulate(matrix, axis=0), axis=1
+        )
+
+        def prog(comm):
+            g = GlobalMatrix.from_global(comm, matrix)
+            return g.prefix2d(MinOp(INT_MAX)).to_global()
+
+        for out in run_all(prog, p):
+            assert np.array_equal(out, expected)
+
+    def test_more_ranks_than_rows(self, matrix):
+        small = matrix[:3]
+
+        def prog(comm):
+            g = GlobalMatrix.from_global(comm, small)
+            return g.prefix2d(SumOp(0)).to_global()
+
+        expected = small.cumsum(axis=0).cumsum(axis=1)
+        for out in run_all(prog, 6):
+            assert np.array_equal(out, expected)
+
+    def test_single_communication_round(self, matrix):
+        """The whole 2-D prefix costs exactly one exscan collective —
+        the paper's 'elegant recursive definition'."""
+
+        def prog(comm):
+            GlobalMatrix.from_global(comm, matrix).prefix2d(SumOp(0))
+
+        res = spmd_run(prog, 8)
+        calls = res.traces[0].collective_calls
+        assert calls["exscan"] == 1
+        assert calls.get("allreduce", 0) == 0
+
+    def test_requires_ufunc_op(self, matrix):
+        def prog(comm):
+            GlobalMatrix.from_global(comm, matrix).prefix2d(SortedOp())
+
+        with pytest.raises(SpmdError) as ei:
+            spmd_run(prog, 2, timeout=10)
+        assert any(
+            isinstance(e, DistributionError)
+            for e in ei.value.failures.values()
+        )
+
+
+class TestMatrixReductions:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_reduce_all(self, p, matrix):
+        def prog(comm):
+            return GlobalMatrix.from_global(comm, matrix).reduce_all(SumOp(0))
+
+        assert all(v == matrix.sum() for v in run_all(prog, p))
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_reduce_cols_aggregated(self, p, matrix):
+        def prog(comm):
+            g = GlobalMatrix.from_global(comm, matrix)
+            return g.reduce_cols(MaxOp(INT_MIN))
+
+        for out in run_all(prog, p):
+            assert np.array_equal(out, matrix.max(axis=0))
+
+    def test_reduce_rows_local(self, matrix):
+        def prog(comm):
+            g = GlobalMatrix.from_global(comm, matrix)
+            return (g.row_offset, g.reduce_rows(ProdOp(1)))
+
+        parts = run_all(prog, 4)
+        expected = matrix.prod(axis=1)
+        for off, rows in parts:
+            assert np.array_equal(rows, expected[off : off + len(rows)])
+
+    def test_reduce_cols_is_one_allreduce(self, matrix):
+        def prog(comm):
+            GlobalMatrix.from_global(comm, matrix).reduce_cols(SumOp(0))
+
+        res = spmd_run(prog, 8)
+        assert res.traces[0].collective_calls["allreduce"] == 1
+
+
+class TestPrefix2DProperty:
+    def test_random_shapes_and_procs(self, rng):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=25, deadline=None)
+        @given(
+            rows=st.integers(1, 25),
+            cols=st.integers(1, 10),
+            p=st.integers(1, 6),
+            seed=st.integers(0, 2**16),
+        )
+        def inner(rows, cols, p, seed):
+            r = np.random.default_rng(seed)
+            m = r.integers(-5, 5, (rows, cols)).astype(np.int64)
+            expected = m.cumsum(axis=0).cumsum(axis=1)
+
+            def prog(comm):
+                return GlobalMatrix.from_global(comm, m).prefix2d(
+                    SumOp(0)
+                ).to_global()
+
+            out = spmd_run(prog, p).returns[0]
+            assert np.array_equal(out, expected)
+
+        inner()

@@ -1,0 +1,142 @@
+"""Tests for the distributed CG solver and its fused-reduction variant."""
+
+import numpy as np
+import pytest
+
+from repro.nas.callcounts import census
+from repro.nas.cg import (
+    cg_solve,
+    cg_solve_fused,
+    laplacian_matvec,
+    poisson_rhs,
+    random_rhs,
+)
+from repro.runtime import spmd_run
+
+N = 300
+SIZES = [1, 2, 3, 5, 8]
+
+
+def _dense_laplacian(n):
+    return (
+        np.diag(2.0 * np.ones(n))
+        + np.diag(-1.0 * np.ones(n - 1), 1)
+        + np.diag(-1.0 * np.ones(n - 1), -1)
+    )
+
+
+class TestMatvec:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_matches_dense(self, p, rng):
+        v = rng.normal(size=N)
+        expected = _dense_laplacian(N) @ v
+
+        def prog(comm):
+            lo = comm.rank * N // comm.size
+            hi = (comm.rank + 1) * N // comm.size
+            return laplacian_matvec(comm, v[lo:hi].copy())
+
+        got = np.concatenate(spmd_run(prog, p).returns)
+        assert np.allclose(got, expected)
+
+    def test_two_messages_per_interior_rank(self):
+        def prog(comm):
+            lo = comm.rank * N // comm.size
+            hi = (comm.rank + 1) * N // comm.size
+            laplacian_matvec(comm, np.ones(hi - lo))
+
+        res = spmd_run(prog, 4)
+        assert res.traces[1].p2p_calls["send"] == 2  # interior rank
+        assert res.traces[0].p2p_calls["send"] == 1  # boundary rank
+
+
+class TestSolvers:
+    @pytest.mark.parametrize("p", SIZES)
+    @pytest.mark.parametrize("solver", [cg_solve, cg_solve_fused])
+    def test_solves_poisson(self, p, solver):
+        def prog(comm):
+            b = random_rhs(comm, N)
+            return solver(comm, b), b
+
+        res = spmd_run(prog, p, timeout=300)
+        x = np.concatenate([t[0].x_local for t in res.returns])
+        b = np.concatenate([t[1] for t in res.returns])
+        x_ref = np.linalg.solve(_dense_laplacian(N), b)
+        assert res.returns[0][0].converged
+        assert np.allclose(x, x_ref, rtol=0, atol=1e-8 * np.abs(x_ref).max())
+
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_variants_same_iterates(self, p):
+        def prog(comm):
+            b = random_rhs(comm, N)
+            return cg_solve(comm, b), cg_solve_fused(comm, b)
+
+        res = spmd_run(prog, p, timeout=300)
+        a, f = res.returns[0]
+        assert abs(a.iterations - f.iterations) <= 2  # rounding drift only
+        x1 = np.concatenate([t[0].x_local for t in res.returns])
+        x2 = np.concatenate([t[1].x_local for t in res.returns])
+        assert np.allclose(x1, x2, atol=1e-8 * max(1.0, np.abs(x1).max()))
+
+    @pytest.mark.parametrize("p", [1, 3])
+    def test_solution_independent_of_p(self, p):
+        def prog(comm):
+            return cg_solve(comm, random_rhs(comm, N))
+
+        base = np.concatenate(
+            [t.x_local for t in spmd_run(prog, 1, timeout=300).returns]
+        )
+        out = np.concatenate(
+            [t.x_local for t in spmd_run(prog, p, timeout=300).returns]
+        )
+        assert np.allclose(out, base, atol=1e-9 * np.abs(base).max())
+
+    def test_modes_rhs_converges_much_faster(self):
+        def prog(comm):
+            fast = cg_solve(comm, poisson_rhs(comm, N, modes=4))
+            slow = cg_solve(comm, random_rhs(comm, N))
+            return fast.iterations, slow.iterations
+
+        fast_it, slow_it = spmd_run(prog, 2, timeout=300).returns[0]
+        assert fast_it < slow_it / 2
+
+    def test_zero_rhs_converges_immediately(self):
+        def prog(comm):
+            lo = comm.rank * N // comm.size
+            hi = (comm.rank + 1) * N // comm.size
+            return cg_solve(comm, np.zeros(hi - lo))
+
+        r = spmd_run(prog, 2).returns[0]
+        assert r.converged and r.iterations == 0
+
+    def test_max_iter_reports_nonconvergence(self):
+        def prog(comm):
+            return cg_solve(comm, random_rhs(comm, N), max_iter=3)
+
+        r = spmd_run(prog, 2).returns[0]
+        assert not r.converged and r.iterations == 3
+
+
+class TestReductionProfile:
+    def test_two_vs_one_reduction_per_iteration(self):
+        r1 = spmd_run(
+            lambda comm: cg_solve(comm, random_rhs(comm, N)), 4, timeout=300
+        )
+        r2 = spmd_run(
+            lambda comm: cg_solve_fused(comm, random_rhs(comm, N)), 4,
+            timeout=300,
+        )
+        it1 = r1.returns[0].iterations
+        it2 = r2.returns[0].iterations
+        assert census(r1.traces).n_reductions == 2 * it1 + 2
+        assert census(r2.traces).n_reductions == it2 + 2
+
+    def test_fused_faster_in_virtual_time(self):
+        r1 = spmd_run(
+            lambda comm: cg_solve(comm, random_rhs(comm, N)), 8, timeout=300
+        )
+        r2 = spmd_run(
+            lambda comm: cg_solve_fused(comm, random_rhs(comm, N)), 8,
+            timeout=300,
+        )
+        assert r2.time < r1.time

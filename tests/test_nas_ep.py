@@ -1,0 +1,106 @@
+"""Tests for the NAS EP kernel and its one-reduction formulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import check_operator
+from repro.nas.callcounts import census
+from repro.nas.ep import (
+    EP_CLASSES,
+    EP_CLASSES_FULL,
+    EPOp,
+    ep_class,
+    ep_mpi,
+    ep_rsmpi,
+)
+from repro.runtime import spmd_run
+
+CLS = ep_class("S")
+SIZES = [1, 2, 3, 4, 7, 8]
+
+
+class TestClasses:
+    def test_lookup(self):
+        assert ep_class("s").n_pairs == 1 << 16
+        assert ep_class("A", full=True).n_pairs == 1 << 28
+
+    def test_unknown(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            ep_class("Q")
+
+    def test_scaled_smaller(self):
+        for name in EP_CLASSES:
+            assert EP_CLASSES[name].n_pairs <= EP_CLASSES_FULL[name].n_pairs
+
+
+class TestVariantsAgree:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_identical_results(self, p):
+        a = spmd_run(lambda comm: ep_mpi(comm, CLS), p).returns[0]
+        b = spmd_run(lambda comm: ep_rsmpi(comm, CLS), p).returns[0]
+        assert a.close_to(b)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_independent_of_p(self, p):
+        base = spmd_run(lambda comm: ep_rsmpi(comm, CLS), 1).returns[0]
+        out = spmd_run(lambda comm: ep_rsmpi(comm, CLS), p).returns[0]
+        assert out.close_to(base)
+
+    def test_three_vs_one_reduction(self):
+        r_mpi = spmd_run(lambda comm: ep_mpi(comm, CLS), 4)
+        r_rsm = spmd_run(lambda comm: ep_rsmpi(comm, CLS), 4)
+        assert census(r_mpi.traces).n_reductions == 3
+        assert census(r_rsm.traces).n_reductions == 1
+        # EP is embarrassingly parallel: reductions are ALL its traffic
+        c = census(r_mpi.traces)
+        assert sum(c.p2p_calls.values()) == 0
+
+
+class TestStatistics:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return spmd_run(lambda comm: ep_rsmpi(comm, CLS), 4).returns[0]
+
+    def test_acceptance_rate_near_pi_over_4(self, result):
+        rate = result.n_accepted / CLS.n_pairs
+        assert abs(rate - np.pi / 4) < 0.01
+
+    def test_gaussian_sums_near_zero_mean(self, result):
+        # mean of a standard gaussian is 0: |sum| ~ O(sqrt(n))
+        bound = 6 * np.sqrt(result.n_accepted)
+        assert abs(result.sx) < bound
+        assert abs(result.sy) < bound
+
+    def test_annulus_counts_decay(self, result):
+        q = result.q
+        assert q.sum() == result.n_accepted
+        assert q[0] > q[1] > q[2]  # gaussian mass concentrates at 0
+        assert q[6:].sum() <= 5  # > 6 sigma is essentially impossible
+
+
+class TestEPOp:
+    def test_laws(self, rng):
+        pairs = [tuple(v) for v in rng.uniform(-1, 1, (30, 2))]
+        check_operator(EPOp(), pairs, n_trials=10)
+
+    def test_accum_matches_block(self, rng):
+        pairs = rng.uniform(-1, 1, (50, 2))
+        op = EPOp()
+        s1 = op.ident()
+        for pr in pairs:
+            s1 = op.accum(s1, pr)
+        s2 = op.accum_block(op.ident(), pairs)
+        assert s1.sx == pytest.approx(s2.sx)
+        assert np.array_equal(s1.q, s2.q)
+
+    def test_rejected_pairs_ignored(self):
+        op = EPOp()
+        s = op.accum_block(op.ident(), np.array([[1.0, 1.0], [0.99, 0.99]]))
+        assert s.n == 0  # both outside the unit circle
+
+    def test_empty(self):
+        op = EPOp()
+        out = op.red_gen(op.ident())
+        assert out.n_accepted == 0 and out.sx == 0.0

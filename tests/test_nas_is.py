@@ -1,0 +1,253 @@
+"""Tests for the NAS IS substrate: keygen, bucket sort, verification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpmdError, VerificationError
+from repro.nas import IS_CLASSES, IS_CLASSES_FULL, is_class
+from repro.nas.intsort import (
+    bucket_sort,
+    count_unsorted_vectorized,
+    generate_keys,
+    generate_keys_block,
+    local_key_block,
+    run_is,
+    sorted_check_scalar,
+    sorted_check_tworef,
+    sorted_check_vectorized,
+    verify_mpi,
+    verify_rsmpi,
+    verify_rsmpi_commutative,
+)
+from repro.runtime import spmd_run
+from tests.conftest import run_all
+
+CLS = is_class("S")
+SIZES = [1, 2, 3, 4, 7, 8]
+
+
+class TestClasses:
+    def test_class_lookup(self):
+        assert is_class("s").n_keys == 1 << 16
+        assert is_class("A", full=True).n_keys == 1 << 23
+        assert is_class("A").n_keys < is_class("A", full=True).n_keys
+
+    def test_unknown_class(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            is_class("Z")
+
+    def test_scaled_preserve_ratio(self):
+        for name in "SABC":
+            scaled, full = IS_CLASSES[name], IS_CLASSES_FULL[name]
+            assert scaled.n_keys // scaled.max_key == full.n_keys // full.max_key
+
+
+class TestKeygen:
+    def test_keys_in_range(self):
+        keys = generate_keys(CLS)
+        assert keys.min() >= 0 and keys.max() < CLS.max_key
+        assert len(keys) == CLS.n_keys
+
+    def test_bell_shaped_distribution(self):
+        """The average-of-4 construction concentrates keys mid-range."""
+        keys = generate_keys(CLS)
+        mid = CLS.max_key // 2
+        inner = np.sum(np.abs(keys - mid) < CLS.max_key // 4)
+        assert inner / len(keys) > 0.6  # uniform would give 0.5
+
+    def test_block_equals_slice(self):
+        whole = generate_keys(CLS)
+        for start, count in [(0, 10), (1000, 512), (CLS.n_keys - 7, 7)]:
+            block = generate_keys_block(CLS, start, count)
+            assert np.array_equal(block, whole[start : start + count])
+
+    def test_zero_count(self):
+        assert len(generate_keys_block(CLS, 5, 0)) == 0
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_rank_blocks_tile_stream(self, p):
+        whole = generate_keys(CLS)
+
+        def prog(comm):
+            keys, start = local_key_block(comm, CLS)
+            return (start, keys)
+
+        parts = run_all(prog, p)
+        joined = np.concatenate([k for _, k in sorted(parts)])
+        assert np.array_equal(joined, whole)
+
+
+class TestBucketSort:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_globally_sorted(self, p):
+        def prog(comm):
+            r = bucket_sort(comm, CLS)
+            first = r.local_sorted[0] if len(r.local_sorted) else None
+            last = r.local_sorted[-1] if len(r.local_sorted) else None
+            locally = bool(np.all(np.diff(r.local_sorted) >= 0))
+            return (first, last, locally, len(r.local_sorted))
+
+        parts = run_all(prog, p)
+        assert all(t[2] for t in parts)
+        assert sum(t[3] for t in parts) == CLS.n_keys
+        prev = None
+        for first, last, _, n in parts:
+            if n == 0:
+                continue
+            if prev is not None:
+                assert prev <= first
+            prev = last
+
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_content_preserved(self, p):
+        whole = np.sort(generate_keys(CLS))
+
+        def prog(comm):
+            return bucket_sort(comm, CLS).local_sorted
+
+        joined = np.concatenate(run_all(prog, p))
+        assert np.array_equal(joined, whole)
+
+    def test_load_balance_reasonable(self):
+        def prog(comm):
+            return len(bucket_sort(comm, CLS).local_sorted)
+
+        counts = run_all(prog, 8)
+        avg = CLS.n_keys / 8
+        assert max(counts) < 2.0 * avg  # buckets keep the skew bounded
+
+
+class TestLocalKernels:
+    def test_kernels_agree(self, rng):
+        for trial in range(10):
+            a = rng.integers(0, 100, 50)
+            t = sorted_check_tworef(list(a))
+            s = sorted_check_scalar(list(a))
+            v = count_unsorted_vectorized(a)
+            assert t == s == v
+            assert sorted_check_vectorized(a) == (v == 0)
+
+    def test_empty_and_single(self):
+        assert sorted_check_tworef([]) == 0
+        assert sorted_check_scalar([]) == 0
+        assert sorted_check_vectorized(np.array([])) is True
+        assert sorted_check_scalar([5]) == 0
+
+
+class TestVerifiers:
+    def _sorted_blocks(self, p):
+        """Globally sorted data, block-distributed."""
+        whole = np.sort(generate_keys(CLS))
+        return [
+            whole[r * len(whole) // p : (r + 1) * len(whole) // p]
+            for r in range(p)
+        ]
+
+    @pytest.mark.parametrize("p", SIZES)
+    @pytest.mark.parametrize("verify", [verify_mpi, verify_rsmpi])
+    def test_true_on_sorted(self, p, verify):
+        blocks = self._sorted_blocks(p)
+        out = run_all(lambda comm: verify(comm, blocks[comm.rank]), p)
+        assert all(out)
+
+    @pytest.mark.parametrize("p", [2, 4, 8])
+    @pytest.mark.parametrize("verify", [verify_mpi, verify_rsmpi])
+    def test_false_on_boundary_violation(self, p, verify):
+        blocks = [b.copy() for b in self._sorted_blocks(p)]
+        # corrupt one boundary: bump the first element of the last rank
+        blocks[-1][0] = -1
+        out = run_all(lambda comm: verify(comm, blocks[comm.rank]), p)
+        assert not any(out)
+
+    @pytest.mark.parametrize("verify", [verify_mpi, verify_rsmpi])
+    def test_false_on_local_violation(self, verify):
+        blocks = [b.copy() for b in self._sorted_blocks(4)]
+        blocks[2][5], blocks[2][6] = blocks[2][6] + 1000, blocks[2][5]
+        out = run_all(lambda comm: verify(comm, blocks[comm.rank]), 4)
+        assert not any(out)
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_verifiers_agree_with_empty_rank(self, p):
+        whole = np.sort(generate_keys(CLS))
+
+        def prog(comm):
+            local = whole if comm.rank == 0 else np.empty(0, dtype=np.int64)
+            return (
+                verify_mpi(comm, local, handle_empty=True),
+                verify_rsmpi(comm, local),
+            )
+
+        for m, r in run_all(prog, p):
+            assert m is True and r is True
+
+    def test_mpi_verifier_rejects_empty_without_optin(self):
+        from repro.errors import SpmdError, VerificationError
+
+        whole = np.sort(generate_keys(CLS))
+
+        def prog(comm):
+            local = whole if comm.rank == 0 else np.empty(0, dtype=np.int64)
+            verify_mpi(comm, local)
+
+        with pytest.raises(SpmdError) as ei:
+            spmd_run(prog, 2, timeout=10)
+        assert any(
+            isinstance(e, VerificationError)
+            for e in ei.value.failures.values()
+        )
+
+    @pytest.mark.parametrize("p", [6, 8, 12])
+    def test_commutative_flag_misverifies(self, p):
+        """The paper's §4.1 expected failure.
+
+        Needs p > fanout + 1 so the k-ary (heap-numbered) combining tree
+        actually has an interior node whose subtree is a non-contiguous
+        rank set; below that the tree degenerates to rank order and the
+        dishonest flag happens to be harmless.
+        """
+        blocks = self._sorted_blocks(p)
+        out = run_all(
+            lambda comm: verify_rsmpi_commutative(comm, blocks[comm.rank]), p
+        )
+        assert not any(out)  # sorted data reported unsorted
+
+    def test_commutative_flag_harmless_on_one_rank(self):
+        blocks = self._sorted_blocks(1)
+        out = run_all(
+            lambda comm: verify_rsmpi_commutative(comm, blocks[0]), 1
+        )
+        assert all(out)  # no reordering possible with p == 1
+
+
+class TestDriver:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    @pytest.mark.parametrize("verifier", ["mpi", "rsmpi"])
+    def test_run_is_end_to_end(self, p, verifier):
+        res = spmd_run(lambda comm: run_is(comm, CLS, verifier=verifier), p)
+        for r in res.returns:
+            assert r.sorted_ok
+            assert r.t_verify_end >= r.t_sort_end
+
+    def test_phase_times_ordered(self):
+        res = spmd_run(lambda comm: run_is(comm, CLS), 4)
+        assert all(r.t_sort_end <= r.t_verify_end for r in res.returns)
+        assert res.time >= max(r.t_verify_end for r in res.returns)
+
+    def test_unknown_verifier(self):
+        with pytest.raises(SpmdError) as ei:
+            spmd_run(lambda comm: run_is(comm, CLS, verifier="nope"), 2,
+                     timeout=10)
+        assert any(
+            isinstance(e, VerificationError)
+            for e in ei.value.failures.values()
+        )
+
+    @pytest.mark.parametrize("p", [4])
+    def test_commutative_verifier_does_not_raise(self, p):
+        """rsmpi_commutative is expected to mis-verify, not to raise."""
+        res = spmd_run(
+            lambda comm: run_is(comm, CLS, verifier="rsmpi_commutative"), p
+        )
+        assert not any(r.sorted_ok for r in res.returns)

@@ -1,0 +1,113 @@
+"""Tests for the arithmetic UfuncOp family."""
+
+import numpy as np
+import pytest
+
+from repro.core import global_reduce, global_scan, global_xscan
+from repro.ops import MaxOp, MinOp, ProdOp, SumOp
+from tests.conftest import block_split, gather_scan, run_all
+
+SIZES = [1, 2, 3, 5, 8]
+
+
+class TestReduceSemantics:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sum(self, p, rng):
+        data = rng.integers(-50, 50, 77)
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, SumOp(), block_split(data, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert all(v == data.sum() for v in out)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_prod(self, p):
+        data = np.array([1.5, 2.0, -1.0, 0.5, 4.0, 1.0, 2.0])
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, ProdOp(1.0), block_split(data, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert all(abs(v - data.prod()) < 1e-12 for v in out)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_min_max(self, p, rng):
+        data = rng.normal(size=64)
+        mins = run_all(
+            lambda comm: global_reduce(
+                comm, MinOp(), block_split(data, comm.size, comm.rank)
+            ),
+            p,
+        )
+        maxs = run_all(
+            lambda comm: global_reduce(
+                comm, MaxOp(), block_split(data, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert all(v == data.min() for v in mins)
+        assert all(v == data.max() for v in maxs)
+
+    def test_integer_identity_avoids_upcast(self):
+        op = MinOp(np.iinfo(np.int64).max)
+        state = op.accum_block(op.ident(), np.array([5, 3, 9]))
+        assert state == 3 and np.issubdtype(type(state), np.integer)
+
+
+class TestVectorizedScan:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_scan_block_matches_loop(self, p, rng):
+        data = rng.integers(0, 100, 53)
+        vec = gather_scan(
+            lambda comm: global_scan(
+                comm, SumOp(), block_split(data, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert [int(v) for v in vec] == np.cumsum(data).tolist()
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_xscan_vectorized(self, p, rng):
+        data = rng.integers(0, 100, 53)
+        vec = gather_scan(
+            lambda comm: global_xscan(
+                comm, SumOp(), block_split(data, comm.size, comm.rank)
+            ),
+            p,
+        )
+        expected = np.concatenate([[0], np.cumsum(data)[:-1]])
+        assert [int(v) for v in vec] == expected.tolist()
+
+    def test_min_running_scan(self):
+        data = np.array([5.0, 3.0, 7.0, 1.0, 9.0])
+        out = gather_scan(
+            lambda comm: global_scan(comm, MinOp(), data), 1
+        )
+        assert out == [5.0, 3.0, 3.0, 1.0, 1.0]
+
+    def test_scan_block_empty(self):
+        op = SumOp()
+        out, final = op.scan_block(10, np.array([]), exclusive=True)
+        assert out == [] and final == 10
+
+    def test_scan_block_single(self):
+        op = SumOp()
+        out, final = op.scan_block(10, np.array([5]), exclusive=True)
+        assert [int(v) for v in out] == [10] and final == 15
+
+
+class TestAccumBlock:
+    def test_matches_per_element(self, rng):
+        data = rng.integers(0, 9, 40)
+        op = SumOp()
+        block = op.accum_block(0, data)
+        loop = 0
+        for x in data:
+            loop = op.accum(loop, x)
+        assert block == loop
+
+    def test_empty_block_is_identity(self):
+        assert SumOp().accum_block(7, np.array([])) == 7

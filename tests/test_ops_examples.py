@@ -1,0 +1,242 @@
+"""Tests for the paper's example operators: mink (§3.1.1), mini (§3.1.2),
+counts (§3.1.3), sorted (§3.1.4) — and their worked examples."""
+
+import numpy as np
+import pytest
+
+from repro.core import global_reduce, global_scan
+from repro.errors import OperatorError
+from repro.ops import (
+    CountsOp,
+    MaxiOp,
+    MaxKOp,
+    MiniOp,
+    MinKOp,
+    SortedOp,
+    TranslateMinKOp,
+)
+from tests.conftest import PAPER_DATA, block_split, gather_scan, run_all
+
+SIZES = [1, 2, 3, 4, 7, 10]
+INT_MAX = np.iinfo(np.int64).max
+
+
+class TestMinK:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_k_minimums_high_to_low(self, p, rng):
+        data = rng.integers(0, 10_000, 123)
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, MinKOp(7, INT_MAX),
+                block_split(data, comm.size, comm.rank),
+            ),
+            p,
+        )
+        expected = np.sort(data)[:7][::-1].tolist()
+        for v in out:
+            assert v.tolist() == expected
+
+    def test_fewer_values_than_k_pads_sentinel(self):
+        out = run_all(
+            lambda comm: global_reduce(comm, MinKOp(5, INT_MAX), [3, 1]), 1
+        )[0]
+        assert out.tolist() == [INT_MAX, INT_MAX, INT_MAX, 3, 1]
+
+    def test_duplicates_kept(self):
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, MinKOp(3, INT_MAX), [5, 2, 2, 2, 9]
+            ),
+            1,
+        )[0]
+        assert out.tolist() == [2, 2, 2]
+
+    def test_accum_matches_accum_block(self, rng):
+        data = rng.integers(0, 1000, 64)
+        op = MinKOp(6, INT_MAX)
+        s_loop = op.ident()
+        for x in data:
+            s_loop = op.accum(s_loop, x)
+        s_block = op.accum_block(op.ident(), data)
+        assert np.array_equal(s_loop, s_block)
+
+    def test_invalid_k(self):
+        with pytest.raises(OperatorError):
+            MinKOp(0)
+
+    @pytest.mark.parametrize("p", [1, 3, 5])
+    def test_translate_style_same_results(self, p, rng):
+        data = rng.integers(0, 500, 60)
+
+        def run(op):
+            return run_all(
+                lambda comm: global_reduce(
+                    comm, op, block_split(data, comm.size, comm.rank)
+                ),
+                p,
+            )[0]
+
+        a = run(MinKOp(4, INT_MAX))
+        b = run(TranslateMinKOp(4, INT_MAX))
+        assert np.array_equal(a, b)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_maxk(self, p, rng):
+        data = rng.integers(0, 10_000, 99)
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, MaxKOp(4, np.iinfo(np.int64).min),
+                block_split(data, comm.size, comm.rank),
+            ),
+            p,
+        )
+        expected = np.sort(data)[-4:].tolist()
+        for v in out:
+            assert v.tolist() == expected
+
+
+class TestMini:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_min_and_location(self, p):
+        """var (val, loc) = mini(integer) reduce [i in 1..n] (A(i), i)."""
+        data = [5, 2, 9, 2, 7, 1, 3, 1, 8, 6]
+        pairs = [(v, i) for i, v in enumerate(data)]
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, MiniOp(), block_split(pairs, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert all(v == (1, 5) for v in out)  # smallest loc among ties
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_maxi(self, p):
+        data = [5, 9, 2, 9, 7]
+        pairs = [(v, i) for i, v in enumerate(data)]
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, MaxiOp(), block_split(pairs, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert all(v == (9, 1) for v in out)
+
+    def test_empty_state_is_identity(self):
+        op = MiniOp()
+        s = op.combine(op.ident(), op.accum(op.ident(), (3.0, 7)))
+        assert op.gen(s) == (3.0, 7)
+
+    def test_accum_block_array_form(self):
+        op = MiniOp()
+        arr = np.array([[4.0, 0], [1.0, 1], [1.0, 2]])
+        s = op.accum_block(op.ident(), arr)
+        assert op.gen(s) == (1.0, 1)
+
+
+class TestCounts:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_paper_reduction(self, p):
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, CountsOp(8), block_split(PAPER_DATA, comm.size, comm.rank)
+            ),
+            p,
+        )
+        for v in out:
+            assert v.tolist() == [0, 1, 2, 1, 0, 2, 1, 3]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_paper_ranking_scan(self, p):
+        out = gather_scan(
+            lambda comm: global_scan(
+                comm, CountsOp(8), block_split(PAPER_DATA, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert out == [1, 1, 2, 1, 1, 1, 2, 1, 3, 2]
+
+    def test_matches_bincount(self, rng):
+        data = rng.integers(0, 16, 200)
+        out = run_all(
+            lambda comm: global_reduce(comm, CountsOp(16, base=0), data), 1
+        )[0]
+        assert out.tolist() == np.bincount(data, minlength=16).tolist()
+
+    def test_out_of_range_rejected(self):
+        op = CountsOp(8)
+        with pytest.raises(OperatorError):
+            op.accum(op.ident(), 0)  # base is 1
+        with pytest.raises(OperatorError):
+            op.accum_block(op.ident(), np.array([1, 9]))
+
+    def test_custom_base(self):
+        op = CountsOp(3, base=-1)
+        s = op.accum_block(op.ident(), np.array([-1, 0, 1, 1]))
+        assert s.tolist() == [1, 1, 2]
+
+
+class TestSorted:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sorted_data(self, p):
+        data = np.arange(40)
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, SortedOp(), block_split(data, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert all(out)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_equal_runs_are_sorted(self, p):
+        data = np.zeros(20, dtype=int)
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, SortedOp(), block_split(data, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert all(out)
+
+    def test_single_element_sorted(self):
+        assert run_all(lambda comm: global_reduce(comm, SortedOp(), [5]), 1)[0]
+
+    def test_empty_sorted(self):
+        assert run_all(lambda comm: global_reduce(comm, SortedOp(), []), 1)[0]
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_works_on_floats_and_strings(self, p):
+        floats = np.array([0.1, 0.2, 0.2, 0.9])
+        strings = ["apple", "banana", "cherry", "date"]
+
+        def prog_f(comm):
+            return global_reduce(
+                comm, SortedOp(), block_split(floats, comm.size, comm.rank)
+            )
+
+        def prog_s(comm):
+            return global_reduce(
+                comm, SortedOp(), block_split(strings, comm.size, comm.rank)
+            )
+
+        assert all(run_all(prog_f, p))
+        assert all(run_all(prog_s, p))
+
+    def test_strings_unsorted(self):
+        strings = ["banana", "apple"]
+        assert not run_all(
+            lambda comm: global_reduce(comm, SortedOp(), strings), 1
+        )[0]
+
+    def test_accum_block_loop_consistency(self, rng):
+        data = rng.integers(0, 100, 30)
+        op = SortedOp()
+        s1 = op.ident()
+        s1 = op.pre_accum(s1, data[0])
+        for x in data:
+            s1 = op.accum(s1, x)
+        s2 = op.ident()
+        s2 = op.pre_accum(s2, data[0])
+        s2 = op.accum_block(s2, np.asarray(data))
+        assert op.gen(s1) == op.gen(s2)
+        assert s1.first == s2.first and s1.last == s2.last

@@ -1,0 +1,185 @@
+"""Tests for operator fusion (FusedOp) and the one-sided k-extrema ops."""
+
+import numpy as np
+import pytest
+
+from repro.core import check_operator, global_reduce, global_scan
+from repro.errors import OperatorError
+from repro.ops import (
+    CountsOp,
+    FusedOp,
+    MaxKLocOp,
+    MaxKOp,
+    MeanVarOp,
+    MinKLocOp,
+    MinKOp,
+    SortedOp,
+    SumOp,
+)
+from repro.runtime import spmd_run
+from tests.conftest import block_split, gather_scan, run_all
+
+SIZES = [1, 2, 3, 5, 8]
+INT_MAX = np.iinfo(np.int64).max
+INT_MIN = np.iinfo(np.int64).min
+
+
+class TestFusedOp:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_one_pass_many_answers(self, p, rng):
+        data = rng.integers(0, 1000, 120)
+        op = FusedOp([SumOp(), MinKOp(3, INT_MAX), MaxKOp(3, INT_MIN)])
+
+        def prog(comm):
+            return global_reduce(
+                comm, op, block_split(data, comm.size, comm.rank)
+            )
+
+        for total, mins, maxs in run_all(prog, p):
+            assert total == data.sum()
+            assert mins.tolist() == np.sort(data)[:3][::-1].tolist()
+            assert maxs.tolist() == np.sort(data)[-3:].tolist()
+
+    def test_single_reduction_call(self, rng):
+        data = rng.integers(0, 100, 40)
+        op = FusedOp([SumOp(), MeanVarOp()])
+        res = spmd_run(
+            lambda comm: global_reduce(
+                comm, op, block_split(data, comm.size, comm.rank)
+            ),
+            8,
+        )
+        # fusion == one combine tree: exactly one reduction collective
+        assert res.traces[0].collective_calls["allreduce"] == 1
+
+    def test_commutativity_contagion(self):
+        assert FusedOp([SumOp(), MinKOp(2)]).commutative is True
+        assert FusedOp([SumOp(), SortedOp()]).commutative is False
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_fused_with_noncommutative_member(self, p):
+        data = np.arange(30)
+        op = FusedOp([SumOp(), SortedOp()])
+
+        def prog(comm):
+            return global_reduce(
+                comm, op, block_split(data, comm.size, comm.rank)
+            )
+
+        for total, ok in run_all(prog, p):
+            assert total == data.sum() and ok is True
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_fused_scan(self, p, paper_data):
+        op = FusedOp([SumOp(), CountsOp(8)])
+        out = gather_scan(
+            lambda comm: global_scan(
+                comm, op, block_split(paper_data, comm.size, comm.rank)
+            ),
+            p,
+        )
+        sums = [int(t[0]) for t in out]
+        ranks = [t[1] for t in out]
+        assert sums == [6, 13, 19, 22, 30, 32, 40, 44, 52, 55]
+        assert ranks == [1, 1, 2, 1, 1, 1, 2, 1, 3, 2]
+
+    def test_projections(self, rng):
+        # fuse stats over value with mink over key, from (key, value) rows
+        data = [(int(k), float(v)) for k, v in
+                zip(rng.integers(0, 50, 30), rng.normal(size=30))]
+        op = FusedOp(
+            [MinKOp(2, INT_MAX), MeanVarOp()],
+            projections=[lambda t: t[0], lambda t: t[1]],
+        )
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, op, block_split(data, comm.size, comm.rank)
+            ),
+            4,
+        )[0]
+        keys = sorted(k for k, _ in data)
+        vals = np.array([v for _, v in data])
+        assert out[0].tolist() == keys[:2][::-1]
+        assert out[1].mean == pytest.approx(vals.mean())
+
+    def test_law_check_passes(self, rng):
+        op = FusedOp([SumOp(), MinKOp(3, INT_MAX), CountsOp(100, base=0)])
+        check_operator(op, list(rng.integers(0, 100, 30)), n_trials=10)
+
+    def test_validation(self):
+        with pytest.raises(OperatorError):
+            FusedOp([])
+        with pytest.raises(OperatorError):
+            FusedOp([SumOp()], projections=[None, None])
+        with pytest.raises(OperatorError):
+            FusedOp([lambda a, b: a])
+
+    def test_zran3_style_fusion_matches_extrema(self, rng):
+        """FusedOp([MaxKLoc, MinKLoc]) == ExtremaKLocOp — the MG operator
+        assembled from parts."""
+        from repro.ops import ExtremaKLocOp
+
+        vals = rng.normal(size=200)
+        pairs = np.column_stack([vals, np.arange(200.0)])
+        fused = FusedOp([MaxKLocOp(10), MinKLocOp(10)])
+        combo = ExtremaKLocOp(10)
+
+        def prog(comm):
+            local = block_split(pairs, comm.size, comm.rank)
+            return (
+                global_reduce(comm, fused, local),
+                global_reduce(comm, combo, local),
+            )
+
+        for (ftop, fbot), (ctop, cbot) in run_all(prog, 4):
+            assert np.array_equal(ftop, ctop)
+            assert np.array_equal(fbot, cbot)
+
+
+class TestOneSidedKLoc:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_minkloc(self, p, rng):
+        vals = rng.permutation(50).astype(float)
+        pairs = np.column_stack([vals, np.arange(50.0)])
+
+        def prog(comm):
+            return global_reduce(
+                comm, MinKLocOp(4), block_split(pairs, comm.size, comm.rank)
+            )
+
+        for out in run_all(prog, p):
+            assert out[:, 0].tolist() == [0, 1, 2, 3]
+            for v, loc in out:
+                assert vals[int(loc)] == v
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_maxkloc(self, p, rng):
+        vals = rng.permutation(50).astype(float)
+        pairs = np.column_stack([vals, np.arange(50.0)])
+
+        def prog(comm):
+            return global_reduce(
+                comm, MaxKLocOp(4), block_split(pairs, comm.size, comm.rank)
+            )
+
+        for out in run_all(prog, p):
+            assert out[:, 0].tolist() == [49, 48, 47, 46]
+
+    def test_tie_break_smallest_loc(self):
+        pairs = [(5.0, 3), (5.0, 1), (5.0, 2)]
+        out = run_all(
+            lambda comm: global_reduce(comm, MinKLocOp(2), pairs), 1
+        )[0]
+        assert out[:, 1].tolist() == [1, 2]
+
+    def test_law_check(self, rng):
+        pairs = [(float(v), i) for i, v in enumerate(rng.integers(0, 20, 25))]
+        check_operator(MinKLocOp(5), pairs, n_trials=10)
+        check_operator(MaxKLocOp(5), pairs, n_trials=10)
+
+    def test_invalid(self):
+        with pytest.raises(OperatorError):
+            MinKLocOp(0)
+        op = MinKLocOp(3)
+        with pytest.raises(OperatorError):
+            op.accum_block(op.ident(), np.zeros((3, 4)))

@@ -1,0 +1,372 @@
+"""Tests for the library-grade operators: stats, extrema, topk,
+segmented, histogram, logical."""
+
+import numpy as np
+import pytest
+
+from repro.core import global_reduce, global_scan, global_xscan
+from repro.errors import OperatorError
+from repro.ops import (
+    AllOp,
+    AnyOp,
+    BandOp,
+    BorOp,
+    BxorOp,
+    ExtremaKLocOp,
+    HistogramOp,
+    MeanVarOp,
+    SegmentedOp,
+    TopKOp,
+    XorOp,
+)
+from tests.conftest import block_split, gather_scan, run_all
+
+SIZES = [1, 2, 3, 5, 8]
+
+
+class TestMeanVar:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_matches_numpy(self, p, rng):
+        data = rng.normal(10.0, 3.0, 200)
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, MeanVarOp(), block_split(data, comm.size, comm.rank)
+            ),
+            p,
+        )
+        for r in out:
+            assert r.n == 200
+            assert r.mean == pytest.approx(data.mean(), rel=1e-10)
+            assert r.variance == pytest.approx(data.var(), rel=1e-8)
+            assert r.std == pytest.approx(data.std(), rel=1e-8)
+
+    def test_empty(self):
+        out = run_all(lambda comm: global_reduce(comm, MeanVarOp(), []), 1)[0]
+        assert out.n == 0 and np.isnan(out.mean)
+
+    def test_single_value(self):
+        out = run_all(lambda comm: global_reduce(comm, MeanVarOp(), [4.0]), 1)[0]
+        assert out.n == 1 and out.mean == 4.0 and out.variance == 0.0
+
+    def test_welford_loop_matches_block(self, rng):
+        data = rng.normal(size=50)
+        op = MeanVarOp()
+        s1 = op.ident()
+        for x in data:
+            s1 = op.accum(s1, x)
+        s2 = op.accum_block(op.ident(), data)
+        assert s1.n == s2.n
+        assert s1.mean == pytest.approx(s2.mean)
+        assert s1.m2 == pytest.approx(s2.m2)
+
+
+class TestExtrema:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_top_and_bottom_with_locations(self, p, rng):
+        vals = rng.permutation(100).astype(float)
+        pairs = np.column_stack([vals, np.arange(100.0)])
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, ExtremaKLocOp(5),
+                block_split(pairs, comm.size, comm.rank),
+            ),
+            p,
+        )
+        for top, bot in out:
+            assert top[:, 0].tolist() == [99, 98, 97, 96, 95]
+            assert bot[:, 0].tolist() == [0, 1, 2, 3, 4]
+            for v, loc in top:
+                assert vals[int(loc)] == v
+            for v, loc in bot:
+                assert vals[int(loc)] == v
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_ties_take_smallest_location(self, p):
+        vals = np.array([5.0, 5.0, 5.0, 5.0, 1.0, 1.0])
+        pairs = np.column_stack([vals, np.arange(6.0)])
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, ExtremaKLocOp(2),
+                block_split(pairs, comm.size, comm.rank),
+            ),
+            p,
+        )
+        for top, bot in out:
+            assert top[:, 1].tolist() == [0, 1]
+            assert bot[:, 1].tolist() == [4, 5]
+
+    def test_fewer_than_k(self):
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, ExtremaKLocOp(10), [(3.0, 0), (7.0, 1)]
+            ),
+            1,
+        )[0]
+        top, bot = out
+        assert len(top) == 2 and len(bot) == 2
+
+    def test_bad_shape_rejected(self):
+        op = ExtremaKLocOp(3)
+        with pytest.raises(OperatorError):
+            op.accum_block(op.ident(), np.zeros((4, 3)))
+
+    def test_accum_matches_block(self, rng):
+        vals = rng.normal(size=40)
+        pairs = [(float(v), i) for i, v in enumerate(vals)]
+        op = ExtremaKLocOp(4)
+        s1 = op.ident()
+        for pr in pairs:
+            s1 = op.accum(s1, pr)
+        s2 = op.accum_block(op.ident(), np.asarray(pairs))
+        t1, b1 = op.gen(s1)
+        t2, b2 = op.gen(s2)
+        assert np.array_equal(t1, t2) and np.array_equal(b1, b2)
+
+
+class TestTopK:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_largest(self, p, rng):
+        data = [int(v) for v in rng.integers(0, 10_000, 150)]
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, TopKOp(6), block_split(data, comm.size, comm.rank)
+            ),
+            p,
+        )
+        expected = sorted(data, reverse=True)[:6]
+        assert all(v == expected for v in out)
+
+    @pytest.mark.parametrize("p", [1, 3])
+    def test_smallest_with_key(self, p):
+        words = ["kiwi", "fig", "banana", "apple", "cherry", "date"]
+        out = run_all(
+            lambda comm: global_reduce(
+                comm,
+                TopKOp(3, key=len, largest=False),
+                block_split(words, comm.size, comm.rank),
+            ),
+            p,
+        )
+        assert all(v == ["fig", "date", "kiwi"] for v in out)
+
+    def test_tie_break_deterministic_across_distributions(self):
+        data = [("a", 5), ("b", 5), ("c", 5), ("d", 5)]
+        results = set()
+        for p in (1, 2, 4):
+            out = run_all(
+                lambda comm: tuple(
+                    global_reduce(
+                        comm,
+                        TopKOp(2, key=lambda t: t[1]),
+                        block_split(data, comm.size, comm.rank),
+                    )
+                ),
+                p,
+            )[0]
+            results.add(out)
+        assert len(results) == 1
+
+    def test_invalid_k(self):
+        with pytest.raises(OperatorError):
+            TopKOp(0)
+
+
+class TestSegmented:
+    ELEMS = [(1, 1), (2, 0), (3, 0), (4, 1), (5, 0), (6, 1), (7, 0)]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_inclusive_segmented_sum(self, p):
+        seg = SegmentedOp(lambda a, b: a + b, 0, name="sum")
+        out = gather_scan(
+            lambda comm: global_scan(
+                comm, seg, block_split(self.ELEMS, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert out == [1, 3, 6, 4, 9, 6, 13]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_exclusive_segmented_sum(self, p):
+        seg = SegmentedOp(lambda a, b: a + b, 0, name="sum")
+        out = gather_scan(
+            lambda comm: global_xscan(
+                comm, seg, block_split(self.ELEMS, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert out == [0, 1, 3, 0, 4, 0, 6]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_reduce_gives_last_segment(self, p):
+        seg = SegmentedOp(lambda a, b: a + b, 0, name="sum")
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, seg, block_split(self.ELEMS, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert all(v == 13 for v in out)
+
+    def test_no_heads_behaves_like_plain_scan(self):
+        seg = SegmentedOp(lambda a, b: a + b, 0)
+        elems = [(v, 0) for v in [1, 2, 3, 4]]
+        out = gather_scan(lambda comm: global_scan(comm, seg, elems), 1)
+        assert out == [1, 3, 6, 10]
+
+    def test_segmented_max(self):
+        seg = SegmentedOp(max, -np.inf, name="max")
+        elems = [(3, 0), (9, 0), (1, 1), (5, 0)]
+        out = gather_scan(
+            lambda comm: global_scan(
+                comm, seg, block_split(elems, comm.size, comm.rank)
+            ),
+            2,
+        )
+        assert out == [3, 9, 1, 5]
+
+    def test_not_commutative(self):
+        assert SegmentedOp(lambda a, b: a + b, 0).commutative is False
+
+
+class TestHistogram:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_matches_numpy_histogram(self, p, rng):
+        data = rng.uniform(0, 1, 300)
+        edges = np.linspace(0, 1, 11)
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, HistogramOp(edges),
+                block_split(data, comm.size, comm.rank),
+            ),
+            p,
+        )
+        expected, _ = np.histogram(data, bins=edges)
+        for v in out:
+            assert v.tolist() == expected.tolist()
+
+    def test_last_bin_closed(self):
+        op = HistogramOp([0.0, 0.5, 1.0])
+        s = op.accum(op.ident(), 1.0)
+        assert s.tolist() == [0, 1]
+
+    def test_out_of_range(self):
+        op = HistogramOp([0.0, 1.0])
+        with pytest.raises(OperatorError):
+            op.accum(op.ident(), 2.0)
+        clipper = HistogramOp([0.0, 1.0], clip=True)
+        assert clipper.accum(clipper.ident(), 2.0).tolist() == [1]
+
+    def test_bad_edges(self):
+        with pytest.raises(OperatorError):
+            HistogramOp([1.0])
+        with pytest.raises(OperatorError):
+            HistogramOp([1.0, 0.5])
+
+
+class TestLogical:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_all_any_xor(self, p):
+        flags = [True, True, False, True, True, True, False, True]
+        out_all = run_all(
+            lambda comm: global_reduce(
+                comm, AllOp(), block_split(flags, comm.size, comm.rank)
+            ),
+            p,
+        )
+        out_any = run_all(
+            lambda comm: global_reduce(
+                comm, AnyOp(), block_split(flags, comm.size, comm.rank)
+            ),
+            p,
+        )
+        out_xor = run_all(
+            lambda comm: global_reduce(
+                comm, XorOp(), block_split(flags, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert all(v is False for v in out_all)
+        assert all(v is True for v in out_any)
+        assert all(v == (sum(flags) % 2 == 1) for v in out_xor)
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_bitwise(self, p):
+        data = np.array([0b1111, 0b1010, 0b0110], dtype=np.int64)
+
+        def run(op):
+            return run_all(
+                lambda comm: global_reduce(
+                    comm, op, block_split(data, comm.size, comm.rank)
+                ),
+                p,
+            )[0]
+
+        assert run(BandOp()) == 0b0010
+        assert run(BorOp()) == 0b1111
+        assert run(BxorOp()) == 0b1111 ^ 0b1010 ^ 0b0110
+
+
+class TestCollectOps:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_union(self, p, rng):
+        from repro.ops import UnionOp
+
+        data = [int(v) for v in rng.integers(0, 20, 60)]
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, UnionOp(), block_split(data, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert all(v == frozenset(data) for v in out)
+
+    @pytest.mark.parametrize("p", [1, 3, 6])
+    def test_distinct_count(self, p, rng):
+        from repro.ops import DistinctCountOp
+
+        data = [int(v) for v in rng.integers(0, 15, 50)]
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, DistinctCountOp(),
+                block_split(data, comm.size, comm.rank),
+            ),
+            p,
+        )
+        assert all(v == len(set(data)) for v in out)
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_concat_reproduces_global_order(self, p, rng):
+        """The order-preservation oracle: concat-reduce must equal the
+        original sequence under every combining schedule."""
+        from repro.ops import ConcatOp
+
+        data = [int(v) for v in rng.integers(0, 100, 37)]
+        out = run_all(
+            lambda comm: global_reduce(
+                comm, ConcatOp(), block_split(data, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert all(v == data for v in out)
+
+    @pytest.mark.parametrize("p", [1, 2, 5])
+    def test_concat_scan_gives_prefixes(self, p):
+        from repro.ops import ConcatOp
+
+        data = list(range(9))
+        out = gather_scan(
+            lambda comm: global_scan(
+                comm, ConcatOp(), block_split(data, comm.size, comm.rank)
+            ),
+            p,
+        )
+        for i, prefix in enumerate(out):
+            assert prefix == data[: i + 1]
+
+    def test_union_laws(self, rng):
+        from repro.core import check_operator
+        from repro.ops import UnionOp
+
+        check_operator(
+            UnionOp(), [int(v) for v in rng.integers(0, 9, 25)], n_trials=10
+        )

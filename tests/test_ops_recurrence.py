@@ -1,0 +1,153 @@
+"""Tests for the affine-recurrence scan and log-sum-exp reduction."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import check_operator, global_reduce, global_scan
+from repro.ops import AffineOp, LogSumExpOp, linear_recurrence
+from repro.runtime import spmd_run
+from tests.conftest import block_split, run_all
+
+SIZES = [1, 2, 3, 5, 8]
+
+
+def _sequential_recurrence(a, b, y0):
+    y = []
+    cur = y0
+    for ai, bi in zip(a, b):
+        cur = ai * cur + bi
+        y.append(cur)
+    return np.array(y)
+
+
+class TestAffine:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_matches_sequential_loop(self, p, rng):
+        a = rng.uniform(0.5, 1.5, 60)
+        b = rng.normal(size=60)
+        y0 = 2.5
+        expected = _sequential_recurrence(a, b, y0)
+
+        def prog(comm):
+            sl = block_split(np.arange(60), comm.size, comm.rank)
+            return linear_recurrence(comm, a[sl], b[sl], y0)
+
+        out = np.concatenate(spmd_run(prog, p).returns)
+        assert np.allclose(out, expected, rtol=1e-10)
+
+    def test_fibonacci_via_decay(self):
+        """y_i = 1*y_{i-1} + b_i degenerates to a prefix sum."""
+        b = np.arange(1.0, 11.0)
+        out = np.concatenate(
+            spmd_run(
+                lambda comm: linear_recurrence(
+                    comm,
+                    np.ones(len(block_split(b, comm.size, comm.rank))),
+                    block_split(b, comm.size, comm.rank),
+                    0.0,
+                ),
+                2,
+            ).returns
+        )
+        assert np.allclose(out, np.cumsum(b))
+
+    def test_compound_interest(self):
+        """Constant a > 1: exponential growth with deposits."""
+        n = 12
+        a = np.full(n, 1.01)
+        b = np.full(n, 100.0)
+        out = np.concatenate(
+            spmd_run(
+                lambda comm: linear_recurrence(
+                    comm,
+                    block_split(a, comm.size, comm.rank),
+                    block_split(b, comm.size, comm.rank),
+                    1000.0,
+                ),
+                3,
+            ).returns
+        )
+        assert out[-1] == pytest.approx(
+            _sequential_recurrence(a, b, 1000.0)[-1]
+        )
+
+    def test_noncommutative_flag(self):
+        assert AffineOp().commutative is False
+
+    def test_laws(self, rng):
+        pairs = [(float(a), float(b)) for a, b in
+                 zip(rng.uniform(0.5, 2, 20), rng.normal(size=20))]
+        check_operator(AffineOp(), pairs, n_trials=10)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        p=st.integers(1, 5),
+        n=st.integers(1, 30),
+    )
+    def test_property_any_coefficients(self, seed, p, n):
+        rng = np.random.default_rng(seed)
+        a = rng.uniform(-1.2, 1.2, n)
+        b = rng.normal(size=n)
+        expected = _sequential_recurrence(a, b, 1.0)
+
+        def prog(comm):
+            sl = block_split(np.arange(n), comm.size, comm.rank)
+            return linear_recurrence(comm, a[sl], b[sl], 1.0)
+
+        out = np.concatenate(spmd_run(prog, p).returns)
+        assert np.allclose(out, expected, rtol=1e-8, atol=1e-10)
+
+
+class TestLogSumExp:
+    @pytest.mark.parametrize("p", SIZES)
+    def test_matches_scipy_style_reference(self, p, rng):
+        data = rng.normal(0, 10, 77)
+        expected = float(np.log(np.exp(data - data.max()).sum()) + data.max())
+
+        def prog(comm):
+            return global_reduce(
+                comm, LogSumExpOp(), block_split(data, comm.size, comm.rank)
+            )
+
+        for v in run_all(prog, p):
+            assert v == pytest.approx(expected, rel=1e-12)
+
+    def test_no_overflow_with_huge_values(self):
+        data = np.array([1e300, 1e300, 1e300])  # exp() would overflow
+        out = run_all(
+            lambda comm: global_reduce(comm, LogSumExpOp(), data), 1
+        )[0]
+        assert out == pytest.approx(1e300 + math.log(3))
+
+    def test_empty_is_neg_inf(self):
+        out = run_all(
+            lambda comm: global_reduce(comm, LogSumExpOp(), []), 2
+        )[0]
+        assert out == -math.inf
+
+    def test_running_scan(self, rng):
+        data = rng.normal(size=20)
+
+        def prog(comm):
+            return global_scan(
+                comm, LogSumExpOp(), block_split(data, comm.size, comm.rank)
+            )
+
+        flat = [v for part in spmd_run(prog, 4).returns for v in part]
+        for i, v in enumerate(flat):
+            prefix = data[: i + 1]
+            ref = float(
+                np.log(np.exp(prefix - prefix.max()).sum()) + prefix.max()
+            )
+            assert v == pytest.approx(ref, rel=1e-10)
+
+    def test_laws(self, rng):
+        check_operator(
+            LogSumExpOp(), [float(v) for v in rng.normal(0, 5, 25)],
+            n_trials=10,
+        )

@@ -1,0 +1,171 @@
+"""Tests for prefix circuits, the classic networks, and Blelloch scans."""
+
+import operator
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.prefix import (
+    ALL_NETWORKS,
+    PrefixCircuit,
+    blelloch_scan,
+    blelloch_xscan,
+    brent_kung,
+    hillis_steele,
+    inclusive_from_exclusive,
+    kogge_stone,
+    ladner_fischer,
+    serial,
+    sklansky,
+)
+
+
+class TestPrefixCircuit:
+    def test_evaluate_applies_ops_in_order(self):
+        c = PrefixCircuit(3, [(0, 1), (1, 2)])
+        assert c.evaluate([1, 2, 3], operator.add) == [1, 3, 6]
+
+    def test_size_and_depth(self):
+        c = PrefixCircuit(3, [(0, 1), (1, 2)])
+        assert c.size == 2 and c.depth == 2
+
+    def test_depth_sees_parallelism(self):
+        # two independent ops: depth 1, size 2
+        c = PrefixCircuit(4, [(0, 1), (2, 3)])
+        assert c.depth == 1 and c.size == 2
+
+    def test_levels_grouping(self):
+        c = serial(4)
+        assert [len(lvl) for lvl in c.levels()] == [1, 1, 1]
+        c2 = PrefixCircuit(4, [(0, 1), (2, 3), (1, 3)])
+        assert [len(lvl) for lvl in c2.levels()] == [2, 1]
+
+    def test_verify_detects_wrong_circuit(self):
+        broken = PrefixCircuit(3, [(0, 2)])  # skips position 1
+        assert not broken.verify([1, 2, 3], operator.add)
+
+    def test_bad_ops_rejected(self):
+        with pytest.raises(ReproError):
+            PrefixCircuit(3, [(2, 1)])
+        with pytest.raises(ReproError):
+            PrefixCircuit(3, [(0, 3)])
+
+    def test_wrong_input_length(self):
+        with pytest.raises(ReproError):
+            serial(4).evaluate([1, 2], operator.add)
+
+    def test_to_networkx_dag(self):
+        nx = pytest.importorskip("networkx")
+        g = brent_kung(8).to_networkx()
+        assert nx.is_directed_acyclic_graph(g)
+        # longest path over op nodes equals circuit depth
+        assert nx.dag_longest_path_length(g) == brent_kung(8).depth
+
+
+class TestNetworkMetrics:
+    @pytest.mark.parametrize("k", range(2, 9))
+    def test_kogge_stone_metrics(self, k):
+        n = 1 << k
+        c = kogge_stone(n)
+        assert c.depth == k
+        assert c.size == n * k - n + 1
+
+    @pytest.mark.parametrize("k", range(2, 9))
+    def test_sklansky_metrics(self, k):
+        n = 1 << k
+        c = sklansky(n)
+        assert c.depth == k
+        assert c.size == (n // 2) * k
+
+    @pytest.mark.parametrize("k", range(2, 9))
+    def test_brent_kung_metrics(self, k):
+        n = 1 << k
+        c = brent_kung(n)
+        assert c.size == 2 * n - 2 - k
+        assert c.depth == max(2 * k - 2, 1)
+
+    @pytest.mark.parametrize("k", range(2, 9))
+    def test_serial_metrics(self, k):
+        n = 1 << k
+        c = serial(n)
+        assert c.depth == c.size == n - 1
+
+    @pytest.mark.parametrize("k", range(3, 9))
+    def test_work_efficiency_ordering(self, k):
+        """BK does the least work; KS the most; Sklansky in between."""
+        n = 1 << k
+        assert brent_kung(n).size < sklansky(n).size < kogge_stone(n).size
+
+    @pytest.mark.parametrize("k", range(3, 9))
+    def test_ladner_fischer_tradeoff(self, k):
+        n = 1 << k
+        lf0, lf1 = ladner_fischer(n, 0), ladner_fischer(n, 1)
+        # the tunable middle ground of the depth/size spectrum
+        assert lf0.size < sklansky(n).size
+        assert lf0.depth <= sklansky(n).depth + 1
+        assert lf1.depth == sklansky(n).depth
+        assert lf1.size <= sklansky(n).size
+
+    def test_hillis_steele_is_kogge_stone(self):
+        a, b = hillis_steele(16), kogge_stone(16)
+        assert a.ops == b.ops
+
+    def test_invalid_args(self):
+        with pytest.raises(ReproError):
+            kogge_stone(0)
+        with pytest.raises(ReproError):
+            ladner_fischer(8, -1)
+
+
+class TestNetworkCorrectness:
+    @pytest.mark.parametrize("name", sorted(ALL_NETWORKS))
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 16, 33, 100, 257])
+    def test_computes_scan(self, name, n):
+        vals = [(i * 7 + 3) % 23 for i in range(n)]
+        c = ALL_NETWORKS[name](n)
+        assert c.verify(vals, operator.add)
+
+    @pytest.mark.parametrize("name", sorted(ALL_NETWORKS))
+    def test_min_scan(self, name):
+        vals = [9, 4, 7, 1, 8, 2, 5, 6]
+        c = ALL_NETWORKS[name](8)
+        got = c.evaluate(vals, min)
+        assert got == [9, 4, 4, 1, 1, 1, 1, 1]
+
+
+class TestBlelloch:
+    def test_exclusive_power_of_two(self):
+        assert blelloch_xscan([1, 2, 3, 4], operator.add, 0) == [0, 1, 3, 6]
+
+    def test_exclusive_non_power_of_two(self):
+        assert blelloch_xscan([1, 2, 3, 4, 5], operator.add, 0) == [0, 1, 3, 6, 10]
+
+    def test_empty_and_single(self):
+        assert blelloch_xscan([], operator.add, 0) == []
+        assert blelloch_xscan([7], operator.add, 0) == [0]
+
+    def test_inclusive_fixup(self):
+        vals = [3, 1, 4, 1, 5]
+        exc = blelloch_xscan(vals, operator.add, 0)
+        assert inclusive_from_exclusive(vals, exc, operator.add) == [
+            3, 4, 8, 9, 14,
+        ]
+
+    def test_with_max_and_identity(self):
+        vals = [3, 9, 2, 7]
+        exc = blelloch_xscan(vals, max, float("-inf"))
+        assert exc == [float("-inf"), 3, 9, 9]
+        assert blelloch_scan(vals, max, float("-inf")) == [3, 9, 9, 9]
+
+    def test_work_is_linear(self):
+        calls = 0
+
+        def counting_add(a, b):
+            nonlocal calls
+            calls += 1
+            return a + b
+
+        n = 256
+        blelloch_xscan(list(range(n)), counting_add, 0)
+        assert calls <= 2 * n  # work-efficient: ~2(n-1) applications

@@ -1,0 +1,131 @@
+"""Property-based tests for the MPI collectives and prefix networks."""
+
+import operator
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import mpi
+from repro.prefix import (
+    ALL_NETWORKS,
+    blelloch_scan,
+    blelloch_xscan,
+    inclusive_from_exclusive,
+)
+from repro.runtime import spmd_run
+
+COMMON = settings(max_examples=30, deadline=None)
+
+procs = st.integers(min_value=1, max_value=7)
+values = st.lists(
+    st.integers(min_value=-100, max_value=100), min_size=1, max_size=7
+)
+
+
+class TestCollectiveSemantics:
+    @COMMON
+    @given(p=procs, seed=st.integers(0, 2**16))
+    def test_allreduce_equals_reduce_bcast(self, p, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(-50, 50, p)
+
+        def prog(comm):
+            v = int(vals[comm.rank])
+            a = comm.allreduce(v, mpi.SUM)
+            r = comm.reduce(v, mpi.SUM, root=0)
+            b = comm.bcast(r, root=0)
+            return a == b == int(vals.sum())
+
+        assert all(spmd_run(prog, p).returns)
+
+    @COMMON
+    @given(p=procs)
+    def test_noncommutative_scan_order(self, p):
+        cat = mpi.op_create(lambda a, b: a + b, commute=False)
+
+        def prog(comm):
+            return comm.scan((comm.rank,), cat)
+
+        out = spmd_run(prog, p).returns
+        assert out == [tuple(range(r + 1)) for r in range(p)]
+
+    @COMMON
+    @given(p=procs, fanout=st.integers(2, 5), seed=st.integers(0, 2**16))
+    def test_fanout_invariant_for_commutative(self, p, fanout, seed):
+        rng = np.random.default_rng(seed)
+        vals = rng.integers(-50, 50, p)
+
+        def prog(comm):
+            return comm.reduce(int(vals[comm.rank]), mpi.SUM, root=0,
+                               fanout=fanout)
+
+        assert spmd_run(prog, p).returns[0] == int(vals.sum())
+
+    @COMMON
+    @given(p=procs)
+    def test_alltoall_is_transpose(self, p):
+        def prog(comm):
+            got = comm.alltoall([(comm.rank, d) for d in range(comm.size)])
+            return all(got[s] == (s, comm.rank) for s in range(comm.size))
+
+        assert all(spmd_run(prog, p).returns)
+
+    @COMMON
+    @given(p=procs, root=st.integers(0, 6))
+    def test_gather_scatter_inverse(self, p, root):
+        r = root % p
+
+        def prog(comm):
+            gathered = comm.gather(comm.rank * 3, root=r)
+            back = comm.scatter(gathered, root=r)
+            return back == comm.rank * 3
+
+        assert all(spmd_run(prog, p).returns)
+
+
+class TestPrefixNetworksProperty:
+    @COMMON
+    @given(
+        n=st.integers(1, 80),
+        seed=st.integers(0, 2**16),
+        name=st.sampled_from(sorted(ALL_NETWORKS)),
+    )
+    def test_network_computes_scan(self, n, seed, name):
+        rng = np.random.default_rng(seed)
+        vals = [int(v) for v in rng.integers(-10, 10, n)]
+        circuit = ALL_NETWORKS[name](n)
+        assert circuit.verify(vals, operator.add)
+
+    @COMMON
+    @given(n=st.integers(1, 64), name=st.sampled_from(sorted(ALL_NETWORKS)))
+    def test_network_noncommutative_safe(self, n, name):
+        vals = [chr(97 + (i % 26)) for i in range(n)]
+        circuit = ALL_NETWORKS[name](n)
+        got = circuit.evaluate(vals, operator.add)
+        acc = ""
+        for i, v in enumerate(vals):
+            acc += v
+            assert got[i] == acc
+
+    @COMMON
+    @given(values)
+    def test_blelloch_exclusive(self, vals):
+        exc = blelloch_xscan(vals, operator.add, 0)
+        expected = [sum(vals[:i]) for i in range(len(vals))]
+        assert exc == expected
+
+    @COMMON
+    @given(values)
+    def test_inclusive_from_exclusive_identity(self, vals):
+        exc = blelloch_xscan(vals, operator.add, 0)
+        inc = inclusive_from_exclusive(vals, exc, operator.add)
+        assert inc == [sum(vals[: i + 1]) for i in range(len(vals))]
+        assert inc == blelloch_scan(vals, operator.add, 0)
+
+    @COMMON
+    @given(n=st.integers(2, 64), name=st.sampled_from(sorted(ALL_NETWORKS)))
+    def test_depth_at_most_size(self, n, name):
+        c = ALL_NETWORKS[name](n)
+        assert 1 <= c.depth <= c.size
+        assert c.size >= n - 1  # lower bound for any prefix circuit

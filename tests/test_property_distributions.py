@@ -1,0 +1,111 @@
+"""Property-based tests for distributions and GlobalArray invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrays import BlockCyclicDist, BlockDist, CyclicDist, GlobalArray
+from repro.ops import CountsOp, SumOp
+from repro.runtime import spmd_run
+
+COMMON = settings(max_examples=50, deadline=None)
+
+sizes = st.integers(min_value=0, max_value=200)
+procs = st.integers(min_value=1, max_value=12)
+
+
+class TestDistributionLaws:
+    @COMMON
+    @given(n=sizes, p=procs)
+    def test_block_partitions_exactly(self, n, p):
+        d = BlockDist(n, p)
+        seen = []
+        for r in range(p):
+            idx = d.global_indices(r)
+            assert len(idx) == d.local_count(r)
+            seen.extend(idx.tolist())
+        assert seen == list(range(n))
+
+    @COMMON
+    @given(n=sizes, p=procs)
+    def test_cyclic_partitions_exactly(self, n, p):
+        d = CyclicDist(n, p)
+        seen = sorted(
+            i for r in range(p) for i in d.global_indices(r).tolist()
+        )
+        assert seen == list(range(n))
+
+    @COMMON
+    @given(n=sizes, p=procs, block=st.integers(1, 9))
+    def test_blockcyclic_partitions_exactly(self, n, p, block):
+        d = BlockCyclicDist(n, p, block=block)
+        seen = sorted(
+            i for r in range(p) for i in d.global_indices(r).tolist()
+        )
+        assert seen == list(range(n))
+        assert sum(d.local_count(r) for r in range(p)) == n
+
+    @COMMON
+    @given(n=st.integers(1, 200), p=procs)
+    def test_owner_consistent(self, n, p):
+        for d in (BlockDist(n, p), CyclicDist(n, p)):
+            for i in range(0, n, max(1, n // 7)):
+                r = d.owner(i)
+                assert i in d.global_indices(r).tolist()
+
+    @COMMON
+    @given(n=sizes, p=procs)
+    def test_block_balance(self, n, p):
+        d = BlockDist(n, p)
+        counts = [d.local_count(r) for r in range(p)]
+        assert max(counts) - min(counts) <= 1
+
+
+class TestGlobalArrayInvariance:
+    @COMMON
+    @given(
+        n=st.integers(1, 60),
+        p=st.integers(1, 6),
+        dist=st.sampled_from(["block", "cyclic"]),
+        seed=st.integers(0, 2**16),
+    )
+    def test_commutative_reduce_distribution_free(self, n, p, dist, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(-50, 50, n)
+        dist_cls = BlockDist if dist == "block" else CyclicDist
+
+        def prog(comm):
+            a = GlobalArray.from_global(comm, data, dist_cls=dist_cls)
+            return a.reduce(SumOp())
+
+        out = spmd_run(prog, p).returns
+        assert all(v == data.sum() for v in out)
+
+    @COMMON
+    @given(n=st.integers(1, 60), p=st.integers(1, 6), seed=st.integers(0, 2**16))
+    def test_roundtrip_any_distribution(self, n, p, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 100, n)
+        for dist_cls in (BlockDist, CyclicDist):
+            def prog(comm):
+                return GlobalArray.from_global(
+                    comm, data, dist_cls=dist_cls
+                ).to_global()
+
+            for out in spmd_run(prog, p).returns:
+                assert np.array_equal(out, data)
+
+    @COMMON
+    @given(p=st.integers(1, 6), seed=st.integers(0, 2**16))
+    def test_scan_matches_serial(self, p, seed):
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 8, 40)
+
+        def prog(comm):
+            a = GlobalArray.from_global(comm, data)
+            return a.scan(CountsOp(8, base=0)).to_global()
+
+        serial = spmd_run(prog, 1).returns[0]
+        out = spmd_run(prog, p).returns[0]
+        assert np.array_equal(out, serial)

@@ -1,0 +1,171 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The library's central correctness claim (DESIGN.md §6 invariant 1) is
+that a global-view reduction or scan is independent of how the data is
+distributed.  These tests drive that claim — plus the scan algebra and
+the operator laws — across random data, random processor counts and
+random operators.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    global_reduce,
+    global_scan,
+    global_xscan,
+    sequential_reduce,
+    sequential_scan,
+)
+from repro.ops import (
+    CountsOp,
+    MeanVarOp,
+    MiniOp,
+    MinKOp,
+    SortedOp,
+    SumOp,
+    TopKOp,
+)
+from repro.runtime import spmd_run
+from tests.conftest import block_split
+
+INT_MAX = np.iinfo(np.int64).max
+
+ints = st.lists(st.integers(min_value=-1000, max_value=1000), max_size=40)
+small_ints = st.lists(st.integers(min_value=0, max_value=7), max_size=30)
+procs = st.integers(min_value=1, max_value=6)
+
+COMMON = settings(max_examples=40, deadline=None)
+
+
+def _run_reduce(op, data, p):
+    return spmd_run(
+        lambda comm: global_reduce(
+            comm, op, block_split(data, comm.size, comm.rank)
+        ),
+        p,
+    ).returns[0]
+
+
+def _run_scan(op, data, p, exclusive=False):
+    fn = global_xscan if exclusive else global_scan
+    res = spmd_run(
+        lambda comm: fn(comm, op, block_split(data, comm.size, comm.rank)),
+        p,
+    )
+    out = []
+    for part in res.returns:
+        out.extend(part)
+    return out
+
+
+class TestDistributionIndependence:
+    @COMMON
+    @given(data=ints, p=procs)
+    def test_sum_reduce(self, data, p):
+        assert _run_reduce(SumOp(), data, p) == sum(data)
+
+    @COMMON
+    @given(data=ints, p=procs)
+    def test_mink(self, data, p):
+        got = _run_reduce(MinKOp(5, INT_MAX), data, p).tolist()
+        smallest = sorted(data)[:5]
+        # state is high-to-low with sentinel padding in front
+        assert got == [INT_MAX] * (5 - len(smallest)) + smallest[::-1]
+
+    @COMMON
+    @given(data=small_ints, p=procs)
+    def test_counts(self, data, p):
+        got = _run_reduce(CountsOp(8, base=0), data, p).tolist()
+        if data:
+            assert got == np.bincount(np.array(data), minlength=8).tolist()
+        else:
+            assert got == [0] * 8
+
+    @COMMON
+    @given(data=ints, p=procs)
+    def test_sorted_matches_python(self, data, p):
+        assert _run_reduce(SortedOp(), data, p) == (data == sorted(data))
+
+    @COMMON
+    @given(data=ints, p=procs)
+    def test_topk(self, data, p):
+        got = _run_reduce(TopKOp(4), data, p)
+        assert got == sorted(data, reverse=True)[:4]
+
+    @COMMON
+    @given(data=st.lists(st.floats(-1e6, 1e6), max_size=40), p=procs)
+    def test_meanvar(self, data, p):
+        got = _run_reduce(MeanVarOp(), data, p)
+        if not data:
+            assert got.n == 0
+        else:
+            arr = np.array(data)
+            assert got.n == len(data)
+            assert got.mean == pytest.approx(arr.mean(), rel=1e-9, abs=1e-9)
+            assert got.variance == pytest.approx(arr.var(), rel=1e-6, abs=1e-6)
+
+    @COMMON
+    @given(data=ints, p=procs)
+    def test_parallel_equals_sequential_reference(self, data, p):
+        assert _run_reduce(SumOp(), data, p) == sequential_reduce(SumOp(), data)
+
+
+class TestScanAlgebra:
+    @COMMON
+    @given(data=ints, p=procs)
+    def test_inclusive_scan_is_cumsum(self, data, p):
+        got = _run_scan(SumOp(), data, p)
+        assert [int(v) for v in got] == np.cumsum(data).tolist()
+
+    @COMMON
+    @given(data=ints, p=procs)
+    def test_exclusive_plus_element_is_inclusive(self, data, p):
+        inc = _run_scan(SumOp(), data, p)
+        exc = _run_scan(SumOp(), data, p, exclusive=True)
+        assert all(
+            int(i) == int(e) + x for i, e, x in zip(inc, exc, data)
+        )
+
+    @COMMON
+    @given(data=ints, p=procs)
+    def test_last_inclusive_is_reduction(self, data, p):
+        if not data:
+            return
+        inc = _run_scan(SumOp(), data, p)
+        assert int(inc[-1]) == sum(data)
+
+    @COMMON
+    @given(data=small_ints, p=procs)
+    def test_counts_scan_independent_of_p(self, data, p):
+        base = sequential_scan(CountsOp(8, base=0), data)
+        assert _run_scan(CountsOp(8, base=0), data, p) == base
+
+    @COMMON
+    @given(data=ints, p=procs)
+    def test_sorted_scan_monotone_false(self, data, p):
+        """Once the prefix is unsorted it stays unsorted."""
+        out = _run_scan(SortedOp(), data, p)
+        seen_false = False
+        for v in out:
+            if seen_false:
+                assert v is False or v == False  # noqa: E712
+            if not v:
+                seen_false = True
+
+
+class TestMiniPairs:
+    @COMMON
+    @given(
+        data=st.lists(
+            st.integers(min_value=-100, max_value=100), min_size=1, max_size=30
+        ),
+        p=procs,
+    )
+    def test_mini_matches_argmin(self, data, p):
+        pairs = [(v, i) for i, v in enumerate(data)]
+        val, loc = _run_reduce(MiniOp(), pairs, p)
+        assert val == min(data)
+        assert loc == data.index(min(data))  # smallest index on ties

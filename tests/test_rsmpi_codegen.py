@@ -1,0 +1,273 @@
+"""Tests for DSL code generation: C semantics, scoping, param constants."""
+
+import pytest
+
+from repro.errors import DslSemanticError
+from repro.rsmpi.preprocessor.codegen import (
+    C_CONSTANTS,
+    _c_div,
+    _c_mod,
+    generate_python,
+)
+from repro.rsmpi.preprocessor.parser import parse_operator
+
+
+def compile_fns(src: str, params=None):
+    return generate_python(parse_operator(src), params)
+
+
+def _wrap_fn(body: str, params: str = "state s, int i") -> str:
+    return f"""
+    rsmpi operator t {{
+      state {{ int a; int b; }}
+      void accum({params}) {{ {body} }}
+      void combine(state s1, state s2) {{ ; }}
+    }}
+    """
+
+
+class State:
+    """Loose stand-in for StateRecord in codegen-only tests."""
+
+    def __init__(self, **kw):
+        self.__dict__.update(kw)
+
+
+class TestCSemantics:
+    def test_c_div_truncates_toward_zero(self):
+        assert _c_div(7, 2) == 3
+        assert _c_div(-7, 2) == -3  # Python's // would give -4
+        assert _c_div(7, -2) == -3
+        assert _c_div(7.0, 2) == 3.5  # floats divide normally
+
+    def test_c_mod_sign_of_dividend(self):
+        assert _c_mod(7, 3) == 1
+        assert _c_mod(-7, 3) == -1  # Python's % would give 2
+        assert _c_mod(7, -3) == 1
+
+    def test_division_in_dsl(self):
+        c = compile_fns(_wrap_fn("s->a = -7 / 2; s->b = -7 % 3;"))
+        s = State(a=0, b=0)
+        c.namespace["accum"](s, 0)
+        assert s.a == -3 and s.b == -1
+
+    def test_logical_ops_yield_ints_and_short_circuit(self):
+        c = compile_fns(
+            _wrap_fn("s->a = (i > 0) && (10 / i > 1); s->b = (i == 0) || (i > 2);")
+        )
+        s = State(a=None, b=None)
+        c.namespace["accum"](s, 0)  # 10/0 must not be evaluated
+        assert s.a == 0 and s.b == 1
+        c.namespace["accum"](s, 5)
+        assert s.a == 1 and s.b == 1
+
+    def test_not_operator(self):
+        c = compile_fns(_wrap_fn("s->a = !i; s->b = !!i;"))
+        s = State(a=None, b=None)
+        c.namespace["accum"](s, 7)
+        assert (s.a, s.b) == (0, 1)
+
+    def test_ternary(self):
+        c = compile_fns(_wrap_fn("s->a = i > 3 ? 100 : 200;"))
+        s = State(a=0)
+        c.namespace["accum"](s, 5)
+        assert s.a == 100
+        c.namespace["accum"](s, 1)
+        assert s.a == 200
+
+    def test_compound_assignment_ops(self):
+        c = compile_fns(
+            _wrap_fn("s->a += i; s->a *= 2; s->a -= 1; s->b = 12; s->b &= 10;")
+        )
+        s = State(a=1, b=0)
+        c.namespace["accum"](s, 4)
+        assert s.a == 9 and s.b == 8
+
+    def test_for_loop_with_incdec(self):
+        c = compile_fns(
+            _wrap_fn("int j; s->a = 0; for (j = 0; j < i; j++) s->a += j;")
+        )
+        s = State(a=None)
+        c.namespace["accum"](s, 5)
+        assert s.a == 10
+
+    def test_while_loop(self):
+        c = compile_fns(
+            _wrap_fn("s->a = 0; while (i > 0) { s->a += i; i -= 1; }")
+        )
+        s = State(a=None)
+        c.namespace["accum"](s, 4)
+        assert s.a == 10
+
+    def test_local_array_declaration(self):
+        c = compile_fns(
+            _wrap_fn("int tmp[3]; tmp[0] = i; tmp[2] = tmp[0] * 2; s->a = tmp[2];")
+        )
+        s = State(a=0)
+        c.namespace["accum"](s, 6)
+        assert s.a == 12
+
+    def test_true_false_literals(self):
+        c = compile_fns(_wrap_fn("s->a = true; s->b = false;"))
+        s = State(a=None, b=None)
+        c.namespace["accum"](s, 0)
+        assert (s.a, s.b) == (1, 0)
+
+    def test_builtin_math_functions(self):
+        c = compile_fns(_wrap_fn("s->a = abs(-5) + max(2, 3) + min(7, i);"))
+        s = State(a=0)
+        c.namespace["accum"](s, 1)
+        assert s.a == 5 + 3 + 1
+
+
+class TestConstants:
+    def test_c_limits_available(self):
+        assert C_CONSTANTS["INT_MAX"] == 2**31 - 1
+        c = compile_fns(_wrap_fn("s->a = INT_MAX; s->b = INT_MIN;"))
+        s = State(a=0, b=0)
+        c.namespace["accum"](s, 0)
+        assert s.a == 2**31 - 1 and s.b == -(2**31)
+
+    def test_param_default_and_override(self):
+        src = """
+        rsmpi operator t {
+          param int k = 4;
+          state { int a; }
+          void accum(state s, int i) { s->a = k * i; }
+          void combine(state s1, state s2) { ; }
+        }
+        """
+        c1 = compile_fns(src)
+        s = State(a=0)
+        c1.namespace["accum"](s, 2)
+        assert s.a == 8
+        c2 = compile_fns(src, params={"k": 10})
+        c2.namespace["accum"](s, 2)
+        assert s.a == 20
+
+    def test_param_without_default_requires_value(self):
+        src = """
+        rsmpi operator t {
+          param int k;
+          state { int a; }
+          void accum(state s, int i) { s->a = k; }
+          void combine(state s1, state s2) { ; }
+        }
+        """
+        with pytest.raises(DslSemanticError, match="no default"):
+            compile_fns(src)
+        c = compile_fns(src, params={"k": 3})
+        assert c.params["k"] == 3
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(DslSemanticError, match="unknown params"):
+            compile_fns(_wrap_fn("s->a = 0;"), params={"nope": 1})
+
+    def test_param_expression_default(self):
+        src = """
+        rsmpi operator t {
+          param int k = 2 * 3 + 1;
+          state { int a; }
+          void accum(state s, int i) { s->a = k; }
+          void combine(state s1, state s2) { ; }
+        }
+        """
+        assert compile_fns(src).params["k"] == 7
+
+
+class TestScoping:
+    def test_unknown_name_rejected_at_compile_time(self):
+        with pytest.raises(DslSemanticError, match="unknown name"):
+            compile_fns(_wrap_fn("s->a = undeclared;"))
+
+    def test_locals_scoped_to_function(self):
+        src = """
+        rsmpi operator t {
+          state { int a; }
+          void accum(state s, int i) { int local_x; local_x = i; s->a = local_x; }
+          void combine(state s1, state s2) { s1->a = local_x; }
+        }
+        """
+        with pytest.raises(DslSemanticError, match="unknown name"):
+            compile_fns(src)
+
+    def test_sibling_function_callable(self):
+        src = """
+        rsmpi operator t {
+          state { int a; }
+          void helper(state s, int v) { s->a += v; }
+          void accum(state s, int i) { helper(s, i); helper(s, i); }
+          void combine(state s1, state s2) { ; }
+        }
+        """
+        c = compile_fns(src)
+        s = State(a=0)
+        c.namespace["accum"](s, 3)
+        assert s.a == 6
+
+    def test_assignment_inside_expression_rejected(self):
+        with pytest.raises(DslSemanticError, match="statements"):
+            compile_fns(_wrap_fn("s->a = (s->b = 1) + 2;"))
+
+    def test_source_is_inspectable(self):
+        c = compile_fns(_wrap_fn("s->a = i;"))
+        assert "def accum(s, i):" in c.source
+
+
+class TestBreakContinue:
+    def test_break_in_for(self):
+        c = compile_fns(
+            _wrap_fn(
+                "int j; s->a = 0; "
+                "for (j = 0; j < 100; j++) { if (j == i) break; s->a += 1; }"
+            )
+        )
+        s = State(a=None)
+        c.namespace["accum"](s, 7)
+        assert s.a == 7
+
+    def test_break_in_while(self):
+        c = compile_fns(
+            _wrap_fn("s->a = 0; while (true) { s->a += 1; if (s->a >= i) break; }")
+        )
+        s = State(a=None)
+        c.namespace["accum"](s, 4)
+        assert s.a == 4
+
+    def test_continue_in_while(self):
+        c = compile_fns(
+            _wrap_fn(
+                "int j; j = 0; s->a = 0; "
+                "while (j < i) { j += 1; if (j % 2 == 0) continue; s->a += j; }"
+            )
+        )
+        s = State(a=None)
+        c.namespace["accum"](s, 6)
+        assert s.a == 1 + 3 + 5
+
+    def test_continue_in_for_rejected(self):
+        with pytest.raises(DslSemanticError, match="continue"):
+            compile_fns(
+                _wrap_fn(
+                    "int j; for (j = 0; j < i; j++) { continue; }"
+                )
+            )
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(DslSemanticError, match="break"):
+            compile_fns(_wrap_fn("break;"))
+
+    def test_nested_loops_break_inner_only(self):
+        c = compile_fns(
+            _wrap_fn(
+                "int j, kk; s->a = 0; "
+                "for (j = 0; j < 3; j++) { "
+                "  kk = 0; "
+                "  while (true) { kk += 1; if (kk >= 2) break; } "
+                "  s->a += kk; "
+                "}"
+            )
+        )
+        s = State(a=None)
+        c.namespace["accum"](s, 0)
+        assert s.a == 6

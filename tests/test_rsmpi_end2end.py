@@ -1,0 +1,374 @@
+"""End-to-end RSMPI tests: Listing 8 verbatim, the API routines, the
+OperatorSpec decorator path, and StateRecord behavior."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DslSemanticError, DslSyntaxError
+from repro.rsmpi import (
+    INT_MAX,
+    INT_MIN,
+    OperatorSpec,
+    RSMPI_Reduce,
+    RSMPI_Reduceall,
+    RSMPI_Scan,
+    RSMPI_Xscan,
+    StateRecord,
+    compile_operator,
+    indexed,
+)
+from repro.runtime import spmd_run
+from tests.conftest import PAPER_DATA, block_split, gather_scan, run_all
+
+#: Paper Listing 8, verbatim modulo whitespace.
+LISTING_8 = """
+rsmpi operator sorted {
+  non-commutative
+  state {
+    int first, last;
+    int status;
+  }
+  void ident(state s) {
+    s->first = INT_MAX;
+    s->last = INT_MIN;
+    s->status = 1;
+  }
+  void pre_accum(state s, int i) {
+    s->first = i;
+  }
+  void accum(state s, int i) {
+    if (s->last > i)
+      s->status = 0;
+    s->last = i;
+  }
+  void combine(state s1, state s2) {
+    s1->status &= s2->status &&
+      (s1->last <= s2->first);
+    s1->last = s2->last;
+  }
+  int generate(state s) {
+    return s->status;
+  }
+}
+"""
+
+SIZES = [1, 2, 3, 5, 8]
+
+
+class TestListing8:
+    @pytest.fixture(scope="class")
+    def sorted_op(self):
+        return compile_operator(LISTING_8)
+
+    def test_noncommutative_flag_carried(self, sorted_op):
+        assert sorted_op.commutative is False
+        assert sorted_op.name == "sorted"
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_sorted_true(self, sorted_op, p):
+        data = list(range(60))
+        out = run_all(
+            lambda comm: RSMPI_Reduceall(
+                sorted_op, block_split(data, comm.size, comm.rank), comm
+            ),
+            p,
+        )
+        assert all(v == 1 for v in out)
+
+    @pytest.mark.parametrize("p", SIZES)
+    @pytest.mark.parametrize("swap_at", [0, 29, 58])
+    def test_sorted_false(self, sorted_op, p, swap_at):
+        data = list(range(60))
+        data[swap_at], data[swap_at + 1] = data[swap_at + 1], data[swap_at]
+        out = run_all(
+            lambda comm: RSMPI_Reduceall(
+                sorted_op, block_split(data, comm.size, comm.rank), comm
+            ),
+            p,
+        )
+        assert all(v == 0 for v in out)
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_boundary_violation_across_ranks(self, sorted_op, p):
+        """Locally sorted everywhere; global violation only at a rank
+        boundary — the case only the combine can catch."""
+
+        def prog(comm):
+            lo = 1000 * (comm.size - comm.rank)
+            return RSMPI_Reduceall(sorted_op, list(range(lo, lo + 5)), comm)
+
+        assert all(v == 0 for v in run_all(prog, p))
+
+
+class TestAPIRoutines:
+    @pytest.fixture(scope="class")
+    def counts_op(self):
+        return compile_operator(
+            """
+            rsmpi operator counts {
+              param int k = 8;
+              state { int v[k]; }
+              void ident(state s) { int i; for (i = 0; i < k; i++) s->v[i] = 0; }
+              void accum(state s, int x) { s->v[x - 1] += 1; }
+              void combine(state s1, state s2) {
+                int i;
+                for (i = 0; i < k; i++) s1->v[i] += s2->v[i];
+              }
+              void red_generate(state s) { return s->v; }
+              int scan_generate(state s, int x) { return s->v[x - 1]; }
+            }
+            """
+        )
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_reduceall_counts(self, counts_op, p):
+        out = run_all(
+            lambda comm: RSMPI_Reduceall(
+                counts_op, block_split(PAPER_DATA, comm.size, comm.rank), comm
+            ),
+            p,
+        )
+        for v in out:
+            assert list(v) == [0, 1, 2, 1, 0, 2, 1, 3]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_reduce_root_only(self, counts_op, p):
+        out = run_all(
+            lambda comm: RSMPI_Reduce(
+                counts_op,
+                block_split(PAPER_DATA, comm.size, comm.rank),
+                comm,
+                root=p - 1,
+            ),
+            p,
+        )
+        assert list(out[p - 1]) == [0, 1, 2, 1, 0, 2, 1, 3]
+        assert all(v is None for v in out[: p - 1])
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_scan_rankings(self, counts_op, p):
+        out = gather_scan(
+            lambda comm: RSMPI_Scan(
+                counts_op, block_split(PAPER_DATA, comm.size, comm.rank), comm
+            ),
+            p,
+        )
+        assert out == [1, 1, 2, 1, 1, 1, 2, 1, 3, 2]
+
+    @pytest.mark.parametrize("p", SIZES)
+    def test_xscan_zero_based(self, counts_op, p):
+        out = gather_scan(
+            lambda comm: RSMPI_Xscan(
+                counts_op, block_split(PAPER_DATA, comm.size, comm.rank), comm
+            ),
+            p,
+        )
+        assert out == [0, 0, 1, 0, 0, 0, 1, 0, 2, 1]
+
+    def test_generator_iterator_materialized(self):
+        sum_op = compile_operator(
+            """
+            rsmpi operator summer {
+              state { int total; }
+              void ident(state s) { s->total = 0; }
+              void accum(state s, int x) { s->total += x; }
+              void combine(state s1, state s2) { s1->total += s2->total; }
+              int generate(state s) { return s->total; }
+            }
+            """
+        )
+        out = run_all(
+            lambda comm: RSMPI_Reduceall(
+                sum_op, (x * x for x in range(5)), comm
+            ),
+            1,
+        )
+        assert out == [30]
+
+
+class TestIndexedIterator:
+    def test_pairs_with_global_indices(self):
+        it = indexed(np.array([5.0, 7.0]), global_offset=10)
+        assert it.tolist() == [[5.0, 10.0], [7.0, 11.0]]
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_mini_over_indexed(self, p):
+        mini = compile_operator(
+            """
+            rsmpi operator mini {
+              state { double val; int loc; int seen; }
+              void ident(state s) { s->val = DBL_MAX; s->loc = -1; s->seen = 0; }
+              void accum(state s, double x, int i) {
+                if (!s->seen || x < s->val || (x == s->val && i < s->loc)) {
+                  s->val = x; s->loc = i; s->seen = 1;
+                }
+              }
+              void combine(state s1, state s2) {
+                if (s2->seen) {
+                  if (!s1->seen || s2->val < s1->val ||
+                      (s2->val == s1->val && s2->loc < s1->loc)) {
+                    s1->val = s2->val; s1->loc = s2->loc; s1->seen = 1;
+                  }
+                }
+              }
+              void red_generate(state s) { return s; }
+            }
+            """
+        )
+        data = np.array([5.0, 2.0, 9.0, 2.0, 7.0])
+
+        def prog(comm):
+            base, extra = divmod(len(data), comm.size)
+            lo = comm.rank * base + min(comm.rank, extra)
+            hi = lo + base + (1 if comm.rank < extra else 0)
+            return RSMPI_Reduceall(mini, indexed(data[lo:hi], lo), comm)
+
+        for s in run_all(prog, p):
+            assert (s.val, s.loc) == (2.0, 1)
+
+
+class TestOperatorSpecDecorators:
+    def test_full_decorator_path(self):
+        spec = OperatorSpec(
+            "sorted", commutative=False,
+            state={"first": INT_MAX, "last": INT_MIN, "status": 1},
+        )
+
+        @spec.pre_accum
+        def _(s, i):
+            s.first = i
+
+        @spec.accum
+        def _(s, i):
+            if s.last > i:
+                s.status = 0
+            s.last = i
+
+        @spec.combine
+        def _(s1, s2):
+            s1.status &= s2.status and (s1.last <= s2.first)
+            s1.last = s2.last
+
+        @spec.generate
+        def _(s):
+            return s.status
+
+        op = spec.build()
+        out = run_all(
+            lambda comm: RSMPI_Reduceall(
+                op, block_split(list(range(30)), comm.size, comm.rank), comm
+            ),
+            4,
+        )
+        assert all(v == 1 for v in out)
+
+    def test_missing_accum_rejected(self):
+        spec = OperatorSpec("x", state={"a": 0})
+        spec.combine(lambda a, b: None)
+        with pytest.raises(DslSemanticError, match="accum"):
+            spec.build()
+
+    def test_missing_combine_rejected(self):
+        spec = OperatorSpec("x", state={"a": 0})
+        spec.accum(lambda s, x: None)
+        with pytest.raises(DslSemanticError, match="combine"):
+            spec.build()
+
+    def test_state_or_ident_required(self):
+        spec = OperatorSpec("x")
+        spec.accum(lambda s, x: None)
+        spec.combine(lambda a, b: None)
+        with pytest.raises(DslSemanticError):
+            spec.build()
+
+
+class TestStateRecord:
+    def test_field_access(self):
+        s = StateRecord({"a": 1, "v": [0, 0]})
+        s.a = 5
+        s.v[1] = 9
+        assert s.a == 5 and s.v == [0, 9]
+
+    def test_unknown_field_rejected(self):
+        s = StateRecord({"a": 1})
+        with pytest.raises(AttributeError, match="no field"):
+            s.b = 1
+        with pytest.raises(AttributeError, match="no field"):
+            _ = s.b
+
+    def test_defaults_isolated_between_instances(self):
+        defaults = {"v": [0, 0]}
+        s1 = StateRecord(defaults)
+        s2 = StateRecord(defaults)
+        s1.v[0] = 99
+        assert s2.v == [0, 0]
+
+    def test_equality(self):
+        assert StateRecord({"a": 1}) == StateRecord({"a": 1})
+        assert StateRecord({"a": 1}) != StateRecord({"a": 2})
+        assert StateRecord({"a": 1}) != StateRecord({"b": 1})
+
+    def test_deepcopyable(self):
+        import copy
+
+        s = StateRecord({"v": [1, 2]})
+        c = copy.deepcopy(s)
+        c.v[0] = 99
+        assert s.v == [1, 2]
+
+    def test_transfer_nbytes(self):
+        assert StateRecord({"a": 1, "b": 2.0}).transfer_nbytes() > 0
+
+
+class TestDSLErrors:
+    def test_syntax_error_has_position(self):
+        with pytest.raises(DslSyntaxError) as ei:
+            compile_operator("rsmpi operator x { state int a; }")
+        assert "line" in str(ei.value)
+
+    def test_missing_state_block(self):
+        with pytest.raises(DslSemanticError, match="state"):
+            compile_operator(
+                """
+                rsmpi operator x {
+                  void accum(state s, int i) { ; }
+                  void combine(state s1, state s2) { ; }
+                }
+                """
+            )
+
+    def test_bad_signature_arity(self):
+        with pytest.raises(DslSemanticError, match="parameters"):
+            compile_operator(
+                """
+                rsmpi operator x {
+                  state { int a; }
+                  void accum(state s) { ; }
+                  void combine(state s1, state s2) { ; }
+                }
+                """
+            )
+
+    def test_first_param_must_be_state(self):
+        with pytest.raises(DslSemanticError, match="state"):
+            compile_operator(
+                """
+                rsmpi operator x {
+                  state { int a; }
+                  void accum(int i, state s) { ; }
+                  void combine(state s1, state s2) { ; }
+                }
+                """
+            )
+
+    def test_combine_needs_two_states(self):
+        with pytest.raises(DslSemanticError, match="combine"):
+            compile_operator(
+                """
+                rsmpi operator x {
+                  state { int a; }
+                  void accum(state s, int i) { ; }
+                  void combine(state s1, int x) { ; }
+                }
+                """
+            )

@@ -1,0 +1,37 @@
+"""Tests for the RSMPI iterator helpers."""
+
+import numpy as np
+
+from repro.rsmpi.iterators import indexed, mapped, materialize, strided
+
+
+class TestIterators:
+    def test_indexed_pairs(self):
+        out = indexed(np.array([10.0, 20.0, 30.0]), global_offset=5)
+        assert out.tolist() == [[10.0, 5.0], [20.0, 6.0], [30.0, 7.0]]
+
+    def test_indexed_empty(self):
+        assert indexed(np.array([]), 0).shape == (0, 2)
+
+    def test_mapped_applies_expression(self):
+        assert mapped(lambda x: x * x, [1, 2, 3]) == [1, 4, 9]
+
+    def test_strided_is_view(self):
+        a = np.arange(10)
+        v = strided(a, start=1, stop=9, step=2)
+        assert v.tolist() == [1, 3, 5, 7]
+        a[1] = 99
+        assert v[0] == 99  # no copy
+
+    def test_materialize_passthrough(self):
+        arr = np.arange(3)
+        assert materialize(arr) is arr
+        lst = [1, 2]
+        assert materialize(lst) is lst
+        tup = (1, 2)
+        assert materialize(tup) is tup
+
+    def test_materialize_generator(self):
+        out = materialize(x * 2 for x in range(3))
+        assert out == [0, 2, 4]
+        assert len(out) == 3  # has len/indexing for the accumulate phase

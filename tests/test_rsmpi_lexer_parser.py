@@ -1,0 +1,223 @@
+"""Tests for the RSMPI DSL lexer and parser."""
+
+import pytest
+
+from repro.errors import DslSyntaxError
+from repro.rsmpi.preprocessor import ast_nodes as A
+from repro.rsmpi.preprocessor.lexer import Token, tokenize
+from repro.rsmpi.preprocessor.parser import parse_operator
+
+
+class TestLexer:
+    def test_keywords_and_idents(self):
+        toks = tokenize("rsmpi operator foo")
+        assert [(t.kind, t.text) for t in toks[:-1]] == [
+            ("keyword", "rsmpi"),
+            ("keyword", "operator"),
+            ("ident", "foo"),
+        ]
+
+    def test_non_commutative_is_single_token(self):
+        toks = tokenize("non-commutative")
+        assert toks[0].text == "non-commutative"
+        assert toks[0].kind == "keyword"
+        assert toks[1].kind == "eof"
+
+    def test_minus_still_works(self):
+        toks = tokenize("a - b")
+        assert [t.text for t in toks[:-1]] == ["a", "-", "b"]
+
+    def test_numbers(self):
+        toks = tokenize("1 23 4.5 1e3 2.5e-2")
+        assert [t.text for t in toks[:-1]] == ["1", "23", "4.5", "1e3", "2.5e-2"]
+        assert all(t.kind == "number" for t in toks[:-1])
+
+    def test_multichar_punct_longest_match(self):
+        toks = tokenize("a <= b -> c && d += 1")
+        assert [t.text for t in toks[:-1]] == [
+            "a", "<=", "b", "->", "c", "&&", "d", "+=", "1",
+        ]
+
+    def test_comments_skipped(self):
+        toks = tokenize("a // line comment\n b /* block\ncomment */ c")
+        assert [t.text for t in toks[:-1]] == ["a", "b", "c"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(DslSyntaxError, match="unterminated"):
+            tokenize("a /* oops")
+
+    def test_illegal_character(self):
+        with pytest.raises(DslSyntaxError, match="illegal character"):
+            tokenize("a @ b")
+
+    def test_positions_tracked(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+MINIMAL = """
+rsmpi operator tiny {
+  state { int x; }
+  void accum(state s, int i) { s->x += i; }
+  void combine(state s1, state s2) { s1->x += s2->x; }
+}
+"""
+
+
+class TestParserStructure:
+    def test_minimal_operator(self):
+        decl = parse_operator(MINIMAL)
+        assert decl.name == "tiny"
+        assert decl.commutative is True  # default when unspecified
+        assert [f.name for f in decl.state_fields] == ["x"]
+        assert set(decl.functions) == {"accum", "combine"}
+
+    def test_commutativity_flags(self):
+        d1 = parse_operator(MINIMAL.replace("{\n  state", "{\n  commutative\n  state"))
+        assert d1.commutative
+        d2 = parse_operator(
+            MINIMAL.replace("{\n  state", "{\n  non-commutative\n  state")
+        )
+        assert not d2.commutative
+
+    def test_duplicate_flag_rejected(self):
+        src = MINIMAL.replace(
+            "{\n  state", "{\n  commutative\n  commutative\n  state"
+        )
+        with pytest.raises(DslSyntaxError, match="duplicate"):
+            parse_operator(src)
+
+    def test_comma_declarations(self):
+        decl = parse_operator(
+            """
+            rsmpi operator x {
+              state { int a, b; double c; }
+              void accum(state s, int i) { s->a = i; }
+              void combine(state s1, state s2) { ; }
+            }
+            """
+        )
+        assert [(f.name, f.ctype) for f in decl.state_fields] == [
+            ("a", "int"), ("b", "int"), ("c", "double"),
+        ]
+
+    def test_array_state_field(self):
+        decl = parse_operator(
+            """
+            rsmpi operator x {
+              param int k = 3;
+              state { int v[k]; }
+              void accum(state s, int i) { s->v[0] = i; }
+              void combine(state s1, state s2) { ; }
+            }
+            """
+        )
+        f = decl.state_fields[0]
+        assert f.array_size is not None
+        assert decl.params[0].name == "k"
+
+    def test_function_params(self):
+        decl = parse_operator(
+            MINIMAL.replace(
+                "void accum(state s, int i)", "void accum(state s, double x, int i)"
+            ).replace("s->x += i", "s->x += i")
+        )
+        fn = decl.functions["accum"]
+        assert [(p.ctype, p.name) for p in fn.params] == [
+            ("state", "s"), ("double", "x"), ("int", "i"),
+        ]
+
+    def test_duplicate_function_rejected(self):
+        src = MINIMAL.replace(
+            "void combine",
+            "void accum(state s, int i) { ; }\n  void combine",
+        )
+        with pytest.raises(DslSyntaxError, match="duplicate function"):
+            parse_operator(src)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DslSyntaxError):
+            parse_operator(MINIMAL + " extra")
+
+    def test_missing_brace(self):
+        with pytest.raises(DslSyntaxError):
+            parse_operator(MINIMAL.rstrip().rstrip("}"))
+
+
+class TestParserExpressions:
+    def _body(self, stmts: str):
+        decl = parse_operator(
+            f"""
+            rsmpi operator x {{
+              state {{ int a; }}
+              void accum(state s, int i) {{ {stmts} }}
+              void combine(state s1, state s2) {{ ; }}
+            }}
+            """
+        )
+        return decl.functions["accum"].body.stmts
+
+    def test_precedence_mul_over_add(self):
+        (stmt,) = self._body("s->a = 1 + 2 * 3;")
+        assert isinstance(stmt.expr, A.Assign)
+        top = stmt.expr.value
+        assert isinstance(top, A.Binary) and top.op == "+"
+        assert isinstance(top.right, A.Binary) and top.right.op == "*"
+
+    def test_precedence_relational_over_logical(self):
+        (stmt,) = self._body("s->a = i < 3 && i > 1;")
+        top = stmt.expr.value
+        assert top.op == "&&"
+        assert top.left.op == "<" and top.right.op == ">"
+
+    def test_ternary(self):
+        (stmt,) = self._body("s->a = i > 0 ? 1 : 2;")
+        assert isinstance(stmt.expr.value, A.Ternary)
+
+    def test_unary_chain(self):
+        (stmt,) = self._body("s->a = !-i;")
+        v = stmt.expr.value
+        assert isinstance(v, A.Unary) and v.op == "!"
+        assert isinstance(v.operand, A.Unary) and v.operand.op == "-"
+
+    def test_postfix_index_and_field(self):
+        decl = parse_operator(
+            """
+            rsmpi operator x {
+              param int k = 2;
+              state { int v[k]; }
+              void accum(state s, int i) { s->v[i+1] = 0; }
+              void combine(state s1, state s2) { ; }
+            }
+            """
+        )
+        stmt = decl.functions["accum"].body.stmts[0]
+        target = stmt.expr.target
+        assert isinstance(target, A.Index)
+        assert isinstance(target.base, A.Field)
+
+    def test_for_loop_parsed(self):
+        stmts = self._body("int j; for (j = 0; j < 3; j++) s->a += j;")
+        assert isinstance(stmts[1], A.For)
+        assert isinstance(stmts[1].update, A.IncDec)
+
+    def test_while_and_if_else(self):
+        stmts = self._body(
+            "while (i > 0) { if (i > 5) s->a = 1; else s->a = 2; i -= 1; }"
+        )
+        assert isinstance(stmts[0], A.While)
+
+    def test_chained_assignment(self):
+        (stmt,) = self._body("s->a = i = 3;")
+        assert isinstance(stmt.expr, A.Assign)
+        assert isinstance(stmt.expr.value, A.Assign)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(DslSyntaxError, match="assignment target"):
+            self._body("1 = 2;")
+
+    def test_call_expression(self):
+        stmts = self._body("accum(s, i);")
+        assert isinstance(stmts[0].expr, A.Call)
+        assert stmts[0].expr.func == "accum"

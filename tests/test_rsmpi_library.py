@@ -1,0 +1,126 @@
+"""Tests that every library DSL operator matches its hand-written twin."""
+
+import numpy as np
+import pytest
+
+from repro.core import check_operator, global_reduce, global_scan
+from repro.errors import ReproError
+from repro.ops import (
+    CountsOp,
+    MaxiOp,
+    MaxKOp,
+    MeanVarOp,
+    MiniOp,
+    MinKOp,
+    SortedOp,
+    SumOp,
+)
+from repro.rsmpi import load_operator, operator_names
+from repro.runtime import spmd_run
+from tests.conftest import PAPER_DATA, block_split, gather_scan, run_all
+
+INT_MAX = np.iinfo(np.int64).max
+INT_MIN = np.iinfo(np.int64).min
+
+
+def _reduce_all(op, data, p):
+    return run_all(
+        lambda comm: global_reduce(
+            comm, op, block_split(data, comm.size, comm.rank)
+        ),
+        p,
+    )[0]
+
+
+class TestLibraryMatchesNative:
+    @pytest.mark.parametrize("p", [1, 3, 6])
+    def test_sorted(self, p):
+        dsl = load_operator("sorted")
+        for data in (list(range(40)), [3, 1] + list(range(38))):
+            assert bool(_reduce_all(dsl, data, p)) == _reduce_all(
+                SortedOp(), data, p
+            )
+
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_mink_maxk(self, p, rng):
+        data = [int(v) for v in rng.integers(0, 10_000, 90)]
+        mk = _reduce_all(load_operator("mink", k=5), data, p)
+        assert list(mk) == _reduce_all(MinKOp(5, INT_MAX), data, p).tolist()
+        xk = _reduce_all(load_operator("maxk", k=5), data, p)
+        assert list(xk) == _reduce_all(MaxKOp(5, INT_MIN), data, p).tolist()
+
+    @pytest.mark.parametrize("p", [1, 2, 5])
+    def test_counts_reduce_and_scan(self, p):
+        dsl = load_operator("counts", k=8, base=1)
+        assert list(_reduce_all(dsl, PAPER_DATA, p)) == _reduce_all(
+            CountsOp(8), PAPER_DATA, p
+        ).tolist()
+        rank_dsl = gather_scan(
+            lambda comm: global_scan(
+                comm, dsl, block_split(PAPER_DATA, comm.size, comm.rank)
+            ),
+            p,
+        )
+        assert rank_dsl == [1, 1, 2, 1, 1, 1, 2, 1, 3, 2]
+
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_mini_maxi(self, p):
+        data = [5.0, 2.0, 9.0, 2.0, 7.0]
+        pairs = [(v, i) for i, v in enumerate(data)]
+        s = _reduce_all(load_operator("mini"), pairs, p)
+        assert (s.val, s.loc) == _reduce_all(MiniOp(), pairs, p)
+        s = _reduce_all(load_operator("maxi"), pairs, p)
+        assert (s.val, s.loc) == _reduce_all(MaxiOp(), pairs, p)
+
+    @pytest.mark.parametrize("p", [1, 3])
+    def test_sum_and_range(self, p, rng):
+        data = [float(v) for v in rng.integers(-50, 50, 40)]
+        assert _reduce_all(load_operator("sum"), data, p) == pytest.approx(
+            sum(data)
+        )
+        s = _reduce_all(load_operator("range"), data, p)
+        assert (s.lo, s.hi) == (min(data), max(data))
+
+    @pytest.mark.parametrize("p", [1, 4])
+    def test_meanvar(self, p, rng):
+        data = [float(v) for v in rng.normal(5, 2, 60)]
+        s = _reduce_all(load_operator("meanvar"), data, p)
+        ref = _reduce_all(MeanVarOp(), data, p)
+        assert s.n == ref.n
+        assert s.mean == pytest.approx(ref.mean)
+        assert s.m2 / s.n == pytest.approx(ref.variance)
+
+
+class TestLibraryMachinery:
+    def test_names_listed(self):
+        names = operator_names()
+        assert "sorted" in names and "mink" in names
+        assert names == sorted(names)
+
+    def test_unknown_name(self):
+        with pytest.raises(ReproError, match="unknown library operator"):
+            load_operator("nope")
+
+    def test_param_override(self):
+        op = load_operator("mink", k=3)
+        s = op.ident()
+        assert len(s.v) == 3
+
+    def test_all_sources_compile(self):
+        for name in operator_names():
+            load_operator(name)
+
+    def test_all_pass_law_checks(self, rng):
+        data_by_name = {
+            "sorted": sorted(int(v) for v in rng.integers(0, 99, 20)),
+            "mink": [int(v) for v in rng.integers(0, 99, 20)],
+            "maxk": [int(v) for v in rng.integers(0, 99, 20)],
+            "counts": [int(v) for v in rng.integers(1, 9, 20)],
+            "mini": [(float(v), i) for i, v in enumerate(rng.integers(0, 99, 20))],
+            "maxi": [(float(v), i) for i, v in enumerate(rng.integers(0, 99, 20))],
+            "sum": [float(v) for v in rng.integers(-9, 9, 20)],
+            "range": [float(v) for v in rng.integers(-9, 9, 20)],
+            "meanvar": [float(v) for v in rng.integers(-9, 9, 20)],
+        }
+        for name in operator_names():
+            check_operator(load_operator(name), data_by_name[name], n_trials=6)

@@ -1,0 +1,102 @@
+"""Scale smoke tests: larger rank counts and the paper-scale class
+definitions (constructibility, not full runs)."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.core import global_reduce, global_scan
+from repro.nas import IS_CLASSES_FULL, MG_CLASSES_FULL, ep_class
+from repro.ops import CountsOp, MinKOp, SortedOp, SumOp
+from repro.runtime import spmd_run
+from tests.conftest import block_split, gather_scan, run_all
+
+
+class TestManyRanks:
+    @pytest.mark.parametrize("p", [32, 64])
+    def test_allreduce_wide(self, p):
+        out = run_all(lambda comm: comm.allreduce(comm.rank + 1, mpi.SUM), p)
+        assert out == [p * (p + 1) // 2] * p
+
+    @pytest.mark.parametrize("p", [32, 64])
+    def test_noncommutative_scan_wide(self, p):
+        cat = mpi.op_create(lambda a, b: a + b, commute=False)
+        out = run_all(lambda comm: comm.scan((comm.rank,), cat), p)
+        assert out[-1] == tuple(range(p))
+
+    def test_global_reduce_64_ranks(self, rng):
+        data = rng.integers(0, 1000, 2048)
+
+        def prog(comm):
+            return global_reduce(
+                comm, MinKOp(5, np.iinfo(np.int64).max),
+                block_split(data, comm.size, comm.rank),
+            )
+
+        out = run_all(prog, 64)
+        expected = np.sort(data)[:5][::-1].tolist()
+        assert all(v.tolist() == expected for v in out)
+
+    def test_scan_64_ranks(self, rng):
+        data = rng.integers(0, 8, 512)
+        out = gather_scan(
+            lambda comm: global_scan(
+                comm, CountsOp(8, base=0),
+                block_split(data, comm.size, comm.rank),
+            ),
+            64,
+        )
+        # p-independence at width
+        base = gather_scan(
+            lambda comm: global_scan(comm, CountsOp(8, base=0), data), 1
+        )
+        assert out == base
+
+    def test_more_ranks_than_elements(self):
+        data = [3, 1, 2]
+
+        def prog(comm):
+            return global_reduce(
+                comm, SumOp(), block_split(data, comm.size, comm.rank)
+            )
+
+        assert all(v == 6 for v in run_all(prog, 16))
+
+    def test_sorted_wide_nearly_all_empty(self):
+        def prog(comm):
+            local = [1, 2, 3] if comm.rank == 7 else []
+            return global_reduce(comm, SortedOp(), local)
+
+        assert all(run_all(prog, 32))
+
+    def test_virtual_time_grows_logarithmically(self):
+        """Allreduce latency must scale ~log p, not ~p."""
+        times = {}
+        for p in (4, 16, 64):
+            times[p] = spmd_run(
+                lambda comm: comm.allreduce(1.0, mpi.SUM), p
+            ).time
+        # log2: 2, 4, 6 rounds — ratios well under linear scaling
+        assert times[64] < times[4] * 6
+        assert times[16] < times[64]
+
+
+class TestFullScaleClassesConstructible:
+    def test_is_full_classes(self):
+        assert IS_CLASSES_FULL["C"].n_keys == 1 << 27
+
+    def test_mg_full_classes(self):
+        assert MG_CLASSES_FULL["C"].n_points == 512 ** 3
+
+    def test_ep_full_classes(self):
+        assert ep_class("C", full=True).n_pairs == 1 << 32
+
+    def test_full_is_keygen_slice(self):
+        """Generating a slice of the full class must not require
+        materializing the whole stream (jump-ahead check)."""
+        from repro.nas.intsort import generate_keys_block
+
+        cls = IS_CLASSES_FULL["C"]
+        block = generate_keys_block(cls, cls.n_keys - 100, 100)
+        assert len(block) == 100
+        assert block.min() >= 0 and block.max() < cls.max_key

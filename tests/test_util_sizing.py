@@ -1,0 +1,88 @@
+"""Tests for wire sizing and payload isolation."""
+
+import numpy as np
+import pytest
+
+from repro.util.sizing import TransferSized, copy_for_transfer, payload_nbytes
+
+
+class TestPayloadNbytes:
+    def test_numpy_array_exact(self):
+        a = np.zeros(100, dtype=np.float64)
+        assert payload_nbytes(a) == 800
+        assert payload_nbytes(np.zeros(10, dtype=np.int32)) == 40
+
+    def test_numpy_scalar(self):
+        assert payload_nbytes(np.float64(1.5)) == 8
+        assert payload_nbytes(np.int32(7)) == 4
+
+    def test_python_scalars(self):
+        assert payload_nbytes(3) == 8
+        assert payload_nbytes(2.5) == 8
+        assert payload_nbytes(True) == 8
+        assert payload_nbytes(None) == 1
+
+    def test_bytes_and_str(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes("hello") == 5
+        assert payload_nbytes("héllo") == 6  # utf-8
+
+    def test_containers_sum_elements(self):
+        assert payload_nbytes((1.0, 2.0)) > 16
+        assert payload_nbytes([np.zeros(4)]) >= 32
+        assert payload_nbytes({"a": 1}) > 8
+
+    def test_transfer_sized_protocol(self):
+        class S(TransferSized):
+            def transfer_nbytes(self):
+                return 24
+
+        assert payload_nbytes(S()) == 24
+
+    def test_duck_typed_transfer_nbytes(self):
+        class D:
+            def transfer_nbytes(self):
+                return 99
+
+        assert payload_nbytes(D()) == 99
+
+    def test_fallback_pickles(self):
+        class Plain:
+            def __init__(self):
+                self.x = 1
+
+        assert payload_nbytes(Plain()) > 0
+
+
+class TestCopyForTransfer:
+    def test_numpy_isolated(self):
+        a = np.arange(5)
+        b = copy_for_transfer(a)
+        b[0] = 99
+        assert a[0] == 0
+
+    def test_scalars_passthrough(self):
+        for v in (None, 1, 2.5, True, "s", b"b"):
+            assert copy_for_transfer(v) is v
+
+    def test_nested_containers_isolated(self):
+        src = {"k": [np.arange(3), (1, np.arange(2))]}
+        dst = copy_for_transfer(src)
+        dst["k"][0][0] = 42
+        dst["k"][1][1][0] = 42
+        assert src["k"][0][0] == 0
+        assert src["k"][1][1][0] == 0
+
+    def test_custom_object_deepcopied(self):
+        class Box:
+            def __init__(self):
+                self.v = [1, 2]
+
+        b = Box()
+        c = copy_for_transfer(b)
+        c.v.append(3)
+        assert b.v == [1, 2]
+
+    def test_tuple_type_preserved(self):
+        assert isinstance(copy_for_transfer((1, 2)), tuple)
+        assert isinstance(copy_for_transfer([1]), list)
