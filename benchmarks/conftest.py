@@ -12,11 +12,15 @@ can cite them.
 
 from __future__ import annotations
 
+import json
 import os
+import re
 from pathlib import Path
 
 import numpy as np
 import pytest
+
+from repro.obs import Tracer, active_tracer, phase_summary, profiling
 
 from repro.nas.intsort.kernels import (
     sorted_check_scalar,
@@ -83,3 +87,39 @@ def write_result(results_dir: Path, name: str, text: str) -> None:
     """Print a result block and persist it under results/."""
     print(f"\n{text}\n")
     (results_dir / name).write_text(text + "\n")
+
+
+def _bench_json_name(nodeid: str) -> str:
+    """``benchmarks/bench_x.py::TestY::test_z[8]`` -> ``BENCH_bench_x.test_z_8``."""
+    stem = nodeid.split("::", 1)
+    file_part = Path(stem[0]).stem
+    test_part = re.sub(r"[^A-Za-z0-9_.-]+", "_", stem[1] if len(stem) > 1 else "")
+    return f"BENCH_{file_part}.{test_part}".rstrip("_.")
+
+
+@pytest.fixture(autouse=True)
+def phase_metrics(request, results_dir):
+    """Trace every benchmark's simulated runs and persist the per-phase
+    breakdown as ``results/BENCH_<file>.<test>.json``.
+
+    Reuses an already-installed profile (``python -m repro profile
+    benchmarks/...``) when present; otherwise installs a fresh tracer
+    for the duration of the test.  Tests that never enter ``spmd_run``
+    produce no file.
+    """
+    shared = active_tracer()
+    tracer = shared if shared is not None else Tracer()
+    start = len(tracer.runs)
+    if shared is None:
+        with profiling(tracer):
+            yield
+    else:
+        yield
+    runs = tracer.runs[start:]
+    if not runs:
+        return
+    summary = phase_summary(runs)
+    if shared is None:
+        summary["metrics"] = tracer.metrics.snapshot()
+    out = results_dir / f"{_bench_json_name(request.node.nodeid)}.json"
+    out.write_text(json.dumps(summary, indent=2, allow_nan=False) + "\n")

@@ -1,12 +1,22 @@
-"""``python -m repro`` — a 30-second tour of the reproduction.
+"""``python -m repro`` — tour and profiling entry points.
 
-Runs the paper's worked examples on simulated ranks and points at the
-deeper entry points.  Handy as an install smoke test.
+* ``python -m repro [NPROCS] [--trace PATH]`` — the 30-second tour of
+  the reproduction: runs the paper's worked examples on simulated ranks
+  and points at the deeper entry points.  ``--trace`` additionally
+  captures a span profile of the tour and writes it as a Chrome/Perfetto
+  trace.
+* ``python -m repro profile TARGET [--ranks N] [--format F] [--out P]``
+  — run an example script or a benchmark under the phase tracer and
+  export the profile (text report, JSONL records, or a Chrome trace).
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import runpy
 import sys
+from pathlib import Path
 
 import numpy as np
 
@@ -23,9 +33,23 @@ def _split(data, p, r):
     return data[lo : lo + base + (1 if r < extra else 0)]
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Run the tour on ``argv[0]`` ranks (default 4); returns exit code."""
-    nprocs = int(argv[0]) if argv else 4
+def _cmd_tour(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="30-second tour of the reproduction.",
+    )
+    parser.add_argument(
+        "nprocs", nargs="?", type=int, default=4,
+        help="simulated ranks to run on (default 4)",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="capture a span profile of the tour and write it as a "
+        "Chrome/Perfetto trace to PATH",
+    )
+    ns = parser.parse_args(argv)
+    nprocs = ns.nprocs
+
     print(f"repro {__version__} — Deitz et al., PPoPP 2006, reproduced")
     print(f"paper data {PAPER_DATA} over {nprocs} simulated ranks:\n")
 
@@ -42,7 +66,12 @@ def main(argv: list[str] | None = None) -> int:
         dsl_sorted = RSMPI_Reduceall(load_operator("sorted"), local, comm)
         return total, running, counts, ranks, ordered, mins, dsl_sorted
 
-    res = spmd_run(program, nprocs)
+    tracer = None
+    if ns.trace is not None:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+    res = spmd_run(program, nprocs, tracer=tracer)
     total, _, counts, _, ordered, mins, dsl_sorted = res.returns[0]
     running = [v for r in res.returns for v in r[1]]
     ranks = [v for r in res.returns for v in r[3]]
@@ -55,9 +84,115 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  mink(3)           : {mins.tolist()}")
     print(f"\nsimulated time: {res.time * 1e6:.1f} us, "
           f"{res.summary_trace.n_sends} messages, deterministic")
-    print("\nnext: python examples/quickstart.py | pytest benchmarks/ "
-          "--benchmark-only | docs/")
+    if tracer is not None:
+        from repro.analysis import write_chrome_trace
+
+        write_chrome_trace(tracer, ns.trace)
+        print(f"trace written to {ns.trace} (open in Perfetto)")
+    print("\nnext: python examples/quickstart.py | "
+          "python -m repro profile examples/quickstart.py | "
+          "pytest benchmarks/ --benchmark-only | docs/")
     return 0
+
+
+def _is_benchmark_target(target: str) -> bool:
+    """A pytest node id or file under ``benchmarks/`` (vs. a script)."""
+    base = Path(target.split("::", 1)[0])
+    if base.name.startswith("bench_") or base.name == "benchmarks":
+        return True
+    return "benchmarks" in base.parts
+
+
+def _cmd_profile(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro profile",
+        description="Run an example script or benchmark under the phase "
+        "tracer and export the profile.",
+    )
+    parser.add_argument(
+        "target",
+        help="an example script (path to a .py file) or a benchmark "
+        "(pytest path/node id under benchmarks/)",
+    )
+    parser.add_argument(
+        "args", nargs="*",
+        help="extra argv passed to an example script",
+    )
+    parser.add_argument(
+        "--ranks", type=int, default=None,
+        help="force every spmd_run in the target onto this many ranks",
+    )
+    parser.add_argument(
+        "--format", dest="fmt", choices=("chrome", "jsonl", "text"),
+        default="text", help="export format (default: text)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output path (default: stdout for text, "
+        "<target>.profile.jsonl for jsonl, <target>.trace.json for chrome)",
+    )
+    ns = parser.parse_args(argv)
+
+    from repro.obs import Tracer, dumps_jsonl, format_text_report, profiling
+
+    if not Path(ns.target.split("::", 1)[0]).exists():
+        parser.error(f"target not found: {ns.target}")
+
+    tracer = Tracer()
+    with profiling(tracer, ranks=ns.ranks):
+        if _is_benchmark_target(ns.target):
+            import pytest
+
+            rc = pytest.main(
+                [ns.target, "-q", "-p", "no:cacheprovider", *ns.args]
+            )
+            if rc not in (0, pytest.ExitCode.NO_TESTS_COLLECTED):
+                print(f"profile: target exited with pytest code {rc}",
+                      file=sys.stderr)
+        else:
+            saved_argv = sys.argv
+            sys.argv = [ns.target, *ns.args]
+            try:
+                runpy.run_path(ns.target, run_name="__main__")
+            finally:
+                sys.argv = saved_argv
+
+    if not tracer.runs:
+        print("profile: target completed but no spmd_run was traced",
+              file=sys.stderr)
+        return 1
+
+    if ns.fmt == "text":
+        text = format_text_report(tracer)
+        if ns.out:
+            Path(ns.out).write_text(text)
+            print(f"profile written to {ns.out}")
+        else:
+            sys.stdout.write(text)
+    elif ns.fmt == "jsonl":
+        # The target's own stdout would corrupt a piped stream, so jsonl
+        # always goes to a file.
+        out = ns.out or (Path(ns.target.split("::", 1)[0]).stem
+                         + ".profile.jsonl")
+        Path(out).write_text(dumps_jsonl(tracer))
+        print(f"profile written to {out}")
+    else:  # chrome
+        from repro.analysis import tracer_to_chrome_trace
+
+        out = ns.out or (Path(ns.target.split("::", 1)[0]).stem
+                         + ".trace.json")
+        with open(out, "w") as f:
+            json.dump(tracer_to_chrome_trace(tracer), f)
+        print(f"chrome trace written to {out} (open in Perfetto)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch to the tour or the profiler; returns exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "profile":
+        return _cmd_profile(argv[1:])
+    return _cmd_tour(argv)
 
 
 if __name__ == "__main__":

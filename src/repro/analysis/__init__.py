@@ -6,7 +6,11 @@ from repro.analysis.report import (
     format_speedup_figure,
     format_table,
 )
-from repro.analysis.timeline import to_chrome_trace, write_chrome_trace
+from repro.analysis.timeline import (
+    to_chrome_trace,
+    tracer_to_chrome_trace,
+    write_chrome_trace,
+)
 from repro.analysis.utilization import (
     RankUtilization,
     format_utilization,
@@ -24,5 +28,6 @@ __all__ = [
     "utilization",
     "format_utilization",
     "to_chrome_trace",
+    "tracer_to_chrome_trace",
     "write_chrome_trace",
 ]

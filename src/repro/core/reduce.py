@@ -26,6 +26,7 @@ from repro.core.operator import ReduceScanOp
 from repro.errors import OperatorError
 from repro.localview.api import LOCAL_ALLREDUCE, LOCAL_REDUCE
 from repro.mpi.comm import Communicator
+from repro.util.sizing import payload_nbytes
 
 __all__ = ["global_reduce", "accumulate_local"]
 
@@ -43,15 +44,19 @@ def accumulate_local(
     Charges ``len(values)`` elements of virtual time at ``accum_rate``
     (or the operator's own ``accum_rate``) when one is set.
     """
-    state = op.ident()
-    n = len(values)
-    if n > 0:
-        state = op.pre_accum(state, values[0])
-        state = op.accum_block(state, values)
-        state = op.post_accum(state, values[n - 1])
-    rate = accum_rate if accum_rate is not None else op.accum_rate
-    if rate is not None and n > 0:
-        comm.charge_elements(rate, n, f"accum:{op.name}")
+    tr = comm.tracer
+    with tr.span("accumulate", phase="accumulate", op=op.name) as sp:
+        state = op.ident()
+        n = len(values)
+        if n > 0:
+            state = op.pre_accum(state, values[0])
+            state = op.accum_block(state, values)
+            state = op.post_accum(state, values[n - 1])
+        rate = accum_rate if accum_rate is not None else op.accum_rate
+        if rate is not None and n > 0:
+            comm.charge_elements(rate, n, f"accum:{op.name}")
+        if tr.enabled:
+            sp.add(nbytes=payload_nbytes(values), elements=n)
     return state
 
 
@@ -102,19 +107,25 @@ def global_reduce(
             f"global_reduce needs a ReduceScanOp, got {type(op).__name__}; "
             "wrap plain functions with make_op()/from_binary()"
         )
-    state = accumulate_local(comm, op, values, accum_rate=accum_rate)
-    cs = op.combine_seconds if combine_seconds is None else combine_seconds
-    if root is None:
-        total = LOCAL_ALLREDUCE(
-            comm, op.combine, state,
-            commutative=op.commutative, combine_seconds=cs,
-        )
-        return op.red_gen(total)
-    total = LOCAL_REDUCE(
-        comm, op.combine, state,
-        root=root, commutative=op.commutative, fanout=fanout,
-        combine_seconds=cs,
-    )
-    if comm.rank == root:
-        return op.red_gen(total)
-    return None
+    tr = comm.tracer
+    with tr.span("global_reduce", op=op.name):
+        state = accumulate_local(comm, op, values, accum_rate=accum_rate)
+        cs = op.combine_seconds if combine_seconds is None else combine_seconds
+        with tr.span("combine", phase="combine", op=op.name) as sp:
+            if tr.enabled:
+                sp.add(nbytes=payload_nbytes(state))
+            if root is None:
+                total = LOCAL_ALLREDUCE(
+                    comm, op.combine, state,
+                    commutative=op.commutative, combine_seconds=cs,
+                )
+            else:
+                total = LOCAL_REDUCE(
+                    comm, op.combine, state,
+                    root=root, commutative=op.commutative, fanout=fanout,
+                    combine_seconds=cs,
+                )
+        if root is None or comm.rank == root:
+            with tr.span("generate", phase="generate", op=op.name):
+                return op.red_gen(total)
+        return None

@@ -32,6 +32,7 @@ from repro.core.reduce import accumulate_local
 from repro.errors import OperatorError
 from repro.localview.api import LOCAL_XSCAN
 from repro.mpi.comm import Communicator
+from repro.util.sizing import payload_nbytes
 
 __all__ = ["global_scan", "global_xscan"]
 
@@ -51,24 +52,34 @@ def _scan_impl(
             f"global scans need a ReduceScanOp, got {type(op).__name__}; "
             "wrap plain functions with make_op()/from_binary()"
         )
-    # Accumulate phase (identical to the reduction's).
-    state = accumulate_local(comm, op, values, accum_rate=accum_rate)
-    # Combine phase: exclusive prefix of the per-rank states.  Always
-    # exclusive — each rank needs the combination of *earlier* ranks'
-    # states only; inclusivity is a local property of the generate loop.
-    cs = op.combine_seconds if combine_seconds is None else combine_seconds
-    prefix = LOCAL_XSCAN(
-        comm, op.ident, op.combine, state,
-        commutative=op.commutative, combine_seconds=cs,
-    )
-    # Generate phase: walk the local data again, emitting outputs.
-    out, _final = op.scan_block(prefix, values, exclusive=exclusive)
-    rate = accum_rate if accum_rate is not None else op.accum_rate
-    if scan_rate is None:
-        scan_rate = rate
-    if scan_rate is not None and len(values) > 0:
-        comm.charge_elements(scan_rate, len(values), f"scan_gen:{op.name}")
-    return out
+    tr = comm.tracer
+    with tr.span("global_xscan" if exclusive else "global_scan", op=op.name):
+        # Accumulate phase (identical to the reduction's).
+        state = accumulate_local(comm, op, values, accum_rate=accum_rate)
+        # Combine phase: exclusive prefix of the per-rank states.  Always
+        # exclusive — each rank needs the combination of *earlier* ranks'
+        # states only; inclusivity is a local property of the generate loop.
+        cs = op.combine_seconds if combine_seconds is None else combine_seconds
+        with tr.span("combine", phase="combine", op=op.name) as sp:
+            if tr.enabled:
+                sp.add(nbytes=payload_nbytes(state))
+            prefix = LOCAL_XSCAN(
+                comm, op.ident, op.combine, state,
+                commutative=op.commutative, combine_seconds=cs,
+            )
+        # Generate phase: walk the local data again, emitting outputs.
+        with tr.span("generate", phase="generate", op=op.name) as sp:
+            out, _final = op.scan_block(prefix, values, exclusive=exclusive)
+            rate = accum_rate if accum_rate is not None else op.accum_rate
+            if scan_rate is None:
+                scan_rate = rate
+            if scan_rate is not None and len(values) > 0:
+                comm.charge_elements(
+                    scan_rate, len(values), f"scan_gen:{op.name}"
+                )
+            if tr.enabled:
+                sp.add(elements=len(values))
+        return out
 
 
 def global_xscan(

@@ -28,6 +28,7 @@ from typing import Any, Callable
 
 from repro.mpi.comm import Communicator
 from repro.mpi.op import Op
+from repro.util.sizing import payload_nbytes
 
 __all__ = [
     "LOCAL_REDUCE",
@@ -72,9 +73,14 @@ def LOCAL_REDUCE(
     commutative operators (§1).
     """
     op = _as_op(combine, commutative, None)
-    return comm.reduce(
-        value, op, root=root, fanout=fanout, combine_seconds=combine_seconds
-    )
+    tr = comm.tracer
+    with tr.span("LOCAL_REDUCE", phase="combine", op=op.name) as sp:
+        if tr.enabled:
+            sp.add(nbytes=payload_nbytes(value))
+        return comm.reduce(
+            value, op, root=root, fanout=fanout,
+            combine_seconds=combine_seconds,
+        )
 
 
 def LOCAL_ALLREDUCE(
@@ -87,7 +93,11 @@ def LOCAL_ALLREDUCE(
 ) -> Any:
     """Reduce one value per processor; every processor gets the result."""
     op = _as_op(combine, commutative, None)
-    return comm.allreduce(value, op, combine_seconds=combine_seconds)
+    tr = comm.tracer
+    with tr.span("LOCAL_ALLREDUCE", phase="combine", op=op.name) as sp:
+        if tr.enabled:
+            sp.add(nbytes=payload_nbytes(value))
+        return comm.allreduce(value, op, combine_seconds=combine_seconds)
 
 
 def LOCAL_SCAN(
@@ -107,7 +117,11 @@ def LOCAL_SCAN(
     versa).
     """
     op = _as_op(combine, commutative, ident)
-    return comm.scan(value, op, combine_seconds=combine_seconds)
+    tr = comm.tracer
+    with tr.span("LOCAL_SCAN", phase="combine", op=op.name) as sp:
+        if tr.enabled:
+            sp.add(nbytes=payload_nbytes(value))
+        return comm.scan(value, op, combine_seconds=combine_seconds)
 
 
 def LOCAL_XSCAN(
@@ -125,7 +139,11 @@ def LOCAL_XSCAN(
     if ident is None and not (isinstance(combine, Op) and combine.identity):
         raise TypeError("LOCAL_XSCAN requires an identity function")
     op = _as_op(combine, commutative, ident)
-    return comm.exscan(value, op, combine_seconds=combine_seconds)
+    tr = comm.tracer
+    with tr.span("LOCAL_XSCAN", phase="combine", op=op.name) as sp:
+        if tr.enabled:
+            sp.add(nbytes=payload_nbytes(value))
+        return comm.exscan(value, op, combine_seconds=combine_seconds)
 
 
 def exclusive_from_inclusive_shift(

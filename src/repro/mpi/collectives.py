@@ -30,6 +30,7 @@ from typing import Any, Callable, Protocol, Sequence
 from repro.errors import CommunicatorError
 from repro.mpi.op import Op
 from repro.mpi.topology import kary_tree
+from repro.obs.metrics import NULL_METRICS
 from repro.util.sizing import copy_for_transfer
 
 __all__ = [
@@ -61,9 +62,16 @@ class CollChannel(Protocol):
     def charge(self, seconds: float, label: str) -> None: ...
 
 
+def _metrics(ch: CollChannel):
+    """The channel's metrics registry; channels without one (tests with
+    hand-rolled channels, disabled tracing) get the shared no-op."""
+    return getattr(ch, "metrics", NULL_METRICS)
+
+
 def _charge_combine(ch: CollChannel, seconds: float) -> None:
     if seconds > 0.0:
         ch.charge(seconds, "combine")
+        _metrics(ch).histogram("combine.seconds").observe(seconds)
 
 
 # --------------------------------------------------------------------------
@@ -83,6 +91,7 @@ def reduce_binomial_ordered(
     """
     rank, size = ch.rank, ch.size
     partial = value
+    rounds = 0
     mask = 1
     while mask < size:
         if rank & mask:
@@ -93,7 +102,13 @@ def reduce_binomial_ordered(
             theirs = ch.recv(src)
             partial = op(partial, theirs)
             _charge_combine(ch, combine_seconds)
+        rounds += 1
         mask <<= 1
+    # Only the root reaches here, having seen the tree's full depth.
+    m = _metrics(ch)
+    if m.enabled:
+        m.counter("collective.reduce_binomial.calls").inc()
+        m.histogram("collective.reduce_binomial.depth").observe(rounds)
     return partial
 
 
@@ -125,6 +140,15 @@ def reduce_kary_available(
     if node.parent is not None:
         ch.send(node.parent, partial)
         return None
+    m = _metrics(ch)
+    if m.enabled:
+        m.counter("collective.reduce_kary.calls").inc()
+        depth = 0
+        probe = ch.size - 1  # deepest node of the heap-numbered k-ary tree
+        while tree[probe].parent is not None:
+            probe = tree[probe].parent
+            depth += 1
+        m.histogram("collective.reduce_kary.depth").observe(depth)
     return partial
 
 
@@ -141,6 +165,12 @@ def allreduce_recursive_doubling(
     if pof2 == size:
         pof2 = size
     rem = size - pof2
+    m = _metrics(ch)
+    if m.enabled and rank == 0:
+        m.counter("collective.allreduce_rd.calls").inc()
+        m.histogram("collective.allreduce_rd.rounds").observe(
+            (pof2 - 1).bit_length() + (2 if rem else 0)
+        )
 
     partial = value
     # Fold the first 2*rem ranks pairwise so pof2 ranks remain.
@@ -203,6 +233,12 @@ def scan_simultaneous_binomial(
     precisely so that this slot is well-defined).
     """
     rank, size = ch.rank, ch.size
+    m = _metrics(ch)
+    if m.enabled and rank == 0:
+        m.counter("collective.scan_binomial.calls").inc()
+        m.histogram("collective.scan_binomial.rounds").observe(
+            max(size - 1, 0).bit_length()  # ceil(log2 size)
+        )
     full = value
     partial = None if exclusive else value
     d = 1
@@ -370,6 +406,10 @@ def allreduce_ring(
             f"allreduce_ring requires a commutative op, got {op!r}"
         )
     rank, size = ch.rank, ch.size
+    m = _metrics(ch)
+    if m.enabled and rank == 0:
+        m.counter("collective.allreduce_ring.calls").inc()
+        m.histogram("collective.allreduce_ring.steps").observe(2 * (size - 1))
     arr = np.array(value, copy=True)
     if arr.ndim == 0:
         arr = arr.reshape(1)
@@ -427,6 +467,10 @@ def reduce_scatter_ring(
             f"reduce_scatter_ring requires a commutative op, got {op!r}"
         )
     rank, size = ch.rank, ch.size
+    m = _metrics(ch)
+    if m.enabled and rank == 0:
+        m.counter("collective.reduce_scatter_ring.calls").inc()
+        m.histogram("collective.reduce_scatter_ring.steps").observe(size - 1)
     arr = np.array(value, copy=True)
     bounds = np.linspace(0, len(arr), size + 1).astype(int)
 

@@ -62,6 +62,11 @@ class _Channel:
     def charge(self, seconds: float, label: str) -> None:
         self.comm._ctx.charge(seconds, label)
 
+    @property
+    def metrics(self):
+        """The run's metrics registry (no-op when tracing is disabled)."""
+        return self.comm._ctx.tracer.metrics
+
 
 class Communicator:
     """MPI-like communicator over the simulated runtime."""
@@ -109,6 +114,11 @@ class Communicator:
     @property
     def trace(self):
         return self._ctx.trace
+
+    @property
+    def tracer(self):
+        """This rank's span tracer (the shared no-op when disabled)."""
+        return self._ctx.tracer
 
     def charge(self, seconds: float, label: str = "compute") -> None:
         """Charge modeled local-compute time to this rank's virtual clock."""
@@ -188,29 +198,37 @@ class Communicator:
 
     def barrier(self) -> None:
         """Block until every member has entered the barrier."""
-        _coll.barrier_dissemination(self._channel("barrier"))
+        with self._ctx.tracer.span("barrier", phase="collective"):
+            _coll.barrier_dissemination(self._channel("barrier"))
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root``; every rank returns the value."""
-        return _coll.bcast_binomial(self._channel("bcast"), obj, root)
+        with self._ctx.tracer.span("bcast", phase="collective"):
+            return _coll.bcast_binomial(self._channel("bcast"), obj, root)
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Gather one value per rank; root returns the rank-ordered list."""
-        return _coll.gather_binomial(self._channel("gather"), obj, root)
+        with self._ctx.tracer.span("gather", phase="collective"):
+            return _coll.gather_binomial(self._channel("gather"), obj, root)
 
     def allgather(self, obj: Any) -> list[Any]:
         """Gather one value per rank onto every rank (gather + bcast)."""
-        ch = self._channel("allgather")
-        items = _coll.gather_binomial(ch, obj, 0)
-        return _coll.bcast_binomial(ch, items, 0)
+        with self._ctx.tracer.span("allgather", phase="collective"):
+            ch = self._channel("allgather")
+            items = _coll.gather_binomial(ch, obj, 0)
+            return _coll.bcast_binomial(ch, items, 0)
 
     def scatter(self, items: Sequence[Any] | None, root: int = 0) -> Any:
         """Scatter ``items[i]`` (on root) to rank ``i``; returns my item."""
-        return _coll.scatter_binomial(self._channel("scatter"), items, root)
+        with self._ctx.tracer.span("scatter", phase="collective"):
+            return _coll.scatter_binomial(
+                self._channel("scatter"), items, root
+            )
 
     def alltoall(self, items: Sequence[Any]) -> list[Any]:
         """Personalized all-to-all: ``items[i]`` goes to rank ``i``."""
-        return _coll.alltoall_pairwise(self._channel("alltoall"), items)
+        with self._ctx.tracer.span("alltoall", phase="collective"):
+            return _coll.alltoall_pairwise(self._channel("alltoall"), items)
 
     def reduce(
         self,
@@ -236,25 +254,29 @@ class Communicator:
         always pass freshly accumulated states, so operators defined
         through :class:`~repro.core.operator.ReduceScanOp` are unaffected.
         """
-        ch = self._channel("reduce")
-        commutative = op.commutative if isinstance(op, Op) else True
-        if fanout > 2 and commutative:
-            result = _coll.reduce_kary_available(
-                ch, value, op, fanout=fanout, combine_seconds=combine_seconds
-            )
-        else:
-            result = _coll.reduce_binomial_ordered(
-                ch, value, op, combine_seconds=combine_seconds
-            )
-        if root == 0:
-            return result
-        # Re-root: forward from rank 0 (keeps the tree order-preserving).
-        if self.rank == 0:
-            ch.send(root, result)
+        with self._ctx.tracer.span(
+            "reduce", phase="collective", op=getattr(op, "name", None)
+        ):
+            ch = self._channel("reduce")
+            commutative = op.commutative if isinstance(op, Op) else True
+            if fanout > 2 and commutative:
+                result = _coll.reduce_kary_available(
+                    ch, value, op, fanout=fanout,
+                    combine_seconds=combine_seconds,
+                )
+            else:
+                result = _coll.reduce_binomial_ordered(
+                    ch, value, op, combine_seconds=combine_seconds
+                )
+            if root == 0:
+                return result
+            # Re-root: forward from rank 0 (keeps the tree order-preserving).
+            if self.rank == 0:
+                ch.send(root, result)
+                return None
+            if self.rank == root:
+                return ch.recv(0)
             return None
-        if self.rank == root:
-            return ch.recv(0)
-        return None
 
     def allreduce(
         self,
@@ -271,19 +293,22 @@ class Communicator:
         operand) or ``"ring"`` (bandwidth-optimal for large NumPy
         arrays; commutative operations only).
         """
-        ch = self._channel("allreduce")
-        if algorithm == "ring":
-            return _coll.allreduce_ring(
-                ch, value, op, combine_seconds=combine_seconds
+        with self._ctx.tracer.span(
+            "allreduce", phase="collective", op=getattr(op, "name", None)
+        ):
+            ch = self._channel("allreduce")
+            if algorithm == "ring":
+                return _coll.allreduce_ring(
+                    ch, value, op, combine_seconds=combine_seconds
+                )
+            if algorithm != "recursive_doubling":
+                raise CommunicatorError(
+                    f"unknown allreduce algorithm {algorithm!r}; choose "
+                    "'recursive_doubling' or 'ring'"
+                )
+            return _coll.allreduce_recursive_doubling(
+                ch, value, op, combine_seconds=combine_seconds,
             )
-        if algorithm != "recursive_doubling":
-            raise CommunicatorError(
-                f"unknown allreduce algorithm {algorithm!r}; choose "
-                "'recursive_doubling' or 'ring'"
-            )
-        return _coll.allreduce_recursive_doubling(
-            ch, value, op, combine_seconds=combine_seconds,
-        )
 
     def reduce_scatter(
         self,
@@ -299,10 +324,13 @@ class Communicator:
         Moves (p-1)/p of the data per rank — the building block of the
         ring all-reduce and of bandwidth-bound aggregated reductions.
         """
-        return _coll.reduce_scatter_ring(
-            self._channel("reduce_scatter"), value, op,
-            combine_seconds=combine_seconds,
-        )
+        with self._ctx.tracer.span(
+            "reduce_scatter", phase="collective", op=getattr(op, "name", None)
+        ):
+            return _coll.reduce_scatter_ring(
+                self._channel("reduce_scatter"), value, op,
+                combine_seconds=combine_seconds,
+            )
 
     def scan(
         self,
@@ -312,10 +340,13 @@ class Communicator:
         combine_seconds: float = 0.0,
     ) -> Any:
         """Inclusive prefix reduction over ranks (MPI_Scan)."""
-        return _coll.scan_simultaneous_binomial(
-            self._channel("scan"), value, op,
-            exclusive=False, combine_seconds=combine_seconds,
-        )
+        with self._ctx.tracer.span(
+            "scan", phase="collective", op=getattr(op, "name", None)
+        ):
+            return _coll.scan_simultaneous_binomial(
+                self._channel("scan"), value, op,
+                exclusive=False, combine_seconds=combine_seconds,
+            )
 
     def exscan(
         self,
@@ -333,10 +364,14 @@ class Communicator:
         """
         if identity is None and isinstance(op, Op):
             identity = op.identity
-        return _coll.scan_simultaneous_binomial(
-            self._channel("exscan"), value, op,
-            exclusive=True, identity=identity, combine_seconds=combine_seconds,
-        )
+        with self._ctx.tracer.span(
+            "exscan", phase="collective", op=getattr(op, "name", None)
+        ):
+            return _coll.scan_simultaneous_binomial(
+                self._channel("exscan"), value, op,
+                exclusive=True, identity=identity,
+                combine_seconds=combine_seconds,
+            )
 
     # -- communicator management ----------------------------------------------
 

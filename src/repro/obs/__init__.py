@@ -1,0 +1,75 @@
+"""Observability: phase-level tracing, metrics, and profile exporters.
+
+The paper's structural claim — a global-view reduction/scan is an
+**accumulate** phase, a **combine** phase, and a **generate** phase —
+becomes measurable here.  Enable a :class:`Tracer` (directly via
+``spmd_run(..., tracer=...)`` or ambiently via :func:`profiling`) and
+every driver call emits nested spans on the virtual clock; disable it
+and the hot paths see only the no-op :data:`NULL_TRACER`.
+
+>>> from repro import spmd_run, global_reduce
+>>> from repro.obs import Tracer, phase_summary
+>>> from repro.ops import SumOp
+>>> tracer = Tracer()
+>>> res = spmd_run(
+...     lambda comm: global_reduce(comm, SumOp(), [1, 2, 3]),
+...     4, tracer=tracer)
+>>> sorted(phase_summary(tracer)["ops"]["sum"])
+['accumulate', 'combine', 'generate']
+"""
+
+from repro.obs.critpath import CriticalPath, PathStep, critical_path
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.export import (
+    dumps_jsonl,
+    format_text_report,
+    iter_jsonl_records,
+    phase_summary,
+    phase_topmost_spans,
+    write_jsonl,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    RankTracer,
+    RecvEdge,
+    RunCapture,
+    SendEdge,
+    Span,
+    Tracer,
+    active_profile,
+    active_tracer,
+    profiling,
+)
+
+__all__ = [
+    "Span",
+    "SendEdge",
+    "RecvEdge",
+    "RankTracer",
+    "RunCapture",
+    "Tracer",
+    "NULL_TRACER",
+    "profiling",
+    "active_tracer",
+    "active_profile",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+    "CriticalPath",
+    "PathStep",
+    "critical_path",
+    "phase_summary",
+    "phase_topmost_spans",
+    "iter_jsonl_records",
+    "dumps_jsonl",
+    "write_jsonl",
+    "format_text_report",
+]

@@ -1,0 +1,167 @@
+"""Critical-path analysis over one run's send/recv edges.
+
+The makespan of an SPMD run is decided by one dependency chain: the
+last rank to finish was doing local work since its last *blocking*
+receive; that message was sent by some rank, which was doing local work
+since *its* last blocking receive; and so on back to virtual time zero.
+This module walks that chain backwards and attributes every second of
+the end-to-end virtual time to either
+
+* a **phase** (the *outermost* enclosing span with a phase at that
+  instant: ``accumulate``, ``combine``, ``generate``, ``collective`` for
+  bare MPI-level collectives, ...),
+* ``"untracked"`` local time not covered by any phased span, or
+* ``"comm"`` — the stretch between a gating message's injection and its
+  extraction (wire latency, per-byte time, receive overhead).
+
+Message matching relies on the runtime's delivery discipline: per
+``(source, tag)`` the mailbox is FIFO, so the i-th receive of a stream
+pairs with the i-th send of that stream.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.obs.tracer import RecvEdge, RunCapture, SendEdge
+
+__all__ = ["PathStep", "CriticalPath", "critical_path"]
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One backward-walk segment of the critical path."""
+
+    rank: int  # rank the time was spent on (receiver for "comm" steps)
+    t_start: float
+    t_end: float
+    kind: str  # "local" | "comm"
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+
+@dataclass
+class CriticalPath:
+    """The walked chain plus the per-phase attribution of its time."""
+
+    total: float  # end-to-end virtual time accounted for
+    end_rank: int  # rank whose finish time defines the makespan
+    steps: list[PathStep] = field(default_factory=list)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    def fraction(self, phase: str) -> float:
+        """Share of the critical path attributed to ``phase``."""
+        if self.total <= 0:
+            return 0.0
+        return self.phase_seconds.get(phase, 0.0) / self.total
+
+
+def _attribute_local(run: RunCapture, rank: int, t0: float, t1: float,
+                     acc: dict[str, float]) -> None:
+    """Attribute local interval [t0, t1] on ``rank`` to the outermost
+    phased span covering each instant (``"untracked"`` where none does),
+    matching the attribution rule of the phase summaries."""
+    if t1 <= t0:
+        return
+    spans = [
+        s for s in run.ranks[rank].spans
+        if s.phase is not None and s.t_end > t0 and s.t_start < t1
+    ]
+    bounds = {t0, t1}
+    for s in spans:
+        bounds.add(min(max(s.t_start, t0), t1))
+        bounds.add(min(max(s.t_end, t0), t1))
+    cuts = sorted(bounds)
+    for a, b in zip(cuts, cuts[1:]):
+        if b <= a:
+            continue
+        mid = (a + b) / 2.0
+        best = None
+        for s in spans:
+            if s.t_start <= mid < s.t_end:
+                if best is None or s.depth < best.depth:
+                    best = s
+        key = best.phase if best is not None else "untracked"
+        acc[key] = acc.get(key, 0.0) + (b - a)
+
+
+def _index_messages(run: RunCapture) -> tuple[
+    dict[int, list[RecvEdge]],
+    dict[tuple[int, int, Hashable], list[SendEdge]],
+]:
+    """Receives per rank (in record order) and send streams keyed by
+    ``(sender, dest, tag)`` in injection order."""
+    recvs = {rt.rank: list(rt.recvs) for rt in run.ranks}
+    sends: dict[tuple[int, int, Hashable], list[SendEdge]] = defaultdict(list)
+    for rt in run.ranks:
+        for e in rt.sends:
+            sends[(rt.rank, e.dest, e.tag)].append(e)
+    return recvs, sends
+
+
+def critical_path(run: RunCapture) -> CriticalPath:
+    """Walk the gating dependency chain of ``run`` backwards from the
+    rank that finished last and attribute its time to phases."""
+    if run.clocks is not None:
+        ends = list(run.clocks)
+    else:
+        ends = [max((s.t_end for s in rt.spans), default=0.0)
+                for rt in run.ranks]
+    if not ends:
+        return CriticalPath(total=0.0, end_rank=0)
+    end_rank = max(range(len(ends)), key=lambda r: ends[r])
+    cur_rank, cur_t = end_rank, ends[end_rank]
+    result = CriticalPath(total=cur_t, end_rank=end_rank)
+
+    recvs, sends = _index_messages(run)
+    # Ordinal of each receive within its (source, tag) stream, for FIFO
+    # matching against the sender's (sender, dest, tag) stream.
+    ordinals: dict[int, list[int]] = {}
+    for rank, edges in recvs.items():
+        seen: dict[tuple[int, Hashable], int] = defaultdict(int)
+        ords = []
+        for e in edges:
+            ords.append(seen[(e.source, e.tag)])
+            seen[(e.source, e.tag)] += 1
+        ordinals[rank] = ords
+
+    max_hops = sum(len(v) for v in recvs.values()) + 1
+    for _ in range(max_hops):
+        # Latest blocking receive on cur_rank completed at or before cur_t.
+        gate = None
+        gate_ord = 0
+        for i, e in enumerate(recvs.get(cur_rank, ())):
+            if e.t_done <= cur_t and e.blocked:
+                if gate is None or e.t_done > gate.t_done:
+                    gate = e
+                    gate_ord = ordinals[cur_rank][i]
+        if gate is None:
+            break
+        result.steps.append(PathStep(cur_rank, gate.t_done, cur_t, "local"))
+        _attribute_local(run, cur_rank, gate.t_done, cur_t,
+                         result.phase_seconds)
+        stream = sends.get((gate.source, cur_rank, gate.tag), [])
+        if gate_ord >= len(stream):
+            # Unmatched (partial capture): treat the rest as local time
+            # on the receiver and stop.
+            cur_t = gate.t_done
+            break
+        send = stream[gate_ord]
+        result.steps.append(
+            PathStep(cur_rank, send.t_send, gate.t_done, "comm")
+        )
+        result.phase_seconds["comm"] = (
+            result.phase_seconds.get("comm", 0.0)
+            + (gate.t_done - send.t_send)
+        )
+        cur_rank, cur_t = gate.source, send.t_send
+        if cur_t <= 0.0:
+            break
+    if cur_t > 0.0:
+        result.steps.append(PathStep(cur_rank, 0.0, cur_t, "local"))
+        _attribute_local(run, cur_rank, 0.0, cur_t, result.phase_seconds)
+    return result

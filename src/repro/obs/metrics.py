@@ -1,0 +1,227 @@
+"""Metrics registry: counters, gauges, and log-bucketed histograms.
+
+Instruments are cheap named accumulators for facts that do not need a
+full span timeline — collective round counts, combine latencies, tree
+depths.  A :class:`MetricsRegistry` is shared by every rank of a run (the
+ranks are threads, so instruments take a lock on mutation), and the
+whole registry snapshots to a plain JSON-serializable dict.
+
+Histograms use base-2 logarithmic buckets: an observation ``v`` falls in
+the bucket whose upper bound is the smallest power of two ``>= v``
+(bucket ``2**k`` covers ``(2**(k-1), 2**k]``).  Zero lands in a dedicated
+zero bucket and infinity in an overflow bucket, so the edge cases of
+"no latency charged" and "unbounded" stay visible instead of crashing
+the log.
+
+The :data:`NULL_METRICS` registry accepts the same calls and does
+nothing — it is what disabled tracing hands to the hot paths.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_METRICS",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """A last-write-wins instantaneous value."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value: float | None = None
+
+    def set(self, value: float) -> None:
+        """Record the current value of the gauge."""
+        with self._lock:
+            self.value = value
+
+
+class Histogram:
+    """Log2-bucketed distribution of non-negative observations."""
+
+    __slots__ = ("_lock", "_buckets", "zero_count", "inf_count",
+                 "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._buckets: dict[int, int] = {}  # exponent k -> count in (2^(k-1), 2^k]
+        self.zero_count = 0
+        self.inf_count = 0
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    @staticmethod
+    def bucket_exponent(value: float) -> int:
+        """The exponent ``k`` of the bucket ``(2**(k-1), 2**k]`` holding
+        ``value`` (which must be positive and finite)."""
+        mantissa, exponent = math.frexp(value)  # value = mantissa * 2**exponent
+        # frexp keeps mantissa in [0.5, 1); exact powers of two are the
+        # bucket's inclusive upper bound.
+        return exponent - 1 if mantissa == 0.5 else exponent
+
+    def observe(self, value: float) -> None:
+        """Record one observation; negative values are rejected."""
+        if value < 0:
+            raise ValueError(f"histogram observations must be >= 0, got {value}")
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            if value == 0:
+                self.zero_count += 1
+            elif math.isinf(value):
+                self.inf_count += 1
+            else:
+                k = self.bucket_exponent(value)
+                self._buckets[k] = self._buckets.get(k, 0) + 1
+
+    def buckets(self) -> list[tuple[float, int]]:
+        """Sorted ``(upper_bound, count)`` pairs for the occupied buckets,
+        with the zero bucket first and the overflow bucket last."""
+        out: list[tuple[float, int]] = []
+        if self.zero_count:
+            out.append((0.0, self.zero_count))
+        for k in sorted(self._buckets):
+            out.append((float(2.0 ** k), self._buckets[k]))
+        if self.inf_count:
+            out.append((math.inf, self.inf_count))
+        return out
+
+    def summary(self) -> dict[str, Any]:
+        """JSON-serializable summary of the distribution."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [
+                ["inf" if math.isinf(le) else le, n] for le, n in self.buckets()
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotted as one dict."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, cls: type) -> Any:
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = cls()
+                self._instruments[name] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {type(inst).__name__}, "
+                    f"not a {cls.__name__}"
+                )
+            return inst
+
+    def counter(self, name: str) -> Counter:
+        """The counter named ``name`` (created on first use)."""
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge named ``name`` (created on first use)."""
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram named ``name`` (created on first use)."""
+        return self._get(name, Histogram)
+
+    def __iter__(self) -> Iterator[tuple[str, Any]]:
+        with self._lock:
+            items = list(self._instruments.items())
+        return iter(sorted(items))
+
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments as a plain dict: ``{counters, gauges, histograms}``."""
+        counters: dict[str, int] = {}
+        gauges: dict[str, float | None] = {}
+        histograms: dict[str, Any] = {}
+        for name, inst in self:
+            if isinstance(inst, Counter):
+                counters[name] = inst.value
+            elif isinstance(inst, Gauge):
+                gauges[name] = inst.value
+            else:
+                histograms[name] = inst.summary()
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+
+class _NullInstrument:
+    """Accepts every instrument call and does nothing."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class _NullMetrics:
+    """Registry stand-in used when tracing is disabled: all no-ops."""
+
+    enabled = False
+    __slots__ = ()
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+
+#: Shared no-op registry (what the hot paths see when tracing is off).
+NULL_METRICS = _NullMetrics()

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from repro.errors import RuntimeAbort, SpmdError, SpmdTimeout
+from repro.obs.tracer import Tracer, active_profile
 from repro.runtime.costmodel import CostModel
 from repro.runtime.trace import Trace, merge_traces
 from repro.runtime.world import World
@@ -34,6 +35,7 @@ class SpmdResult:
     clocks: list[float]  # per-rank final virtual times
     traces: list[Trace]  # per-rank traces
     wall_seconds: float  # real elapsed wall-clock time of the whole run
+    profile: Any = None  # RunCapture with spans, when a tracer was active
 
     @property
     def nprocs(self) -> int:
@@ -66,6 +68,7 @@ def spmd_run(
     record_events: bool = False,
     isolate_payloads: bool = True,
     timeout: float = 300.0,
+    tracer: Tracer | None = None,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args)`` on ``nprocs`` simulated ranks.
 
@@ -91,6 +94,11 @@ def spmd_run(
     timeout:
         Wall-clock seconds after which the run is aborted and
         :class:`~repro.errors.SpmdTimeout` is raised (deadlock guard).
+    tracer:
+        A :class:`repro.obs.Tracer` to record phase-level spans into.
+        Defaults to the active profiling session installed by
+        :func:`repro.obs.profiling` (which may also override ``nprocs``),
+        or to no tracing at all — the zero-overhead default.
 
     Returns
     -------
@@ -100,11 +108,17 @@ def spmd_run(
 
     from repro.mpi.comm import Communicator  # local import: avoids cycle
 
+    if tracer is None:
+        tracer, forced_ranks = active_profile()
+        if forced_ranks is not None:
+            nprocs = forced_ranks
+
     world = World(
         nprocs,
         cost_model,
         record_events=record_events,
         isolate_payloads=isolate_payloads,
+        tracer=tracer,
     )
     returns: list[Any] = [None] * nprocs
     failures: dict[int, BaseException] = {}
@@ -148,11 +162,20 @@ def spmd_run(
                 )
     wall = _time.perf_counter() - t0
 
+    clocks = [c.t for c in world.clocks]
+    if world.run_capture is not None:
+        # Finalize even on failure so a crashed program still leaves a
+        # usable (partial) profile behind.
+        tracer.finish_run(
+            world.run_capture, clocks,
+            label=getattr(fn, "__name__", None),
+        )
     if failures:
         raise SpmdError(failures)
     return SpmdResult(
         returns=returns,
-        clocks=[c.t for c in world.clocks],
+        clocks=clocks,
         traces=world.traces,
         wall_seconds=wall,
+        profile=world.run_capture,
     )

@@ -31,6 +31,9 @@ class TraceEvent:
     kind: str  # "send" | "recv" | "compute" | "collective"
     t: float  # virtual time at completion of the event
     detail: tuple[Any, ...] = ()
+    #: Source rank of the event; only set on merged traces (a per-rank
+    #: trace's events all belong to that trace's own rank).
+    rank: int | None = None
 
 
 @dataclass
@@ -106,8 +109,14 @@ class Trace:
 
 
 def merge_traces(traces: Iterable[Trace]) -> Trace:
-    """Aggregate several ranks' traces into one summary trace."""
+    """Aggregate several ranks' traces into one summary trace.
+
+    Counters sum; event logs concatenate (each event tagged with its
+    source rank, the merged stream sorted by timestamp) and the
+    ``record_events`` flag survives if any input recorded events.
+    """
     out = Trace(rank=-1)
+    merged_events: list[TraceEvent] = []
     for tr in traces:
         out.n_sends += tr.n_sends
         out.n_recvs += tr.n_recvs
@@ -116,4 +125,12 @@ def merge_traces(traces: Iterable[Trace]) -> Trace:
         out.compute_seconds += tr.compute_seconds
         out.collective_calls.update(tr.collective_calls)
         out.p2p_calls.update(tr.p2p_calls)
+        out.record_events = out.record_events or tr.record_events
+        merged_events.extend(
+            TraceEvent(ev.kind, ev.t, ev.detail,
+                       rank=ev.rank if ev.rank is not None else tr.rank)
+            for ev in tr.events
+        )
+    merged_events.sort(key=lambda ev: ev.t)
+    out.events = merged_events
     return out

@@ -17,6 +17,7 @@ import threading
 from typing import Any, Hashable
 
 from repro.errors import CommunicatorError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.channels import Envelope, Mailbox
 from repro.runtime.clock import VirtualClock
 from repro.runtime.costmodel import CostModel
@@ -36,6 +37,7 @@ class World:
         *,
         record_events: bool = False,
         isolate_payloads: bool = True,
+        tracer: Tracer | None = None,
     ):
         if nprocs < 1:
             raise CommunicatorError(f"nprocs must be >= 1, got {nprocs}")
@@ -48,6 +50,13 @@ class World:
         self.traces = [
             Trace(rank=r, record_events=record_events) for r in range(nprocs)
         ]
+        self.tracer = tracer
+        if tracer is not None and tracer.enabled:
+            self.run_capture = tracer.begin_run(nprocs, self.clocks)
+            self.rank_tracers = self.run_capture.ranks
+        else:
+            self.run_capture = None
+            self.rank_tracers = [NULL_TRACER] * nprocs
         self._cid_lock = threading.Lock()
         self._next_cid = 1
 
@@ -75,13 +84,14 @@ class World:
 class RankContext:
     """One rank's handle on the world: clock, trace, and raw messaging."""
 
-    __slots__ = ("world", "rank", "clock", "trace")
+    __slots__ = ("world", "rank", "clock", "trace", "tracer")
 
     def __init__(self, world: World, rank: int):
         self.world = world
         self.rank = rank
         self.clock = world.clocks[rank]
         self.trace = world.traces[rank]
+        self.tracer = world.rank_tracers[rank]
 
     @property
     def nprocs(self) -> int:
@@ -130,6 +140,8 @@ class RankContext:
         if self.world.isolate_payloads:
             payload = copy_for_transfer(payload)
         self.trace.on_send(dest, tag, nbytes, self.clock.t)
+        if self.tracer.enabled:
+            self.tracer.on_send(dest, tag, nbytes, self.clock.t, available_at)
         self.world.mailboxes[dest].deliver(
             Envelope(self.rank, tag, payload, nbytes, available_at)
         )
@@ -140,18 +152,20 @@ class RankContext:
         The receiver's clock merges the message's availability time and
         then pays the receive overhead.
         """
-        env = self.world.mailboxes[self.rank].collect(source, tag)
-        self.clock.merge(env.available_at)
-        self.clock.advance(self.cost_model.recv_overhead)
-        self.trace.on_recv(env.source, env.tag, env.nbytes, self.clock.t)
-        return env.payload
+        return self.recv_raw_envelope(source, tag).payload
 
     def recv_raw_envelope(self, source: int, tag: Hashable) -> Envelope:
         """Like :meth:`recv_raw` but returns the full envelope."""
+        t_arrive = self.clock.t
         env = self.world.mailboxes[self.rank].collect(source, tag)
         self.clock.merge(env.available_at)
         self.clock.advance(self.cost_model.recv_overhead)
         self.trace.on_recv(env.source, env.tag, env.nbytes, self.clock.t)
+        if self.tracer.enabled:
+            self.tracer.on_recv(
+                env.source, env.tag, env.nbytes,
+                t_arrive, env.available_at, self.clock.t,
+            )
         return env
 
     # -- deferred receives (deterministic "combine as available") ----------
@@ -169,7 +183,13 @@ class RankContext:
 
     def apply_recv(self, env: Envelope) -> Any:
         """Account for a previously collected envelope and return payload."""
+        t_arrive = self.clock.t
         self.clock.merge(env.available_at)
         self.clock.advance(self.cost_model.recv_overhead)
         self.trace.on_recv(env.source, env.tag, env.nbytes, self.clock.t)
+        if self.tracer.enabled:
+            self.tracer.on_recv(
+                env.source, env.tag, env.nbytes,
+                t_arrive, env.available_at, self.clock.t,
+            )
         return env.payload
