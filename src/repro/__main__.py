@@ -8,6 +8,11 @@
 * ``python -m repro profile TARGET [--ranks N] [--format F] [--out P]``
   — run an example script or a benchmark under the phase tracer and
   export the profile (text report, JSONL records, or a Chrome trace).
+* ``python -m repro tune [--out P] [--bench P] [--dry-run] ...`` — re-fit
+  the collective algorithm decision table (:mod:`repro.mpi.tuning`) by
+  simulating every candidate algorithm over a rank/payload grid; emits
+  the fitted table as JSON plus a BENCH json of the full measurement
+  grid.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from pathlib import Path
 import numpy as np
 
 from repro import __version__, global_reduce, global_scan, spmd_run
+from repro.mpi import tuning
 from repro.ops import CountsOp, MinKOp, SortedOp, SumOp
 from repro.rsmpi import RSMPI_Reduceall, load_operator
 
@@ -187,11 +193,79 @@ def _cmd_profile(argv: list[str]) -> int:
     return 0
 
 
+def _cmd_tune(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro tune",
+        description="Re-fit the collective algorithm decision table by "
+        "simulating every candidate over a rank/payload grid.",
+    )
+    parser.add_argument(
+        "--ranks", type=int, nargs="+", default=None, metavar="P",
+        help="rank counts to fit over (default: %s)"
+        % (tuning.DEFAULT_RANK_GRID,),
+    )
+    parser.add_argument(
+        "--payloads", type=int, nargs="+", default=None, metavar="BYTES",
+        help="payload sizes in bytes (default: 8 B .. 2 MiB, powers of 4)",
+    )
+    parser.add_argument(
+        "--out", default="results/decision_table.json",
+        help="where to write the fitted table "
+        "(default: results/decision_table.json)",
+    )
+    parser.add_argument(
+        "--bench", default="results/BENCH_tune_decision_table.json",
+        help="where to write the full measurement grid "
+        "(default: results/BENCH_tune_decision_table.json)",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true",
+        help="fit on a reduced grid and print the table without writing "
+        "any files (CI smoke)",
+    )
+    ns = parser.parse_args(argv)
+
+    rank_grid = ns.ranks or tuning.DEFAULT_RANK_GRID
+    payload_grid = ns.payloads or tuning.DEFAULT_PAYLOAD_GRID
+    if ns.dry_run and ns.ranks is None and ns.payloads is None:
+        rank_grid = (4, 8)
+        payload_grid = tuple(8 * 16**k for k in range(4))
+
+    print(
+        f"fitting decision table over ranks={list(rank_grid)}, "
+        f"payloads={list(payload_grid)} ..."
+    )
+    table, report = tuning.fit_decision_table(
+        rank_grid=rank_grid, payload_grid=payload_grid
+    )
+    print(json.dumps(table.to_dict(), indent=2))
+    n_cells = sum(len(v) for v in report["grid"].values())
+    print(f"({n_cells} simulated grid cells)")
+    if ns.dry_run:
+        print("dry run: nothing written")
+        return 0
+    out = Path(ns.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(table.to_dict(), indent=2) + "\n")
+    bench = Path(ns.bench)
+    bench.parent.mkdir(parents=True, exist_ok=True)
+    bench.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"table written to {out}")
+    print(f"measurement grid written to {bench}")
+    print(
+        "load it with repro.mpi.tuning.load_decision_table"
+        f"({str(out)!r}) to make algorithm='auto' use it"
+    )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Dispatch to the tour or the profiler; returns exit code."""
+    """Dispatch to the tour, the profiler or the tuner; returns exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "profile":
         return _cmd_profile(argv[1:])
+    if argv and argv[0] == "tune":
+        return _cmd_tune(argv[1:])
     return _cmd_tour(argv)
 
 

@@ -66,6 +66,13 @@ class ReduceScanOp(Generic[In, State, Out]):
     #: ("If it is undefined, it is assumed to be true by the compiler").
     commutative: bool = True
 
+    #: True when ``combine`` applies independently per element of a 1-D
+    #: NumPy array state, so the runtime may *segment* the state across
+    #: ranks (ring / Rabenseifner / pipelined schedules).  Operators
+    #: whose state is a whole object (mink, meanvar, ...) must leave
+    #: this False.
+    elementwise: bool = False
+
     #: Optional cost-model rate name for charging the accumulate phase
     #: (seconds/element); None disables accumulate charging.
     accum_rate: str | None = None

@@ -26,9 +26,23 @@ from repro.core.operator import ReduceScanOp
 from repro.errors import OperatorError
 from repro.localview.api import LOCAL_ALLREDUCE, LOCAL_REDUCE
 from repro.mpi.comm import Communicator
+from repro.mpi.op import Op
 from repro.util.sizing import payload_nbytes
 
-__all__ = ["global_reduce", "accumulate_local"]
+__all__ = ["global_reduce", "accumulate_local", "wire_op"]
+
+
+def wire_op(op: ReduceScanOp) -> Op:
+    """Lower a global-view operator's combine function to a wire-level
+    :class:`~repro.mpi.op.Op`, carrying the metadata the algorithm tuner
+    needs (commutativity, elementwise splittability, identity)."""
+    return Op(
+        op.combine,
+        commutative=op.commutative,
+        identity=op.ident,
+        elementwise=getattr(op, "elementwise", False),
+        name=op.name,
+    )
 
 
 def accumulate_local(
@@ -69,6 +83,7 @@ def global_reduce(
     fanout: int = 2,
     accum_rate: str | None = None,
     combine_seconds: float | None = None,
+    algorithm: str = "auto",
 ) -> Any:
     """Globally reduce the distributed data whose local block is
     ``values``, using the global-view operator ``op``.
@@ -97,6 +112,11 @@ def global_reduce(
         Combining-tree fan-out for commutative operators (§1).
     accum_rate, combine_seconds:
         Cost-model overrides; default to the operator's own settings.
+    algorithm:
+        Combine-phase schedule, forwarded to the local-view layer.  The
+        default ``"auto"`` consults :mod:`repro.mpi.tuning`'s decision
+        table (operators with ``elementwise = True`` and 1-D array
+        states become eligible for segmenting schedules).
 
     Returns
     -------
@@ -114,16 +134,18 @@ def global_reduce(
         with tr.span("combine", phase="combine", op=op.name) as sp:
             if tr.enabled:
                 sp.add(nbytes=payload_nbytes(state))
+            wop = wire_op(op)
             if root is None:
                 total = LOCAL_ALLREDUCE(
-                    comm, op.combine, state,
+                    comm, wop, state,
                     commutative=op.commutative, combine_seconds=cs,
+                    algorithm=algorithm,
                 )
             else:
                 total = LOCAL_REDUCE(
-                    comm, op.combine, state,
+                    comm, wop, state,
                     root=root, commutative=op.commutative, fanout=fanout,
-                    combine_seconds=cs,
+                    combine_seconds=cs, algorithm=algorithm,
                 )
         if root is None or comm.rank == root:
             with tr.span("generate", phase="generate", op=op.name):

@@ -28,7 +28,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.operator import ReduceScanOp
-from repro.core.reduce import accumulate_local
+from repro.core.reduce import accumulate_local, wire_op
 from repro.errors import OperatorError
 from repro.localview.api import LOCAL_XSCAN
 from repro.mpi.comm import Communicator
@@ -46,6 +46,7 @@ def _scan_impl(
     accum_rate: str | None,
     combine_seconds: float | None,
     scan_rate: str | None,
+    algorithm: str,
 ) -> list[Any]:
     if not isinstance(op, ReduceScanOp):
         raise OperatorError(
@@ -64,8 +65,9 @@ def _scan_impl(
             if tr.enabled:
                 sp.add(nbytes=payload_nbytes(state))
             prefix = LOCAL_XSCAN(
-                comm, op.ident, op.combine, state,
+                comm, op.ident, wire_op(op), state,
                 commutative=op.commutative, combine_seconds=cs,
+                algorithm=algorithm,
             )
         # Generate phase: walk the local data again, emitting outputs.
         with tr.span("generate", phase="generate", op=op.name) as sp:
@@ -90,6 +92,7 @@ def global_xscan(
     accum_rate: str | None = None,
     combine_seconds: float | None = None,
     scan_rate: str | None = None,
+    algorithm: str = "auto",
 ) -> list[Any]:
     """Global-view **exclusive** scan: output ``i`` reflects all elements
     strictly before global position ``i`` (the first output is generated
@@ -101,6 +104,7 @@ def global_xscan(
         comm, op, values,
         exclusive=True, accum_rate=accum_rate,
         combine_seconds=combine_seconds, scan_rate=scan_rate,
+        algorithm=algorithm,
     )
 
 
@@ -112,6 +116,7 @@ def global_scan(
     accum_rate: str | None = None,
     combine_seconds: float | None = None,
     scan_rate: str | None = None,
+    algorithm: str = "auto",
 ) -> list[Any]:
     """Global-view **inclusive** scan: output ``i`` reflects all elements
     up to and including global position ``i``.
@@ -122,4 +127,5 @@ def global_scan(
         comm, op, values,
         exclusive=False, accum_rate=accum_rate,
         combine_seconds=combine_seconds, scan_rate=scan_rate,
+        algorithm=algorithm,
     )

@@ -48,6 +48,7 @@ def _as_op(combine: CombineFn | Op, commutative: bool, identity: IdentFn | None)
                 combine.fn,
                 commutative=combine.commutative,
                 identity=identity,
+                elementwise=combine.elementwise,
                 name=combine.name,
             )
         return combine
@@ -63,6 +64,7 @@ def LOCAL_REDUCE(
     commutative: bool = True,
     fanout: int = 2,
     combine_seconds: float = 0.0,
+    algorithm: str = "auto",
 ) -> Any:
     """Reduce one value per processor; the result lands on ``root``.
 
@@ -70,7 +72,9 @@ def LOCAL_REDUCE(
     ``commutative`` (ignored when ``combine`` is an :class:`Op`, which
     carries its own flag) selects between order-preserving and
     as-available combining schedules; ``fanout`` widens the tree for
-    commutative operators (§1).
+    commutative operators (§1).  ``algorithm`` is forwarded to
+    :meth:`~repro.mpi.comm.Communicator.reduce`; the default ``"auto"``
+    lets the tuned decision table pick the schedule.
     """
     op = _as_op(combine, commutative, None)
     tr = comm.tracer
@@ -79,7 +83,7 @@ def LOCAL_REDUCE(
             sp.add(nbytes=payload_nbytes(value))
         return comm.reduce(
             value, op, root=root, fanout=fanout,
-            combine_seconds=combine_seconds,
+            combine_seconds=combine_seconds, algorithm=algorithm,
         )
 
 
@@ -90,14 +94,22 @@ def LOCAL_ALLREDUCE(
     *,
     commutative: bool = True,
     combine_seconds: float = 0.0,
+    algorithm: str = "auto",
 ) -> Any:
-    """Reduce one value per processor; every processor gets the result."""
+    """Reduce one value per processor; every processor gets the result.
+
+    ``algorithm`` is forwarded to
+    :meth:`~repro.mpi.comm.Communicator.allreduce`; the default
+    ``"auto"`` lets the tuned decision table pick the schedule.
+    """
     op = _as_op(combine, commutative, None)
     tr = comm.tracer
     with tr.span("LOCAL_ALLREDUCE", phase="combine", op=op.name) as sp:
         if tr.enabled:
             sp.add(nbytes=payload_nbytes(value))
-        return comm.allreduce(value, op, combine_seconds=combine_seconds)
+        return comm.allreduce(
+            value, op, combine_seconds=combine_seconds, algorithm=algorithm
+        )
 
 
 def LOCAL_SCAN(
@@ -108,6 +120,7 @@ def LOCAL_SCAN(
     *,
     commutative: bool = True,
     combine_seconds: float = 0.0,
+    algorithm: str = "auto",
 ) -> Any:
     """Inclusive prefix over processors: rank r gets v_0 ⊕ ... ⊕ v_r.
 
@@ -121,7 +134,9 @@ def LOCAL_SCAN(
     with tr.span("LOCAL_SCAN", phase="combine", op=op.name) as sp:
         if tr.enabled:
             sp.add(nbytes=payload_nbytes(value))
-        return comm.scan(value, op, combine_seconds=combine_seconds)
+        return comm.scan(
+            value, op, combine_seconds=combine_seconds, algorithm=algorithm
+        )
 
 
 def LOCAL_XSCAN(
@@ -132,6 +147,7 @@ def LOCAL_XSCAN(
     *,
     commutative: bool = True,
     combine_seconds: float = 0.0,
+    algorithm: str = "auto",
 ) -> Any:
     """Exclusive prefix over processors: rank r gets v_0 ⊕ ... ⊕ v_{r-1};
     rank 0 gets ``ident()``.  The identity function is mandatory — it is
@@ -143,7 +159,9 @@ def LOCAL_XSCAN(
     with tr.span("LOCAL_XSCAN", phase="combine", op=op.name) as sp:
         if tr.enabled:
             sp.add(nbytes=payload_nbytes(value))
-        return comm.exscan(value, op, combine_seconds=combine_seconds)
+        return comm.exscan(
+            value, op, combine_seconds=combine_seconds, algorithm=algorithm
+        )
 
 
 def exclusive_from_inclusive_shift(

@@ -10,11 +10,14 @@ Algorithm choices mirror common MPI implementations:
 
 * reductions: order-preserving binomial tree (valid for non-commutative
   operations); optional k-ary "combine-as-available" tree for commutative
-  operations (the paper's §1 fan-out observation);
+  operations (the paper's §1 fan-out observation); a segmented/pipelined
+  ring for large splittable vectors (order-preserving);
 * allreduce: recursive doubling with the MPICH non-power-of-two fold-in,
-  order-preserving throughout;
+  order-preserving throughout; bandwidth-optimal ring and Rabenseifner
+  (reduce-scatter + allgather) schedules for large splittable payloads;
 * scan/exscan: simultaneous binomial (recursive doubling) parallel
-  prefix, order-preserving;
+  prefix, order-preserving; a linear-chain pipeline as the
+  minimal-traffic alternative;
 * broadcast/gather/scatter: binomial trees; allgather: gather+bcast;
   alltoall(v): shifted pairwise exchange; barrier: dissemination.
 
@@ -37,11 +40,14 @@ __all__ = [
     "CollChannel",
     "reduce_binomial_ordered",
     "reduce_kary_available",
+    "reduce_ring_pipelined",
     "allreduce_recursive_doubling",
     "allreduce_ring",
+    "allreduce_rabenseifner",
     "reduce_scatter_ring",
     "bcast_binomial",
     "scan_simultaneous_binomial",
+    "scan_linear_chain",
     "gather_binomial",
     "scatter_binomial",
     "barrier_dissemination",
@@ -150,6 +156,64 @@ def reduce_kary_available(
             depth += 1
         m.histogram("collective.reduce_kary.depth").observe(depth)
     return partial
+
+
+def reduce_ring_pipelined(
+    ch: CollChannel,
+    value,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    segments: int | None = None,
+    combine_seconds: float = 0.0,
+):
+    """Reduce a splittable NumPy vector to group rank 0 by pipelining
+    segments down the ring path ``p-1 -> p-2 -> ... -> 0``.
+
+    Each link carries the full vector once, in ``segments`` pieces, and
+    the pieces flow concurrently: the makespan is roughly
+    ``(p - 2 + segments) * (latency + seg_bytes * G)`` instead of the
+    binomial tree's ``log2(p) * (latency + n_bytes * G)`` — the win for
+    large vectors.  Rank ``r`` always combines its own contribution as
+    the *left* operand of the partial covering ranks ``r+1..p-1``, so the
+    schedule is order-preserving and **non-commutative safe**; it does,
+    however, require an *elementwise* operation (segments are combined
+    independently — see :attr:`repro.mpi.op.Op.elementwise`).
+
+    Returns the reduction on rank 0, ``None`` elsewhere.
+    """
+    import numpy as np
+
+    rank, size = ch.rank, ch.size
+    arr = np.array(value, copy=True)
+    scalar = arr.ndim == 0
+    if scalar:
+        arr = arr.reshape(1)
+    if size == 1:
+        return arr[0] if scalar else arr
+    n = len(arr)
+    if segments is None:
+        # ~64 KiB per piece keeps pipeline-fill latency small relative to
+        # per-piece byte time without flooding the run with tiny messages.
+        segments = int(np.ceil(arr.nbytes / 65536)) if arr.nbytes else 1
+    segments = max(1, min(int(segments), n))
+    m = _metrics(ch)
+    if m.enabled and rank == 0:
+        m.counter("collective.reduce_ring_pipelined.calls").inc()
+        m.histogram("collective.reduce_ring_pipelined.stages").observe(
+            size - 2 + segments
+        )
+    bounds = np.linspace(0, n, segments + 1).astype(int)
+    for s in range(segments):
+        sl = slice(bounds[s], bounds[s + 1])
+        if rank < size - 1:
+            got = ch.recv(rank + 1)  # partial over ranks [rank+1, p-1]
+            arr[sl] = op(arr[sl], got)  # own (lower ranks) on the left
+            _charge_combine(ch, combine_seconds)
+        if rank > 0:
+            ch.send(rank - 1, arr[sl].copy())
+    if rank > 0:
+        return None
+    return arr[0] if scalar else arr
 
 
 def allreduce_recursive_doubling(
@@ -265,6 +329,46 @@ def scan_simultaneous_binomial(
         # the identity function so that it is well-defined).
         partial = identity() if identity is not None else None
     return partial
+
+
+def scan_linear_chain(
+    ch: CollChannel,
+    value: Any,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    exclusive: bool = False,
+    identity: Callable[[], Any] | None = None,
+    combine_seconds: float = 0.0,
+) -> Any:
+    """Prefix over ranks by a linear pipeline: rank ``r`` receives the
+    inclusive prefix of ranks ``0..r-1`` from its left neighbor, combines
+    once, and forwards.
+
+    Minimal traffic (``p - 1`` messages and combines in total versus the
+    simultaneous binomial's ``~p log2 p``) at the price of ``p - 1``
+    serialized hops on the critical path — the trade Träff's exscan
+    round/compute analysis maps out.  Order-preserving, any payload.
+    """
+    rank, size = ch.rank, ch.size
+    m = _metrics(ch)
+    if m.enabled and rank == 0:
+        m.counter("collective.scan_chain.calls").inc()
+        m.histogram("collective.scan_chain.hops").observe(max(size - 1, 0))
+    if rank == 0:
+        if size > 1:
+            ch.send(1, value)
+        if exclusive:
+            return identity() if identity is not None else None
+        return value
+    prefix = ch.recv(rank - 1)  # inclusive prefix of ranks [0, rank-1]
+    # The combine may mutate its left operand; keep the exclusive result
+    # isolated from the inclusive value forwarded down the chain.
+    mine = copy_for_transfer(prefix) if exclusive else None
+    inclusive = op(prefix, value)
+    _charge_combine(ch, combine_seconds)
+    if rank + 1 < size:
+        ch.send(rank + 1, inclusive)
+    return mine if exclusive else inclusive
 
 
 # --------------------------------------------------------------------------
@@ -493,3 +597,104 @@ def reduce_scatter_ring(
         _charge_combine(ch, combine_seconds)
     lo, hi = int(bounds[rank]), int(bounds[rank + 1])
     return arr[lo:hi], (lo, hi)
+
+
+def allreduce_rabenseifner(
+    ch: CollChannel,
+    value,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    combine_seconds: float = 0.0,
+):
+    """Rabenseifner-style all-reduce: recursive-*halving* reduce-scatter
+    followed by recursive-*doubling* allgather over the same pairs.
+
+    Moves ~``2 n (p-1)/p`` bytes per rank like the ring, but in
+    ``2 log2(p)`` rounds instead of ``2(p-1)`` — the classic large-payload
+    schedule when latency still matters.  Non-power-of-two sizes fold the
+    first ``2*(p - pof2)`` ranks pairwise first (the MPICH approach).
+    Segments are combined independently, so the operation must be
+    **commutative and elementwise** over splittable NumPy payloads.
+    """
+    import numpy as np
+
+    if isinstance(op, Op) and not op.commutative:
+        raise CommunicatorError(
+            f"allreduce_rabenseifner requires a commutative op, got {op!r}"
+        )
+    rank, size = ch.rank, ch.size
+    arr = np.array(value, copy=True)
+    scalar = arr.ndim == 0
+    if scalar:
+        arr = arr.reshape(1)
+    if size == 1:
+        return arr[0] if scalar else arr
+
+    pof2 = 1 << (size.bit_length() - 1)
+    rem = size - pof2
+    m = _metrics(ch)
+    if m.enabled and rank == 0:
+        m.counter("collective.allreduce_rab.calls").inc()
+        m.histogram("collective.allreduce_rab.rounds").observe(
+            2 * (pof2 - 1).bit_length() + (2 if rem else 0)
+        )
+
+    # Fold the first 2*rem ranks pairwise so a power of two remains.
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            ch.send(rank + 1, arr)
+            newrank = -1  # idle until the final un-fold
+        else:
+            theirs = ch.recv(rank - 1)
+            arr = op(theirs, arr)  # lower rank on the left
+            _charge_combine(ch, combine_seconds)
+            newrank = rank // 2
+    else:
+        newrank = rank - rem
+
+    def real(nr: int) -> int:
+        """Translate a folded rank back to its group rank."""
+        return nr * 2 + 1 if nr < rem else nr + rem
+
+    if newrank >= 0:
+        bounds = np.linspace(0, len(arr), pof2 + 1).astype(int)
+        slo, shi = 0, pof2  # my current segment block, in segment units
+        steps: list[tuple[int, int, int]] = []  # (partner, sent_lo, sent_hi)
+        dist = pof2 >> 1
+        # Recursive halving reduce-scatter: each round exchanges half of
+        # the current block with the partner and combines the kept half.
+        while dist >= 1:
+            partner = newrank ^ dist
+            mid = (slo + shi) // 2
+            if newrank < partner:  # I am in the lower half: keep low segs
+                sent_lo, sent_hi = mid, shi
+                keep = slice(int(bounds[slo]), int(bounds[mid]))
+                slo, shi = slo, mid
+            else:
+                sent_lo, sent_hi = slo, mid
+                keep = slice(int(bounds[mid]), int(bounds[shi]))
+                slo, shi = mid, shi
+            ch.send(real(partner), arr[bounds[sent_lo] : bounds[sent_hi]].copy())
+            got = ch.recv(real(partner))
+            if partner < newrank:
+                arr[keep] = op(got, arr[keep])
+            else:
+                arr[keep] = op(arr[keep], got)
+            _charge_combine(ch, combine_seconds)
+            steps.append((partner, sent_lo, sent_hi))
+            dist >>= 1
+        # Recursive doubling allgather: replay the exchanges in reverse;
+        # the partner of each round owns exactly the block sent away then.
+        for partner, sent_lo, sent_hi in reversed(steps):
+            ch.send(real(partner), arr[bounds[slo] : bounds[shi]].copy())
+            got = ch.recv(real(partner))
+            arr[bounds[sent_lo] : bounds[sent_hi]] = got
+            slo, shi = min(slo, sent_lo), max(shi, sent_hi)
+
+    # Un-fold: odd folded ranks forward the full result to their pair.
+    if rank < 2 * rem:
+        if rank % 2 == 0:
+            arr = ch.recv(rank + 1)
+        else:
+            ch.send(rank - 1, arr)
+    return arr[0] if scalar else arr

@@ -20,6 +20,7 @@ from typing import Any, Callable, Hashable, Sequence
 
 from repro.errors import CommunicatorError
 from repro.mpi import collectives as _coll
+from repro.mpi import tuning as _tuning
 from repro.mpi.op import Op
 from repro.runtime.channels import ANY_SOURCE, ANY_TAG
 from repro.runtime.world import RankContext
@@ -194,6 +195,18 @@ class Communicator:
         self._ctx.trace.on_collective(name, self._ctx.clock.t)
         return _Channel(self, ("c", self._cid, self._coll_seq, name))
 
+    @staticmethod
+    def _tuning_inputs(value: Any, op: Any, nprocs: int) -> tuple[int, bool]:
+        """``(nbytes, splittable)`` for the algorithm tuner.
+
+        ``nbytes`` is only computed for splittable payloads (1-D NumPy
+        arrays), where it is a cheap attribute read; sizing arbitrary
+        payloads would mean pickling them, and no segmenting algorithm
+        can use them anyway.
+        """
+        splittable = _tuning.is_splittable(value, op, nprocs)
+        return (int(value.nbytes) if splittable else 0), splittable
+
     # -- collectives ----------------------------------------------------------
 
     def barrier(self) -> None:
@@ -238,15 +251,20 @@ class Communicator:
         *,
         fanout: int = 2,
         combine_seconds: float = 0.0,
+        algorithm: str = "auto",
     ) -> Any:
         """Reduce ``value`` across ranks with ``op``; the result lands on
         ``root`` (``None`` elsewhere).
 
         Aggregation: pass NumPy arrays to reduce many values at once
-        (MPI's ``count > 1``).  Non-commutative ``Op`` instances always
-        use the order-preserving binomial schedule; commutative ones may
-        use a wider fan-out tree (``fanout > 2``) that combines children
-        as their messages become available.
+        (MPI's ``count > 1``).  ``algorithm`` selects the schedule:
+        ``"auto"`` (default) consults :mod:`repro.mpi.tuning`'s decision
+        table — the order-preserving ``"binomial"`` tree for small or
+        non-splittable payloads, the segmented ``"pipelined_ring"`` for
+        large 1-D arrays under elementwise ops — and both names may be
+        given explicitly.  Passing ``fanout > 2`` with a commutative op
+        selects the ``"kary"`` available-order tree (as before); that
+        schedule is never chosen automatically.
 
         An op that mutates its left operand may mutate the ``value``
         passed in (the local contribution seeds the combining chain);
@@ -259,14 +277,33 @@ class Communicator:
         ):
             ch = self._channel("reduce")
             commutative = op.commutative if isinstance(op, Op) else True
-            if fanout > 2 and commutative:
+            if algorithm == "auto":
+                if fanout > 2 and commutative:
+                    algorithm = "kary"
+                else:
+                    nbytes, splittable = self._tuning_inputs(
+                        value, op, self.size
+                    )
+                    algorithm = _tuning.choose_reduce(
+                        nbytes, self.size, commutative, splittable
+                    )
+            if algorithm == "kary":
                 result = _coll.reduce_kary_available(
-                    ch, value, op, fanout=fanout,
+                    ch, value, op, fanout=max(fanout, 2),
                     combine_seconds=combine_seconds,
                 )
-            else:
+            elif algorithm == "pipelined_ring":
+                result = _coll.reduce_ring_pipelined(
+                    ch, value, op, combine_seconds=combine_seconds
+                )
+            elif algorithm == "binomial":
                 result = _coll.reduce_binomial_ordered(
                     ch, value, op, combine_seconds=combine_seconds
+                )
+            else:
+                raise CommunicatorError(
+                    f"unknown reduce algorithm {algorithm!r}; choose "
+                    "'auto', 'binomial', 'pipelined_ring' or 'kary'"
                 )
             if root == 0:
                 return result
@@ -284,27 +321,42 @@ class Communicator:
         op: Op | Callable[[Any, Any], Any],
         *,
         combine_seconds: float = 0.0,
-        algorithm: str = "recursive_doubling",
+        algorithm: str = "auto",
     ) -> Any:
         """Reduce across ranks; every rank returns the result.
 
-        ``algorithm`` selects the schedule: ``"recursive_doubling"``
-        (default; latency-optimal, order-preserving, works for any
-        operand) or ``"ring"`` (bandwidth-optimal for large NumPy
-        arrays; commutative operations only).
+        ``algorithm`` selects the schedule: ``"auto"`` (default) consults
+        :mod:`repro.mpi.tuning`'s cost-model-fitted decision table and
+        only ever routes commutative ops over splittable payloads away
+        from recursive doubling.  Explicit choices:
+        ``"recursive_doubling"`` (latency-optimal, order-preserving,
+        works for any operand), ``"ring"`` (bandwidth-optimal for large
+        NumPy arrays; commutative only) or ``"rabenseifner"``
+        (reduce-scatter + allgather; best latency/bandwidth balance for
+        medium-to-large arrays; commutative only).
         """
         with self._ctx.tracer.span(
             "allreduce", phase="collective", op=getattr(op, "name", None)
         ):
             ch = self._channel("allreduce")
+            if algorithm == "auto":
+                commutative = op.commutative if isinstance(op, Op) else True
+                nbytes, splittable = self._tuning_inputs(value, op, self.size)
+                algorithm = _tuning.choose_allreduce(
+                    nbytes, self.size, commutative, splittable
+                )
             if algorithm == "ring":
                 return _coll.allreduce_ring(
+                    ch, value, op, combine_seconds=combine_seconds
+                )
+            if algorithm == "rabenseifner":
+                return _coll.allreduce_rabenseifner(
                     ch, value, op, combine_seconds=combine_seconds
                 )
             if algorithm != "recursive_doubling":
                 raise CommunicatorError(
                     f"unknown allreduce algorithm {algorithm!r}; choose "
-                    "'recursive_doubling' or 'ring'"
+                    "'auto', 'recursive_doubling', 'ring' or 'rabenseifner'"
                 )
             return _coll.allreduce_recursive_doubling(
                 ch, value, op, combine_seconds=combine_seconds,
@@ -338,14 +390,20 @@ class Communicator:
         op: Op | Callable[[Any, Any], Any],
         *,
         combine_seconds: float = 0.0,
+        algorithm: str = "auto",
     ) -> Any:
-        """Inclusive prefix reduction over ranks (MPI_Scan)."""
+        """Inclusive prefix reduction over ranks (MPI_Scan).
+
+        ``algorithm``: ``"auto"`` (default; table-driven), ``"binomial"``
+        (simultaneous binomial, log2(p) rounds) or ``"chain"`` (linear
+        chain, p-1 serialized hops but minimal total traffic).
+        """
         with self._ctx.tracer.span(
             "scan", phase="collective", op=getattr(op, "name", None)
         ):
-            return _coll.scan_simultaneous_binomial(
-                self._channel("scan"), value, op,
-                exclusive=False, combine_seconds=combine_seconds,
+            return self._scan_dispatch(
+                "scan", value, op, exclusive=False, identity=None,
+                combine_seconds=combine_seconds, algorithm=algorithm,
             )
 
     def exscan(
@@ -355,23 +413,58 @@ class Communicator:
         *,
         identity: Callable[[], Any] | None = None,
         combine_seconds: float = 0.0,
+        algorithm: str = "auto",
     ) -> Any:
         """Exclusive prefix reduction over ranks (MPI_Exscan).
 
         Rank 0 returns ``identity()`` if given (or the op's own identity),
         else ``None`` — MPI leaves this slot undefined; the paper's
-        LOCAL_XSCAN takes an identity function to define it.
+        LOCAL_XSCAN takes an identity function to define it.  See
+        :meth:`scan` for ``algorithm``.
         """
         if identity is None and isinstance(op, Op):
             identity = op.identity
         with self._ctx.tracer.span(
             "exscan", phase="collective", op=getattr(op, "name", None)
         ):
-            return _coll.scan_simultaneous_binomial(
-                self._channel("exscan"), value, op,
-                exclusive=True, identity=identity,
+            return self._scan_dispatch(
+                "exscan", value, op, exclusive=True, identity=identity,
+                combine_seconds=combine_seconds, algorithm=algorithm,
+            )
+
+    def _scan_dispatch(
+        self,
+        name: str,
+        value: Any,
+        op: Op | Callable[[Any, Any], Any],
+        *,
+        exclusive: bool,
+        identity: Callable[[], Any] | None,
+        combine_seconds: float,
+        algorithm: str,
+    ) -> Any:
+        if algorithm == "auto":
+            commutative = op.commutative if isinstance(op, Op) else True
+            nbytes, splittable = self._tuning_inputs(value, op, self.size)
+            algorithm = _tuning.choose_scan(
+                nbytes, self.size, commutative, splittable
+            )
+        if algorithm == "chain":
+            return _coll.scan_linear_chain(
+                self._channel(name), value, op,
+                exclusive=exclusive, identity=identity,
                 combine_seconds=combine_seconds,
             )
+        if algorithm != "binomial":
+            raise CommunicatorError(
+                f"unknown {name} algorithm {algorithm!r}; choose "
+                "'auto', 'binomial' or 'chain'"
+            )
+        return _coll.scan_simultaneous_binomial(
+            self._channel(name), value, op,
+            exclusive=exclusive, identity=identity,
+            combine_seconds=combine_seconds,
+        )
 
     # -- communicator management ----------------------------------------------
 

@@ -61,11 +61,19 @@ class Op:
     identity:
         Optional zero-argument callable producing the operation's
         identity element; required only by exclusive scans.
+    elementwise:
+        True when ``fn`` applies independently per array element, so a
+        NumPy-array operand may be *segmented* and the operation applied
+        to each slice (MPI's derived "splittable payload" property).
+        Segmenting algorithms (ring, Rabenseifner, pipelined ring) and
+        the ``algorithm="auto"`` tuner only ever split payloads whose op
+        declares this.  A combine over whole states (mink, meanvar, ...)
+        must leave it False.
     name:
         Diagnostic name.
     """
 
-    __slots__ = ("fn", "commutative", "identity", "name")
+    __slots__ = ("fn", "commutative", "identity", "elementwise", "name")
 
     def __init__(
         self,
@@ -73,6 +81,7 @@ class Op:
         *,
         commutative: bool = True,
         identity: Callable[[], Any] | None = None,
+        elementwise: bool = False,
         name: str = "user_op",
     ):
         if not callable(fn):
@@ -84,6 +93,7 @@ class Op:
         self.fn = fn
         self.commutative = bool(commutative)
         self.identity = identity
+        self.elementwise = bool(elementwise)
         self.name = name
 
     def __call__(self, a: Any, b: Any) -> Any:
@@ -99,10 +109,14 @@ def op_create(
     commute: bool = True,
     *,
     identity: Callable[[], Any] | None = None,
+    elementwise: bool = False,
     name: str = "user_op",
 ) -> Op:
     """Create a user-defined operation (the analogue of ``MPI_Op_create``)."""
-    return Op(fn, commutative=commute, identity=identity, name=name)
+    return Op(
+        fn, commutative=commute, identity=identity,
+        elementwise=elementwise, name=name,
+    )
 
 
 # --------------------------------------------------------------------------
@@ -170,16 +184,19 @@ def _loc_combine(a, b, *, want_max: bool):
     return out
 
 
-MAX = Op(_elementwise(np.maximum, max), name="MAX")
-MIN = Op(_elementwise(np.minimum, min), name="MIN")
-SUM = Op(_elementwise(np.add, lambda a, b: a + b), name="SUM")
-PROD = Op(_elementwise(np.multiply, lambda a, b: a * b), name="PROD")
+# The logical ops (LAND/LOR/LXOR) are semantically elementwise but return
+# fresh bool arrays: a segmenting algorithm's in-place writeback would
+# coerce the result dtype, so they do not declare ``elementwise``.
+MAX = Op(_elementwise(np.maximum, max), elementwise=True, name="MAX")
+MIN = Op(_elementwise(np.minimum, min), elementwise=True, name="MIN")
+SUM = Op(_elementwise(np.add, lambda a, b: a + b), elementwise=True, name="SUM")
+PROD = Op(_elementwise(np.multiply, lambda a, b: a * b), elementwise=True, name="PROD")
 LAND = Op(_logical(np.logical_and, lambda a, b: a and b), name="LAND")
-BAND = Op(_elementwise(np.bitwise_and, lambda a, b: a & b), name="BAND")
+BAND = Op(_elementwise(np.bitwise_and, lambda a, b: a & b), elementwise=True, name="BAND")
 LOR = Op(_logical(np.logical_or, lambda a, b: a or b), name="LOR")
-BOR = Op(_elementwise(np.bitwise_or, lambda a, b: a | b), name="BOR")
+BOR = Op(_elementwise(np.bitwise_or, lambda a, b: a | b), elementwise=True, name="BOR")
 LXOR = Op(_logical(np.logical_xor, lambda a, b: bool(a) != bool(b)), name="LXOR")
-BXOR = Op(_elementwise(np.bitwise_xor, lambda a, b: a ^ b), name="BXOR")
+BXOR = Op(_elementwise(np.bitwise_xor, lambda a, b: a ^ b), elementwise=True, name="BXOR")
 MAXLOC = Op(lambda a, b: _loc_combine(a, b, want_max=True), name="MAXLOC")
 MINLOC = Op(lambda a, b: _loc_combine(a, b, want_max=False), name="MINLOC")
 

@@ -1,0 +1,394 @@
+"""Cost-model-tuned collective algorithm selection.
+
+The best combine-phase schedule depends on payload size, rank count,
+commutativity and whether the payload can be segmented — exactly the
+decision space Träff's reduce-scatter/allreduce optimality analysis maps
+out.  This module makes the choice automatic: the communicator's
+``algorithm="auto"`` default calls :func:`choose_allreduce` /
+:func:`choose_reduce` / :func:`choose_scan`, which look the answer up in
+a :class:`DecisionTable` of payload-byte crossover thresholds per rank
+band.
+
+The shipped :data:`DEFAULT_TABLE` was **fitted by simulation** against
+the default :class:`~repro.runtime.costmodel.CostModel` (run
+``python -m repro tune`` to re-fit, e.g. after changing the cost model;
+``load_decision_table``/``set_decision_table`` install the result).
+Fitting simulates every candidate on every grid point and derives the
+thresholds from the measured winners — there is no closed-form shortcut,
+matching the repo's "costs emerge from messages" principle.
+
+Safety invariants, enforced in the ``choose_*`` functions rather than in
+the table so a bad fit can never produce a wrong answer:
+
+* non-commutative operations are only ever routed to order-preserving
+  schedules (recursive doubling, binomial, pipelined ring, chain);
+* payload-segmenting schedules (ring, Rabenseifner, pipelined ring) are
+  only chosen for *splittable* payloads: 1-D NumPy arrays with at least
+  one element per rank combined by an op that declares itself
+  ``elementwise`` (:class:`repro.mpi.op.Op`).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ALLREDUCE_ALGORITHMS",
+    "REDUCE_ALGORITHMS",
+    "SCAN_ALGORITHMS",
+    "Band",
+    "DecisionTable",
+    "DEFAULT_TABLE",
+    "choose_allreduce",
+    "choose_reduce",
+    "choose_scan",
+    "is_splittable",
+    "fit_decision_table",
+    "get_decision_table",
+    "set_decision_table",
+    "load_decision_table",
+]
+
+#: Candidate schedules per collective.  Order-preserving (safe for
+#: non-commutative ops): recursive_doubling, binomial, pipelined_ring,
+#: chain.  Payload-segmenting (need splittable): ring, rabenseifner,
+#: pipelined_ring.
+ALLREDUCE_ALGORITHMS = ("recursive_doubling", "ring", "rabenseifner")
+REDUCE_ALGORITHMS = ("binomial", "pipelined_ring")
+SCAN_ALGORITHMS = ("binomial", "chain")
+
+_UNBOUNDED = 1 << 62  # "no upper limit" sentinel for thresholds
+
+
+@dataclass(frozen=True)
+class Band:
+    """One rank band of a decision table.
+
+    Applies to communicators with ``nprocs <= max_ranks`` (bands are kept
+    sorted ascending; the last band catches everything).  ``cutoffs`` is
+    an ascending sequence of ``(max_bytes, algorithm)`` pairs: the first
+    entry whose ``max_bytes`` is >= the payload size wins.
+    """
+
+    max_ranks: int
+    cutoffs: tuple[tuple[int, str], ...]
+
+    def lookup(self, nbytes: int) -> str:
+        for max_bytes, algorithm in self.cutoffs:
+            if nbytes <= max_bytes:
+                return algorithm
+        return self.cutoffs[-1][1]
+
+
+@dataclass(frozen=True)
+class DecisionTable:
+    """Byte-threshold decision tables for the three tuned collectives."""
+
+    allreduce: tuple[Band, ...]
+    reduce: tuple[Band, ...]
+    scan: tuple[Band, ...]
+    source: str = "default"
+
+    def lookup(self, kind: str, nbytes: int, nprocs: int) -> str:
+        bands: tuple[Band, ...] = getattr(self, kind)
+        for band in bands:
+            if nprocs <= band.max_ranks:
+                return band.lookup(nbytes)
+        return bands[-1].lookup(nbytes)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        def enc(bands: tuple[Band, ...]):
+            return [
+                {
+                    "max_ranks": (
+                        b.max_ranks if b.max_ranks < _UNBOUNDED else None
+                    ),
+                    "cutoffs": [
+                        [mb if mb < _UNBOUNDED else None, algo]
+                        for mb, algo in b.cutoffs
+                    ],
+                }
+                for b in bands
+            ]
+
+        return {
+            "source": self.source,
+            "allreduce": enc(self.allreduce),
+            "reduce": enc(self.reduce),
+            "scan": enc(self.scan),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "DecisionTable":
+        def dec(items) -> tuple[Band, ...]:
+            return tuple(
+                Band(
+                    max_ranks=(
+                        _UNBOUNDED if b["max_ranks"] is None
+                        else int(b["max_ranks"])
+                    ),
+                    cutoffs=tuple(
+                        (_UNBOUNDED if mb is None else int(mb), str(algo))
+                        for mb, algo in b["cutoffs"]
+                    ),
+                )
+                for b in items
+            )
+
+        return cls(
+            allreduce=dec(data["allreduce"]),
+            reduce=dec(data["reduce"]),
+            scan=dec(data["scan"]),
+            source=str(data.get("source", "loaded")),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The shipped default table.
+#
+# Output of fit_decision_table() against the default CostModel()
+# (5 us latency, 500 MB/s, 1 us send/recv overheads) over ranks
+# {4, 8, 16, 32} and payloads 8 B .. 2 MiB; thresholds sit at the
+# geometric midpoint between the bracketing grid points of each measured
+# crossover.  Re-fit with `python -m repro tune`.
+# ---------------------------------------------------------------------------
+
+DEFAULT_TABLE = DecisionTable(
+    allreduce=(
+        Band(8, ((16384, "recursive_doubling"), (_UNBOUNDED, "rabenseifner"))),
+        Band(
+            _UNBOUNDED,
+            ((4096, "recursive_doubling"), (_UNBOUNDED, "rabenseifner")),
+        ),
+    ),
+    reduce=(
+        Band(4, ((65536, "binomial"), (_UNBOUNDED, "pipelined_ring"))),
+        Band(
+            _UNBOUNDED,
+            ((262144, "binomial"), (_UNBOUNDED, "pipelined_ring")),
+        ),
+    ),
+    scan=(
+        # The fitter rejects the chain at every fitted rank count: its
+        # p-1 serialized hops lose to the binomial's log2(p) rounds at
+        # every payload size.  It stays available as an explicit
+        # algorithm (and wins trivially at p == 2, handled in
+        # choose_scan before the table is consulted).
+        Band(_UNBOUNDED, ((_UNBOUNDED, "binomial"),)),
+    ),
+    source="default (fitted against CostModel() defaults)",
+)
+
+_active_table: DecisionTable = DEFAULT_TABLE
+
+
+def get_decision_table() -> DecisionTable:
+    """The table ``algorithm="auto"`` currently consults."""
+    return _active_table
+
+
+def set_decision_table(table: DecisionTable | None) -> DecisionTable:
+    """Install ``table`` (or restore the default with ``None``); returns
+    the previously active table."""
+    global _active_table
+    previous = _active_table
+    _active_table = DEFAULT_TABLE if table is None else table
+    return previous
+
+
+def load_decision_table(path: str | Path) -> DecisionTable:
+    """Load a table emitted by ``python -m repro tune`` and install it."""
+    table = DecisionTable.from_dict(json.loads(Path(path).read_text()))
+    set_decision_table(table)
+    return table
+
+
+# ---------------------------------------------------------------------------
+# Choice functions (the communicator's "auto" entry points)
+# ---------------------------------------------------------------------------
+
+
+def is_splittable(value: Any, op: Any, nprocs: int) -> bool:
+    """True when ``value`` may be segmented across ranks: a 1-D NumPy
+    array with at least one element per rank whose op declares itself
+    elementwise."""
+    return (
+        isinstance(value, np.ndarray)
+        and value.ndim == 1
+        and value.shape[0] >= nprocs
+        and bool(getattr(op, "elementwise", False))
+    )
+
+
+def choose_allreduce(
+    nbytes: int,
+    nprocs: int,
+    commutative: bool = True,
+    splittable: bool = False,
+    *,
+    table: DecisionTable | None = None,
+) -> str:
+    """Pick the all-reduce schedule for one call site.
+
+    Non-commutative or non-splittable operands always get the
+    order-preserving recursive doubling; otherwise the decision table's
+    byte thresholds decide between recursive doubling, ring and
+    Rabenseifner.
+    """
+    if nprocs <= 2 or not (commutative and splittable):
+        return "recursive_doubling"
+    return (table or _active_table).lookup("allreduce", nbytes, nprocs)
+
+
+def choose_reduce(
+    nbytes: int,
+    nprocs: int,
+    commutative: bool = True,
+    splittable: bool = False,
+    *,
+    table: DecisionTable | None = None,
+) -> str:
+    """Pick the rooted-reduce schedule.  The pipelined ring is
+    order-preserving, so commutativity does not restrict the choice —
+    only splittability does."""
+    if nprocs <= 2 or not splittable:
+        return "binomial"
+    return (table or _active_table).lookup("reduce", nbytes, nprocs)
+
+
+def choose_scan(
+    nbytes: int,
+    nprocs: int,
+    commutative: bool = True,
+    splittable: bool = False,
+    *,
+    table: DecisionTable | None = None,
+) -> str:
+    """Pick the scan/exscan schedule.  Both candidates are
+    order-preserving and neither segments the payload, so the table
+    decides unconditionally."""
+    if nprocs <= 2:
+        return "chain" if nprocs == 2 else "binomial"
+    return (table or _active_table).lookup("scan", nbytes, nprocs)
+
+
+# ---------------------------------------------------------------------------
+# Fitting
+# ---------------------------------------------------------------------------
+
+#: Default payload sweep for fitting: 8 B to 4 MiB in powers of 4.
+DEFAULT_PAYLOAD_GRID = tuple(8 * 4**k for k in range(10))
+DEFAULT_RANK_GRID = (4, 8, 16, 32)
+
+
+def _simulate(kind: str, algorithm: str, nbytes: int, nprocs: int, cost_model):
+    """Virtual makespan of one collective call under ``cost_model``."""
+    # Imported here: tuning is imported by repro.mpi.comm, and the
+    # executor imports the communicator (cycle otherwise).
+    from repro.mpi.op import SUM
+    from repro.runtime.executor import spmd_run
+
+    n = max(nprocs, nbytes // 8)
+
+    def prog(comm):
+        arr = np.zeros(n, dtype=np.float64)
+        if kind == "allreduce":
+            comm.allreduce(arr, SUM, algorithm=algorithm)
+        elif kind == "reduce":
+            comm.reduce(arr, SUM, algorithm=algorithm)
+        elif kind == "scan":
+            comm.scan(arr, SUM, algorithm=algorithm)
+        else:  # pragma: no cover - internal misuse
+            raise ValueError(f"unknown collective kind {kind!r}")
+
+    return spmd_run(prog, nprocs, cost_model=cost_model).time
+
+
+def _cutoffs_from_winners(
+    payloads: Sequence[int], winners: Sequence[str]
+) -> tuple[tuple[int, str], ...]:
+    """Collapse a winner-per-payload row into byte thresholds, placing
+    each crossover at the geometric midpoint of the bracketing grid
+    points."""
+    cutoffs: list[tuple[int, str]] = []
+    current = winners[0]
+    for i in range(1, len(winners)):
+        if winners[i] != current:
+            threshold = int(math.sqrt(payloads[i - 1] * payloads[i]))
+            cutoffs.append((threshold, current))
+            current = winners[i]
+    cutoffs.append((_UNBOUNDED, current))
+    return tuple(cutoffs)
+
+
+def fit_decision_table(
+    cost_model=None,
+    *,
+    rank_grid: Sequence[int] = DEFAULT_RANK_GRID,
+    payload_grid: Sequence[int] = DEFAULT_PAYLOAD_GRID,
+) -> tuple[DecisionTable, dict[str, Any]]:
+    """Re-fit the decision table by simulating every candidate on every
+    ``(nprocs, payload)`` grid point.
+
+    Returns ``(table, report)``; the report carries the full measurement
+    grid (virtual seconds per candidate per cell) for benchmarking /
+    plotting, and serializes cleanly to JSON.
+    """
+    from repro.runtime.costmodel import CostModel
+
+    cm = cost_model if cost_model is not None else CostModel()
+    payloads = sorted(int(b) for b in payload_grid)
+    ranks = sorted(int(p) for p in rank_grid)
+    candidates = {
+        "allreduce": ALLREDUCE_ALGORITHMS,
+        "reduce": REDUCE_ALGORITHMS,
+        "scan": SCAN_ALGORITHMS,
+    }
+    grid: dict[str, list[dict[str, Any]]] = {}
+    bands: dict[str, list[Band]] = {}
+    for kind, algos in candidates.items():
+        grid[kind] = []
+        bands[kind] = []
+        for p in ranks:
+            winners: list[str] = []
+            for nbytes in payloads:
+                times = {
+                    a: _simulate(kind, a, nbytes, p, cm) for a in algos
+                }
+                winner = min(times, key=times.get)
+                winners.append(winner)
+                grid[kind].append(
+                    {"nprocs": p, "nbytes": nbytes, "times": times,
+                     "winner": winner}
+                )
+            bands[kind].append(Band(p, _cutoffs_from_winners(payloads, winners)))
+        # the largest fitted band also covers everything above it
+        last = bands[kind][-1]
+        bands[kind][-1] = replace(last, max_ranks=_UNBOUNDED)
+    table = DecisionTable(
+        allreduce=tuple(bands["allreduce"]),
+        reduce=tuple(bands["reduce"]),
+        scan=tuple(bands["scan"]),
+        source=f"fitted (ranks={ranks}, payloads={payloads[0]}..{payloads[-1]}B)",
+    )
+    report = {
+        "cost_model": {
+            "latency": cm.latency,
+            "byte_time": cm.byte_time,
+            "send_overhead": cm.send_overhead,
+            "recv_overhead": cm.recv_overhead,
+        },
+        "rank_grid": ranks,
+        "payload_grid": payloads,
+        "grid": grid,
+        "table": table.to_dict(),
+    }
+    return table, report

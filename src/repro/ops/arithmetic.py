@@ -29,6 +29,7 @@ class UfuncOp(ReduceScanOp):
     identity value.  State, input and output types coincide."""
 
     commutative = True
+    elementwise = True  # a ufunc combines per element; states may be segmented
 
     def __init__(self, ufunc: np.ufunc, identity_value: Any, name: str):
         self._ufunc = ufunc

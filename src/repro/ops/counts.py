@@ -34,6 +34,7 @@ class CountsOp(ReduceScanOp):
     """
 
     commutative = True
+    elementwise = True  # count vectors combine per category
 
     def __init__(self, k: int, base: int = 1):
         if k < 1:

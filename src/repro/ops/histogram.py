@@ -25,6 +25,7 @@ class HistogramOp(ReduceScanOp):
     """
 
     commutative = True
+    elementwise = True  # bin-count vectors combine per bin
 
     def __init__(self, edges, *, clip: bool = False):
         edges = np.asarray(edges, dtype=np.float64)

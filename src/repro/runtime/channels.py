@@ -9,6 +9,14 @@ virtual-time results bit-reproducible.
 completeness (MPI has them) but matching order for wildcards depends on
 arrival order and is therefore only deterministic when a single candidate
 message can exist, which is how the library itself uses them.
+
+Blocking receives are **poll-free**: a rank blocked in
+:meth:`Mailbox.collect` sleeps on the mailbox condition until a sender
+delivers a matching message or the run aborts.  Aborts wake every
+blocked rank immediately via :meth:`Mailbox.notify_abort` (called by
+``World.abort``); a coarse once-a-second recheck guards against code
+that sets the shared abort event without notifying, but no fast
+periodic poll remains on any path.
 """
 
 from __future__ import annotations
@@ -25,7 +33,19 @@ __all__ = ["ANY_SOURCE", "ANY_TAG", "Envelope", "Mailbox"]
 ANY_SOURCE: int = -1
 ANY_TAG: int = -1
 
-_POLL_INTERVAL = 0.05  # seconds between abort-flag checks while blocked
+#: Retired-deque pool size.  Collective tags are unique per call (context
+#: id + sequence number), so without recycling the queue dict would grow
+#: by one key per collective; a small pool of spare deques keeps the hot
+#: path allocation-free and the dict bounded by the number of keys with
+#: messages actually in flight.
+_SPARE_QUEUES = 8
+
+#: Safety-net recheck period for a blocked ``collect``.  The normal
+#: wakeup is a notification (``deliver`` or ``notify_abort``); this
+#: timeout only matters if the shared abort event is set directly
+#: without ``notify_abort``, in which case the receiver still notices
+#: within a second instead of sleeping forever.
+_ABORT_RECHECK_SECONDS = 1.0
 
 
 @dataclass(frozen=True)
@@ -47,25 +67,58 @@ class Mailbox:
         self._abort = abort_event
         self._cond = threading.Condition()
         self._queues: dict[tuple[int, int], deque[Envelope]] = {}
+        self._spares: list[deque[Envelope]] = []
 
     def deliver(self, env: Envelope) -> None:
         """Called by a sender thread to enqueue a message."""
         key = (env.source, env.tag)
         with self._cond:
-            self._queues.setdefault(key, deque()).append(env)
+            q = self._queues.get(key)
+            if q is None:
+                q = self._spares.pop() if self._spares else deque()
+                self._queues[key] = q
+            q.append(env)
+            # Exactly one thread — the owning rank — ever blocks in
+            # collect(), so a single wakeup suffices.
+            self._cond.notify()
+
+    def notify_abort(self) -> None:
+        """Wake any blocked ``collect`` so it observes the abort flag.
+
+        The abort *event* is shared and set once by the world; this hook
+        exists because a poll-free ``collect`` sleeps until notified.
+        """
+        with self._cond:
             self._cond.notify_all()
+
+    def _retire(self, key: tuple[int, int], q: deque) -> None:
+        # Caller holds the lock and has just emptied q.
+        del self._queues[key]
+        if len(self._spares) < _SPARE_QUEUES:
+            self._spares.append(q)
 
     def _match(self, source: int, tag: int) -> Envelope | None:
         if source != ANY_SOURCE and tag != ANY_TAG:
-            q = self._queues.get((source, tag))
+            key = (source, tag)
+            q = self._queues.get(key)
             if q:
-                return q.popleft()
+                env = q.popleft()
+                if not q:
+                    self._retire(key, q)
+                return env
             return None
-        for (src, tg), q in self._queues.items():
+        # Wildcard path: snapshot the items — _retire mutates the dict
+        # mid-scan, and defensiveness against future lock-free delivery
+        # costs nothing here (wildcards are not the hot path).
+        for key, q in list(self._queues.items()):
             if not q:
                 continue
+            src, tg = key
             if (source in (ANY_SOURCE, src)) and (tag in (ANY_TAG, tg)):
-                return q.popleft()
+                env = q.popleft()
+                if not q:
+                    self._retire(key, q)
+                return env
         return None
 
     def collect(self, source: int, tag: int) -> Envelope:
@@ -86,7 +139,7 @@ class Mailbox:
                 env = self._match(source, tag)
                 if env is not None:
                     return env
-                self._cond.wait(timeout=_POLL_INTERVAL)
+                self._cond.wait(timeout=_ABORT_RECHECK_SECONDS)
 
     def probe(self, source: int, tag: int) -> bool:
         """Return True if a matching message is already queued."""

@@ -133,7 +133,7 @@ def spmd_run(
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             with failures_lock:
                 failures[rank] = exc
-            world.abort_event.set()
+            world.abort()
 
     t0 = _time.perf_counter()
     if nprocs == 1:
@@ -153,7 +153,7 @@ def spmd_run(
             remaining = deadline - _time.perf_counter()
             t.join(timeout=max(remaining, 0.0))
             if t.is_alive():
-                world.abort_event.set()
+                world.abort()
                 for t2 in threads:
                     t2.join(timeout=5.0)
                 raise SpmdTimeout(

@@ -67,6 +67,18 @@ class World:
             self._next_cid += 1
             return cid
 
+    def abort(self) -> None:
+        """Tear the run down: set the abort flag and wake every rank
+        blocked in a mailbox so it observes the flag immediately.
+
+        Blocking receives are poll-free, so setting the event alone would
+        leave blocked ranks asleep; the explicit notification replaces
+        the old 50 ms abort-flag poll.
+        """
+        self.abort_event.set()
+        for mailbox in self.mailboxes:
+            mailbox.notify_abort()
+
     def context(self, rank: int) -> "RankContext":
         """The per-rank handle for ``rank`` (clock, trace, messaging)."""
         if not 0 <= rank < self.nprocs:

@@ -8,7 +8,12 @@ from repro.util.rng import (
     randlc_pow,
     randlc_skip,
 )
-from repro.util.sizing import payload_nbytes, copy_for_transfer
+from repro.util.sizing import (
+    TransferSafe,
+    TransferSized,
+    copy_for_transfer,
+    payload_nbytes,
+)
 
 __all__ = [
     "RANDLC_A",
@@ -19,4 +24,6 @@ __all__ = [
     "randlc_skip",
     "payload_nbytes",
     "copy_for_transfer",
+    "TransferSafe",
+    "TransferSized",
 ]

@@ -22,10 +22,30 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["payload_nbytes", "copy_for_transfer", "TransferSized"]
+__all__ = [
+    "payload_nbytes",
+    "copy_for_transfer",
+    "TransferSized",
+    "TransferSafe",
+]
 
 _SCALAR_BYTES = 8
 _PER_ITEM_OVERHEAD = 8
+
+
+class TransferSafe:
+    """Marker base/mixin for payloads that may cross the send boundary
+    **by reference**.
+
+    A class declares itself transfer-safe when its instances are
+    immutable after construction (or are never mutated by receivers), so
+    the address-space isolation copy is pure overhead.  The marker is the
+    attribute ``__transfer_safe__ = True`` — subclassing this mixin is
+    the convenient way to set it, but any class may set the attribute
+    directly, and an instance may opt back out by setting it False.
+    """
+
+    __transfer_safe__ = True
 
 
 class TransferSized:
@@ -81,20 +101,40 @@ def payload_nbytes(obj: Any) -> int:
 
 
 def copy_for_transfer(obj: Any) -> Any:
-    """Return a copy of ``obj`` isolated from the sender's address space.
+    """Return ``obj`` isolated from the sender's address space.
 
     Immutable scalars are returned as-is; NumPy arrays are copied with
     ``.copy()`` (cheaper than deepcopy); containers are rebuilt
     recursively; everything else is ``copy.deepcopy``-ed.
+
+    Zero-copy fast paths — values that *cannot* be mutated by the
+    receiver pass through by reference:
+
+    * non-writeable NumPy arrays (``arr.flags.writeable`` False — freeze
+      a payload with ``arr.setflags(write=False)`` to send it for free);
+    * ``frozenset``;
+    * objects declaring ``__transfer_safe__ = True`` (the
+      :class:`TransferSafe` marker);
+    * tuples whose elements all pass through unchanged (the original
+      tuple object is returned, not a rebuilt copy).
     """
     if obj is None or isinstance(obj, (bool, int, float, complex, str, bytes)):
         return obj
     if isinstance(obj, np.generic):
         return obj  # numpy scalars are immutable
     if isinstance(obj, np.ndarray):
+        if not obj.flags.writeable:
+            return obj
         return obj.copy()
+    if isinstance(obj, frozenset):
+        return obj
+    if getattr(obj, "__transfer_safe__", False):
+        return obj
     if isinstance(obj, tuple):
-        return tuple(copy_for_transfer(x) for x in obj)
+        copied = tuple(copy_for_transfer(x) for x in obj)
+        if all(c is x for c, x in zip(copied, obj)):
+            return obj
+        return copied
     if isinstance(obj, list):
         return [copy_for_transfer(x) for x in obj]
     if isinstance(obj, dict):

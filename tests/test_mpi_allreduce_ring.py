@@ -32,7 +32,9 @@ class TestRingCorrectness:
 
         def prog(comm):
             mine = data[comm.rank]
-            a = comm.allreduce(mine.copy(), mpi.SUM)
+            a = comm.allreduce(
+                mine.copy(), mpi.SUM, algorithm="recursive_doubling"
+            )
             b = comm.allreduce(mine.copy(), mpi.SUM, algorithm="ring")
             return np.allclose(a, b)
 
@@ -74,7 +76,7 @@ class TestRingProperties:
         n, p = 50_000, 16
 
         def rd(comm):
-            comm.allreduce(np.zeros(n), mpi.SUM)
+            comm.allreduce(np.zeros(n), mpi.SUM, algorithm="recursive_doubling")
 
         def ring(comm):
             comm.allreduce(np.zeros(n), mpi.SUM, algorithm="ring")
@@ -89,7 +91,7 @@ class TestRingProperties:
         p = 16
 
         def rd(comm):
-            comm.allreduce(np.zeros(1), mpi.SUM)
+            comm.allreduce(np.zeros(1), mpi.SUM, algorithm="recursive_doubling")
 
         def ring(comm):
             comm.allreduce(np.zeros(1), mpi.SUM, algorithm="ring")

@@ -1,0 +1,420 @@
+"""Tests for the collective algorithm tuning layer (repro.mpi.tuning).
+
+The contract under test: ``algorithm="auto"`` is a pure *performance*
+choice — for any operator and any payload it must produce exactly the
+result the explicit baseline algorithm produces, and it must never route
+a non-commutative operator to a commutative-only schedule.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.core.operator import state_equal
+from repro.core.reduce import global_reduce
+from repro.core.scan import global_scan, global_xscan
+from repro.mpi.tuning import (
+    DEFAULT_TABLE,
+    Band,
+    DecisionTable,
+    choose_allreduce,
+    choose_reduce,
+    choose_scan,
+    fit_decision_table,
+    is_splittable,
+    load_decision_table,
+    set_decision_table,
+)
+from repro.ops import (
+    AllOp,
+    AnyOp,
+    BandOp,
+    BorOp,
+    BxorOp,
+    ConcatOp,
+    CountsOp,
+    HistogramOp,
+    MaxiOp,
+    MaxKOp,
+    MaxOp,
+    MeanVarOp,
+    MiniOp,
+    MinKOp,
+    MinOp,
+    ProdOp,
+    SortedOp,
+    SumOp,
+    TopKOp,
+    UnionOp,
+    XorOp,
+)
+from repro.runtime import spmd_run
+from tests.conftest import block_split, run_all
+
+INT_MAX = np.iinfo(np.int64).max
+
+#: Payload element counts (int64) spanning the decision-table byte
+#: crossovers: 8 B (scalar regime), 4 KiB (below every cutoff), 16 KiB
+#: (the p<=8 allreduce cutoff), 128 KiB (above the allreduce cutoffs,
+#: below the large-p reduce cutoff) and 320 KB (above everything).
+CROSSOVER_LENGTHS = [1, 512, 2048, 16384, 40000]
+
+NPROCS = [1, 2, 3, 8, 16]
+
+
+class TestChoosers:
+    def test_non_commutative_never_segmenting(self):
+        for nbytes in (8, 10**4, 10**8):
+            for p in (2, 4, 16, 64):
+                assert (
+                    choose_allreduce(nbytes, p, commutative=False, splittable=True)
+                    == "recursive_doubling"
+                )
+
+    def test_non_splittable_never_segmenting(self):
+        for nbytes in (8, 10**4, 10**8):
+            for p in (2, 4, 16, 64):
+                assert (
+                    choose_allreduce(nbytes, p, commutative=True, splittable=False)
+                    == "recursive_doubling"
+                )
+                assert choose_reduce(nbytes, p, True, False) == "binomial"
+
+    def test_allreduce_crossover(self):
+        # Small payloads keep the latency-optimal schedule; large
+        # commutative splittable ones get a bandwidth-optimal one.
+        assert choose_allreduce(8, 16, True, True) == "recursive_doubling"
+        big = choose_allreduce(10**7, 16, True, True)
+        assert big in ("ring", "rabenseifner")
+
+    def test_reduce_crossover(self):
+        assert choose_reduce(8, 16, True, True) == "binomial"
+        assert choose_reduce(10**7, 16, True, True) == "pipelined_ring"
+
+    def test_scan_choice_is_order_preserving(self):
+        for nbytes in (8, 10**7):
+            for p in (1, 2, 3, 8, 16, 64):
+                assert choose_scan(nbytes, p, False, False) in (
+                    "binomial",
+                    "chain",
+                )
+
+    def test_is_splittable(self):
+        assert is_splittable(np.zeros(16), mpi.SUM, 16)
+        assert not is_splittable(np.zeros(15), mpi.SUM, 16)  # too short
+        assert not is_splittable(np.zeros((4, 4)), mpi.SUM, 4)  # not 1-D
+        assert not is_splittable([0.0] * 16, mpi.SUM, 16)  # not ndarray
+        # MAXLOC is not elementwise (pair semantics)
+        assert not is_splittable(np.zeros(16), mpi.MAXLOC, 16)
+        # plain callables carry no elementwise declaration
+        assert not is_splittable(np.zeros(16), lambda a, b: a + b, 16)
+
+
+class TestAutoMatchesExplicitWire:
+    """comm-level: auto == explicit bit-for-bit on exact (int64) data."""
+
+    @pytest.mark.parametrize("p", NPROCS)
+    @pytest.mark.parametrize("n", CROSSOVER_LENGTHS)
+    def test_allreduce_sum(self, p, n, rng):
+        data = rng.integers(-(2**40), 2**40, size=(p, n), dtype=np.int64)
+
+        def prog(comm):
+            auto = comm.allreduce(data[comm.rank].copy(), mpi.SUM)
+            explicit = comm.allreduce(
+                data[comm.rank].copy(), mpi.SUM,
+                algorithm="recursive_doubling",
+            )
+            return bool(np.array_equal(auto, explicit))
+
+        assert all(run_all(prog, p))
+
+    @pytest.mark.parametrize("p", NPROCS)
+    @pytest.mark.parametrize("n", CROSSOVER_LENGTHS)
+    def test_reduce_sum(self, p, n, rng):
+        data = rng.integers(-(2**40), 2**40, size=(p, n), dtype=np.int64)
+
+        def prog(comm):
+            auto = comm.reduce(data[comm.rank].copy(), mpi.SUM)
+            explicit = comm.reduce(
+                data[comm.rank].copy(), mpi.SUM, algorithm="binomial"
+            )
+            if comm.rank == 0:
+                return bool(np.array_equal(auto, explicit))
+            return auto is None and explicit is None
+
+        assert all(run_all(prog, p))
+
+    @pytest.mark.parametrize(
+        "op", [mpi.MIN, mpi.MAX, mpi.PROD, mpi.BAND, mpi.BOR, mpi.BXOR],
+        ids=lambda op: op.name,
+    )
+    def test_allreduce_elementwise_builtins(self, op, rng):
+        p, n = 8, 16384  # right at the p<=8 crossover
+        data = rng.integers(1, 7, size=(p, n), dtype=np.int64)
+
+        def prog(comm):
+            auto = comm.allreduce(data[comm.rank].copy(), op)
+            explicit = comm.allreduce(
+                data[comm.rank].copy(), op, algorithm="recursive_doubling"
+            )
+            return bool(np.array_equal(auto, explicit))
+
+        assert all(run_all(prog, p))
+
+    @pytest.mark.parametrize(
+        "op", [mpi.LAND, mpi.LOR, mpi.LXOR], ids=lambda op: op.name
+    )
+    def test_allreduce_logical_builtins(self, op, rng):
+        # Logical ops are deliberately not elementwise (fresh bool
+        # arrays); auto must fall back to recursive doubling and match.
+        p = 8
+        data = rng.integers(0, 2, size=(p, 64), dtype=np.int64)
+
+        def prog(comm):
+            auto = comm.allreduce(data[comm.rank].copy(), op)
+            explicit = comm.allreduce(
+                data[comm.rank].copy(), op, algorithm="recursive_doubling"
+            )
+            return bool(np.array_equal(auto, explicit))
+
+        assert all(run_all(prog, p))
+
+    def test_allreduce_maxloc_pairs(self, rng):
+        p = 8
+        vals = rng.normal(size=(p, 32))
+
+        def prog(comm):
+            pairs = np.stack(
+                [vals[comm.rank], np.full(32, float(comm.rank))], axis=1
+            )
+            auto = comm.allreduce(pairs.copy(), mpi.MAXLOC)
+            explicit = comm.allreduce(
+                pairs.copy(), mpi.MAXLOC, algorithm="recursive_doubling"
+            )
+            return bool(np.array_equal(auto, explicit))
+
+        assert all(run_all(prog, p))
+
+    @pytest.mark.parametrize("p", NPROCS)
+    def test_scan_and_exscan(self, p, rng):
+        data = rng.integers(-(2**40), 2**40, size=(p, 256), dtype=np.int64)
+
+        def prog(comm):
+            mine = data[comm.rank]
+            a = comm.scan(mine.copy(), mpi.SUM)
+            b = comm.scan(mine.copy(), mpi.SUM, algorithm="binomial")
+            ok = bool(np.array_equal(a, b))
+            xa = comm.exscan(
+                mine.copy(), mpi.SUM,
+                identity=lambda: np.zeros(256, dtype=np.int64),
+            )
+            xb = comm.exscan(
+                mine.copy(), mpi.SUM,
+                identity=lambda: np.zeros(256, dtype=np.int64),
+                algorithm="binomial",
+            )
+            return ok and bool(np.array_equal(xa, xb))
+
+        assert all(run_all(prog, p))
+
+    def test_non_commutative_auto_never_rejected(self):
+        """A non-commutative elementwise op over a huge array must sail
+        through auto (routed to an order-preserving schedule) instead of
+        hitting a commutative-only algorithm's guard."""
+        p, n = 16, 100_000
+        take_right = mpi.op_create(
+            lambda a, b: b, commute=False, elementwise=True, name="project"
+        )
+
+        def prog(comm):
+            out = comm.allreduce(
+                np.full(n, float(comm.rank)), take_right
+            )
+            return bool(np.all(out == p - 1))
+
+        assert all(run_all(prog, p))
+
+
+#: Representative instances of every operator family in repro.ops,
+#: paired with a data generator (global int sequence keeps exact ops
+#: bit-exact; state_equal gives float ops merge tolerance).
+def _int_data(n=40):
+    return [int(v) for v in np.random.default_rng(7).integers(0, 50, n)]
+
+
+GLOBAL_VIEW_OPS = [
+    pytest.param(SumOp(), _int_data(), id="SumOp"),
+    pytest.param(ProdOp(), [1, 2, 1, 3, 1, 2, 1, 1, 2, 1], id="ProdOp"),
+    pytest.param(MinOp(), _int_data(), id="MinOp"),
+    pytest.param(MaxOp(), _int_data(), id="MaxOp"),
+    pytest.param(AllOp(), [1, 1, 0, 1] * 10, id="AllOp"),
+    pytest.param(AnyOp(), [0, 0, 1, 0] * 10, id="AnyOp"),
+    pytest.param(XorOp(), [1, 0, 1, 1] * 10, id="XorOp"),
+    pytest.param(BandOp(), _int_data(), id="BandOp"),
+    pytest.param(BorOp(), _int_data(), id="BorOp"),
+    pytest.param(BxorOp(), _int_data(), id="BxorOp"),
+    pytest.param(
+        MiniOp(), [(v, i) for i, v in enumerate(_int_data())], id="MiniOp"
+    ),
+    pytest.param(
+        MaxiOp(), [(v, i) for i, v in enumerate(_int_data())], id="MaxiOp"
+    ),
+    pytest.param(MinKOp(3, INT_MAX), _int_data(), id="MinKOp"),
+    pytest.param(MaxKOp(3, -INT_MAX), _int_data(), id="MaxKOp"),
+    pytest.param(
+        CountsOp(8, base=0), [v % 8 for v in _int_data()], id="CountsOp"
+    ),
+    pytest.param(UnionOp(), [v % 11 for v in _int_data()], id="UnionOp"),
+    pytest.param(ConcatOp(), _int_data(), id="ConcatOp"),
+    pytest.param(
+        HistogramOp([0.0, 10.0, 25.0, 50.0]), _int_data(), id="HistogramOp"
+    ),
+    pytest.param(SortedOp(), sorted(_int_data()), id="SortedOp"),
+    pytest.param(MeanVarOp(), [float(v) for v in _int_data()], id="MeanVarOp"),
+    pytest.param(TopKOp(4), _int_data(), id="TopKOp"),
+]
+
+
+class TestAutoMatchesExplicitGlobalView:
+    """Driver-level: every repro.ops operator, auto == explicit."""
+
+    @pytest.mark.parametrize("p", NPROCS)
+    @pytest.mark.parametrize("op,data", GLOBAL_VIEW_OPS)
+    def test_global_reduce(self, p, op, data):
+        def prog(comm):
+            local = block_split(data, comm.size, comm.rank)
+            auto = global_reduce(comm, op, local)
+            explicit = global_reduce(
+                comm, op, local, algorithm="recursive_doubling"
+            )
+            return state_equal(auto, explicit)
+
+        assert all(run_all(prog, p))
+
+    @pytest.mark.parametrize("op,data", GLOBAL_VIEW_OPS)
+    def test_global_reduce_rooted(self, op, data):
+        p = 8
+
+        def prog(comm):
+            local = block_split(data, comm.size, comm.rank)
+            auto = global_reduce(comm, op, local, root=0)
+            explicit = global_reduce(
+                comm, op, local, root=0, algorithm="binomial"
+            )
+            if comm.rank == 0:
+                return state_equal(auto, explicit)
+            return auto is None and explicit is None
+
+        assert all(run_all(prog, p))
+
+    @pytest.mark.parametrize("op,data", GLOBAL_VIEW_OPS)
+    def test_global_scan(self, op, data):
+        p = 8
+
+        def prog(comm):
+            local = block_split(data, comm.size, comm.rank)
+            auto = global_scan(comm, op, local)
+            explicit = global_scan(comm, op, local, algorithm="binomial")
+            return state_equal(auto, explicit)
+
+        assert all(run_all(prog, p))
+
+    @pytest.mark.parametrize("op,data", GLOBAL_VIEW_OPS[:6])
+    def test_global_xscan(self, op, data):
+        p = 8
+
+        def prog(comm):
+            local = block_split(data, comm.size, comm.rank)
+            auto = global_xscan(comm, op, local)
+            explicit = global_xscan(comm, op, local, algorithm="binomial")
+            return state_equal(auto, explicit)
+
+        assert all(run_all(prog, p))
+
+
+class TestDecisionTable:
+    def test_lookup_bands_and_cutoffs(self):
+        table = DecisionTable(
+            allreduce=(
+                Band(8, ((100, "a"), (1 << 62, "b"))),
+                Band(1 << 62, ((1 << 62, "c"),)),
+            ),
+            reduce=(Band(1 << 62, ((1 << 62, "r"),)),),
+            scan=(Band(1 << 62, ((1 << 62, "s"),)),),
+        )
+        assert table.lookup("allreduce", 50, 4) == "a"
+        assert table.lookup("allreduce", 100, 4) == "a"  # inclusive
+        assert table.lookup("allreduce", 101, 4) == "b"
+        assert table.lookup("allreduce", 50, 9) == "c"
+        assert table.lookup("reduce", 10**9, 10**6) == "r"
+
+    def test_json_roundtrip(self, tmp_path):
+        blob = json.dumps(DEFAULT_TABLE.to_dict())
+        back = DecisionTable.from_dict(json.loads(blob))
+        for kind in ("allreduce", "reduce", "scan"):
+            for p in (2, 4, 8, 16, 32, 100):
+                for nbytes in (1, 4096, 16384, 65536, 262144, 10**8):
+                    assert back.lookup(kind, nbytes, p) == DEFAULT_TABLE.lookup(
+                        kind, nbytes, p
+                    )
+
+    def test_load_and_restore(self, tmp_path):
+        custom = DecisionTable(
+            allreduce=(Band(1 << 62, ((1 << 62, "ring"),)),),
+            reduce=(Band(1 << 62, ((1 << 62, "binomial"),)),),
+            scan=(Band(1 << 62, ((1 << 62, "binomial"),)),),
+            source="test",
+        )
+        path = tmp_path / "table.json"
+        path.write_text(json.dumps(custom.to_dict()))
+        try:
+            loaded = load_decision_table(path)
+            assert loaded.source == "test"
+            assert choose_allreduce(8, 16, True, True) == "ring"
+        finally:
+            set_decision_table(None)
+        assert choose_allreduce(8, 16, True, True) == "recursive_doubling"
+
+    def test_fit_on_tiny_grid(self):
+        table, report = fit_decision_table(
+            rank_grid=(4,), payload_grid=(8, 65536)
+        )
+        # sanity: a fitted table always answers, and the report grid
+        # carries one row per (kind, rank, payload) cell
+        assert table.lookup("allreduce", 8, 4) in (
+            "recursive_doubling", "ring", "rabenseifner",
+        )
+        assert len(report["grid"]["allreduce"]) == 2
+        assert report["payload_grid"] == [8, 65536]
+        blob = json.dumps(report)  # must serialize cleanly
+        assert "times" in blob
+
+
+class TestTuneCli:
+    def test_dry_run_smoke(self, capsys):
+        from repro.__main__ import main
+
+        rc = main([
+            "tune", "--dry-run", "--ranks", "4", "--payloads", "8", "65536",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dry run: nothing written" in out
+        assert "recursive_doubling" in out
+
+    def test_tune_writes_table_and_bench(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "table.json"
+        bench = tmp_path / "BENCH_tune.json"
+        rc = main([
+            "tune", "--ranks", "4", "--payloads", "8", "65536",
+            "--out", str(out), "--bench", str(bench),
+        ])
+        assert rc == 0
+        table = DecisionTable.from_dict(json.loads(out.read_text()))
+        assert table.lookup("reduce", 8, 4) == "binomial"
+        report = json.loads(bench.read_text())
+        assert report["rank_grid"] == [4]

@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.util.sizing import TransferSized, copy_for_transfer, payload_nbytes
+from repro.util.sizing import (
+    TransferSafe,
+    TransferSized,
+    copy_for_transfer,
+    payload_nbytes,
+)
 
 
 class TestPayloadNbytes:
@@ -86,3 +91,56 @@ class TestCopyForTransfer:
     def test_tuple_type_preserved(self):
         assert isinstance(copy_for_transfer((1, 2)), tuple)
         assert isinstance(copy_for_transfer([1]), list)
+
+
+class TestZeroCopyFastPaths:
+    def test_frozen_array_passthrough(self):
+        a = np.arange(5)
+        a.setflags(write=False)
+        assert copy_for_transfer(a) is a
+
+    def test_writeable_array_still_copied(self):
+        a = np.arange(5)
+        assert copy_for_transfer(a) is not a
+
+    def test_frozenset_passthrough(self):
+        s = frozenset({1, 2, 3})
+        assert copy_for_transfer(s) is s
+
+    def test_transfer_safe_marker(self):
+        class FrozenState(TransferSafe):
+            def __init__(self, v):
+                self.v = v
+
+        fs = FrozenState([1, 2])
+        assert copy_for_transfer(fs) is fs
+
+    def test_transfer_safe_attribute_without_mixin(self):
+        class Marked:
+            __transfer_safe__ = True
+
+        m = Marked()
+        assert copy_for_transfer(m) is m
+
+    def test_transfer_safe_opt_out(self):
+        class Marked(TransferSafe):
+            def __init__(self):
+                self.__transfer_safe__ = False
+                self.v = [1]
+
+        m = Marked()
+        out = copy_for_transfer(m)
+        assert out is not m
+        out.v.append(2)
+        assert m.v == [1]
+
+    def test_all_immutable_tuple_identity_preserved(self):
+        t = (1, "a", frozenset({2}))
+        assert copy_for_transfer(t) is t
+
+    def test_tuple_with_mutable_element_rebuilt(self):
+        t = (1, np.arange(3))
+        out = copy_for_transfer(t)
+        assert out is not t
+        out[1][0] = 9
+        assert t[1][0] == 0
