@@ -1,0 +1,85 @@
+"""EX-FAULTS — cost of fault injection and of recovering from it.
+
+Three questions, each answered in virtual time (the currency of every
+other figure) and persisted — fault counters included — into
+``results/BENCH_bench_chaos_overhead.*.json`` by the shared
+``phase_metrics`` fixture:
+
+1. What does a fault *plan* cost when nothing goes wrong?  (Nothing:
+   an all-zero-rate plan must leave the makespan bit-identical.)
+2. What do lossy links cost?  (Retransmit backoff + delays, quantified
+   as a makespan ratio; results stay bit-identical to fault-free.)
+3. What does surviving a mid-combine fail-stop cost?  (The revoke /
+   agree / shrink / re-combine round, quantified the same way.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import global_reduce
+from repro.core.operator import state_equal
+from repro.faults import FailStop, FaultPlan, LinkFaults
+from repro.ops import SumOp
+from repro.runtime import spmd_run
+
+P = 8
+N = 4_096
+
+LOSSY = FaultPlan(
+    seed=11,
+    link=LinkFaults(drop_rate=0.2, dup_rate=0.2, delay_rate=0.2,
+                    reorder_rate=0.2),
+)
+FAILSTOP = FaultPlan(seed=11, failstops=(FailStop(rank=5, at_op=1),))
+
+
+def _blocks():
+    rng = np.random.default_rng(23)
+    return [rng.random(N) for _ in range(P)]
+
+
+def _run(fault_plan=None):
+    blocks = _blocks()
+
+    def prog(comm):
+        return global_reduce(comm, SumOp(), blocks[comm.rank])
+
+    return spmd_run(prog, P, fault_plan=fault_plan)
+
+
+class TestFaultOverhead:
+    def test_null_plan_is_free(self, benchmark, results_dir):
+        base = _run()
+        nulled = benchmark(lambda: _run(FaultPlan(seed=11)))
+        assert state_equal(nulled.returns, base.returns)
+        assert nulled.time == base.time
+
+    def test_lossy_links_cost_time_not_answers(self, benchmark, results_dir):
+        base = _run()
+        lossy = benchmark(lambda: _run(LOSSY))
+        assert state_equal(lossy.returns, base.returns)
+        assert lossy.time > base.time
+        ratio = lossy.time / base.time
+        print(f"\nlossy-link makespan overhead: {ratio:.2f}x "
+              f"({base.time:.3e}s -> {lossy.time:.3e}s)")
+
+    def test_failstop_recovery_cost(self, benchmark, results_dir):
+        blocks = _blocks()
+        survivors = [b for q, b in enumerate(blocks) if q != 5]
+
+        def survivor_baseline(comm):
+            return global_reduce(comm, SumOp(), survivors[comm.rank])
+
+        base = spmd_run(survivor_baseline, P - 1)
+        faulted = benchmark(lambda: _run(FAILSTOP))
+        assert faulted.failed_ranks == {5}
+        out = [r for q, r in enumerate(faulted.returns) if q != 5]
+        assert state_equal(out, base.returns)
+        # Recovery is pure overhead relative to having had the smaller
+        # world from the start; the faults.recovery_vtime histogram in
+        # the persisted metrics holds the per-run figure.
+        ratio = faulted.time / base.time
+        print(f"\nfail-stop recovery makespan overhead: {ratio:.2f}x "
+              f"({base.time:.3e}s -> {faulted.time:.3e}s)")

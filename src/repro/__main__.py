@@ -13,6 +13,11 @@
   simulating every candidate algorithm over a rank/payload grid; emits
   the fitted table as JSON plus a BENCH json of the full measurement
   grid.
+* ``python -m repro chaos [--seeds N] [--ranks P ...] [--smoke]
+  [--ops NAME ...] [--out P]`` — soak-test every operator in
+  ``repro.ops`` under random seeded fault plans (lossy links and
+  combine-phase fail-stops) and check results against failure-free
+  baselines (:mod:`repro.faults.chaos`).
 """
 
 from __future__ import annotations
@@ -259,13 +264,101 @@ def _cmd_tune(argv: list[str]) -> int:
     return 0
 
 
+def _cmd_chaos(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Soak-test every operator under seeded fault plans "
+        "and check results against failure-free baselines.",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=20, metavar="N",
+        help="number of seeds per (operator, size) cell (default: 20)",
+    )
+    parser.add_argument(
+        "--seed-base", type=int, default=0, metavar="S",
+        help="first seed; seeds are S..S+N-1 (default: 0)",
+    )
+    parser.add_argument(
+        "--ranks", type=int, nargs="+", default=None, metavar="P",
+        help="rank counts to test (default: 4 8 16)",
+    )
+    parser.add_argument(
+        "--ops", nargs="+", default=None, metavar="NAME",
+        help="restrict to these case names (default: all)",
+    )
+    parser.add_argument(
+        "--modes", nargs="+", choices=("lossy", "failstop"), default=None,
+        help="fault modes to run (default: both)",
+    )
+    parser.add_argument(
+        "--elements", type=int, default=6, metavar="N",
+        help="input elements per rank (default: 6)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced fixed grid for CI: 3 seeds x {4, 8} ranks",
+    )
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="also write the full per-trial results as JSON to PATH",
+    )
+    ns = parser.parse_args(argv)
+
+    from dataclasses import asdict
+
+    from repro.faults.chaos import (
+        CHAOS_CASES,
+        chaos_report_lines,
+        run_chaos,
+    )
+
+    sizes = tuple(ns.ranks) if ns.ranks else (4, 8, 16)
+    n_seeds = ns.seeds
+    if ns.smoke and ns.ranks is None:
+        sizes = (4, 8)
+    if ns.smoke and ns.seeds == 20:
+        n_seeds = 3
+    seeds = range(ns.seed_base, ns.seed_base + n_seeds)
+    cases = CHAOS_CASES
+    if ns.ops:
+        by_name = {c.name: c for c in CHAOS_CASES}
+        unknown = [n for n in ns.ops if n not in by_name]
+        if unknown:
+            parser.error(
+                f"unknown ops {unknown}; choose from {sorted(by_name)}"
+            )
+        cases = tuple(by_name[n] for n in ns.ops)
+    modes = tuple(ns.modes) if ns.modes else ("lossy", "failstop")
+
+    n_cells = len(cases) * len(sizes) * n_seeds * len(modes)
+    print(
+        f"chaos soak: {len(cases)} operators x ranks {list(sizes)} x "
+        f"{n_seeds} seeds x modes {list(modes)} = {n_cells} trials"
+    )
+    results = run_chaos(
+        seeds=list(seeds), sizes=sizes, n_per_rank=ns.elements,
+        cases=cases, modes=modes,
+    )
+    print("\n".join(chaos_report_lines(results)))
+    if ns.out:
+        out = Path(ns.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(
+            json.dumps([asdict(r) for r in results], indent=2) + "\n"
+        )
+        print(f"per-trial results written to {out}")
+    return 0 if all(r.ok for r in results) else 1
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Dispatch to the tour, the profiler or the tuner; returns exit code."""
+    """Dispatch to the tour, profiler, tuner or chaos soak; returns exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "profile":
         return _cmd_profile(argv[1:])
     if argv and argv[0] == "tune":
         return _cmd_tune(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _cmd_chaos(argv[1:])
     return _cmd_tour(argv)
 
 

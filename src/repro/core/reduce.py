@@ -131,11 +131,29 @@ def global_reduce(
     with tr.span("global_reduce", op=op.name):
         state = accumulate_local(comm, op, values, accum_rate=accum_rate)
         cs = op.combine_seconds if combine_seconds is None else combine_seconds
+        shrunk = False
         with tr.span("combine", phase="combine", op=op.name) as sp:
             if tr.enabled:
                 sp.add(nbytes=payload_nbytes(state))
             wop = wire_op(op)
-            if root is None:
+            if comm.context.world.can_fail:
+                # Restartable path: the post-accumulate state is the
+                # checkpoint; on a combine failure, survivors shrink and
+                # re-combine from checkpoints (commutative ops only).
+                # The allreduce flavor is used even for rooted reduces
+                # so every survivor can answer if the root dies.
+                from repro.core.resilient import resilient_combine
+
+                total, rcomm = resilient_combine(
+                    comm, op, state,
+                    lambda c, s: LOCAL_ALLREDUCE(
+                        c, wop, s,
+                        commutative=op.commutative, combine_seconds=cs,
+                        algorithm=algorithm,
+                    ),
+                )
+                shrunk = rcomm is not comm
+            elif root is None:
                 total = LOCAL_ALLREDUCE(
                     comm, wop, state,
                     commutative=op.commutative, combine_seconds=cs,
@@ -147,6 +165,15 @@ def global_reduce(
                     root=root, commutative=op.commutative, fanout=fanout,
                     combine_seconds=cs, algorithm=algorithm,
                 )
+        if root is not None and shrunk:
+            # The group shrank mid-combine: the result goes to the
+            # original root if it survived, to every survivor otherwise
+            # (rooted semantics are unsatisfiable without the root).
+            root_world = comm._world_rank(root)
+            if root_world in rcomm._members and comm.context.rank != root_world:
+                return None
+            with tr.span("generate", phase="generate", op=op.name):
+                return op.red_gen(total)
         if root is None or comm.rank == root:
             with tr.span("generate", phase="generate", op=op.name):
                 return op.red_gen(total)

@@ -64,11 +64,28 @@ def _scan_impl(
         with tr.span("combine", phase="combine", op=op.name) as sp:
             if tr.enabled:
                 sp.add(nbytes=payload_nbytes(state))
-            prefix = LOCAL_XSCAN(
-                comm, op.ident, wire_op(op), state,
-                commutative=op.commutative, combine_seconds=cs,
-                algorithm=algorithm,
-            )
+            if comm.context.world.can_fail:
+                # Restartable path (mirrors global_reduce): the
+                # post-accumulate state is the checkpoint; on a combine
+                # failure, survivors shrink and re-run the prefix over
+                # the surviving states (commutative ops only), so each
+                # survivor's prefix covers its surviving predecessors.
+                from repro.core.resilient import resilient_combine
+
+                prefix, _rcomm = resilient_combine(
+                    comm, op, state,
+                    lambda c, s: LOCAL_XSCAN(
+                        c, op.ident, wire_op(op), s,
+                        commutative=op.commutative, combine_seconds=cs,
+                        algorithm=algorithm,
+                    ),
+                )
+            else:
+                prefix = LOCAL_XSCAN(
+                    comm, op.ident, wire_op(op), state,
+                    commutative=op.commutative, combine_seconds=cs,
+                    algorithm=algorithm,
+                )
         # Generate phase: walk the local data again, emitting outputs.
         with tr.span("generate", phase="generate", op=op.name) as sp:
             out, _final = op.scan_block(prefix, values, exclusive=exclusive)

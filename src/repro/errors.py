@@ -11,6 +11,11 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "RuntimeAbort",
+    "RankFailStop",
+    "RankFailedError",
+    "RevokedError",
+    "DeadlockError",
+    "format_rank_states",
     "SpmdError",
     "SpmdTimeout",
     "CommunicatorError",
@@ -38,6 +43,81 @@ class RuntimeAbort(ReproError):
     """
 
 
+class RankFailStop(ReproError):
+    """Internal: a fault-injection plan fail-stopped this rank.
+
+    Raised inside the failing rank's own thread at its scheduled death
+    point and caught by the executor, which records the rank as dead
+    without tearing the run down.  User code never sees it.
+    """
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        super().__init__(f"rank {rank} fail-stopped by fault plan")
+
+
+class RankFailedError(ReproError):
+    """A peer rank has fail-stopped (ULFM ``MPI_ERR_PROC_FAILED``).
+
+    Raised in a *surviving* rank when it waits on a message from a rank
+    the failure detector knows to be dead.  Resilient drivers catch it,
+    revoke the communicator and retry over the survivors; non-resilient
+    code lets it propagate, turning what would have been a hang into a
+    clean :class:`SpmdError`.
+    """
+
+    def __init__(self, rank: int, detail: str = ""):
+        self.rank = rank
+        msg = f"rank {rank} has failed"
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+
+class RevokedError(ReproError):
+    """The communicator has been revoked (ULFM ``MPI_ERR_REVOKED``).
+
+    After any member calls :meth:`~repro.mpi.comm.Communicator.revoke`,
+    every pending and future operation on that communicator raises this
+    error, which is what releases survivors blocked mid-collective so
+    they can reach the recovery protocol (``agree`` + ``shrink``).
+    """
+
+    def __init__(self, cid=None):
+        self.cid = cid
+        extra = f" (context id {cid!r})" if cid is not None else ""
+        super().__init__(f"communicator has been revoked{extra}")
+
+
+class DeadlockError(ReproError):
+    """The hang watchdog found every active rank blocked with no
+    matching message queued — a guaranteed deadlock.
+
+    The message lists each blocked rank's pending ``(source, tag)``
+    wait, replacing the silent wall-clock timeout that used to be the
+    only way such bugs surfaced.
+    """
+
+
+def format_rank_states(rank_states: list[dict] | None) -> str:
+    """Render per-rank diagnostic dicts (as produced by
+    ``World.rank_states()``) into an indented multi-line block."""
+    if not rank_states:
+        return ""
+    lines = []
+    for st in rank_states:
+        wait = st.get("waiting_for")
+        wait_s = (
+            f" waiting on (source={wait[0]}, tag={wait[1]!r})"
+            if wait is not None else ""
+        )
+        lines.append(
+            f"  rank {st['rank']}: {st['status']}{wait_s}, "
+            f"t={st['clock']:.6e}s, pending={st['pending_count']}"
+        )
+    return "\n".join(lines)
+
+
 class SpmdError(ReproError):
     """One or more ranks of an SPMD run raised an exception.
 
@@ -45,21 +125,49 @@ class SpmdError(ReproError):
     ----------
     failures:
         Mapping from rank to the exception instance raised on that rank.
+    rank_states:
+        Optional per-rank diagnostic dicts (status, blocked wait, virtual
+        clock, queued-message count) captured at failure time.
     """
 
-    def __init__(self, failures: dict[int, BaseException]):
+    def __init__(
+        self,
+        failures: dict[int, BaseException],
+        rank_states: list[dict] | None = None,
+    ):
         self.failures = dict(failures)
+        self.rank_states = rank_states
         ranks = ", ".join(str(r) for r in sorted(self.failures))
         first_rank = min(self.failures)
         first = self.failures[first_rank]
-        super().__init__(
+        msg = (
             f"SPMD run failed on rank(s) {ranks}; "
             f"first failure (rank {first_rank}): {type(first).__name__}: {first}"
         )
+        diag = format_rank_states(rank_states)
+        if diag:
+            msg += "\nper-rank state at failure:\n" + diag
+        super().__init__(msg)
 
 
 class SpmdTimeout(ReproError):
-    """An SPMD run did not complete within its wall-clock timeout."""
+    """An SPMD run did not complete within its wall-clock timeout.
+
+    Attributes
+    ----------
+    rank_states:
+        Optional per-rank diagnostic dicts (status, blocked wait, virtual
+        clock, queued-message count) captured when the timeout fired, so
+        the stuck ranks are identifiable without re-running under a
+        tracer.
+    """
+
+    def __init__(self, message: str, rank_states: list[dict] | None = None):
+        self.rank_states = rank_states
+        diag = format_rank_states(rank_states)
+        if diag:
+            message += "\nper-rank state at timeout:\n" + diag
+        super().__init__(message)
 
 
 class CommunicatorError(ReproError):

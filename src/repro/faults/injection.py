@@ -1,0 +1,146 @@
+"""Binding a :class:`~repro.faults.plan.FaultPlan` to a running world.
+
+A :class:`FaultInjector` holds the per-run mutable state a plan needs:
+per-rank operation counters (for nth-send fail-stops), per-rank RNG
+streams (for link faults), and fired-failstop flags.  The runtime calls
+three hooks:
+
+* :meth:`check_failstop` from ``RankContext.charge`` — virtual-time
+  deaths fire on the first compute charge at or past the deadline.
+* :meth:`on_send_op` from ``RankContext.send_raw`` — nth-operation
+  deaths fire immediately before the nth send.
+* :meth:`plan_transmission` from the reliable-delivery layer — draws
+  the per-message perturbations (drops, duplicate, delay, reorder).
+
+A firing fail-stop records the rank as dead in the world's membership
+(the perfect failure detector) and raises
+:class:`~repro.errors.RankFailStop` in the rank's own thread; the
+executor treats that as a silent death, not a program error.
+
+Every injected event increments a ``faults.*`` counter on the metrics
+registry the injector was built with, so chaos runs surface their fault
+activity through the standard ``repro.obs`` pipeline (and from there
+into ``BENCH_*.json``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RankFailStop
+from repro.faults.plan import FailStop, FaultPlan
+
+__all__ = ["FaultInjector", "Transmission"]
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """The drawn perturbations for one message transmission."""
+
+    drops: int = 0  # attempts lost before the successful one
+    duplicate: bool = False  # deliver the message twice
+    delay: float = 0.0  # extra wire latency (virtual seconds)
+    reorder: bool = False  # overtake the previous in-flight message
+
+
+_CLEAN = Transmission()
+
+
+class FaultInjector:
+    """Per-run mutable fault state derived from an immutable plan."""
+
+    #: Cap on consecutive modeled drops of one message.  With drop_rate
+    #: <= 0.3 the chance of hitting it is ~ 1e-21 per message; the cap
+    #: exists so a pathological hand-written plan cannot stall a send
+    #: near-forever in virtual time.
+    MAX_DROPS = 40
+
+    def __init__(self, plan: FaultPlan, nprocs: int, metrics) -> None:
+        self.plan = plan
+        self.nprocs = nprocs
+        self.metrics = metrics
+        self.lossy = plan.lossy
+        self.can_fail = plan.can_fail
+        self._failstop: dict[int, FailStop] = {
+            f.rank: f for f in plan.failstops if f.rank < nprocs
+        }
+        self._fired: set[int] = set()
+        self._send_ops = [0] * nprocs
+        self._streams = [plan.rank_stream(r) for r in range(nprocs)]
+        self._slowdown = [
+            plan.stragglers.get(r, 1.0) for r in range(nprocs)
+        ]
+        self.rto = plan.rto
+
+    # -- fail-stop ----------------------------------------------------------
+
+    def _die(self, rank: int, world) -> None:
+        self._fired.add(rank)
+        self.metrics.counter("faults.failstops").inc()
+        world.mark_failed(rank)
+        raise RankFailStop(rank)
+
+    def check_failstop(self, rank: int, t: float, world) -> None:
+        """Fire a virtual-time-scheduled death for ``rank`` if due."""
+        spec = self._failstop.get(rank)
+        if (
+            spec is not None
+            and spec.at_time is not None
+            and t >= spec.at_time
+            and rank not in self._fired
+        ):
+            self._die(rank, world)
+
+    def on_send_op(self, rank: int, t: float, world) -> None:
+        """Count a send; fire an nth-operation death if this is the nth."""
+        spec = self._failstop.get(rank)
+        if spec is None:
+            return
+        if spec.at_time is not None:
+            # A send is also a progress point for time-based deaths.
+            self.check_failstop(rank, t, world)
+            return
+        self._send_ops[rank] += 1
+        if self._send_ops[rank] == spec.at_op and rank not in self._fired:
+            self._die(rank, world)
+
+    # -- stragglers ---------------------------------------------------------
+
+    def slowdown(self, rank: int) -> float:
+        """Compute-time multiplier for ``rank`` (1.0 = no slowdown)."""
+        return self._slowdown[rank]
+
+    # -- lossy links --------------------------------------------------------
+
+    def plan_transmission(self, rank: int) -> Transmission:
+        """Draw the perturbations for ``rank``'s next transmission.
+
+        Draws always happen in the same fixed order (drops, duplicate,
+        delay, reorder) from the sender's private stream, so the
+        decision sequence is a pure function of (plan seed, rank, how
+        many messages this rank has sent) — independent of scheduling.
+        """
+        link = self.plan.link
+        if not link.any_active:
+            return _CLEAN
+        rng = self._streams[rank]
+        drops = 0
+        if link.drop_rate > 0.0:
+            while rng.random() < link.drop_rate and drops < self.MAX_DROPS:
+                drops += 1
+        duplicate = link.dup_rate > 0.0 and rng.random() < link.dup_rate
+        delay = 0.0
+        if link.delay_rate > 0.0 and rng.random() < link.delay_rate:
+            delay = rng.random() * link.delay_seconds
+        reorder = link.reorder_rate > 0.0 and rng.random() < link.reorder_rate
+        if drops:
+            self.metrics.counter("faults.retransmits").inc(drops)
+        if duplicate:
+            self.metrics.counter("faults.duplicates").inc()
+        if delay:
+            self.metrics.counter("faults.delays").inc()
+        if reorder:
+            self.metrics.counter("faults.reorders").inc()
+        return Transmission(
+            drops=drops, duplicate=duplicate, delay=delay, reorder=reorder
+        )

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Hashable, Sequence
 
-from repro.errors import CommunicatorError
+from repro.errors import CommunicatorError, RankFailedError
 from repro.mpi import collectives as _coll
 from repro.mpi import tuning as _tuning
 from repro.mpi.op import Op
@@ -90,6 +90,7 @@ class Communicator:
         self._cid = cid
         self._coll_seq = 0
         self._split_seq = 0
+        self._agree_seq = 0
 
     # -- introspection ------------------------------------------------------
 
@@ -159,8 +160,11 @@ class Communicator:
         the payload.  Blocks until a matching message arrives."""
         self._ctx.trace.on_p2p("recv")
         wsource = ANY_SOURCE if source == ANY_SOURCE else self._world_rank(source)
-        wtag = ANY_TAG if tag == ANY_TAG else ("u", self._cid, tag)
-        return self._ctx.recv_raw(wsource, wtag)
+        # ANY_TAG stays inside the tag tuple: the mailbox treats a
+        # trailing wildcard as "any user tag *on this communicator*",
+        # which both scopes the match correctly and lets revocation of
+        # this communicator release the wait.
+        return self._ctx.recv_raw(wsource, ("u", self._cid, tag))
 
     def sendrecv(
         self,
@@ -177,7 +181,7 @@ class Communicator:
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> bool:
         """True if a matching message is already queued (non-blocking)."""
         wsource = ANY_SOURCE if source == ANY_SOURCE else self._world_rank(source)
-        wtag = ANY_TAG if tag == ANY_TAG else ("u", self._cid, tag)
+        wtag = ("u", self._cid, tag)  # trailing ANY_TAG = scoped wildcard
         return self._ctx.world.mailboxes[self._ctx.rank].probe(wsource, wtag)
 
     # -- collective plumbing -------------------------------------------------
@@ -465,6 +469,95 @@ class Communicator:
             exclusive=exclusive, identity=identity,
             combine_seconds=combine_seconds,
         )
+
+    # -- fault tolerance (ULFM-style) -----------------------------------------
+
+    @property
+    def failed_ranks(self) -> frozenset[int]:
+        """Group ranks of members the failure detector knows to be dead."""
+        dead = self._ctx.world.membership.dead_snapshot()
+        return frozenset(
+            g for g, w in enumerate(self._members) if w in dead
+        )
+
+    @property
+    def is_revoked(self) -> bool:
+        """True once any member has revoked this communicator."""
+        return self._ctx.world.membership.is_revoked(self._cid)
+
+    def revoke(self) -> None:
+        """Revoke this communicator (ULFM ``MPI_Comm_revoke``).
+
+        Every member's pending and future receive on this communicator's
+        tags raises :class:`~repro.errors.RevokedError` — the mechanism
+        that releases survivors stuck mid-collective after a peer died,
+        so they can all reach the recovery protocol.  Idempotent;
+        fault-tolerance control traffic (:meth:`agree`) is exempt and
+        keeps flowing.
+        """
+        self._ctx.world.revoke_cid(self._cid)
+
+    def shrink(self) -> "Communicator":
+        """A new communicator over the surviving members (ULFM
+        ``MPI_Comm_shrink``).
+
+        The new context id is derived from the old one plus the sorted
+        set of excluded ranks, so all survivors — who share the perfect
+        failure detector's view — construct matching tags without any
+        extra communication.  Call only after :meth:`agree` has
+        established a consistent view of the failure.
+        """
+        dead = self._ctx.world.membership.dead_snapshot()
+        survivors = tuple(w for w in self._members if w not in dead)
+        if not survivors:
+            raise CommunicatorError("shrink: no surviving members")
+        excluded = tuple(sorted(set(self._members) - set(survivors)))
+        cid = ("shrink", self._cid, excluded)
+        return Communicator(self._ctx, survivors, cid)
+
+    def agree(self, flag: bool = True) -> bool:
+        """Fault-tolerant agreement on the logical AND of ``flag`` across
+        surviving members (ULFM ``MPI_Comm_agree``).
+
+        Works on a revoked communicator (its control tags are exempt
+        from revocation) and tolerates the death of the coordinating
+        rank by re-electing the lowest surviving member and retrying.
+        A member dying *during* the agreement forces the result to
+        ``False`` — survivors will re-run recovery and observe the new
+        failure.  Like ULFM, the protocol assumes failures are eventually
+        quiescent; the pathological case of a coordinator dying after
+        answering only some members is outside the single-failure model
+        the recovery drivers are specified for (see docs/fault_model.md).
+        """
+        self._agree_seq += 1
+        seq = self._agree_seq
+        ctx = self._ctx
+        membership = ctx.world.membership
+        attempt = 0
+        while True:
+            dead = membership.dead_snapshot()
+            alive = [w for w in self._members if w not in dead]
+            leader = alive[0]
+            ask = ("ft", self._cid, seq, attempt)
+            reply = ("ftr", self._cid, seq, attempt)
+            if ctx.rank == leader:
+                result = bool(flag)
+                for w in alive:
+                    if w == leader:
+                        continue
+                    try:
+                        result = bool(ctx.recv_raw(w, ask)) and result
+                    except RankFailedError:
+                        result = False  # died mid-agreement: force recovery
+                for w in alive:
+                    if w != leader:
+                        ctx.send_raw(w, reply, result)
+                return result
+            ctx.send_raw(leader, ask, bool(flag))
+            try:
+                return bool(ctx.recv_raw(leader, reply))
+            except RankFailedError:
+                attempt += 1  # leader died: re-elect and retry
 
     # -- communicator management ----------------------------------------------
 

@@ -1,5 +1,6 @@
 """SPMD runtime: simulated ranks, virtual time, cost models, traces."""
 
+from repro.runtime.channels import ANY_SOURCE, ANY_TAG, Envelope, Mailbox, Membership
 from repro.runtime.clock import VirtualClock
 from repro.runtime.costmodel import (
     CostModel,
@@ -13,6 +14,11 @@ from repro.runtime.trace import Trace, TraceEvent, merge_traces
 from repro.runtime.world import RankContext, World
 
 __all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Envelope",
+    "Mailbox",
+    "Membership",
     "VirtualClock",
     "CostModel",
     "DEFAULT_RATES",

@@ -18,7 +18,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.errors import RuntimeAbort, SpmdError, SpmdTimeout
+from repro.errors import RankFailStop, RuntimeAbort, SpmdError, SpmdTimeout
 from repro.obs.tracer import Tracer, active_profile
 from repro.runtime.costmodel import CostModel
 from repro.runtime.trace import Trace, merge_traces
@@ -36,6 +36,7 @@ class SpmdResult:
     traces: list[Trace]  # per-rank traces
     wall_seconds: float  # real elapsed wall-clock time of the whole run
     profile: Any = None  # RunCapture with spans, when a tracer was active
+    failed_ranks: frozenset[int] = frozenset()  # ranks fail-stopped by a fault plan
 
     @property
     def nprocs(self) -> int:
@@ -69,6 +70,7 @@ def spmd_run(
     isolate_payloads: bool = True,
     timeout: float = 300.0,
     tracer: Tracer | None = None,
+    fault_plan: Any | None = None,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args)`` on ``nprocs`` simulated ranks.
 
@@ -99,6 +101,13 @@ def spmd_run(
         Defaults to the active profiling session installed by
         :func:`repro.obs.profiling` (which may also override ``nprocs``),
         or to no tracing at all — the zero-overhead default.
+    fault_plan:
+        A :class:`repro.faults.FaultPlan` to inject seeded faults
+        (fail-stop, lossy links, stragglers).  A rank fail-stopped by
+        the plan does **not** abort the run: it is recorded in
+        ``SpmdResult.failed_ranks`` (its return value stays ``None``)
+        and survivors observe it through the failure detector as
+        :class:`~repro.errors.RankFailedError`.
 
     Returns
     -------
@@ -119,21 +128,35 @@ def spmd_run(
         record_events=record_events,
         isolate_payloads=isolate_payloads,
         tracer=tracer,
+        fault_plan=fault_plan,
     )
     returns: list[Any] = [None] * nprocs
     failures: dict[int, BaseException] = {}
+    failure_states: list[list[dict]] = []  # rank_states at first failure
     failures_lock = threading.Lock()
 
     def run_rank(rank: int) -> None:
         comm = Communicator(world.context(rank))
         try:
             returns[rank] = fn(comm, *args)
+        except RankFailStop:
+            # An *injected* fail-stop is part of the experiment, not a
+            # program error: the rank silently dies (mark_failed already
+            # ran at the raise site) and survivors carry on.
+            pass
         except RuntimeAbort:
             pass  # unwound because another rank failed
         except BaseException as exc:  # noqa: BLE001 - reported to caller
             with failures_lock:
                 failures[rank] = exc
+                if not failure_states:
+                    # Snapshot per-rank diagnostics while peers are still
+                    # blocked — after the abort unwinds them, everyone
+                    # would just read "done".
+                    failure_states.append(world.rank_states())
             world.abort()
+        finally:
+            world.retire_rank(rank)
 
     t0 = _time.perf_counter()
     if nprocs == 1:
@@ -153,12 +176,14 @@ def spmd_run(
             remaining = deadline - _time.perf_counter()
             t.join(timeout=max(remaining, 0.0))
             if t.is_alive():
+                stuck_states = world.rank_states()
                 world.abort()
                 for t2 in threads:
                     t2.join(timeout=5.0)
                 raise SpmdTimeout(
                     f"SPMD run did not finish within {timeout} s "
-                    f"(possible deadlock); aborted"
+                    f"(possible deadlock); aborted",
+                    rank_states=stuck_states,
                 )
     wall = _time.perf_counter() - t0
 
@@ -171,11 +196,15 @@ def spmd_run(
             label=getattr(fn, "__name__", None),
         )
     if failures:
-        raise SpmdError(failures)
+        raise SpmdError(
+            failures,
+            rank_states=failure_states[0] if failure_states else None,
+        )
     return SpmdResult(
         returns=returns,
         clocks=clocks,
         traces=world.traces,
         wall_seconds=wall,
         profile=world.run_capture,
+        failed_ranks=world.membership.dead_snapshot(),
     )

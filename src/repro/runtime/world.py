@@ -1,14 +1,20 @@
 """Shared SPMD world state and per-rank contexts.
 
 A :class:`World` owns everything shared by the ranks of one SPMD run:
-mailboxes, clocks, traces, the cost model and the abort flag.  Each rank
-gets a :class:`RankContext` — the object through which *all* simulated
+mailboxes, clocks, traces, the cost model, the abort flag, and — new with
+the fault subsystem — the :class:`~repro.runtime.channels.Membership`
+(perfect failure detector + hang watchdog) and an optional
+:class:`~repro.faults.injection.FaultInjector` built from a seeded
+:class:`~repro.faults.plan.FaultPlan`.  Each rank gets a
+:class:`RankContext` — the object through which *all* simulated
 communication and all simulated-time charging flows.
 
 The context's ``send_raw``/``recv_raw`` are the only way bytes move
 between ranks; every higher layer (MPI collectives, local-view routines,
 global-view drivers) bottoms out here, so message counts, byte counts and
-virtual-time causality are accounted for exactly once.
+virtual-time causality are accounted for exactly once — and so fault
+injection hooked here (fail-stop checks, lossy-link emulation, straggler
+slowdown) covers every layer above without modification.
 """
 
 from __future__ import annotations
@@ -17,8 +23,9 @@ import threading
 from typing import Any, Hashable
 
 from repro.errors import CommunicatorError
+from repro.obs.metrics import NULL_METRICS
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.runtime.channels import Envelope, Mailbox
+from repro.runtime.channels import Envelope, Mailbox, Membership
 from repro.runtime.clock import VirtualClock
 from repro.runtime.costmodel import CostModel
 from repro.runtime.trace import Trace
@@ -38,6 +45,7 @@ class World:
         record_events: bool = False,
         isolate_payloads: bool = True,
         tracer: Tracer | None = None,
+        fault_plan: Any | None = None,
     ):
         if nprocs < 1:
             raise CommunicatorError(f"nprocs must be >= 1, got {nprocs}")
@@ -45,8 +53,13 @@ class World:
         self.cost_model = cost_model if cost_model is not None else CostModel()
         self.isolate_payloads = isolate_payloads
         self.abort_event = threading.Event()
-        self.mailboxes = [Mailbox(r, self.abort_event) for r in range(nprocs)]
+        self.membership = Membership(nprocs)
+        self.mailboxes = [
+            Mailbox(r, self.abort_event, self.membership) for r in range(nprocs)
+        ]
         self.clocks = [VirtualClock() for _ in range(nprocs)]
+        self.membership.mailboxes = self.mailboxes
+        self.membership.clocks = self.clocks
         self.traces = [
             Trace(rank=r, record_events=record_events) for r in range(nprocs)
         ]
@@ -57,6 +70,17 @@ class World:
         else:
             self.run_capture = None
             self.rank_tracers = [NULL_TRACER] * nprocs
+        if fault_plan is not None:
+            from repro.faults.injection import FaultInjector
+
+            metrics = (
+                tracer.metrics
+                if tracer is not None and tracer.enabled
+                else NULL_METRICS
+            )
+            self.injector = FaultInjector(fault_plan, nprocs, metrics)
+        else:
+            self.injector = None
         self._cid_lock = threading.Lock()
         self._next_cid = 1
 
@@ -66,6 +90,13 @@ class World:
             cid = self._next_cid
             self._next_cid += 1
             return cid
+
+    @property
+    def can_fail(self) -> bool:
+        """True when the installed fault plan can fail-stop a rank —
+        the condition under which the global-view drivers checkpoint
+        states and run the commit/agree protocol around the combine."""
+        return self.injector is not None and self.injector.can_fail
 
     def abort(self) -> None:
         """Tear the run down: set the abort flag and wake every rank
@@ -78,6 +109,35 @@ class World:
         self.abort_event.set()
         for mailbox in self.mailboxes:
             mailbox.notify_abort()
+
+    def mark_failed(self, rank: int) -> None:
+        """Record a fail-stop of ``rank`` and wake every blocked peer so
+        waits on the dead rank turn into
+        :class:`~repro.errors.RankFailedError` instead of hangs."""
+        self.membership.mark_dead(rank)
+        for mailbox in self.mailboxes:
+            mailbox.notify_abort()
+
+    def retire_rank(self, rank: int) -> None:
+        """Record that ``rank``'s SPMD function returned (or unwound).
+
+        Blocked peers are woken so the hang watchdog can re-evaluate:
+        a receive that was merely *pending* may have just become a
+        guaranteed deadlock.
+        """
+        self.membership.mark_done(rank)
+        for mailbox in self.mailboxes:
+            mailbox.notify_abort()
+
+    def revoke_cid(self, cid: Hashable) -> None:
+        """Revoke a communicator context id and wake blocked members."""
+        self.membership.revoke(cid)
+        for mailbox in self.mailboxes:
+            mailbox.notify_abort()
+
+    def rank_states(self) -> list[dict]:
+        """Per-rank diagnostics (status, blocked wait, clock, queue)."""
+        return self.membership.rank_states()
 
     def context(self, rank: int) -> "RankContext":
         """The per-rank handle for ``rank`` (clock, trace, messaging)."""
@@ -96,7 +156,8 @@ class World:
 class RankContext:
     """One rank's handle on the world: clock, trace, and raw messaging."""
 
-    __slots__ = ("world", "rank", "clock", "trace", "tracer")
+    __slots__ = ("world", "rank", "clock", "trace", "tracer",
+                 "_send_seq", "_recv_next", "_recv_buf")
 
     def __init__(self, world: World, rank: int):
         self.world = world
@@ -104,6 +165,12 @@ class RankContext:
         self.clock = world.clocks[rank]
         self.trace = world.traces[rank]
         self.tracer = world.rank_tracers[rank]
+        # Reliable-delivery state, only touched under a lossy fault plan:
+        # per-(dest, tag) send sequence numbers, per-(source, tag) next
+        # expected sequence numbers, and the out-of-order hold-back buffer.
+        self._send_seq: dict[tuple[int, Hashable], int] = {}
+        self._recv_next: dict[tuple[int, Hashable], int] = {}
+        self._recv_buf: dict[tuple[int, Hashable], dict[int, Envelope]] = {}
 
     @property
     def nprocs(self) -> int:
@@ -118,9 +185,22 @@ class RankContext:
     # -- simulated computation --------------------------------------------
 
     def charge(self, seconds: float, label: str = "compute") -> None:
-        """Advance this rank's virtual clock by a modeled compute time."""
+        """Advance this rank's virtual clock by a modeled compute time.
+
+        Under a fault plan, straggler ranks pay a slowdown multiplier
+        and scheduled fail-stops trigger here (virtual-time deaths land
+        on the first charge that crosses the deadline).
+        """
+        inj = self.world.injector
+        if inj is not None:
+            inj.check_failstop(self.rank, self.clock.t, self.world)
+            seconds *= inj.slowdown(self.rank)
         self.clock.advance(seconds)
         self.trace.on_compute(label, seconds, self.clock.t)
+        if inj is not None:
+            # A death whose deadline this charge just crossed fires now:
+            # the next progress point at-or-after the scheduled time.
+            inj.check_failstop(self.rank, self.clock.t, self.world)
 
     def charge_elements(self, rate_name: str, n_elements: float, label: str | None = None) -> None:
         """Charge ``n_elements`` of work at a named cost-model rate."""
@@ -135,22 +215,32 @@ class RankContext:
         The sender pays its send overhead; the message becomes available
         to the receiver after wire latency plus per-byte time.  The payload
         is deep-copied to model distinct address spaces.
+
+        Fault injection hooks here: the per-rank operation counter that
+        drives nth-operation fail-stops ticks on every send, and lossy
+        link plans route the message through the reliable-delivery layer
+        (sender-modeled retransmit backoff for drops, sequence-numbered
+        frames for duplicate suppression and reorder repair).
         """
         if not 0 <= dest < self.world.nprocs:
             raise CommunicatorError(
                 f"send: destination rank {dest} out of range "
                 f"[0, {self.world.nprocs})"
             )
-        if dest == self.rank:
-            # Self-sends are legal (MPI allows them); no wire cost beyond
-            # overheads, but still isolate the payload.
-            pass
+        inj = self.world.injector
+        if inj is not None:
+            inj.on_send_op(self.rank, self.clock.t, self.world)
         cm = self.cost_model
         nbytes = payload_nbytes(payload)
         self.clock.advance(cm.send_overhead)
-        available_at = self.clock.t + (0.0 if dest == self.rank else cm.wire_time(nbytes))
         if self.world.isolate_payloads:
             payload = copy_for_transfer(payload)
+        if inj is not None and inj.lossy:
+            from repro.faults.reliable import reliable_send
+
+            reliable_send(self, inj, dest, tag, payload, nbytes)
+            return
+        available_at = self.clock.t + (0.0 if dest == self.rank else cm.wire_time(nbytes))
         self.trace.on_send(dest, tag, nbytes, self.clock.t)
         if self.tracer.enabled:
             self.tracer.on_send(dest, tag, nbytes, self.clock.t, available_at)
@@ -168,8 +258,11 @@ class RankContext:
 
     def recv_raw_envelope(self, source: int, tag: Hashable) -> Envelope:
         """Like :meth:`recv_raw` but returns the full envelope."""
+        env = self.collect_envelope(source, tag)
+        return self._account_recv(env)
+
+    def _account_recv(self, env: Envelope) -> Envelope:
         t_arrive = self.clock.t
-        env = self.world.mailboxes[self.rank].collect(source, tag)
         self.clock.merge(env.available_at)
         self.clock.advance(self.cost_model.recv_overhead)
         self.trace.on_recv(env.source, env.tag, env.nbytes, self.clock.t)
@@ -190,18 +283,20 @@ class RankContext:
         first (thread-blocking only), sort by ``available_at``, then apply
         each with :meth:`apply_recv`.  Splitting collection from
         accounting keeps virtual time deterministic.
+
+        Under a lossy fault plan this is also where the receive side of
+        the reliable-delivery layer lives: duplicate frames are
+        discarded and reordered frames held back until their sequence
+        number is next, so every layer above sees exactly-once, in-order
+        delivery.
         """
+        inj = self.world.injector
+        if inj is not None and inj.lossy:
+            from repro.faults.reliable import reliable_collect
+
+            return reliable_collect(self, inj, source, tag)
         return self.world.mailboxes[self.rank].collect(source, tag)
 
     def apply_recv(self, env: Envelope) -> Any:
         """Account for a previously collected envelope and return payload."""
-        t_arrive = self.clock.t
-        self.clock.merge(env.available_at)
-        self.clock.advance(self.cost_model.recv_overhead)
-        self.trace.on_recv(env.source, env.tag, env.nbytes, self.clock.t)
-        if self.tracer.enabled:
-            self.tracer.on_recv(
-                env.source, env.tag, env.nbytes,
-                t_arrive, env.available_at, self.clock.t,
-            )
-        return env.payload
+        return self._account_recv(env).payload

@@ -1,0 +1,141 @@
+"""Mailbox regressions: abort-vs-match ordering, wildcard determinism,
+and spare-queue recycling under concurrent deliver/retire."""
+
+import threading
+
+import pytest
+
+from repro.errors import RuntimeAbort
+from repro.runtime.channels import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Envelope,
+    Mailbox,
+    _SPARE_QUEUES,
+)
+
+
+def env(source, tag, payload="x", t=0.0):
+    return Envelope(source, tag, payload, 1, t)
+
+
+class TestAbortVsMatchOrdering:
+    def test_queued_message_wins_over_abort(self):
+        # Regression: the abort check used to precede matching, so a
+        # rank whose message had already arrived raised RuntimeAbort
+        # instead of completing its receive.  In-flight data must drain
+        # first.
+        abort = threading.Event()
+        box = Mailbox(rank=0, abort_event=abort)
+        box.deliver(env(1, 5, "precious"))
+        abort.set()
+        got = box.collect(1, 5)
+        assert got.payload == "precious"
+        # With the queue drained, the abort finally surfaces.
+        with pytest.raises(RuntimeAbort):
+            box.collect(1, 5)
+
+    def test_wildcard_match_also_wins_over_abort(self):
+        abort = threading.Event()
+        box = Mailbox(rank=0, abort_event=abort)
+        box.deliver(env(3, 9, "w"))
+        abort.set()
+        assert box.collect(ANY_SOURCE, ANY_TAG).payload == "w"
+
+
+class TestWildcardDeterminism:
+    def test_fifo_within_source_tag_pair(self):
+        box = Mailbox(rank=0, abort_event=threading.Event())
+        for i in range(4):
+            box.deliver(env(2, 7, i))
+        assert [box.collect(ANY_SOURCE, 7).payload for _ in range(4)] \
+            == [0, 1, 2, 3]
+
+    def test_single_candidate_wildcard_is_deterministic(self):
+        # The library's contract: wildcards are deterministic when only
+        # one candidate can exist.  Same delivery sequence, same result,
+        # every time.
+        for _ in range(20):
+            box = Mailbox(rank=0, abort_event=threading.Event())
+            box.deliver(env(1, 10, "a"))
+            got = box.collect(ANY_SOURCE, ANY_TAG)
+            assert (got.source, got.payload) == (1, "a")
+
+    def test_any_source_specific_tag_filters(self):
+        box = Mailbox(rank=0, abort_event=threading.Event())
+        box.deliver(env(1, 10, "wrong-tag"))
+        box.deliver(env(2, 20, "right"))
+        assert box.collect(ANY_SOURCE, 20).payload == "right"
+        assert box.collect(ANY_SOURCE, 10).payload == "wrong-tag"
+
+    def test_specific_source_any_tag_filters(self):
+        box = Mailbox(rank=0, abort_event=threading.Event())
+        box.deliver(env(5, 1, "other-rank"))
+        box.deliver(env(6, 2, "mine"))
+        assert box.collect(6, ANY_TAG).payload == "mine"
+
+
+class TestSpareQueueRecycling:
+    def test_retired_queues_are_pooled_and_bounded(self):
+        box = Mailbox(rank=0, abort_event=threading.Event())
+        # Unique tags, like collective tags: each queue is born, used
+        # once and retired.
+        for tag in range(3 * _SPARE_QUEUES):
+            box.deliver(env(1, tag))
+            box.collect(1, tag)
+        assert box._queues == {}
+        assert 0 < len(box._spares) <= _SPARE_QUEUES
+
+    def test_recycled_queue_is_clean(self):
+        box = Mailbox(rank=0, abort_event=threading.Event())
+        box.deliver(env(1, 0, "old"))
+        box.collect(1, 0)  # retires the deque into the pool
+        box.deliver(env(1, 1, "new"))  # must reuse a *clean* deque
+        assert box.collect(1, 1).payload == "new"
+        assert box.pending_count() == 0
+
+    def test_concurrent_deliver_and_retire(self):
+        # Many sender threads, unique tags per message, receiver
+        # retiring queues as fast as they empty: no message may be lost
+        # or duplicated, and the pool must stay bounded.
+        box = Mailbox(rank=0, abort_event=threading.Event())
+        n_senders, n_msgs = 4, 200
+        barrier = threading.Barrier(n_senders)
+
+        def sender(src):
+            barrier.wait()
+            for i in range(n_msgs):
+                box.deliver(env(src, (src, i), payload=(src, i)))
+
+        threads = [
+            threading.Thread(target=sender, args=(s,))
+            for s in range(1, n_senders + 1)
+        ]
+        for t in threads:
+            t.start()
+        got = []
+        for src in range(1, n_senders + 1):
+            for i in range(n_msgs):
+                got.append(box.collect(src, (src, i)).payload)
+        for t in threads:
+            t.join()
+        assert got == [
+            (src, i)
+            for src in range(1, n_senders + 1)
+            for i in range(n_msgs)
+        ]
+        assert box.pending_count() == 0
+        assert len(box._spares) <= _SPARE_QUEUES
+
+    def test_reorder_delivery_inserts_before_tail(self):
+        box = Mailbox(rank=0, abort_event=threading.Event())
+        box.deliver(env(1, 0, "a"))
+        box.deliver(env(1, 0, "b"))
+        box.deliver(env(1, 0, "c"), reorder=True)  # overtakes "b"
+        order = [box.collect(1, 0).payload for _ in range(3)]
+        assert order == ["a", "c", "b"]
+
+    def test_reorder_into_empty_queue_appends(self):
+        box = Mailbox(rank=0, abort_event=threading.Event())
+        box.deliver(env(1, 0, "only"), reorder=True)
+        assert box.collect(1, 0).payload == "only"

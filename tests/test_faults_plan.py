@@ -1,0 +1,98 @@
+"""Fault-plan construction, validation and reproducibility."""
+
+import pytest
+
+from repro.faults import FailStop, FaultPlan, LinkFaults, random_plan
+
+
+class TestFailStopSpec:
+    def test_needs_exactly_one_trigger(self):
+        with pytest.raises(ValueError):
+            FailStop(rank=0)
+        with pytest.raises(ValueError):
+            FailStop(rank=0, at_time=1.0, at_op=1)
+
+    def test_at_op_is_one_based(self):
+        with pytest.raises(ValueError):
+            FailStop(rank=0, at_op=0)
+        FailStop(rank=0, at_op=1)  # ok
+
+    def test_one_failstop_per_rank(self):
+        with pytest.raises(ValueError):
+            FaultPlan(failstops=(
+                FailStop(rank=1, at_op=1),
+                FailStop(rank=1, at_time=5.0),
+            ))
+
+
+class TestLinkFaults:
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            LinkFaults(dup_rate=1.5)
+        with pytest.raises(ValueError):
+            LinkFaults(drop_rate=-0.1)
+
+    def test_certain_drop_rejected(self):
+        # drop_rate == 1 would retransmit forever.
+        with pytest.raises(ValueError):
+            LinkFaults(drop_rate=1.0)
+
+    def test_any_active(self):
+        assert not LinkFaults().any_active
+        assert LinkFaults(drop_rate=0.1).any_active
+        assert LinkFaults(reorder_rate=0.1).any_active
+
+
+class TestFaultPlan:
+    def test_flags(self):
+        assert not FaultPlan().can_fail
+        assert not FaultPlan().lossy
+        p = FaultPlan(failstops=(FailStop(rank=2, at_op=1),),
+                      link=LinkFaults(drop_rate=0.2))
+        assert p.can_fail and p.lossy
+
+    def test_straggler_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(stragglers={0: 0.0})
+        FaultPlan(stragglers={0: 2.5})
+
+    def test_rank_streams_are_deterministic_and_independent(self):
+        p = FaultPlan(seed=42)
+        a1 = [p.rank_stream(0).random() for _ in range(5)]
+        a2 = [p.rank_stream(0).random() for _ in range(5)]
+        b = [p.rank_stream(1).random() for _ in range(5)]
+        assert a1 == a2
+        assert a1 != b
+
+    def test_describe_mentions_everything(self):
+        p = FaultPlan(
+            seed=9,
+            failstops=(FailStop(rank=1, at_time=2.0),),
+            link=LinkFaults(drop_rate=0.25),
+            stragglers={3: 4.0},
+        )
+        s = p.describe()
+        assert "seed=9" in s and "failstop" in s
+        assert "drop=0.25" in s and "3x4" in s
+
+
+class TestRandomPlan:
+    def test_reproducible(self):
+        a, b = random_plan(7, 8), random_plan(7, 8)
+        assert a == b
+        assert random_plan(8, 8) != a
+
+    def test_rank0_never_failstopped(self):
+        for seed in range(50):
+            p = random_plan(seed, 4)
+            assert all(f.rank != 0 for f in p.failstops)
+
+    def test_single_failure_model(self):
+        for seed in range(20):
+            assert len(random_plan(seed, 8).failstops) <= 1
+
+    def test_drop_rate_bounded(self):
+        for seed in range(20):
+            p = random_plan(seed, 4, max_drop=0.3, max_dup=0.3)
+            assert p.link.drop_rate <= 0.3
+            assert p.link.dup_rate <= 0.3

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro import mpi
-from repro.errors import SpmdError, SpmdTimeout
+from repro.errors import DeadlockError, SpmdError, SpmdTimeout
 from repro.runtime import CostModel, spmd_run
 
 
@@ -121,12 +121,19 @@ class TestFailures:
         with pytest.raises(SpmdError):
             spmd_run(prog, 4, timeout=30)
 
-    def test_timeout_detects_deadlock(self):
+    def test_watchdog_detects_deadlock(self):
+        # The hang watchdog converts a guaranteed circular wait into a
+        # diagnostic SpmdError naming each blocked rank's pending wait —
+        # long before the wall-clock timeout would fire.
         def prog(comm):
             comm.recv((comm.rank + 1) % comm.size)  # circular wait
 
-        with pytest.raises(SpmdTimeout):
-            spmd_run(prog, 2, timeout=0.5)
+        with pytest.raises(SpmdError) as ei:
+            spmd_run(prog, 2, timeout=30)
+        assert "deadlock" in str(ei.value)
+        assert any(
+            isinstance(e, DeadlockError) for e in ei.value.failures.values()
+        )
 
     def test_multiple_failures_reported(self):
         def prog(comm):

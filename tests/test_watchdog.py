@@ -1,0 +1,106 @@
+"""The hang watchdog and per-rank failure diagnostics."""
+
+import pytest
+
+from repro.errors import (
+    DeadlockError,
+    SpmdError,
+    SpmdTimeout,
+    format_rank_states,
+)
+from repro.faults import FailStop, FaultPlan
+from repro.ops import SumOp
+from repro.core.reduce import global_reduce
+from repro.runtime import spmd_run
+
+
+class TestDeadlockDetection:
+    def test_circular_wait_names_every_rank(self):
+        def prog(comm):
+            comm.recv((comm.rank + 1) % comm.size)
+
+        with pytest.raises(SpmdError) as ei:
+            spmd_run(prog, 4, timeout=30)
+        msg = str(ei.value)
+        assert "deadlock" in msg
+        for r in range(4):
+            assert f"rank {r} <-" in msg
+
+    def test_one_rank_done_others_blocked(self):
+        # A rank finishing can complete the all-blocked condition.
+        def prog(comm):
+            if comm.rank == 0:
+                return "done"
+            comm.recv(0, tag=99)  # never sent
+
+        with pytest.raises(SpmdError) as ei:
+            spmd_run(prog, 3, timeout=30)
+        assert any(
+            isinstance(e, DeadlockError) for e in ei.value.failures.values()
+        )
+
+    def test_pending_message_is_not_a_deadlock(self):
+        # A rank with its message already queued must complete, not trip
+        # the watchdog, even while every other rank is blocked.
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send("x", 1)
+                return comm.recv(1)
+            got = comm.recv(0)
+            comm.send(got + "y", 0)
+            return got
+
+        res = spmd_run(prog, 2)
+        assert res.returns == ["xy", "x"]
+
+    def test_blocked_on_dead_rank_is_recovery_not_deadlock(self):
+        # Waits the failure detector will reject are pending progress;
+        # the watchdog must stand back and let recovery run.
+        blocks = [[float(q)] for q in range(4)]
+
+        def prog(comm):
+            return global_reduce(comm, SumOp(), blocks[comm.rank])
+
+        plan = FaultPlan(seed=0, failstops=(FailStop(rank=3, at_op=1),))
+        res = spmd_run(prog, 4, fault_plan=plan)  # must not raise
+        assert res.returns[0] == 0.0 + 1.0 + 2.0
+
+
+class TestRankStateDiagnostics:
+    def test_spmd_error_carries_rank_states(self):
+        def prog(comm):
+            if comm.rank == 1:
+                raise ValueError("boom")
+            comm.recv(1, tag=7)
+
+        with pytest.raises(SpmdError) as ei:
+            spmd_run(prog, 3, timeout=30)
+        assert ei.value.rank_states is not None
+        assert "per-rank state at failure" in str(ei.value)
+        states = {s["rank"]: s for s in ei.value.rank_states}
+        assert set(states) == {0, 1, 2}
+        for s in states.values():
+            assert {"status", "waiting_for", "clock", "pending_count"} <= set(s)
+
+    def test_format_rank_states(self):
+        text = format_rank_states([
+            {"rank": 0, "status": "blocked", "waiting_for": (1, "t"),
+             "clock": 1.5e-6, "pending_count": 2},
+            {"rank": 1, "status": "done", "waiting_for": None,
+             "clock": 0.0, "pending_count": 0},
+        ])
+        assert "rank 0: blocked waiting on (source=1, tag='t')" in text
+        assert "pending=2" in text
+        assert "rank 1: done" in text
+        assert format_rank_states(None) == ""
+        assert format_rank_states([]) == ""
+
+    def test_spmd_timeout_renders_rank_states(self):
+        err = SpmdTimeout(
+            "timed out",
+            rank_states=[{"rank": 0, "status": "blocked",
+                          "waiting_for": (2, 5), "clock": 0.0,
+                          "pending_count": 1}],
+        )
+        assert "per-rank state at timeout" in str(err)
+        assert "source=2" in str(err)
