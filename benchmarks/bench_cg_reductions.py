@@ -14,7 +14,12 @@ import numpy as np
 
 from benchmarks.conftest import PROC_GRID, write_result
 from repro.analysis import Series, format_series_csv
-from repro.nas.cg import cg_solve, cg_solve_fused, random_rhs
+from repro.nas.cg import (
+    cg_solve,
+    cg_solve_fused,
+    cg_solve_iallreduce,
+    random_rhs,
+)
 from repro.runtime import spmd_run
 
 N = 1 << 17  # unknowns
@@ -46,31 +51,40 @@ def test_cg_reduction_latency_floor(benchmark, cost_model, results_dir):
     def sweep():
         std = Series("CG (2 reductions/iter)")
         fused = Series("CG fused (1 reduction/iter)")
+        nonblk = Series("CG fused nonblocking")
         for p in PROC_GRID:
             std.add(p, _time_per_iter(p, cg_solve, cost_model))
             fused.add(p, _time_per_iter(p, cg_solve_fused, cost_model))
-        return std, fused
+            nonblk.add(
+                p, _time_per_iter(p, cg_solve_iallreduce, cost_model)
+            )
+        return std, fused, nonblk
 
-    std, fused = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    std, fused, nonblk = benchmark.pedantic(sweep, rounds=1, iterations=1)
     lines = [
         f"EX-CG — time per CG iteration, n={N} (strong scaling)",
         f"{'p':>4s}  {'2 red/iter':>12s}  {'1 red/iter':>12s}  "
-        f"{'S_std':>6s}  {'S_fused':>8s}",
+        f"{'1 red nonblk':>12s}  {'S_std':>6s}  {'S_fused':>8s}",
     ]
     for i, p in enumerate(std.procs):
         lines.append(
             f"{p:>4d}  {std.times[i]:>12.3e}  {fused.times[i]:>12.3e}  "
+            f"{nonblk.times[i]:>12.3e}  "
             f"{std.t1 / std.times[i]:>6.2f}  {fused.t1 / fused.times[i]:>8.2f}"
         )
     write_result(results_dir, "cg_reductions.txt", "\n".join(lines))
     (results_dir / "cg_reductions.csv").write_text(
-        format_series_csv([std, fused]) + "\n"
+        format_series_csv([std, fused, nonblk]) + "\n"
     )
 
     # fused is never slower, and wins clearly where latency dominates
     for t_s, t_f in zip(std.times, fused.times):
         assert t_f <= t_s * 1.02
     assert fused.times[-1] < std.times[-1] * 0.8
+    # the nonblocking variant overlaps the x-update under the reduce:
+    # never slower than the blocking fused variant
+    for t_f, t_n in zip(fused.times, nonblk.times):
+        assert t_n <= t_f * 1.02
     # strong scaling helps at first...
     assert min(std.times) < std.t1
     # ...but both hit a latency floor: speedup at p=64 far below ideal,

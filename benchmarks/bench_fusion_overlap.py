@@ -1,0 +1,207 @@
+"""EX-FUSION — bucketed fusion and nonblocking overlap of concurrent
+reductions (extension).
+
+The paper's aggregation argument (§2.1) batches many values into one
+reduction *of one operator*.  Bucketed fusion generalizes it across
+operators and call sites: K reductions issued together share combine
+waves, and the nonblocking request layer overlaps whatever cannot fuse.
+This benchmark measures both levers on K=8 concurrent small reductions
+— the shape of a solver's per-iteration diagnostics block — plus the
+chunked accumulate/combine pipeline on one large reduction.
+
+Acceptance floor (CI perf smoke): at 16 ranks, fused must cut the
+virtual makespan by >= 25% and the message count by >= 2x versus
+sequential blocking calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import PROC_GRID, write_result
+from repro.analysis import Series, format_series_csv
+from repro.core.fusion import global_reduce_many
+from repro.core.reduce import global_reduce
+from repro.mpi import waitall
+from repro.ops import MaxOp, MinOp, SumOp
+from repro.runtime import spmd_run
+
+K = 8  # concurrent reductions per round
+N_LOCAL = 64  # elements per rank per reduction (latency-bound regime)
+ROUNDS = 4
+
+
+def _ops():
+    return [SumOp(), MaxOp(), MinOp(), SumOp(), MaxOp(), MinOp(),
+            SumOp(), MaxOp()][:K]
+
+
+def _data(rank: int):
+    rng = np.random.default_rng(31337 + rank)
+    return [rng.standard_normal(N_LOCAL) for _ in range(K)]
+
+
+def _sequential(comm):
+    data = _data(comm.rank)
+    out = []
+    for _ in range(ROUNDS):
+        out = [
+            global_reduce(comm, op, d) for op, d in zip(_ops(), data)
+        ]
+    return out
+
+
+def _fused(comm):
+    data = _data(comm.rank)
+    out = []
+    for _ in range(ROUNDS):
+        out = global_reduce_many(comm, list(zip(_ops(), data)))
+    return out
+
+
+def _nonblocking(comm):
+    from repro.core.reduce import accumulate_local, wire_op
+
+    data = _data(comm.rank)
+    out = []
+    for _ in range(ROUNDS):
+        ops = _ops()
+        states = [
+            accumulate_local(comm, op, d) for op, d in zip(ops, data)
+        ]
+        reqs = [
+            comm.iallreduce(s, wire_op(op)) for s, op in zip(states, ops)
+        ]
+        out = [
+            op.red_gen(total) for op, total in zip(ops, waitall(reqs))
+        ]
+    return out
+
+
+def _run(fn, p, cost_model):
+    return spmd_run(fn, p, cost_model=cost_model, timeout=600)
+
+
+def test_fusion_k8_makespan_and_messages(benchmark, cost_model, results_dir):
+    """The headline numbers: K=8 concurrent reductions at 16 ranks."""
+
+    def measure():
+        seq = _run(_sequential, 16, cost_model)
+        fused = _run(_fused, 16, cost_model)
+        nonblk = _run(_nonblocking, 16, cost_model)
+        return seq, fused, nonblk
+
+    seq, fused, nonblk = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    # all three paths produce identical results
+    for a, b, c in zip(seq.returns, fused.returns, nonblk.returns):
+        for x, y, z in zip(a, b, c):
+            assert np.array_equal(x, y) and np.array_equal(x, z)
+
+    s_sends = seq.summary_trace.n_sends
+    f_sends = fused.summary_trace.n_sends
+    n_sends = nonblk.summary_trace.n_sends
+    lines = [
+        f"EX-FUSION — K={K} concurrent reductions, 16 ranks, "
+        f"{ROUNDS} rounds, n_local={N_LOCAL}",
+        f"{'variant':>22s}  {'makespan':>12s}  {'sends':>8s}  {'vs seq':>8s}",
+        f"{'sequential blocking':>22s}  {seq.time:>12.3e}  {s_sends:>8d}  "
+        f"{'1.00x':>8s}",
+        f"{'nonblocking overlap':>22s}  {nonblk.time:>12.3e}  {n_sends:>8d}  "
+        f"{seq.time / nonblk.time:>7.2f}x",
+        f"{'bucketed fusion':>22s}  {fused.time:>12.3e}  {f_sends:>8d}  "
+        f"{seq.time / fused.time:>7.2f}x",
+    ]
+    write_result(results_dir, "fusion_overlap.txt", "\n".join(lines))
+
+    # acceptance floor: >=25% makespan cut, >=2x fewer messages
+    assert fused.time <= 0.75 * seq.time
+    assert f_sends * 2 <= s_sends
+    # nonblocking-without-fusion also beats sequential (overlap alone)
+    assert nonblk.time < seq.time
+
+
+def test_fusion_scaling_sweep(benchmark, cost_model, results_dir):
+    """Makespan of the K=8 block across the processor grid."""
+
+    def sweep():
+        seq = Series("sequential blocking")
+        fused = Series("bucketed fusion")
+        nonblk = Series("nonblocking overlap")
+        for p in PROC_GRID:
+            seq.add(p, _run(_sequential, p, cost_model).time)
+            fused.add(p, _run(_fused, p, cost_model).time)
+            nonblk.add(p, _run(_nonblocking, p, cost_model).time)
+        return seq, fused, nonblk
+
+    seq, fused, nonblk = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"EX-FUSION — K={K} reductions x {ROUNDS} rounds, varying p",
+        f"{'p':>4s}  {'sequential':>12s}  {'nonblocking':>12s}  "
+        f"{'fused':>12s}  {'fuse gain':>9s}",
+    ]
+    for i, p in enumerate(seq.procs):
+        gain = (
+            f"{seq.times[i] / fused.times[i]:>8.2f}x"
+            if fused.times[i] > 0 else f"{'-':>9s}"  # p=1: no communication
+        )
+        lines.append(
+            f"{p:>4d}  {seq.times[i]:>12.3e}  {nonblk.times[i]:>12.3e}  "
+            f"{fused.times[i]:>12.3e}  {gain}"
+        )
+    write_result(results_dir, "fusion_scaling.txt", "\n".join(lines))
+    (results_dir / "fusion_scaling.csv").write_text(
+        format_series_csv([seq, nonblk, fused]) + "\n"
+    )
+    # fusion's advantage grows with p (log-depth latency dominates)
+    for i, p in enumerate(seq.procs):
+        if p >= 4:
+            assert fused.times[i] < seq.times[i]
+
+
+def test_chunked_overlap_pipeline(benchmark, cost_model, results_dir):
+    """One large elementwise reduction: the accumulate/combine pipeline
+    (``overlap="auto"``) versus the phase-sequential path."""
+    n_rows, n_cols = 48, 1 << 15  # 256 KiB state per rank
+
+    def body(overlap):
+        def prog(comm):
+            rng = np.random.default_rng(9000 + comm.rank)
+            vals = rng.standard_normal((n_rows, n_cols))
+            return global_reduce(
+                comm, SumOp(), vals,
+                accum_rate="np_check", overlap=overlap,
+            )
+        return prog
+
+    def sweep():
+        off = Series("phase-sequential")
+        auto = Series("chunked overlap")
+        for p in [2, 4, 8, 16]:
+            r_off = spmd_run(body("off"), p, cost_model=cost_model,
+                             timeout=600)
+            r_auto = spmd_run(body("auto"), p, cost_model=cost_model,
+                              timeout=600)
+            for a, b in zip(r_off.returns, r_auto.returns):
+                assert np.array_equal(a, b)
+            off.add(p, r_off.time)
+            auto.add(p, r_auto.time)
+        return off, auto
+
+    off, auto = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = [
+        f"EX-FUSION — chunked accumulate/combine overlap, "
+        f"{n_rows}x{n_cols} float64 per rank",
+        f"{'p':>4s}  {'sequential':>12s}  {'overlapped':>12s}  {'gain':>6s}",
+    ]
+    for i, p in enumerate(off.procs):
+        lines.append(
+            f"{p:>4d}  {off.times[i]:>12.3e}  {auto.times[i]:>12.3e}  "
+            f"{off.times[i] / auto.times[i]:>5.2f}x"
+        )
+    write_result(results_dir, "chunked_overlap.txt", "\n".join(lines))
+    (results_dir / "chunked_overlap.csv").write_text(
+        format_series_csv([off, auto]) + "\n"
+    )
+    for t_off, t_auto in zip(off.times, auto.times):
+        assert t_auto < t_off

@@ -34,6 +34,7 @@ from repro.core import (
     check_operator,
     from_binary,
     global_reduce,
+    global_reduce_many,
     global_scan,
     global_xscan,
     make_op,
@@ -51,6 +52,7 @@ __all__ = [
     "make_op",
     "from_binary",
     "global_reduce",
+    "global_reduce_many",
     "global_scan",
     "global_xscan",
     "check_operator",

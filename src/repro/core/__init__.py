@@ -3,6 +3,11 @@ reductions and scans (Section 3)."""
 
 from repro.core.chapel import ChapelOp, ChapelOpAdapter
 from repro.core.functional import from_binary, make_op
+from repro.core.fusion import (
+    PendingReduction,
+    ReductionBucket,
+    global_reduce_many,
+)
 from repro.core.operator import ReduceScanOp, state_equal
 from repro.core.reduce import accumulate_local, global_reduce
 from repro.core.scan import global_scan, global_xscan
@@ -20,6 +25,9 @@ __all__ = [
     "make_op",
     "from_binary",
     "global_reduce",
+    "global_reduce_many",
+    "ReductionBucket",
+    "PendingReduction",
     "global_scan",
     "global_xscan",
     "accumulate_local",

@@ -1,0 +1,301 @@
+"""Bucketed fusion of concurrent reductions.
+
+A :class:`ReductionBucket` coalesces several pending reductions —
+global-view :func:`~repro.core.reduce.global_reduce` calls and wire-level
+``LOCAL_ALLREDUCE``-style values, possibly under *different* operators —
+into shared combine **waves**: one tree traversal carries the product of
+the member states, generalizing :class:`repro.ops.fused.FusedOp` from
+"one operator over k projections of one element" to "k independent
+reductions issued together".  K queued reductions that fuse into one
+wave cost one collective's latency instead of K — the same lever as
+gradient bucketing in distributed training stacks, and the batching the
+paper's local-view aggregation argues for.
+
+Bit-identity contract
+---------------------
+
+Fused results are bit-identical to the corresponding sequence of
+blocking calls, for every operator (commutative or not):
+
+* an entry joins a wave only if its *own* ``algorithm="auto"`` choice
+  would be recursive doubling (true for every non-splittable state —
+  scalars, objects, tuple states — and for splittable arrays under the
+  tuned byte threshold); the wave itself is pinned to recursive
+  doubling, so each member goes through exactly the association order
+  its blocking call would have used;
+* entries whose auto choice is a segmenting schedule (large splittable
+  arrays routed to ring/Rabenseifner) are dispatched as *individual*
+  nonblocking collectives with ``algorithm="auto"`` — again the blocking
+  association order — because fusing them would trade away their
+  bandwidth-optimal schedule for no latency win.
+
+The fuse-or-dispatch watermark comes from the same fitted
+:class:`~repro.mpi.tuning.DecisionTable` as ``algorithm="auto"``
+(``python -m repro tune`` fits both), so the two decisions share one
+cost model.
+
+Failure semantics: waves ride the nonblocking request layer, so a peer
+fail-stop surfaces as ``RankFailedError`` from ``waitall()``/
+``result()``; the bucket does not run the resilient shrink-and-retry
+recovery of ``global_reduce`` (fuse inside a ``can_fail`` world only if
+the caller handles the error).  Under lossy plans the reliable-delivery
+layer makes fused results identical to fault-free runs, like every other
+collective.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.core.operator import ReduceScanOp
+from repro.core.reduce import accumulate_local, wire_op
+from repro.errors import CommunicatorError
+from repro.localview.api import _as_op
+from repro.mpi import tuning as _tuning
+from repro.mpi.comm import Communicator
+from repro.mpi.op import Op
+from repro.util.sizing import payload_nbytes
+
+__all__ = ["PendingReduction", "ReductionBucket", "global_reduce_many"]
+
+
+class _WaveState(list):
+    """Product state carried by one fused combine wave: slot ``i`` holds
+    member ``i``'s state (the :class:`repro.ops.fused._FusedState`
+    pattern, across independent reductions instead of projections)."""
+
+    def transfer_nbytes(self) -> int:
+        return sum(payload_nbytes(s) for s in self)
+
+
+def _wave_op(member_ops: Sequence[Op]) -> Op:
+    """The product operator combining two :class:`_WaveState`\\ s slot by
+    slot.  Commutative only if every member is (the wave is pinned to the
+    order-preserving recursive doubling either way)."""
+
+    def fn(a: _WaveState, b: _WaveState) -> _WaveState:
+        for i, mop in enumerate(member_ops):
+            a[i] = mop.fn(a[i], b[i])
+        return a
+
+    return Op(
+        fn,
+        commutative=all(m.commutative for m in member_ops),
+        name=f"fused[{len(member_ops)}]",
+    )
+
+
+class PendingReduction:
+    """Handle to one reduction queued in a :class:`ReductionBucket`."""
+
+    __slots__ = ("op_name", "_wire", "_state", "_generate", "_bucket",
+                 "_result", "_done")
+
+    def __init__(self, bucket: "ReductionBucket", wire: Op, state: Any,
+                 generate: Callable[[Any], Any] | None):
+        self.op_name = wire.name
+        self._wire = wire
+        self._state = state
+        self._generate = generate
+        self._bucket = bucket
+        self._result: Any = None
+        self._done = False
+
+    @property
+    def done(self) -> bool:
+        """True once the fused wave carrying this entry has completed."""
+        return self._done
+
+    def result(self) -> Any:
+        """The reduction result, flushing and waiting if necessary."""
+        if not self._done:
+            self._bucket.waitall()
+        return self._result
+
+    def _deliver(self, raw: Any) -> None:
+        self._result = self._generate(raw) if self._generate is not None else raw
+        self._done = True
+
+
+class ReductionBucket:
+    """Coalesces pending reductions into shared combine waves.
+
+    Usable directly (``add``/``allreduce`` then ``waitall``) or as a
+    context manager via :meth:`repro.mpi.comm.Communicator.fused`.
+    Queued entries fuse until the pending bytes cross ``max_bytes``
+    (default: the fitted threshold from ``repro.mpi.tuning``), which
+    flushes a wave as a *nonblocking* collective — so waves themselves
+    overlap — and ``waitall()`` flushes the remainder and completes
+    everything.
+    """
+
+    def __init__(self, comm: Communicator, *, max_bytes: int | None = None):
+        self._comm = comm
+        if max_bytes is None:
+            max_bytes = _tuning.fusion_flush_bytes(comm.size)
+        self._max_bytes = max_bytes
+        self._queue: list[PendingReduction] = []
+        self._queued_bytes = 0
+        self._inflight: list[tuple[Any, list[PendingReduction], Callable]] = []
+
+    # -- queueing ----------------------------------------------------------
+
+    def add(
+        self,
+        op: ReduceScanOp,
+        values: Sequence[Any] | np.ndarray,
+        *,
+        accum_rate: str | None = None,
+    ) -> PendingReduction:
+        """Queue a global-view reduction (the fused counterpart of
+        :func:`repro.core.reduce.global_reduce` with ``root=None``): the
+        accumulate phase runs now, the combine wave is deferred, and the
+        generate phase runs at delivery."""
+        state = accumulate_local(self._comm, op, values, accum_rate=accum_rate)
+        return self._enqueue(wire_op(op), state, op.red_gen)
+
+    def allreduce(
+        self,
+        value: Any,
+        op: Op | Callable[[Any, Any], Any],
+        *,
+        commutative: bool = True,
+        identity: Callable[[], Any] | None = None,
+    ) -> PendingReduction:
+        """Queue a wire-level allreduce of ``value`` (the fused
+        counterpart of ``comm.allreduce`` / ``LOCAL_ALLREDUCE``)."""
+        return self._enqueue(_as_op(op, commutative, identity), value, None)
+
+    def _enqueue(self, wire: Op, state: Any,
+                 generate: Callable[[Any], Any] | None) -> PendingReduction:
+        pending = PendingReduction(self, wire, state, generate)
+        comm = self._comm
+        nbytes, splittable = comm._tuning_inputs(state, wire, comm.size)
+        choice = _tuning.choose_allreduce(
+            nbytes, comm.size, wire.commutative, splittable
+        )
+        if choice != "recursive_doubling":
+            # This entry's own auto schedule segments the payload; fusing
+            # it would both break bit-identity with the blocking call and
+            # forfeit the bandwidth-optimal schedule.  Dispatch it alone.
+            self._dispatch([pending], fused=False)
+            return pending
+        self._queue.append(pending)
+        self._queued_bytes += payload_nbytes(state)
+        if self._queued_bytes > self._max_bytes and len(self._queue) > 1:
+            self.flush()
+        return pending
+
+    # -- flushing ----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Issue the queued entries as one fused wave (nonblocking); a
+        single queued entry goes out as a plain collective."""
+        if not self._queue:
+            return
+        queue, self._queue, self._queued_bytes = self._queue, [], 0
+        self._dispatch(queue, fused=len(queue) > 1)
+
+    def _dispatch(self, entries: list[PendingReduction], *, fused: bool) -> None:
+        comm = self._comm
+        if not fused:
+            (entry,) = entries
+            req = comm.iallreduce(entry._state, entry._wire)
+            self._inflight.append((req, entries, self._deliver_single))
+            return
+        m = comm.tracer.metrics
+        if m.enabled:
+            m.counter("fusion.waves").inc()
+            m.counter("fusion.waves_saved").inc(len(entries) - 1)
+            m.histogram("fusion.wave.members").observe(len(entries))
+            m.histogram("fusion.wave.nbytes").observe(
+                sum(payload_nbytes(e._state) for e in entries)
+            )
+        homogeneous = self._concat_wave(entries)
+        if homogeneous is not None:
+            self._inflight.append(homogeneous)
+            return
+        wave = _WaveState(e._state for e in entries)
+        wop = _wave_op([e._wire for e in entries])
+        req = comm.iallreduce(wave, wop, algorithm="recursive_doubling")
+        self._inflight.append((req, entries, self._deliver_wave))
+
+    def _concat_wave(self, entries: list[PendingReduction]):
+        """Fast path: members sharing one elementwise combine over
+        same-dtype scalars/1-D arrays concatenate into a single array
+        wave (one payload, no per-slot Python dispatch).  Recursive
+        doubling combines the concatenation exactly as it would each
+        member, so bit-identity is preserved."""
+        first = entries[0]._wire
+        if not first.elementwise:
+            return None
+        parts = []
+        for e in entries:
+            if e._wire.fn is not first.fn:
+                return None
+            arr = np.asarray(e._state)
+            if arr.ndim > 1 or arr.dtype != np.asarray(entries[0]._state).dtype:
+                return None
+            if arr.dtype == object:
+                return None
+            parts.append(np.atleast_1d(arr))
+        offsets = np.cumsum([0] + [p.shape[0] for p in parts])
+        shapes = [np.asarray(e._state).ndim for e in entries]
+
+        def deliver(raw: Any, members: list[PendingReduction]) -> None:
+            for i, e in enumerate(members):
+                piece = raw[offsets[i]:offsets[i + 1]]
+                e._deliver(piece[0] if shapes[i] == 0 else piece)
+
+        req = self._comm.iallreduce(
+            np.concatenate(parts), first, algorithm="recursive_doubling"
+        )
+        return (req, entries, deliver)
+
+    @staticmethod
+    def _deliver_single(raw: Any, entries: list[PendingReduction]) -> None:
+        entries[0]._deliver(raw)
+
+    @staticmethod
+    def _deliver_wave(raw: Any, entries: list[PendingReduction]) -> None:
+        for slot, entry in zip(raw, entries):
+            entry._deliver(slot)
+
+    # -- completion --------------------------------------------------------
+
+    def waitall(self) -> None:
+        """Flush the queue and wait for every in-flight wave; afterwards
+        every handle's ``result()`` is ready."""
+        self.flush()
+        inflight, self._inflight = self._inflight, []
+        for req, entries, deliver in inflight:
+            deliver(req.wait(), entries)
+
+    def __enter__(self) -> "ReductionBucket":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self.waitall()
+        return False
+
+
+def global_reduce_many(
+    comm: Communicator,
+    items: Sequence[tuple[ReduceScanOp, Sequence[Any] | np.ndarray]],
+    *,
+    accum_rate: str | None = None,
+    max_bytes: int | None = None,
+) -> list[Any]:
+    """Run K global reductions as fused combine waves; returns their
+    results in order.  Equivalent to (and bit-identical with)
+    ``[global_reduce(comm, op, values) for op, values in items]``, at a
+    fraction of the combine-phase latency."""
+    bucket = ReductionBucket(comm, max_bytes=max_bytes)
+    handles = [
+        bucket.add(op, values, accum_rate=accum_rate) for op, values in items
+    ]
+    bucket.waitall()
+    return [h.result() for h in handles]

@@ -25,11 +25,15 @@ import numpy as np
 from repro.core.operator import ReduceScanOp
 from repro.errors import OperatorError
 from repro.localview.api import LOCAL_ALLREDUCE, LOCAL_REDUCE
+from repro.mpi import tuning as _tuning
 from repro.mpi.comm import Communicator
 from repro.mpi.op import Op
 from repro.util.sizing import payload_nbytes
 
 __all__ = ["global_reduce", "accumulate_local", "wire_op"]
+
+#: Target chunk size for the overlapped accumulate/combine pipeline.
+_OVERLAP_CHUNK_BYTES = 64 * 1024
 
 
 def wire_op(op: ReduceScanOp) -> Op:
@@ -59,18 +63,29 @@ def accumulate_local(
     (or the operator's own ``accum_rate``) when one is set.
     """
     tr = comm.tracer
+    if not tr.enabled:
+        return _accumulate_impl(comm, op, values, accum_rate)
     with tr.span("accumulate", phase="accumulate", op=op.name) as sp:
-        state = op.ident()
-        n = len(values)
-        if n > 0:
-            state = op.pre_accum(state, values[0])
-            state = op.accum_block(state, values)
-            state = op.post_accum(state, values[n - 1])
-        rate = accum_rate if accum_rate is not None else op.accum_rate
-        if rate is not None and n > 0:
-            comm.charge_elements(rate, n, f"accum:{op.name}")
-        if tr.enabled:
-            sp.add(nbytes=payload_nbytes(values), elements=n)
+        state = _accumulate_impl(comm, op, values, accum_rate)
+        sp.add(nbytes=payload_nbytes(values), elements=len(values))
+    return state
+
+
+def _accumulate_impl(
+    comm: Communicator,
+    op: ReduceScanOp,
+    values: Sequence[Any] | np.ndarray,
+    accum_rate: str | None,
+) -> Any:
+    state = op.ident()
+    n = len(values)
+    if n > 0:
+        state = op.pre_accum(state, values[0])
+        state = op.accum_block(state, values)
+        state = op.post_accum(state, values[n - 1])
+    rate = accum_rate if accum_rate is not None else op.accum_rate
+    if rate is not None and n > 0:
+        comm.charge_elements(rate, n, f"accum:{op.name}")
     return state
 
 
@@ -84,6 +99,7 @@ def global_reduce(
     accum_rate: str | None = None,
     combine_seconds: float | None = None,
     algorithm: str = "auto",
+    overlap: str = "auto",
 ) -> Any:
     """Globally reduce the distributed data whose local block is
     ``values``, using the global-view operator ``op``.
@@ -117,6 +133,13 @@ def global_reduce(
         default ``"auto"`` consults :mod:`repro.mpi.tuning`'s decision
         table (operators with ``elementwise = True`` and 1-D array
         states become eligible for segmenting schedules).
+    overlap:
+        ``"auto"`` (default) pipelines accumulate and combine for large
+        elementwise column-blocked inputs — the local array is split
+        into column chunks and the combine rounds of chunk *i* progress
+        (via nonblocking collectives) while ``accum_block`` runs on
+        chunk *i+1*.  Bit-identical to the unpipelined path; only the
+        virtual makespan changes.  ``"off"`` disables the pipeline.
 
     Returns
     -------
@@ -128,53 +151,190 @@ def global_reduce(
             "wrap plain functions with make_op()/from_binary()"
         )
     tr = comm.tracer
+    if not tr.enabled:
+        return _global_reduce_impl(
+            comm, op, values, root, fanout, accum_rate, combine_seconds,
+            algorithm, overlap,
+        )
     with tr.span("global_reduce", op=op.name):
-        state = accumulate_local(comm, op, values, accum_rate=accum_rate)
-        cs = op.combine_seconds if combine_seconds is None else combine_seconds
-        shrunk = False
-        with tr.span("combine", phase="combine", op=op.name) as sp:
-            if tr.enabled:
-                sp.add(nbytes=payload_nbytes(state))
-            wop = wire_op(op)
-            if comm.context.world.can_fail:
-                # Restartable path: the post-accumulate state is the
-                # checkpoint; on a combine failure, survivors shrink and
-                # re-combine from checkpoints (commutative ops only).
-                # The allreduce flavor is used even for rooted reduces
-                # so every survivor can answer if the root dies.
-                from repro.core.resilient import resilient_combine
+        return _global_reduce_impl(
+            comm, op, values, root, fanout, accum_rate, combine_seconds,
+            algorithm, overlap,
+        )
 
-                total, rcomm = resilient_combine(
-                    comm, op, state,
-                    lambda c, s: LOCAL_ALLREDUCE(
-                        c, wop, s,
-                        commutative=op.commutative, combine_seconds=cs,
-                        algorithm=algorithm,
-                    ),
-                )
-                shrunk = rcomm is not comm
-            elif root is None:
-                total = LOCAL_ALLREDUCE(
-                    comm, wop, state,
-                    commutative=op.commutative, combine_seconds=cs,
-                    algorithm=algorithm,
-                )
-            else:
-                total = LOCAL_REDUCE(
-                    comm, wop, state,
-                    root=root, commutative=op.commutative, fanout=fanout,
-                    combine_seconds=cs, algorithm=algorithm,
-                )
-        if root is not None and shrunk:
-            # The group shrank mid-combine: the result goes to the
-            # original root if it survived, to every survivor otherwise
-            # (rooted semantics are unsatisfiable without the root).
-            root_world = comm._world_rank(root)
-            if root_world in rcomm._members and comm.context.rank != root_world:
-                return None
+
+def _global_reduce_impl(
+    comm: Communicator,
+    op: ReduceScanOp,
+    values: Sequence[Any] | np.ndarray,
+    root: int | None,
+    fanout: int,
+    accum_rate: str | None,
+    combine_seconds: float | None,
+    algorithm: str,
+    overlap: str,
+) -> Any:
+    tr = comm.tracer
+    cs = op.combine_seconds if combine_seconds is None else combine_seconds
+    if overlap == "auto" and root is None and algorithm == "auto":
+        total = _overlapped_allreduce(
+            comm, op, values, accum_rate=accum_rate, cs=cs
+        )
+        if total is not None:
+            if not tr.enabled:
+                return op.red_gen(total)
             with tr.span("generate", phase="generate", op=op.name):
                 return op.red_gen(total)
-        if root is None or comm.rank == root:
-            with tr.span("generate", phase="generate", op=op.name):
-                return op.red_gen(total)
+    state = accumulate_local(comm, op, values, accum_rate=accum_rate)
+    shrunk = False
+    if tr.enabled:
+        with tr.span("combine", phase="combine", op=op.name) as sp:
+            sp.add(nbytes=payload_nbytes(state))
+            total, shrunk, rcomm = _combine_phase(
+                comm, op, state, root, fanout, cs, algorithm
+            )
+    else:
+        total, shrunk, rcomm = _combine_phase(
+            comm, op, state, root, fanout, cs, algorithm
+        )
+    if root is not None and shrunk:
+        # The group shrank mid-combine: the result goes to the
+        # original root if it survived, to every survivor otherwise
+        # (rooted semantics are unsatisfiable without the root).
+        root_world = comm._world_rank(root)
+        if root_world in rcomm._members and comm.context.rank != root_world:
+            return None
+        if not tr.enabled:
+            return op.red_gen(total)
+        with tr.span("generate", phase="generate", op=op.name):
+            return op.red_gen(total)
+    if root is None or comm.rank == root:
+        if not tr.enabled:
+            return op.red_gen(total)
+        with tr.span("generate", phase="generate", op=op.name):
+            return op.red_gen(total)
+    return None
+
+
+def _combine_phase(
+    comm: Communicator,
+    op: ReduceScanOp,
+    state: Any,
+    root: int | None,
+    fanout: int,
+    cs: float | None,
+    algorithm: str,
+):
+    wop = wire_op(op)
+    if comm.context.world.can_fail:
+        # Restartable path: the post-accumulate state is the
+        # checkpoint; on a combine failure, survivors shrink and
+        # re-combine from checkpoints (commutative ops only).
+        # The allreduce flavor is used even for rooted reduces
+        # so every survivor can answer if the root dies.
+        from repro.core.resilient import resilient_combine
+
+        total, rcomm = resilient_combine(
+            comm, op, state,
+            lambda c, s: LOCAL_ALLREDUCE(
+                c, wop, s,
+                commutative=op.commutative, combine_seconds=cs,
+                algorithm=algorithm,
+            ),
+        )
+        return total, rcomm is not comm, rcomm
+    if root is None:
+        total = LOCAL_ALLREDUCE(
+            comm, wop, state,
+            commutative=op.commutative, combine_seconds=cs,
+            algorithm=algorithm,
+        )
+    else:
+        total = LOCAL_REDUCE(
+            comm, wop, state,
+            root=root, commutative=op.commutative, fanout=fanout,
+            combine_seconds=cs, algorithm=algorithm,
+        )
+    return total, False, comm
+
+
+def _overlapped_allreduce(
+    comm: Communicator,
+    op: ReduceScanOp,
+    values: Any,
+    *,
+    accum_rate: str | None,
+    cs: float | None,
+) -> Any:
+    """The chunked accumulate/combine pipeline.  Returns the combined
+    full state, or None when the input is not eligible.
+
+    Eligibility: an allreduce-flavored call in a fault-free world, over
+    a 2-D column-blocked ndarray (rows are elements, columns are state
+    slots), an elementwise operator with the default pre/post hooks, a
+    state large enough that the tuner would segment it, and a combine
+    schedule whose per-element association order is independent of
+    where the state is cut (recursive doubling / Rabenseifner — ring's
+    rotation makes its association depend on segment boundaries, so it
+    bails).  Under those gates the column chunks accumulate and combine
+    bit-identically to the whole, because NumPy's axis-0 reduction is
+    per-column independent and the schedule is pinned per chunk.
+
+    Cost accounting: each chunk charges its fraction ``n·(hi-lo)/m`` of
+    the accumulate elements at the operator's rate *before* the next
+    chunk's combine is issued, so chunk i's combine rounds progress
+    (engine drains on every block) while chunk i+1 accumulates — the
+    overlapped time shows up as merged, not summed, virtual time.
+    """
+    if comm.size == 1 or comm.context.world.can_fail:
         return None
+    if not isinstance(values, np.ndarray) or values.ndim != 2:
+        return None
+    if not getattr(op, "elementwise", False):
+        return None
+    cls = type(op)
+    if (cls.pre_accum is not ReduceScanOp.pre_accum
+            or cls.post_accum is not ReduceScanOp.post_accum):
+        return None
+    n, m = values.shape
+    nprocs = comm.size
+    if n == 0 or m < 2 * nprocs:
+        return None
+    # Probe the state dtype on a tiny slice (no virtual-time charges).
+    probe = op.accum_block(op.ident(), values[:1, :2])
+    if not isinstance(probe, np.ndarray) or probe.shape != (2,):
+        return None
+    if probe.dtype == object:
+        return None
+    state_nbytes = m * probe.itemsize
+    if state_nbytes <= 2 * _OVERLAP_CHUNK_BYTES:
+        return None  # not enough combine work to hide anything behind
+    wop = wire_op(op)
+    resolved = _tuning.choose_allreduce(
+        state_nbytes, nprocs, wop.commutative, wop.elementwise and m >= nprocs
+    )
+    if resolved not in ("recursive_doubling", "rabenseifner"):
+        return None
+    chunk_cols = max(
+        nprocs, int(np.ceil(m * _OVERLAP_CHUNK_BYTES / state_nbytes))
+    )
+    k = max(2, -(-m // chunk_cols))
+    bounds = [m * i // k for i in range(k + 1)]
+    rate = accum_rate if accum_rate is not None else op.accum_rate
+    tr = comm.tracer
+    requests = []
+    for i in range(k):
+        lo, hi = bounds[i], bounds[i + 1]
+        sub = values[:, lo:hi]
+        if tr.enabled:
+            with tr.span("accumulate", phase="accumulate", op=op.name) as sp:
+                chunk = op.accum_block(op.ident(), sub)
+                sp.add(nbytes=sub.nbytes, elements=n * (hi - lo) / m)
+        else:
+            chunk = op.accum_block(op.ident(), sub)
+        if rate is not None:
+            comm.charge_elements(rate, n * (hi - lo) / m, f"accum:{op.name}")
+        requests.append(
+            comm.iallreduce(chunk, wop, combine_seconds=cs, algorithm=resolved)
+        )
+    return np.concatenate([np.atleast_1d(r.wait()) for r in requests])

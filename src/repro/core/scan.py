@@ -54,51 +54,106 @@ def _scan_impl(
             "wrap plain functions with make_op()/from_binary()"
         )
     tr = comm.tracer
+    if not tr.enabled:
+        return _scan_phases(
+            comm, op, values,
+            exclusive=exclusive, accum_rate=accum_rate,
+            combine_seconds=combine_seconds, scan_rate=scan_rate,
+            algorithm=algorithm,
+        )
     with tr.span("global_xscan" if exclusive else "global_scan", op=op.name):
-        # Accumulate phase (identical to the reduction's).
-        state = accumulate_local(comm, op, values, accum_rate=accum_rate)
-        # Combine phase: exclusive prefix of the per-rank states.  Always
-        # exclusive — each rank needs the combination of *earlier* ranks'
-        # states only; inclusivity is a local property of the generate loop.
-        cs = op.combine_seconds if combine_seconds is None else combine_seconds
-        with tr.span("combine", phase="combine", op=op.name) as sp:
-            if tr.enabled:
-                sp.add(nbytes=payload_nbytes(state))
-            if comm.context.world.can_fail:
-                # Restartable path (mirrors global_reduce): the
-                # post-accumulate state is the checkpoint; on a combine
-                # failure, survivors shrink and re-run the prefix over
-                # the surviving states (commutative ops only), so each
-                # survivor's prefix covers its surviving predecessors.
-                from repro.core.resilient import resilient_combine
+        return _scan_phases(
+            comm, op, values,
+            exclusive=exclusive, accum_rate=accum_rate,
+            combine_seconds=combine_seconds, scan_rate=scan_rate,
+            algorithm=algorithm,
+        )
 
-                prefix, _rcomm = resilient_combine(
-                    comm, op, state,
-                    lambda c, s: LOCAL_XSCAN(
-                        c, op.ident, wire_op(op), s,
-                        commutative=op.commutative, combine_seconds=cs,
-                        algorithm=algorithm,
-                    ),
-                )
-            else:
-                prefix = LOCAL_XSCAN(
-                    comm, op.ident, wire_op(op), state,
-                    commutative=op.commutative, combine_seconds=cs,
-                    algorithm=algorithm,
-                )
-        # Generate phase: walk the local data again, emitting outputs.
+
+def _scan_phases(
+    comm: Communicator,
+    op: ReduceScanOp,
+    values: Sequence[Any] | np.ndarray,
+    *,
+    exclusive: bool,
+    accum_rate: str | None,
+    combine_seconds: float | None,
+    scan_rate: str | None,
+    algorithm: str,
+) -> list[Any]:
+    tr = comm.tracer
+    # Accumulate phase (identical to the reduction's).
+    state = accumulate_local(comm, op, values, accum_rate=accum_rate)
+    # Combine phase: exclusive prefix of the per-rank states.  Always
+    # exclusive — each rank needs the combination of *earlier* ranks'
+    # states only; inclusivity is a local property of the generate loop.
+    cs = op.combine_seconds if combine_seconds is None else combine_seconds
+    if tr.enabled:
+        with tr.span("combine", phase="combine", op=op.name) as sp:
+            sp.add(nbytes=payload_nbytes(state))
+            prefix = _scan_combine(comm, op, state, cs, algorithm)
+    else:
+        prefix = _scan_combine(comm, op, state, cs, algorithm)
+    # Generate phase: walk the local data again, emitting outputs.
+    if tr.enabled:
         with tr.span("generate", phase="generate", op=op.name) as sp:
-            out, _final = op.scan_block(prefix, values, exclusive=exclusive)
-            rate = accum_rate if accum_rate is not None else op.accum_rate
-            if scan_rate is None:
-                scan_rate = rate
-            if scan_rate is not None and len(values) > 0:
-                comm.charge_elements(
-                    scan_rate, len(values), f"scan_gen:{op.name}"
-                )
-            if tr.enabled:
-                sp.add(elements=len(values))
+            out = _scan_generate(
+                comm, op, prefix, values, exclusive, accum_rate, scan_rate
+            )
+            sp.add(elements=len(values))
         return out
+    return _scan_generate(
+        comm, op, prefix, values, exclusive, accum_rate, scan_rate
+    )
+
+
+def _scan_combine(
+    comm: Communicator,
+    op: ReduceScanOp,
+    state: Any,
+    cs: float | None,
+    algorithm: str,
+) -> Any:
+    if comm.context.world.can_fail:
+        # Restartable path (mirrors global_reduce): the
+        # post-accumulate state is the checkpoint; on a combine
+        # failure, survivors shrink and re-run the prefix over
+        # the surviving states (commutative ops only), so each
+        # survivor's prefix covers its surviving predecessors.
+        from repro.core.resilient import resilient_combine
+
+        prefix, _rcomm = resilient_combine(
+            comm, op, state,
+            lambda c, s: LOCAL_XSCAN(
+                c, op.ident, wire_op(op), s,
+                commutative=op.commutative, combine_seconds=cs,
+                algorithm=algorithm,
+            ),
+        )
+        return prefix
+    return LOCAL_XSCAN(
+        comm, op.ident, wire_op(op), state,
+        commutative=op.commutative, combine_seconds=cs,
+        algorithm=algorithm,
+    )
+
+
+def _scan_generate(
+    comm: Communicator,
+    op: ReduceScanOp,
+    prefix: Any,
+    values: Sequence[Any] | np.ndarray,
+    exclusive: bool,
+    accum_rate: str | None,
+    scan_rate: str | None,
+) -> list[Any]:
+    out, _final = op.scan_block(prefix, values, exclusive=exclusive)
+    rate = accum_rate if accum_rate is not None else op.accum_rate
+    if scan_rate is None:
+        scan_rate = rate
+    if scan_rate is not None and len(values) > 0:
+        comm.charge_elements(scan_rate, len(values), f"scan_gen:{op.name}")
+    return out
 
 
 def global_xscan(

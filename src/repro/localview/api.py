@@ -78,9 +78,13 @@ def LOCAL_REDUCE(
     """
     op = _as_op(combine, commutative, None)
     tr = comm.tracer
+    if not tr.enabled:
+        return comm.reduce(
+            value, op, root=root, fanout=fanout,
+            combine_seconds=combine_seconds, algorithm=algorithm,
+        )
     with tr.span("LOCAL_REDUCE", phase="combine", op=op.name) as sp:
-        if tr.enabled:
-            sp.add(nbytes=payload_nbytes(value))
+        sp.add(nbytes=payload_nbytes(value))
         return comm.reduce(
             value, op, root=root, fanout=fanout,
             combine_seconds=combine_seconds, algorithm=algorithm,
@@ -104,9 +108,12 @@ def LOCAL_ALLREDUCE(
     """
     op = _as_op(combine, commutative, None)
     tr = comm.tracer
+    if not tr.enabled:
+        return comm.allreduce(
+            value, op, combine_seconds=combine_seconds, algorithm=algorithm
+        )
     with tr.span("LOCAL_ALLREDUCE", phase="combine", op=op.name) as sp:
-        if tr.enabled:
-            sp.add(nbytes=payload_nbytes(value))
+        sp.add(nbytes=payload_nbytes(value))
         return comm.allreduce(
             value, op, combine_seconds=combine_seconds, algorithm=algorithm
         )
@@ -131,9 +138,12 @@ def LOCAL_SCAN(
     """
     op = _as_op(combine, commutative, ident)
     tr = comm.tracer
+    if not tr.enabled:
+        return comm.scan(
+            value, op, combine_seconds=combine_seconds, algorithm=algorithm
+        )
     with tr.span("LOCAL_SCAN", phase="combine", op=op.name) as sp:
-        if tr.enabled:
-            sp.add(nbytes=payload_nbytes(value))
+        sp.add(nbytes=payload_nbytes(value))
         return comm.scan(
             value, op, combine_seconds=combine_seconds, algorithm=algorithm
         )
@@ -156,9 +166,12 @@ def LOCAL_XSCAN(
         raise TypeError("LOCAL_XSCAN requires an identity function")
     op = _as_op(combine, commutative, ident)
     tr = comm.tracer
+    if not tr.enabled:
+        return comm.exscan(
+            value, op, combine_seconds=combine_seconds, algorithm=algorithm
+        )
     with tr.span("LOCAL_XSCAN", phase="combine", op=op.name) as sp:
-        if tr.enabled:
-            sp.add(nbytes=payload_nbytes(value))
+        sp.add(nbytes=payload_nbytes(value))
         return comm.exscan(
             value, op, combine_seconds=combine_seconds, algorithm=algorithm
         )

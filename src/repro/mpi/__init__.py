@@ -1,6 +1,7 @@
 """Simulated MPI: communicators, the 12 built-in ops, user-defined ops."""
 
 from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Communicator
+from repro.mpi.request import ProgressEngine, Request, waitall
 from repro.mpi.op import (
     BAND,
     BOR,
@@ -32,6 +33,9 @@ __all__ = [
     "ANY_SOURCE",
     "ANY_TAG",
     "Communicator",
+    "Request",
+    "ProgressEngine",
+    "waitall",
     "Op",
     "op_create",
     "BUILTIN_OPS",

@@ -28,7 +28,7 @@ as the left argument of ``op``.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Protocol, Sequence
+from typing import Any, Callable, Generator, NamedTuple, Protocol, Sequence
 
 from repro.errors import CommunicatorError
 from repro.mpi.op import Op
@@ -38,19 +38,29 @@ from repro.util.sizing import copy_for_transfer
 
 __all__ = [
     "CollChannel",
+    "Recv",
+    "run_plan",
     "reduce_binomial_ordered",
+    "reduce_binomial_plan",
     "reduce_kary_available",
     "reduce_ring_pipelined",
+    "reduce_ring_pipelined_plan",
     "allreduce_recursive_doubling",
+    "allreduce_recursive_doubling_plan",
     "allreduce_ring",
+    "allreduce_ring_plan",
     "allreduce_rabenseifner",
+    "allreduce_rabenseifner_plan",
     "reduce_scatter_ring",
     "bcast_binomial",
     "scan_simultaneous_binomial",
+    "scan_simultaneous_binomial_plan",
     "scan_linear_chain",
+    "scan_linear_chain_plan",
     "gather_binomial",
     "scatter_binomial",
     "barrier_dissemination",
+    "barrier_dissemination_plan",
     "alltoall_pairwise",
 ]
 
@@ -81,8 +91,77 @@ def _charge_combine(ch: CollChannel, seconds: float) -> None:
 
 
 # --------------------------------------------------------------------------
+# Resumable plans
+# --------------------------------------------------------------------------
+#
+# Each schedulable collective below exists in two forms: a ``*_plan``
+# generator that *yields* a :class:`Recv` marker wherever the schedule
+# needs one incoming message (sends stay eager — they are fire-and-forget
+# in this runtime), and a thin blocking wrapper that drives the plan with
+# :func:`run_plan`.  The generator form is what makes nonblocking
+# collectives possible: a ``Request`` holds the suspended generator and a
+# progress engine resumes it one message at a time, interleaving the
+# rounds of several outstanding collectives on the virtual clock.
+#
+# Because a plan performs *exactly* the sends, receives, combines, and
+# charges of the original straight-line code — in the same program
+# order — driving it with ``run_plan`` is bit-identical (results and
+# virtual times) to the pre-refactor blocking algorithms.
+
+
+class Recv(NamedTuple):
+    """Yielded by a collective plan when its next step needs one message
+    from group rank ``source``; the driver resumes the plan with the
+    received payload."""
+
+    source: int
+
+
+Plan = Generator[Recv, Any, Any]
+
+
+def run_plan(ch: CollChannel, plan: Plan) -> Any:
+    """Drive a collective plan to completion with blocking receives and
+    return the plan's result."""
+    try:
+        step = next(plan)
+        while True:
+            step = plan.send(ch.recv(step.source))
+    except StopIteration as stop:
+        return stop.value
+
+
+# --------------------------------------------------------------------------
 # Reductions
 # --------------------------------------------------------------------------
+
+
+def reduce_binomial_plan(
+    ch: CollChannel, value: Any, op: Op | Callable[[Any, Any], Any],
+    *, combine_seconds: float = 0.0,
+) -> Plan:
+    """Plan form of :func:`reduce_binomial_ordered`."""
+    rank, size = ch.rank, ch.size
+    partial = value
+    rounds = 0
+    mask = 1
+    while mask < size:
+        if rank & mask:
+            ch.send(rank - mask, partial)
+            return None
+        src = rank + mask
+        if src < size:
+            theirs = yield Recv(src)
+            partial = op(partial, theirs)
+            _charge_combine(ch, combine_seconds)
+        rounds += 1
+        mask <<= 1
+    # Only the root reaches here, having seen the tree's full depth.
+    m = _metrics(ch)
+    if m.enabled:
+        m.counter("collective.reduce_binomial.calls").inc()
+        m.histogram("collective.reduce_binomial.depth").observe(rounds)
+    return partial
 
 
 def reduce_binomial_ordered(
@@ -95,27 +174,9 @@ def reduce_binomial_ordered(
     contiguous rank range and lower ranges are always the left operand.
     Returns the reduction on rank 0, ``None`` elsewhere.
     """
-    rank, size = ch.rank, ch.size
-    partial = value
-    rounds = 0
-    mask = 1
-    while mask < size:
-        if rank & mask:
-            ch.send(rank - mask, partial)
-            return None
-        src = rank + mask
-        if src < size:
-            theirs = ch.recv(src)
-            partial = op(partial, theirs)
-            _charge_combine(ch, combine_seconds)
-        rounds += 1
-        mask <<= 1
-    # Only the root reaches here, having seen the tree's full depth.
-    m = _metrics(ch)
-    if m.enabled:
-        m.counter("collective.reduce_binomial.calls").inc()
-        m.histogram("collective.reduce_binomial.depth").observe(rounds)
-    return partial
+    return run_plan(
+        ch, reduce_binomial_plan(ch, value, op, combine_seconds=combine_seconds)
+    )
 
 
 def reduce_kary_available(
@@ -158,29 +219,15 @@ def reduce_kary_available(
     return partial
 
 
-def reduce_ring_pipelined(
+def reduce_ring_pipelined_plan(
     ch: CollChannel,
     value,
     op: Op | Callable[[Any, Any], Any],
     *,
     segments: int | None = None,
     combine_seconds: float = 0.0,
-):
-    """Reduce a splittable NumPy vector to group rank 0 by pipelining
-    segments down the ring path ``p-1 -> p-2 -> ... -> 0``.
-
-    Each link carries the full vector once, in ``segments`` pieces, and
-    the pieces flow concurrently: the makespan is roughly
-    ``(p - 2 + segments) * (latency + seg_bytes * G)`` instead of the
-    binomial tree's ``log2(p) * (latency + n_bytes * G)`` — the win for
-    large vectors.  Rank ``r`` always combines its own contribution as
-    the *left* operand of the partial covering ranks ``r+1..p-1``, so the
-    schedule is order-preserving and **non-commutative safe**; it does,
-    however, require an *elementwise* operation (segments are combined
-    independently — see :attr:`repro.mpi.op.Op.elementwise`).
-
-    Returns the reduction on rank 0, ``None`` elsewhere.
-    """
+) -> Plan:
+    """Plan form of :func:`reduce_ring_pipelined`."""
     import numpy as np
 
     rank, size = ch.rank, ch.size
@@ -206,7 +253,7 @@ def reduce_ring_pipelined(
     for s in range(segments):
         sl = slice(bounds[s], bounds[s + 1])
         if rank < size - 1:
-            got = ch.recv(rank + 1)  # partial over ranks [rank+1, p-1]
+            got = yield Recv(rank + 1)  # partial over ranks [rank+1, p-1]
             arr[sl] = op(arr[sl], got)  # own (lower ranks) on the left
             _charge_combine(ch, combine_seconds)
         if rank > 0:
@@ -216,12 +263,42 @@ def reduce_ring_pipelined(
     return arr[0] if scalar else arr
 
 
-def allreduce_recursive_doubling(
+def reduce_ring_pipelined(
+    ch: CollChannel,
+    value,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    segments: int | None = None,
+    combine_seconds: float = 0.0,
+):
+    """Reduce a splittable NumPy vector to group rank 0 by pipelining
+    segments down the ring path ``p-1 -> p-2 -> ... -> 0``.
+
+    Each link carries the full vector once, in ``segments`` pieces, and
+    the pieces flow concurrently: the makespan is roughly
+    ``(p - 2 + segments) * (latency + seg_bytes * G)`` instead of the
+    binomial tree's ``log2(p) * (latency + n_bytes * G)`` — the win for
+    large vectors.  Rank ``r`` always combines its own contribution as
+    the *left* operand of the partial covering ranks ``r+1..p-1``, so the
+    schedule is order-preserving and **non-commutative safe**; it does,
+    however, require an *elementwise* operation (segments are combined
+    independently — see :attr:`repro.mpi.op.Op.elementwise`).
+
+    Returns the reduction on rank 0, ``None`` elsewhere.
+    """
+    return run_plan(
+        ch,
+        reduce_ring_pipelined_plan(
+            ch, value, op, segments=segments, combine_seconds=combine_seconds
+        ),
+    )
+
+
+def allreduce_recursive_doubling_plan(
     ch: CollChannel, value: Any, op: Op | Callable[[Any, Any], Any],
     *, combine_seconds: float = 0.0,
-) -> Any:
-    """All-reduce by recursive doubling with the MPICH fold-in step for
-    non-power-of-two sizes.  Order-preserving (non-commutative safe)."""
+) -> Plan:
+    """Plan form of :func:`allreduce_recursive_doubling`."""
     rank, size = ch.rank, ch.size
     if size == 1:
         return value
@@ -243,7 +320,7 @@ def allreduce_recursive_doubling(
             ch.send(rank + 1, partial)
             newrank = -1  # idle during the doubling phase
         else:
-            theirs = ch.recv(rank - 1)
+            theirs = yield Recv(rank - 1)
             partial = op(theirs, partial)  # lower rank on the left
             _charge_combine(ch, combine_seconds)
             newrank = rank // 2
@@ -257,7 +334,7 @@ def allreduce_recursive_doubling(
             # translate back to real rank
             real = partner * 2 + 1 if partner < rem else partner + rem
             ch.send(real, partial)
-            theirs = ch.recv(real)
+            theirs = yield Recv(real)
             if partner > newrank:
                 partial = op(partial, theirs)
             else:
@@ -268,10 +345,24 @@ def allreduce_recursive_doubling(
     # Send results back to the folded-out even ranks.
     if rank < 2 * rem:
         if rank % 2 == 0:
-            partial = ch.recv(rank + 1)
+            partial = yield Recv(rank + 1)
         else:
             ch.send(rank - 1, partial)
     return partial
+
+
+def allreduce_recursive_doubling(
+    ch: CollChannel, value: Any, op: Op | Callable[[Any, Any], Any],
+    *, combine_seconds: float = 0.0,
+) -> Any:
+    """All-reduce by recursive doubling with the MPICH fold-in step for
+    non-power-of-two sizes.  Order-preserving (non-commutative safe)."""
+    return run_plan(
+        ch,
+        allreduce_recursive_doubling_plan(
+            ch, value, op, combine_seconds=combine_seconds
+        ),
+    )
 
 
 # --------------------------------------------------------------------------
@@ -279,7 +370,7 @@ def allreduce_recursive_doubling(
 # --------------------------------------------------------------------------
 
 
-def scan_simultaneous_binomial(
+def scan_simultaneous_binomial_plan(
     ch: CollChannel,
     value: Any,
     op: Op | Callable[[Any, Any], Any],
@@ -287,15 +378,8 @@ def scan_simultaneous_binomial(
     exclusive: bool = False,
     identity: Callable[[], Any] | None = None,
     combine_seconds: float = 0.0,
-) -> Any:
-    """Parallel prefix over ranks by simultaneous binomial (recursive
-    doubling): ceil(log2 p) rounds, order-preserving.
-
-    For ``exclusive=True``, rank 0 returns ``identity()`` if an identity
-    function is given, else ``None`` (the MPI_Exscan "undefined" slot —
-    the paper's local-view abstraction requires the identity function
-    precisely so that this slot is well-defined).
-    """
+) -> Plan:
+    """Plan form of :func:`scan_simultaneous_binomial`."""
     rank, size = ch.rank, ch.size
     m = _metrics(ch)
     if m.enabled and rank == 0:
@@ -310,7 +394,7 @@ def scan_simultaneous_binomial(
         if rank + d < size:
             ch.send(rank + d, full)
         if rank - d >= 0:
-            theirs = ch.recv(rank - d)  # covers ranks [rank-2d+1 .. rank-d]
+            theirs = yield Recv(rank - d)  # covers ranks [rank-2d+1 .. rank-d]
             # A combine may mutate its left operand (the Chapel/RSMPI
             # contract), and ``theirs`` feeds two combines — isolate one use.
             if partial is None:
@@ -331,6 +415,64 @@ def scan_simultaneous_binomial(
     return partial
 
 
+def scan_simultaneous_binomial(
+    ch: CollChannel,
+    value: Any,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    exclusive: bool = False,
+    identity: Callable[[], Any] | None = None,
+    combine_seconds: float = 0.0,
+) -> Any:
+    """Parallel prefix over ranks by simultaneous binomial (recursive
+    doubling): ceil(log2 p) rounds, order-preserving.
+
+    For ``exclusive=True``, rank 0 returns ``identity()`` if an identity
+    function is given, else ``None`` (the MPI_Exscan "undefined" slot —
+    the paper's local-view abstraction requires the identity function
+    precisely so that this slot is well-defined).
+    """
+    return run_plan(
+        ch,
+        scan_simultaneous_binomial_plan(
+            ch, value, op, exclusive=exclusive, identity=identity,
+            combine_seconds=combine_seconds,
+        ),
+    )
+
+
+def scan_linear_chain_plan(
+    ch: CollChannel,
+    value: Any,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    exclusive: bool = False,
+    identity: Callable[[], Any] | None = None,
+    combine_seconds: float = 0.0,
+) -> Plan:
+    """Plan form of :func:`scan_linear_chain`."""
+    rank, size = ch.rank, ch.size
+    m = _metrics(ch)
+    if m.enabled and rank == 0:
+        m.counter("collective.scan_chain.calls").inc()
+        m.histogram("collective.scan_chain.hops").observe(max(size - 1, 0))
+    if rank == 0:
+        if size > 1:
+            ch.send(1, value)
+        if exclusive:
+            return identity() if identity is not None else None
+        return value
+    prefix = yield Recv(rank - 1)  # inclusive prefix of ranks [0, rank-1]
+    # The combine may mutate its left operand; keep the exclusive result
+    # isolated from the inclusive value forwarded down the chain.
+    mine = copy_for_transfer(prefix) if exclusive else None
+    inclusive = op(prefix, value)
+    _charge_combine(ch, combine_seconds)
+    if rank + 1 < size:
+        ch.send(rank + 1, inclusive)
+    return mine if exclusive else inclusive
+
+
 def scan_linear_chain(
     ch: CollChannel,
     value: Any,
@@ -349,26 +491,13 @@ def scan_linear_chain(
     serialized hops on the critical path — the trade Träff's exscan
     round/compute analysis maps out.  Order-preserving, any payload.
     """
-    rank, size = ch.rank, ch.size
-    m = _metrics(ch)
-    if m.enabled and rank == 0:
-        m.counter("collective.scan_chain.calls").inc()
-        m.histogram("collective.scan_chain.hops").observe(max(size - 1, 0))
-    if rank == 0:
-        if size > 1:
-            ch.send(1, value)
-        if exclusive:
-            return identity() if identity is not None else None
-        return value
-    prefix = ch.recv(rank - 1)  # inclusive prefix of ranks [0, rank-1]
-    # The combine may mutate its left operand; keep the exclusive result
-    # isolated from the inclusive value forwarded down the chain.
-    mine = copy_for_transfer(prefix) if exclusive else None
-    inclusive = op(prefix, value)
-    _charge_combine(ch, combine_seconds)
-    if rank + 1 < size:
-        ch.send(rank + 1, inclusive)
-    return mine if exclusive else inclusive
+    return run_plan(
+        ch,
+        scan_linear_chain_plan(
+            ch, value, op, exclusive=exclusive, identity=identity,
+            combine_seconds=combine_seconds,
+        ),
+    )
 
 
 # --------------------------------------------------------------------------
@@ -459,14 +588,19 @@ def scatter_binomial(
     return my[0]
 
 
-def barrier_dissemination(ch: CollChannel) -> None:
-    """Dissemination barrier: ceil(log2 p) rounds of shifted token passing."""
+def barrier_dissemination_plan(ch: CollChannel) -> Plan:
+    """Plan form of :func:`barrier_dissemination`."""
     rank, size = ch.rank, ch.size
     d = 1
     while d < size:
         ch.send((rank + d) % size, None)
-        ch.recv((rank - d) % size)
+        yield Recv((rank - d) % size)
         d <<= 1
+
+
+def barrier_dissemination(ch: CollChannel) -> None:
+    """Dissemination barrier: ceil(log2 p) rounds of shifted token passing."""
+    return run_plan(ch, barrier_dissemination_plan(ch))
 
 
 def alltoall_pairwise(ch: CollChannel, items: Sequence[Any]) -> list[Any]:
@@ -488,21 +622,14 @@ def alltoall_pairwise(ch: CollChannel, items: Sequence[Any]) -> list[Any]:
     return out
 
 
-def allreduce_ring(
+def allreduce_ring_plan(
     ch: CollChannel,
     value,
     op: Op | Callable[[Any, Any], Any],
     *,
     combine_seconds: float = 0.0,
-):
-    """Bandwidth-optimal ring all-reduce for NumPy arrays.
-
-    Reduce-scatter around the ring (p-1 steps, each moving 1/p of the
-    data) followed by a ring all-gather (another p-1 steps): every rank
-    sends ~2n/p * (p-1) bytes total versus recursive doubling's
-    n * log2(p).  The combining order is a ring rotation, not rank
-    order, so this schedule requires a **commutative** operation.
-    """
+) -> Plan:
+    """Plan form of :func:`allreduce_ring`."""
     import numpy as np
 
     if isinstance(op, Op) and not op.commutative:
@@ -536,7 +663,7 @@ def allreduce_ring(
     # reduce-scatter: after this, segment (rank+1)%size is fully reduced
     for t in range(size - 1):
         ch.send(right, arr[seg(rank - t)].copy())
-        got = ch.recv(left)
+        got = yield Recv(left)
         s = seg(rank - t - 1)
         arr[s] = op(got, arr[s])
         _charge_combine(ch, combine_seconds)
@@ -544,10 +671,30 @@ def allreduce_ring(
     # all-gather: circulate the finished segments
     for t in range(size - 1):
         ch.send(right, arr[seg(rank + 1 - t)].copy())
-        got = ch.recv(left)
+        got = yield Recv(left)
         arr[seg(rank - t)] = got
 
     return arr[0] if scalar else arr
+
+
+def allreduce_ring(
+    ch: CollChannel,
+    value,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    combine_seconds: float = 0.0,
+):
+    """Bandwidth-optimal ring all-reduce for NumPy arrays.
+
+    Reduce-scatter around the ring (p-1 steps, each moving 1/p of the
+    data) followed by a ring all-gather (another p-1 steps): every rank
+    sends ~2n/p * (p-1) bytes total versus recursive doubling's
+    n * log2(p).  The combining order is a ring rotation, not rank
+    order, so this schedule requires a **commutative** operation.
+    """
+    return run_plan(
+        ch, allreduce_ring_plan(ch, value, op, combine_seconds=combine_seconds)
+    )
 
 
 def reduce_scatter_ring(
@@ -599,23 +746,14 @@ def reduce_scatter_ring(
     return arr[lo:hi], (lo, hi)
 
 
-def allreduce_rabenseifner(
+def allreduce_rabenseifner_plan(
     ch: CollChannel,
     value,
     op: Op | Callable[[Any, Any], Any],
     *,
     combine_seconds: float = 0.0,
-):
-    """Rabenseifner-style all-reduce: recursive-*halving* reduce-scatter
-    followed by recursive-*doubling* allgather over the same pairs.
-
-    Moves ~``2 n (p-1)/p`` bytes per rank like the ring, but in
-    ``2 log2(p)`` rounds instead of ``2(p-1)`` — the classic large-payload
-    schedule when latency still matters.  Non-power-of-two sizes fold the
-    first ``2*(p - pof2)`` ranks pairwise first (the MPICH approach).
-    Segments are combined independently, so the operation must be
-    **commutative and elementwise** over splittable NumPy payloads.
-    """
+) -> Plan:
+    """Plan form of :func:`allreduce_rabenseifner`."""
     import numpy as np
 
     if isinstance(op, Op) and not op.commutative:
@@ -645,7 +783,7 @@ def allreduce_rabenseifner(
             ch.send(rank + 1, arr)
             newrank = -1  # idle until the final un-fold
         else:
-            theirs = ch.recv(rank - 1)
+            theirs = yield Recv(rank - 1)
             arr = op(theirs, arr)  # lower rank on the left
             _charge_combine(ch, combine_seconds)
             newrank = rank // 2
@@ -675,7 +813,7 @@ def allreduce_rabenseifner(
                 keep = slice(int(bounds[mid]), int(bounds[shi]))
                 slo, shi = mid, shi
             ch.send(real(partner), arr[bounds[sent_lo] : bounds[sent_hi]].copy())
-            got = ch.recv(real(partner))
+            got = yield Recv(real(partner))
             if partner < newrank:
                 arr[keep] = op(got, arr[keep])
             else:
@@ -687,14 +825,37 @@ def allreduce_rabenseifner(
         # the partner of each round owns exactly the block sent away then.
         for partner, sent_lo, sent_hi in reversed(steps):
             ch.send(real(partner), arr[bounds[slo] : bounds[shi]].copy())
-            got = ch.recv(real(partner))
+            got = yield Recv(real(partner))
             arr[bounds[sent_lo] : bounds[sent_hi]] = got
             slo, shi = min(slo, sent_lo), max(shi, sent_hi)
 
     # Un-fold: odd folded ranks forward the full result to their pair.
     if rank < 2 * rem:
         if rank % 2 == 0:
-            arr = ch.recv(rank + 1)
+            arr = yield Recv(rank + 1)
         else:
             ch.send(rank - 1, arr)
     return arr[0] if scalar else arr
+
+
+def allreduce_rabenseifner(
+    ch: CollChannel,
+    value,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    combine_seconds: float = 0.0,
+):
+    """Rabenseifner-style all-reduce: recursive-*halving* reduce-scatter
+    followed by recursive-*doubling* allgather over the same pairs.
+
+    Moves ~``2 n (p-1)/p`` bytes per rank like the ring, but in
+    ``2 log2(p)`` rounds instead of ``2(p-1)`` — the classic large-payload
+    schedule when latency still matters.  Non-power-of-two sizes fold the
+    first ``2*(p - pof2)`` ranks pairwise first (the MPICH approach).
+    Segments are combined independently, so the operation must be
+    **commutative and elementwise** over splittable NumPy payloads.
+    """
+    return run_plan(
+        ch,
+        allreduce_rabenseifner_plan(ch, value, op, combine_seconds=combine_seconds),
+    )

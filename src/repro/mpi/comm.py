@@ -20,12 +20,26 @@ from typing import Any, Callable, Hashable, Sequence
 
 from repro.errors import CommunicatorError, RankFailedError
 from repro.mpi import collectives as _coll
+from repro.mpi import request as _req
 from repro.mpi import tuning as _tuning
 from repro.mpi.op import Op
 from repro.runtime.channels import ANY_SOURCE, ANY_TAG
 from repro.runtime.world import RankContext
 
 __all__ = ["Communicator", "ANY_SOURCE", "ANY_TAG"]
+
+
+def _reroot_plan(ch: "_Channel", plan, root: int):
+    """Wrap a rank-0-rooted reduce plan with the re-root forwarding hop
+    (the same exchange the blocking :meth:`Communicator.reduce` does)."""
+    result = yield from plan
+    if ch.rank == 0:
+        ch.send(root, result)
+        return None
+    if ch.rank == root:
+        got = yield _coll.Recv(0)
+        return got
+    return None
 
 
 class _Channel:
@@ -54,6 +68,14 @@ class _Channel:
 
     def collect(self, source: int):
         return self.comm._ctx.collect_envelope(
+            self.comm._world_rank(source), self.tag
+        )
+
+    def probe(self, source: int) -> bool:
+        """True if the next message from ``source`` on this collective's
+        tag is already queued (non-blocking; used by the progress engine)."""
+        ctx = self.comm._ctx
+        return ctx.world.mailboxes[ctx.rank].probe(
             self.comm._world_rank(source), self.tag
         )
 
@@ -215,36 +237,58 @@ class Communicator:
 
     def barrier(self) -> None:
         """Block until every member has entered the barrier."""
-        with self._ctx.tracer.span("barrier", phase="collective"):
+        tr = self._ctx.tracer
+        if not tr.enabled:
+            _coll.barrier_dissemination(self._channel("barrier"))
+            return
+        with tr.span("barrier", phase="collective"):
             _coll.barrier_dissemination(self._channel("barrier"))
 
     def bcast(self, obj: Any, root: int = 0) -> Any:
         """Broadcast ``obj`` from ``root``; every rank returns the value."""
-        with self._ctx.tracer.span("bcast", phase="collective"):
+        tr = self._ctx.tracer
+        if not tr.enabled:
+            return _coll.bcast_binomial(self._channel("bcast"), obj, root)
+        with tr.span("bcast", phase="collective"):
             return _coll.bcast_binomial(self._channel("bcast"), obj, root)
 
     def gather(self, obj: Any, root: int = 0) -> list[Any] | None:
         """Gather one value per rank; root returns the rank-ordered list."""
-        with self._ctx.tracer.span("gather", phase="collective"):
+        tr = self._ctx.tracer
+        if not tr.enabled:
             return _coll.gather_binomial(self._channel("gather"), obj, root)
+        with tr.span("gather", phase="collective"):
+            return _coll.gather_binomial(self._channel("gather"), obj, root)
+
+    def _allgather_impl(self, obj: Any) -> list[Any]:
+        ch = self._channel("allgather")
+        items = _coll.gather_binomial(ch, obj, 0)
+        return _coll.bcast_binomial(ch, items, 0)
 
     def allgather(self, obj: Any) -> list[Any]:
         """Gather one value per rank onto every rank (gather + bcast)."""
-        with self._ctx.tracer.span("allgather", phase="collective"):
-            ch = self._channel("allgather")
-            items = _coll.gather_binomial(ch, obj, 0)
-            return _coll.bcast_binomial(ch, items, 0)
+        tr = self._ctx.tracer
+        if not tr.enabled:
+            return self._allgather_impl(obj)
+        with tr.span("allgather", phase="collective"):
+            return self._allgather_impl(obj)
 
     def scatter(self, items: Sequence[Any] | None, root: int = 0) -> Any:
         """Scatter ``items[i]`` (on root) to rank ``i``; returns my item."""
-        with self._ctx.tracer.span("scatter", phase="collective"):
+        tr = self._ctx.tracer
+        if not tr.enabled:
+            return _coll.scatter_binomial(self._channel("scatter"), items, root)
+        with tr.span("scatter", phase="collective"):
             return _coll.scatter_binomial(
                 self._channel("scatter"), items, root
             )
 
     def alltoall(self, items: Sequence[Any]) -> list[Any]:
         """Personalized all-to-all: ``items[i]`` goes to rank ``i``."""
-        with self._ctx.tracer.span("alltoall", phase="collective"):
+        tr = self._ctx.tracer
+        if not tr.enabled:
+            return _coll.alltoall_pairwise(self._channel("alltoall"), items)
+        with tr.span("alltoall", phase="collective"):
             return _coll.alltoall_pairwise(self._channel("alltoall"), items)
 
     def reduce(
@@ -276,48 +320,65 @@ class Communicator:
         always pass freshly accumulated states, so operators defined
         through :class:`~repro.core.operator.ReduceScanOp` are unaffected.
         """
-        with self._ctx.tracer.span(
-            "reduce", phase="collective", op=getattr(op, "name", None)
-        ):
-            ch = self._channel("reduce")
-            commutative = op.commutative if isinstance(op, Op) else True
-            if algorithm == "auto":
-                if fanout > 2 and commutative:
-                    algorithm = "kary"
-                else:
-                    nbytes, splittable = self._tuning_inputs(
-                        value, op, self.size
-                    )
-                    algorithm = _tuning.choose_reduce(
-                        nbytes, self.size, commutative, splittable
-                    )
-            if algorithm == "kary":
-                result = _coll.reduce_kary_available(
-                    ch, value, op, fanout=max(fanout, 2),
-                    combine_seconds=combine_seconds,
-                )
-            elif algorithm == "pipelined_ring":
-                result = _coll.reduce_ring_pipelined(
-                    ch, value, op, combine_seconds=combine_seconds
-                )
-            elif algorithm == "binomial":
-                result = _coll.reduce_binomial_ordered(
-                    ch, value, op, combine_seconds=combine_seconds
-                )
-            else:
-                raise CommunicatorError(
-                    f"unknown reduce algorithm {algorithm!r}; choose "
-                    "'auto', 'binomial', 'pipelined_ring' or 'kary'"
-                )
-            if root == 0:
-                return result
-            # Re-root: forward from rank 0 (keeps the tree order-preserving).
-            if self.rank == 0:
-                ch.send(root, result)
-                return None
-            if self.rank == root:
-                return ch.recv(0)
+        tr = self._ctx.tracer
+        if not tr.enabled:
+            return self._reduce_impl(
+                value, op, root, fanout, combine_seconds, algorithm
+            )
+        with tr.span("reduce", phase="collective", op=getattr(op, "name", None)):
+            return self._reduce_impl(
+                value, op, root, fanout, combine_seconds, algorithm
+            )
+
+    def _resolve_reduce_algorithm(
+        self, value: Any, op: Any, fanout: int, algorithm: str
+    ) -> str:
+        if algorithm != "auto":
+            return algorithm
+        commutative = op.commutative if isinstance(op, Op) else True
+        if fanout > 2 and commutative:
+            return "kary"
+        nbytes, splittable = self._tuning_inputs(value, op, self.size)
+        return _tuning.choose_reduce(nbytes, self.size, commutative, splittable)
+
+    def _reduce_impl(
+        self,
+        value: Any,
+        op: Op | Callable[[Any, Any], Any],
+        root: int,
+        fanout: int,
+        combine_seconds: float,
+        algorithm: str,
+    ) -> Any:
+        ch = self._channel("reduce")
+        algorithm = self._resolve_reduce_algorithm(value, op, fanout, algorithm)
+        if algorithm == "kary":
+            result = _coll.reduce_kary_available(
+                ch, value, op, fanout=max(fanout, 2),
+                combine_seconds=combine_seconds,
+            )
+        elif algorithm == "pipelined_ring":
+            result = _coll.reduce_ring_pipelined(
+                ch, value, op, combine_seconds=combine_seconds
+            )
+        elif algorithm == "binomial":
+            result = _coll.reduce_binomial_ordered(
+                ch, value, op, combine_seconds=combine_seconds
+            )
+        else:
+            raise CommunicatorError(
+                f"unknown reduce algorithm {algorithm!r}; choose "
+                "'auto', 'binomial', 'pipelined_ring' or 'kary'"
+            )
+        if root == 0:
+            return result
+        # Re-root: forward from rank 0 (keeps the tree order-preserving).
+        if self.rank == 0:
+            ch.send(root, result)
             return None
+        if self.rank == root:
+            return ch.recv(0)
+        return None
 
     def allreduce(
         self,
@@ -339,32 +400,58 @@ class Communicator:
         (reduce-scatter + allgather; best latency/bandwidth balance for
         medium-to-large arrays; commutative only).
         """
-        with self._ctx.tracer.span(
+        tr = self._ctx.tracer
+        if not tr.enabled:
+            return self._allreduce_impl(value, op, combine_seconds, algorithm)
+        with tr.span(
             "allreduce", phase="collective", op=getattr(op, "name", None)
         ):
-            ch = self._channel("allreduce")
-            if algorithm == "auto":
-                commutative = op.commutative if isinstance(op, Op) else True
-                nbytes, splittable = self._tuning_inputs(value, op, self.size)
-                algorithm = _tuning.choose_allreduce(
-                    nbytes, self.size, commutative, splittable
-                )
-            if algorithm == "ring":
-                return _coll.allreduce_ring(
-                    ch, value, op, combine_seconds=combine_seconds
-                )
-            if algorithm == "rabenseifner":
-                return _coll.allreduce_rabenseifner(
-                    ch, value, op, combine_seconds=combine_seconds
-                )
-            if algorithm != "recursive_doubling":
-                raise CommunicatorError(
-                    f"unknown allreduce algorithm {algorithm!r}; choose "
-                    "'auto', 'recursive_doubling', 'ring' or 'rabenseifner'"
-                )
-            return _coll.allreduce_recursive_doubling(
-                ch, value, op, combine_seconds=combine_seconds,
+            return self._allreduce_impl(value, op, combine_seconds, algorithm)
+
+    def _resolve_allreduce_algorithm(self, value: Any, op: Any, algorithm: str) -> str:
+        if algorithm != "auto":
+            return algorithm
+        commutative = op.commutative if isinstance(op, Op) else True
+        nbytes, splittable = self._tuning_inputs(value, op, self.size)
+        return _tuning.choose_allreduce(nbytes, self.size, commutative, splittable)
+
+    def _allreduce_plan(
+        self,
+        ch: _Channel,
+        value: Any,
+        op: Op | Callable[[Any, Any], Any],
+        combine_seconds: float,
+        algorithm: str,
+    ):
+        algorithm = self._resolve_allreduce_algorithm(value, op, algorithm)
+        if algorithm == "ring":
+            return _coll.allreduce_ring_plan(
+                ch, value, op, combine_seconds=combine_seconds
             )
+        if algorithm == "rabenseifner":
+            return _coll.allreduce_rabenseifner_plan(
+                ch, value, op, combine_seconds=combine_seconds
+            )
+        if algorithm != "recursive_doubling":
+            raise CommunicatorError(
+                f"unknown allreduce algorithm {algorithm!r}; choose "
+                "'auto', 'recursive_doubling', 'ring' or 'rabenseifner'"
+            )
+        return _coll.allreduce_recursive_doubling_plan(
+            ch, value, op, combine_seconds=combine_seconds
+        )
+
+    def _allreduce_impl(
+        self,
+        value: Any,
+        op: Op | Callable[[Any, Any], Any],
+        combine_seconds: float,
+        algorithm: str,
+    ) -> Any:
+        ch = self._channel("allreduce")
+        return _coll.run_plan(
+            ch, self._allreduce_plan(ch, value, op, combine_seconds, algorithm)
+        )
 
     def reduce_scatter(
         self,
@@ -380,7 +467,13 @@ class Communicator:
         Moves (p-1)/p of the data per rank — the building block of the
         ring all-reduce and of bandwidth-bound aggregated reductions.
         """
-        with self._ctx.tracer.span(
+        tr = self._ctx.tracer
+        if not tr.enabled:
+            return _coll.reduce_scatter_ring(
+                self._channel("reduce_scatter"), value, op,
+                combine_seconds=combine_seconds,
+            )
+        with tr.span(
             "reduce_scatter", phase="collective", op=getattr(op, "name", None)
         ):
             return _coll.reduce_scatter_ring(
@@ -402,9 +495,13 @@ class Communicator:
         (simultaneous binomial, log2(p) rounds) or ``"chain"`` (linear
         chain, p-1 serialized hops but minimal total traffic).
         """
-        with self._ctx.tracer.span(
-            "scan", phase="collective", op=getattr(op, "name", None)
-        ):
+        tr = self._ctx.tracer
+        if not tr.enabled:
+            return self._scan_dispatch(
+                "scan", value, op, exclusive=False, identity=None,
+                combine_seconds=combine_seconds, algorithm=algorithm,
+            )
+        with tr.span("scan", phase="collective", op=getattr(op, "name", None)):
             return self._scan_dispatch(
                 "scan", value, op, exclusive=False, identity=None,
                 combine_seconds=combine_seconds, algorithm=algorithm,
@@ -428,13 +525,52 @@ class Communicator:
         """
         if identity is None and isinstance(op, Op):
             identity = op.identity
-        with self._ctx.tracer.span(
-            "exscan", phase="collective", op=getattr(op, "name", None)
-        ):
+        tr = self._ctx.tracer
+        if not tr.enabled:
             return self._scan_dispatch(
                 "exscan", value, op, exclusive=True, identity=identity,
                 combine_seconds=combine_seconds, algorithm=algorithm,
             )
+        with tr.span("exscan", phase="collective", op=getattr(op, "name", None)):
+            return self._scan_dispatch(
+                "exscan", value, op, exclusive=True, identity=identity,
+                combine_seconds=combine_seconds, algorithm=algorithm,
+            )
+
+    def _scan_plan(
+        self,
+        name: str,
+        ch: _Channel,
+        value: Any,
+        op: Op | Callable[[Any, Any], Any],
+        *,
+        exclusive: bool,
+        identity: Callable[[], Any] | None,
+        combine_seconds: float,
+        algorithm: str,
+    ):
+        if algorithm == "auto":
+            commutative = op.commutative if isinstance(op, Op) else True
+            nbytes, splittable = self._tuning_inputs(value, op, self.size)
+            algorithm = _tuning.choose_scan(
+                nbytes, self.size, commutative, splittable
+            )
+        if algorithm == "chain":
+            return _coll.scan_linear_chain_plan(
+                ch, value, op,
+                exclusive=exclusive, identity=identity,
+                combine_seconds=combine_seconds,
+            )
+        if algorithm != "binomial":
+            raise CommunicatorError(
+                f"unknown {name} algorithm {algorithm!r}; choose "
+                "'auto', 'binomial' or 'chain'"
+            )
+        return _coll.scan_simultaneous_binomial_plan(
+            ch, value, op,
+            exclusive=exclusive, identity=identity,
+            combine_seconds=combine_seconds,
+        )
 
     def _scan_dispatch(
         self,
@@ -447,28 +583,145 @@ class Communicator:
         combine_seconds: float,
         algorithm: str,
     ) -> Any:
-        if algorithm == "auto":
-            commutative = op.commutative if isinstance(op, Op) else True
-            nbytes, splittable = self._tuning_inputs(value, op, self.size)
-            algorithm = _tuning.choose_scan(
-                nbytes, self.size, commutative, splittable
-            )
-        if algorithm == "chain":
-            return _coll.scan_linear_chain(
-                self._channel(name), value, op,
-                exclusive=exclusive, identity=identity,
-                combine_seconds=combine_seconds,
-            )
-        if algorithm != "binomial":
-            raise CommunicatorError(
-                f"unknown {name} algorithm {algorithm!r}; choose "
-                "'auto', 'binomial' or 'chain'"
-            )
-        return _coll.scan_simultaneous_binomial(
-            self._channel(name), value, op,
-            exclusive=exclusive, identity=identity,
-            combine_seconds=combine_seconds,
+        ch = self._channel(name)
+        return _coll.run_plan(
+            ch,
+            self._scan_plan(
+                name, ch, value, op, exclusive=exclusive, identity=identity,
+                combine_seconds=combine_seconds, algorithm=algorithm,
+            ),
         )
+
+    # -- nonblocking collectives ----------------------------------------------
+
+    def _issue(self, name: str, ch: _Channel, plan, finalize=None) -> _req.Request:
+        tr = self._ctx.tracer
+        if not tr.enabled:
+            return _req.Request(self._ctx, ch, plan, name=name, finalize=finalize)
+        with tr.span(name, phase="collective"):
+            return _req.Request(self._ctx, ch, plan, name=name, finalize=finalize)
+
+    def iallreduce(
+        self,
+        value: Any,
+        op: Op | Callable[[Any, Any], Any],
+        *,
+        combine_seconds: float = 0.0,
+        algorithm: str = "auto",
+    ) -> _req.Request:
+        """Nonblocking :meth:`allreduce`: issues the same schedule as the
+        blocking call (first-round sends leave immediately) and returns a
+        :class:`repro.mpi.request.Request`; ``wait()`` yields the value
+        every rank would have gotten from ``allreduce`` — bit-identical,
+        for any operator and any algorithm choice."""
+        ch = self._channel("iallreduce")
+        return self._issue(
+            "iallreduce",
+            ch,
+            self._allreduce_plan(ch, value, op, combine_seconds, algorithm),
+        )
+
+    def ireduce(
+        self,
+        value: Any,
+        op: Op | Callable[[Any, Any], Any],
+        root: int = 0,
+        *,
+        combine_seconds: float = 0.0,
+        algorithm: str = "auto",
+    ) -> _req.Request:
+        """Nonblocking :meth:`reduce`.  ``wait()`` returns the reduction
+        on ``root`` and ``None`` elsewhere.  The availability-order
+        ``"kary"`` schedule has no resumable plan form and is rejected."""
+        ch = self._channel("ireduce")
+        algorithm = self._resolve_reduce_algorithm(value, op, 2, algorithm)
+        if algorithm == "pipelined_ring":
+            plan = _coll.reduce_ring_pipelined_plan(
+                ch, value, op, combine_seconds=combine_seconds
+            )
+        elif algorithm == "binomial":
+            plan = _coll.reduce_binomial_plan(
+                ch, value, op, combine_seconds=combine_seconds
+            )
+        else:
+            raise CommunicatorError(
+                f"ireduce does not support algorithm {algorithm!r}; choose "
+                "'auto', 'binomial' or 'pipelined_ring'"
+            )
+        if root != 0:
+            plan = _reroot_plan(ch, plan, root)
+        return self._issue("ireduce", ch, plan)
+
+    def iscan(
+        self,
+        value: Any,
+        op: Op | Callable[[Any, Any], Any],
+        *,
+        combine_seconds: float = 0.0,
+        algorithm: str = "auto",
+    ) -> _req.Request:
+        """Nonblocking :meth:`scan`."""
+        ch = self._channel("iscan")
+        return self._issue(
+            "iscan",
+            ch,
+            self._scan_plan(
+                "iscan", ch, value, op, exclusive=False, identity=None,
+                combine_seconds=combine_seconds, algorithm=algorithm,
+            ),
+        )
+
+    def iexscan(
+        self,
+        value: Any,
+        op: Op | Callable[[Any, Any], Any],
+        *,
+        identity: Callable[[], Any] | None = None,
+        combine_seconds: float = 0.0,
+        algorithm: str = "auto",
+    ) -> _req.Request:
+        """Nonblocking :meth:`exscan`."""
+        if identity is None and isinstance(op, Op):
+            identity = op.identity
+        ch = self._channel("iexscan")
+        return self._issue(
+            "iexscan",
+            ch,
+            self._scan_plan(
+                "iexscan", ch, value, op, exclusive=True, identity=identity,
+                combine_seconds=combine_seconds, algorithm=algorithm,
+            ),
+        )
+
+    def ibarrier(self) -> _req.Request:
+        """Nonblocking :meth:`barrier`: ``wait()`` completes once every
+        member has *entered* the barrier (they need not have waited)."""
+        ch = self._channel("ibarrier")
+        return self._issue("ibarrier", ch, _coll.barrier_dissemination_plan(ch))
+
+    def progress(self) -> None:
+        """Advance any outstanding nonblocking collectives through rounds
+        whose messages have already been delivered (never blocks).  See
+        :mod:`repro.mpi.request` for the determinism caveat."""
+        eng = self._ctx._progress
+        if eng is not None:
+            eng.drain_delivered()
+
+    def fused(self, **kwargs) -> "ReductionBucket":
+        """A :class:`repro.core.fusion.ReductionBucket` bound to this
+        communicator, usable as a context manager::
+
+            with comm.fused() as bucket:
+                a = bucket.allreduce(x, mpi.SUM)
+                b = bucket.allreduce(y, mpi.MAX)
+            # exiting flushed the bucket; a.result() / b.result() are ready
+
+        Queued reductions are coalesced into shared combine waves (see
+        docs/overlap.md); keyword arguments are forwarded to the bucket.
+        """
+        from repro.core.fusion import ReductionBucket
+
+        return ReductionBucket(self, **kwargs)
 
     # -- fault tolerance (ULFM-style) -----------------------------------------
 

@@ -42,12 +42,15 @@ __all__ = [
     "ALLREDUCE_ALGORITHMS",
     "REDUCE_ALGORITHMS",
     "SCAN_ALGORITHMS",
+    "FUSION_CANDIDATES",
     "Band",
     "DecisionTable",
     "DEFAULT_TABLE",
     "choose_allreduce",
     "choose_reduce",
     "choose_scan",
+    "choose_fusion",
+    "fusion_flush_bytes",
     "is_splittable",
     "fit_decision_table",
     "get_decision_table",
@@ -62,6 +65,14 @@ __all__ = [
 ALLREDUCE_ALGORITHMS = ("recursive_doubling", "ring", "rabenseifner")
 REDUCE_ALGORITHMS = ("binomial", "pipelined_ring")
 SCAN_ALGORITHMS = ("binomial", "chain")
+
+#: "fusion" is a meta-decision rather than a schedule: should a
+#: ReductionBucket holding this many pending payload bytes merge them
+#: into one shared recursive-doubling wave ("fuse"), or dispatch them as
+#: individual auto-tuned collectives ("flush")?  Fusing halves the
+#: latency rounds; flushing lets large payloads keep their
+#: bandwidth-optimal schedules.
+FUSION_CANDIDATES = ("fuse", "flush")
 
 _UNBOUNDED = 1 << 62  # "no upper limit" sentinel for thresholds
 
@@ -86,14 +97,23 @@ class Band:
         return self.cutoffs[-1][1]
 
 
+# Conservative fusion fallback for tables fitted before the fusion
+# dimension existed: fuse small pending buckets, flush past 16 KiB.
+_FUSION_FALLBACK_BANDS = (
+    Band(_UNBOUNDED, ((16384, "fuse"), (_UNBOUNDED, "flush"))),
+)
+
+
 @dataclass(frozen=True)
 class DecisionTable:
-    """Byte-threshold decision tables for the three tuned collectives."""
+    """Byte-threshold decision tables for the tuned collectives, plus the
+    reduction-fusion crossover shared with :mod:`repro.core.fusion`."""
 
     allreduce: tuple[Band, ...]
     reduce: tuple[Band, ...]
     scan: tuple[Band, ...]
     source: str = "default"
+    fusion: tuple[Band, ...] = _FUSION_FALLBACK_BANDS
 
     def lookup(self, kind: str, nbytes: int, nprocs: int) -> str:
         bands: tuple[Band, ...] = getattr(self, kind)
@@ -124,6 +144,7 @@ class DecisionTable:
             "allreduce": enc(self.allreduce),
             "reduce": enc(self.reduce),
             "scan": enc(self.scan),
+            "fusion": enc(self.fusion),
         }
 
     @classmethod
@@ -143,11 +164,15 @@ class DecisionTable:
                 for b in items
             )
 
+        fusion = data.get("fusion")
         return cls(
             allreduce=dec(data["allreduce"]),
             reduce=dec(data["reduce"]),
             scan=dec(data["scan"]),
             source=str(data.get("source", "loaded")),
+            # Tables written before the fusion dimension existed load
+            # with the conservative fallback thresholds.
+            fusion=dec(fusion) if fusion else _FUSION_FALLBACK_BANDS,
         )
 
 
@@ -183,6 +208,14 @@ DEFAULT_TABLE = DecisionTable(
         # algorithm (and wins trivially at p == 2, handled in
         # choose_scan before the table is consulted).
         Band(_UNBOUNDED, ((_UNBOUNDED, "binomial"),)),
+    ),
+    fusion=(
+        # The fitter finds the same crossover at every fitted rank
+        # count: below it, halving the latency rounds by sharing one
+        # recursive-doubling wave wins; above it, the individual
+        # reductions' bandwidth-optimal schedules (Rabenseifner) beat
+        # the fused wave's log2(p) full-payload hops.
+        Band(_UNBOUNDED, ((16384, "fuse"), (_UNBOUNDED, "flush"))),
     ),
     source="default (fitted against CostModel() defaults)",
 )
@@ -280,6 +313,36 @@ def choose_scan(
     return (table or _active_table).lookup("scan", nbytes, nprocs)
 
 
+def choose_fusion(
+    nbytes: int,
+    nprocs: int,
+    *,
+    table: DecisionTable | None = None,
+) -> str:
+    """Should a reduction bucket holding ``nbytes`` of pending state keep
+    accumulating into one fused wave (``"fuse"``) or dispatch now
+    (``"flush"``)?  Consults the same fitted table as ``algorithm="auto"``
+    so the two decisions can never disagree about the cost model."""
+    return (table or _active_table).lookup("fusion", nbytes, nprocs)
+
+
+def fusion_flush_bytes(nprocs: int, *, table: DecisionTable | None = None) -> int:
+    """The pending-byte threshold at which :func:`choose_fusion` flips
+    from "fuse" to "flush" for ``nprocs`` ranks — the auto-flush
+    watermark of :class:`repro.core.fusion.ReductionBucket`."""
+    bands = (table or _active_table).fusion
+    for band in bands:
+        if nprocs <= band.max_ranks:
+            break
+    else:  # pragma: no cover - bands always end unbounded
+        band = bands[-1]
+    threshold = 0
+    for max_bytes, algorithm in band.cutoffs:
+        if algorithm == "fuse":
+            threshold = max_bytes
+    return threshold
+
+
 # ---------------------------------------------------------------------------
 # Fitting
 # ---------------------------------------------------------------------------
@@ -306,6 +369,21 @@ def _simulate(kind: str, algorithm: str, nbytes: int, nprocs: int, cost_model):
             comm.reduce(arr, SUM, algorithm=algorithm)
         elif kind == "scan":
             comm.scan(arr, SUM, algorithm=algorithm)
+        elif kind == "fusion":
+            # Two pending n-element reductions: "fuse" merges them into
+            # one recursive-doubling wave over the concatenated payload
+            # (what a ReductionBucket flush does); "flush" dispatches
+            # them as two individual auto-tuned allreduces.
+            if algorithm == "fuse":
+                comm.allreduce(
+                    np.zeros(2 * n, dtype=np.float64), SUM,
+                    algorithm="recursive_doubling",
+                )
+            elif algorithm == "flush":
+                comm.allreduce(arr, SUM)
+                comm.allreduce(np.zeros(n, dtype=np.float64), SUM)
+            else:  # pragma: no cover - internal misuse
+                raise ValueError(f"unknown fusion candidate {algorithm!r}")
         else:  # pragma: no cover - internal misuse
             raise ValueError(f"unknown collective kind {kind!r}")
 
@@ -351,6 +429,7 @@ def fit_decision_table(
         "allreduce": ALLREDUCE_ALGORITHMS,
         "reduce": REDUCE_ALGORITHMS,
         "scan": SCAN_ALGORITHMS,
+        "fusion": FUSION_CANDIDATES,
     }
     grid: dict[str, list[dict[str, Any]]] = {}
     bands: dict[str, list[Band]] = {}
@@ -377,6 +456,7 @@ def fit_decision_table(
         allreduce=tuple(bands["allreduce"]),
         reduce=tuple(bands["reduce"]),
         scan=tuple(bands["scan"]),
+        fusion=tuple(bands["fusion"]),
         source=f"fitted (ranks={ranks}, payloads={payloads[0]}..{payloads[-1]}B)",
     )
     report = {

@@ -39,7 +39,7 @@ from repro.nas.mg.grid import Block3D, fill_zran_block
 from repro.ops.extrema import ExtremaKLocOp
 from repro.util.rng import RANDLC_SEED
 
-__all__ = ["Zran3Result", "zran3_mpi", "zran3_rsmpi", "MM"]
+__all__ = ["Zran3Result", "zran3_mpi", "zran3_mpi_fused", "zran3_rsmpi", "MM"]
 
 #: Number of extrema of each kind ZRAN3 plants (NPB: mm = 10).
 MM = 10
@@ -137,6 +137,76 @@ def zran3_mpi(
                 local_hit = np.where(positions == gp)[0]
                 if len(local_hit):
                     chosen[local_hit[0]] = True
+
+    local = _plant(len(values), positions, top_positions, bot_positions)
+    return Zran3Result(
+        local=local,
+        top_positions=top_positions,
+        bot_positions=bot_positions,
+        t_fill_end=t_fill_end,
+        t_done=comm.context.clock.t,
+    )
+
+
+def zran3_mpi_fused(
+    comm: Communicator,
+    cls: MGClass,
+    *,
+    seed: int = RANDLC_SEED,
+    fill_rate: str | None = None,
+    scan_rate: str | None = None,
+) -> Zran3Result:
+    """The F+MPI idiom with **bucketed fusion**: the top-10 and bottom-10
+    searches run side by side, so each round's MAX and MIN ride one fused
+    wave and the two MINLOC position resolutions ride another — twenty
+    collectives instead of forty, bit-identical positions (the two search
+    chains never interact, and fusion preserves each member's combine
+    order)."""
+    block, values, positions = _setup(comm, cls, seed, fill_rate)
+    t_fill_end = comm.context.clock.t
+
+    chosen_t = np.zeros(len(values), dtype=bool)
+    chosen_b = np.zeros(len(values), dtype=bool)
+    top_positions = np.empty(MM, dtype=np.int64)
+    bot_positions = np.empty(MM, dtype=np.int64)
+
+    for j in range(MM):
+        masked_t = np.where(chosen_t, -np.inf, values)
+        masked_b = np.where(chosen_b, np.inf, values)
+        if scan_rate is not None:
+            comm.charge_elements(scan_rate, 2 * len(values), "mg:rescan")
+        if len(values) > 0:
+            lv_t = float(masked_t[np.argmax(masked_t)])
+            lv_b = float(masked_b[np.argmin(masked_b)])
+        else:
+            lv_t, lv_b = -np.inf, np.inf
+        # fused wave 1: the two global extreme values
+        with comm.fused() as bucket:
+            h_max = bucket.allreduce(lv_t, mpi.MAX)
+            h_min = bucket.allreduce(lv_b, mpi.MIN)
+        gv_t, gv_b = float(h_max.result()), float(h_min.result())
+        # fused wave 2: the two owner/position resolutions
+        pos_t = (
+            float(positions[np.where(masked_t == gv_t)[0]].min())
+            if len(values) > 0 and lv_t == gv_t else np.inf
+        )
+        pos_b = (
+            float(positions[np.where(masked_b == gv_b)[0]].min())
+            if len(values) > 0 and lv_b == gv_b else np.inf
+        )
+        with comm.fused() as bucket:
+            h_pt = bucket.allreduce((0.0, pos_t), mpi.MINLOC)
+            h_pb = bucket.allreduce((0.0, pos_b), mpi.MINLOC)
+        gp_t, gp_b = int(h_pt.result()[1]), int(h_pb.result()[1])
+        top_positions[j] = gp_t
+        bot_positions[j] = gp_b
+        if len(values) > 0:
+            hit = np.where(positions == gp_t)[0]
+            if len(hit):
+                chosen_t[hit[0]] = True
+            hit = np.where(positions == gp_b)[0]
+            if len(hit):
+                chosen_b[hit[0]] = True
 
     local = _plant(len(values), positions, top_positions, bot_positions)
     return Zran3Result(

@@ -42,6 +42,7 @@ __all__ = [
     "RankTracer",
     "RunCapture",
     "Tracer",
+    "NULL_SPAN",
     "NULL_TRACER",
     "profiling",
     "active_tracer",
@@ -164,7 +165,8 @@ class _NullSpan:
         pass
 
 
-_NULL_SPAN = _NullSpan()
+#: Shared do-nothing span returned by every disabled ``span()`` call.
+NULL_SPAN = _NULL_SPAN = _NullSpan()
 
 
 class RankTracer:

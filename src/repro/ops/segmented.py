@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+import numpy as np
+
 from repro.core.operator import ReduceScanOp
 
 __all__ = ["SegmentedOp"]
@@ -74,6 +76,31 @@ class SegmentedOp(ReduceScanOp):
             state.flag = state.flag or f
         else:
             state.value = self._fn(state.value, v)
+        state.seen = True
+        return state
+
+    def accum_block(self, state: _SegState, values) -> _SegState:
+        """Block accumulate without per-element state dispatch: everything
+        before the *last* segment head is dead (heads restart the running
+        value), so locate it once and fold only the tail."""
+        n = len(values)
+        if n == 0:
+            return state
+        flags = np.fromiter(
+            (bool(x[1]) for x in values), dtype=bool, count=n
+        )
+        heads = np.flatnonzero(flags)
+        if heads.size:
+            h = int(heads[-1])
+            acc = values[h][0]
+            for i in range(h + 1, n):
+                acc = self._fn(acc, values[i][0])
+            state.flag = True
+        else:
+            acc = state.value
+            for x in values:
+                acc = self._fn(acc, x[0])
+        state.value = acc
         state.seen = True
         return state
 

@@ -156,7 +156,7 @@ class World:
 class RankContext:
     """One rank's handle on the world: clock, trace, and raw messaging."""
 
-    __slots__ = ("world", "rank", "clock", "trace", "tracer",
+    __slots__ = ("world", "rank", "clock", "trace", "tracer", "_progress",
                  "_send_seq", "_recv_next", "_recv_buf")
 
     def __init__(self, world: World, rank: int):
@@ -165,6 +165,9 @@ class RankContext:
         self.clock = world.clocks[rank]
         self.trace = world.traces[rank]
         self.tracer = world.rank_tracers[rank]
+        # Lazily created per-rank progress engine for nonblocking
+        # collectives (repro.mpi.request); None until the first request.
+        self._progress = None
         # Reliable-delivery state, only touched under a lossy fault plan:
         # per-(dest, tag) send sequence numbers, per-(source, tag) next
         # expected sequence numbers, and the out-of-order hold-back buffer.
@@ -290,6 +293,12 @@ class RankContext:
         number is next, so every layer above sees exactly-once, in-order
         delivery.
         """
+        eng = self._progress
+        if eng is not None:
+            # About to block: let outstanding nonblocking collectives
+            # consume any already-delivered rounds first (no-op while the
+            # engine itself is receiving).
+            eng.on_block()
         inj = self.world.injector
         if inj is not None and inj.lossy:
             from repro.faults.reliable import reliable_collect

@@ -418,3 +418,56 @@ class TestTuneCli:
         assert table.lookup("reduce", 8, 4) == "binomial"
         report = json.loads(bench.read_text())
         assert report["rank_grid"] == [4]
+
+
+class TestFusionDimension:
+    """The fusion fuse-or-flush watermark lives in the same fitted
+    decision table as the algorithm choices (one cost model for both)."""
+
+    def test_choose_fusion_small_fuses_large_flushes(self):
+        from repro.mpi.tuning import choose_fusion
+
+        for p in (4, 8, 16, 32):
+            assert choose_fusion(64, p) == "fuse"
+            assert choose_fusion(1 << 20, p) == "flush"
+
+    def test_flush_bytes_matches_fuse_band(self):
+        from repro.mpi.tuning import choose_fusion, fusion_flush_bytes
+
+        for p in (4, 8, 16, 32):
+            threshold = fusion_flush_bytes(p)
+            assert choose_fusion(threshold, p) == "fuse"
+            assert choose_fusion(threshold + 1, p) == "flush"
+
+    def test_round_trip_preserves_fusion(self):
+        doc = DEFAULT_TABLE.to_dict()
+        assert "fusion" in doc
+        back = DecisionTable.from_dict(doc)
+        assert back.fusion == DEFAULT_TABLE.fusion
+
+    def test_from_dict_without_fusion_key_falls_back(self):
+        """Tables written before the fusion dimension still load."""
+        doc = DEFAULT_TABLE.to_dict()
+        del doc["fusion"]
+        back = DecisionTable.from_dict(doc)
+        from repro.mpi.tuning import fusion_flush_bytes
+
+        assert fusion_flush_bytes(8, table=back) > 0
+
+    def test_fit_includes_fusion(self):
+        table, report = fit_decision_table(
+            rank_grid=(4,), payload_grid=(64, 4096, 1 << 18)
+        )
+        assert table.fusion
+        assert "fusion" in report["grid"]
+        doc = table.to_dict()
+        assert "fusion" in doc
+
+    def test_bucket_threshold_uses_table(self):
+        from repro.mpi.tuning import fusion_flush_bytes
+
+        def prog(comm):
+            return comm.fused()._max_bytes
+
+        for threshold in run_all(prog, 4):
+            assert threshold == fusion_flush_bytes(4)

@@ -436,3 +436,57 @@ class TestProfileCli:
         assert rc == 0
         doc = json.loads(out.read_text())
         assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+
+class TestDisabledTracerAllocatesNothing:
+    """Satellite guarantee: with no profile active, the hot paths build
+    zero span or metric-instrument objects — the disabled branch is an
+    attribute check, not a null object per call."""
+
+    @pytest.fixture
+    def poisoned(self, monkeypatch):
+        """Make every observability constructor raise if reached."""
+        from repro.obs import metrics as metrics_mod
+        from repro.obs import tracer as tracer_mod
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError(
+                "observability object constructed with tracing disabled"
+            )
+
+        monkeypatch.setattr(tracer_mod.Span, "__init__", boom)
+        monkeypatch.setattr(tracer_mod._SpanContext, "__init__", boom)
+        monkeypatch.setattr(metrics_mod.Counter, "__init__", boom)
+        monkeypatch.setattr(metrics_mod.Gauge, "__init__", boom)
+        monkeypatch.setattr(metrics_mod.Histogram, "__init__", boom)
+
+    def test_reduce_scan_paths(self, poisoned):
+        import numpy as np
+
+        from repro.core.fusion import global_reduce_many
+        from repro.localview import LOCAL_ALLREDUCE, LOCAL_XSCAN
+        from repro import mpi
+
+        def prog(comm):
+            xs = np.arange(8.0) + comm.rank
+            a = global_reduce(comm, SumOp(), xs)
+            b = global_scan(comm, SumOp(), [1.0, 2.0])
+            c = LOCAL_ALLREDUCE(comm, mpi.SUM, float(comm.rank))
+            d = LOCAL_XSCAN(comm, lambda: 0.0, mpi.SUM, 1.0)
+            e = global_reduce_many(comm, [(SumOp(), xs), (SumOp(), xs)])
+            f = comm.iallreduce(float(comm.rank), mpi.SUM).wait()
+            comm.ibarrier().wait()
+            return a, b, c, d, e, f
+
+        out = spmd_run(prog, 4).returns  # no tracer: must not allocate
+        assert out[0][0] == pytest.approx(sum(np.arange(8.0) + r for r in range(4)).sum())
+
+    def test_collectives_and_p2p(self, poisoned):
+        def prog(comm):
+            comm.barrier()
+            v = comm.bcast(comm.rank or "root", root=0)
+            g = comm.gather(comm.rank, root=0)
+            s = comm.scan(comm.rank + 1, lambda a, b: a + b)
+            return v, g, s
+
+        assert len(spmd_run(prog, 4).returns) == 4

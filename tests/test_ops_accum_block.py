@@ -1,0 +1,92 @@
+"""Block-accumulate parity: ``accum_block`` must equal the scalar
+``accum`` loop for every public operator (the vectorized overrides are
+pure optimizations, never semantic changes)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.operator import ReduceScanOp, state_equal
+from repro.faults.chaos import CHAOS_CASES
+from repro.ops import SegmentedOp
+
+
+def scalar_loop(op: ReduceScanOp, state, values):
+    for x in values:
+        state = op.accum(state, x)
+    return state
+
+
+@pytest.mark.parametrize("case", CHAOS_CASES, ids=lambda c: c.name)
+@pytest.mark.parametrize("n", [0, 1, 2, 7, 32])
+def test_block_equals_scalar_loop(case, n):
+    rng = random.Random(4242 + n)
+    data = case.make_data(rng, n)
+    block = scalar_loop(case.make_op(), case.make_op().ident(), data)
+    op = case.make_op()
+    vec = op.accum_block(op.ident(), data)
+    assert state_equal(block, vec), (
+        f"{op.name}: accum_block diverges from the accum loop at n={n}"
+    )
+
+
+@pytest.mark.parametrize("case", CHAOS_CASES, ids=lambda c: c.name)
+def test_block_from_seeded_state(case):
+    """Parity must also hold when the state already saw a prefix."""
+    rng = random.Random(777)
+    prefix = case.make_data(rng, 5)
+    rest = case.make_data(rng, 9)
+    op1 = case.make_op()
+    expected = scalar_loop(op1, scalar_loop(op1, op1.ident(), prefix), rest)
+    op2 = case.make_op()
+    got = op2.accum_block(scalar_loop(op2, op2.ident(), prefix), rest)
+    assert state_equal(expected, got)
+
+
+class TestSegmentedEdges:
+    def seg(self):
+        return SegmentedOp(lambda a, b: a + b, 0.0, name="sum")
+
+    def check(self, pairs):
+        op = self.seg()
+        expected = scalar_loop(op, op.ident(), pairs)
+        got = self.seg().accum_block(self.seg().ident(), pairs)
+        assert got.value == expected.value
+        assert got.flag == expected.flag
+        assert got.seen == expected.seen
+
+    def test_empty_block(self):
+        op = self.seg()
+        state = op.accum_block(op.ident(), [])
+        assert not state.seen
+
+    def test_no_heads(self):
+        self.check([(1.0, 0), (2.0, 0), (3.0, 0)])
+
+    def test_all_heads(self):
+        self.check([(1.0, 1), (2.0, 1), (3.0, 1)])
+
+    def test_head_in_middle(self):
+        self.check([(1.0, 0), (2.0, 1), (3.0, 0), (4.0, 0)])
+
+    def test_head_last(self):
+        self.check([(1.0, 0), (2.0, 0), (9.0, 1)])
+
+    def test_ndarray_pairs(self):
+        arr = np.array([[1.0, 0.0], [2.0, 1.0], [3.0, 0.0]])
+        op = self.seg()
+        expected = scalar_loop(op, op.ident(), arr)
+        got = self.seg().accum_block(self.seg().ident(), arr)
+        assert got.value == expected.value
+        assert got.flag == expected.flag
+
+    def test_seeded_state_continues_run(self):
+        op = self.seg()
+        seeded = scalar_loop(op, op.ident(), [(5.0, 1), (1.0, 0)])
+        expected = scalar_loop(op, seeded, [(2.0, 0), (3.0, 0)])
+        op2 = self.seg()
+        seeded2 = scalar_loop(op2, op2.ident(), [(5.0, 1), (1.0, 0)])
+        got = op2.accum_block(seeded2, [(2.0, 0), (3.0, 0)])
+        assert got.value == expected.value == 11.0
+        assert got.flag and expected.flag
