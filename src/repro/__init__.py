@@ -12,9 +12,20 @@ Quick tour
 >>> spmd_run(program, nprocs=4).returns[0]
 array([2., 1., 0.])
 
+Long-lived services use the persistent engine instead of per-call
+``spmd_run`` — same results, amortized pool and schedule tuning:
+
+>>> from repro import Engine
+>>> with Engine(nprocs=8) as engine:
+...     session = engine.session()
+...     handles = [session.submit(program, nprocs=4) for _ in range(100)]
+...     results = [h.result() for h in handles]
+
 Layers (bottom-up):
 
 * :mod:`repro.runtime` — SPMD executor, virtual time, cost models
+* :mod:`repro.engine` — persistent multi-tenant engine (resident rank
+  pool, job scheduling, schedule caching, backpressure)
 * :mod:`repro.mpi` — simulated MPI (communicators, 12 built-in ops,
   user-defined ops, collectives)
 * :mod:`repro.localview` — the paper's Section-2 LOCAL_* routines
@@ -39,6 +50,7 @@ from repro.core import (
     global_xscan,
     make_op,
 )
+from repro.engine import Engine, JobHandle, Session
 from repro.runtime import CostModel, SpmdResult, spmd_run
 
 __version__ = "1.0.0"
@@ -48,6 +60,9 @@ __all__ = [
     "spmd_run",
     "SpmdResult",
     "CostModel",
+    "Engine",
+    "Session",
+    "JobHandle",
     "ReduceScanOp",
     "make_op",
     "from_binary",

@@ -18,6 +18,10 @@
   ``repro.ops`` under random seeded fault plans (lossy links and
   combine-phase fail-stops) and check results against failure-free
   baselines (:mod:`repro.faults.chaos`).
+* ``python -m repro serve [--ranks P] [--clients N]
+  [--jobs-per-client K] [--job-ranks G] [--payload E]`` — multi-tenant
+  engine demo: N concurrent clients submit job streams to one
+  persistent :class:`repro.engine.Engine` (:mod:`repro.engine.serve`).
 """
 
 from __future__ import annotations
@@ -351,7 +355,8 @@ def _cmd_chaos(argv: list[str]) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Dispatch to the tour, profiler, tuner or chaos soak; returns exit code."""
+    """Dispatch to the tour, profiler, tuner, chaos soak or engine serve
+    demo; returns exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "profile":
         return _cmd_profile(argv[1:])
@@ -359,6 +364,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_tune(argv[1:])
     if argv and argv[0] == "chaos":
         return _cmd_chaos(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.engine.serve import run_serve
+
+        return run_serve(argv[1:])
     return _cmd_tour(argv)
 
 

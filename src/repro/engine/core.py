@@ -1,0 +1,540 @@
+"""The persistent multi-tenant engine: one world, resident rank threads,
+many concurrent jobs.
+
+Where :func:`repro.runtime.spmd_run` historically built a fresh
+:class:`~repro.runtime.world.World` and spawned ``nprocs`` threads per
+call, an :class:`Engine` pays those costs once: it owns one world (the
+mailboxes, the context-id allocator, the cross-job schedule cache) and
+one resident thread per pool rank.  Clients submit SPMD functions
+through :meth:`Engine.submit` or a :class:`Session` and get back
+:class:`~repro.engine.job.JobHandle`\\ s.
+
+Scheduling
+----------
+Jobs are gang-scheduled FIFO: a job asking for ``k <= pool`` ranks waits
+until ``k`` pool ranks are free, then runs on the lowest-numbered free
+ranks.  Jobs smaller than the pool run genuinely concurrently.  The
+queue is strict FIFO (a large job at the head blocks later small ones),
+which trades some utilization for no starvation and a deterministic
+admission order.
+
+Isolation
+---------
+Each dispatched job gets a :class:`~repro.runtime.world.JobWorld`: fresh
+virtual clocks, traces, membership (failure detector + watchdog), abort
+flag, tracer capture and fault injector, plus a world-unique base
+context id so two jobs' message tags can never match even while
+interleaved on the same mailboxes.  Results are **bit-identical** to a
+standalone ``spmd_run`` of the same function: returns, per-rank virtual
+times, message counts and makespan — independent of where in the pool
+the job landed (costs are rank-uniform and everything user-visible is
+labeled with group ranks).
+
+Admission control
+-----------------
+``queue_depth`` bounds how many jobs may wait; a full queue blocks
+:meth:`Engine.submit` (backpressure) or raises
+:class:`~repro.errors.EngineSaturated` for non-blocking submits.
+``max_inflight`` optionally caps concurrently *running* jobs below what
+free ranks would allow.  :meth:`Engine.drain` waits for quiescence;
+:meth:`Engine.shutdown` closes admission and either drains or aborts.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Sequence
+
+from repro.errors import (
+    CommunicatorError,
+    EngineClosed,
+    EngineSaturated,
+    JobCancelled,
+    RankFailStop,
+    RuntimeAbort,
+    SpmdError,
+)
+from repro.obs.tracer import active_tracer
+from repro.runtime.costmodel import CostModel
+from repro.runtime.executor import SpmdResult
+from repro.runtime.world import World
+
+from repro.engine.job import JobHandle, _Job
+
+__all__ = ["Engine", "Session"]
+
+
+class Engine:
+    """A resident rank pool serving many SPMD jobs over one world."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        *,
+        cost_model: CostModel | None = None,
+        queue_depth: int = 128,
+        max_inflight: int | None = None,
+    ):
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        # The shared world validates nprocs >= 1 before any thread starts.
+        self._world = World(nprocs, cost_model)
+        self._nprocs = nprocs
+        self._queue_depth = queue_depth
+        self._max_inflight = max_inflight
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._pending: deque[_Job] = deque()
+        self._running: set[_Job] = set()
+        self._free: set[int] = set(range(nprocs))
+        self._inflight = 0
+        self._closed = False
+        self._joined = False
+        self._next_job_id = 1
+        # Counters (read via stats(); written under the engine lock).
+        self._n_submitted = 0
+        self._n_completed = 0
+        self._n_failed = 0
+        self._n_cancelled = 0
+        self._n_rejected = 0
+        self._peak_inflight = 0
+        self._leaked_drained = 0
+        self._boxes: list[queue.SimpleQueue] = [
+            queue.SimpleQueue() for _ in range(nprocs)
+        ]
+        self._threads = [
+            threading.Thread(
+                target=self._worker, args=(r,),
+                name=f"engine-rank-{r}", daemon=True,
+            )
+            for r in range(nprocs)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def nprocs(self) -> int:
+        """Pool size: the maximum ``nprocs`` a job may request."""
+        return self._nprocs
+
+    @property
+    def world(self) -> World:
+        """The shared world (mailboxes, cid allocator, schedule cache)."""
+        return self._world
+
+    def stats(self) -> dict[str, Any]:
+        """Scheduler and cache counters (a consistent snapshot)."""
+        with self._lock:
+            return {
+                "nprocs": self._nprocs,
+                "pending": len(self._pending),
+                "inflight": self._inflight,
+                "free_ranks": len(self._free),
+                "submitted": self._n_submitted,
+                "completed": self._n_completed,
+                "failed": self._n_failed,
+                "cancelled": self._n_cancelled,
+                "rejected": self._n_rejected,
+                "peak_inflight": self._peak_inflight,
+                "leaked_messages_drained": self._leaked_drained,
+                "schedule_cache": self._world.schedule_cache.stats(),
+            }
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self,
+        fn: Callable[..., Any],
+        *,
+        nprocs: int | None = None,
+        args: Sequence[Any] = (),
+        cost_model: CostModel | None = None,
+        record_events: bool = False,
+        isolate_payloads: bool = True,
+        timeout: float | None = 300.0,
+        tracer: Any | None = None,
+        fault_plan: Any | None = None,
+        label: str | None = None,
+        block: bool = True,
+        queue_timeout: float | None = None,
+    ) -> JobHandle:
+        """Submit ``fn(comm, *args)`` as a job; returns a :class:`JobHandle`.
+
+        Parameters mirror :func:`repro.runtime.spmd_run` (``nprocs``
+        defaults to the pool size; it may be smaller, letting several
+        jobs run concurrently).  ``timeout`` is the wall-clock budget
+        :meth:`JobHandle.result` enforces.  Admission control:
+
+        * ``block=True`` (default) waits while the pending queue is at
+          ``queue_depth``, up to ``queue_timeout`` seconds (None = as
+          long as it takes), then raises
+          :class:`~repro.errors.EngineSaturated`;
+        * ``block=False`` raises :class:`EngineSaturated` immediately on
+          a full queue.
+
+        Raises :class:`~repro.errors.EngineClosed` after :meth:`shutdown`.
+        """
+        nprocs = self._nprocs if nprocs is None else nprocs
+        if nprocs < 1:
+            raise CommunicatorError(f"nprocs must be >= 1, got {nprocs}")
+        if nprocs > self._nprocs:
+            raise CommunicatorError(
+                f"job requests {nprocs} ranks but the engine pool has "
+                f"{self._nprocs}"
+            )
+        if tracer is None:
+            # Same convention as spmd_run: an installed profiling session
+            # captures jobs that don't bring their own tracer.  (The
+            # profile CLI's rank override is applied by the spmd_run
+            # shim, not here — an engine's pool size is fixed.)
+            tracer = active_tracer()
+        deadline = (
+            None if queue_timeout is None
+            else time.monotonic() + queue_timeout
+        )
+        with self._cv:
+            while True:
+                if self._closed:
+                    raise EngineClosed("engine is shut down")
+                if len(self._pending) < self._queue_depth:
+                    break
+                if not block:
+                    self._n_rejected += 1
+                    raise EngineSaturated(
+                        f"pending queue is at its depth limit "
+                        f"({self._queue_depth})"
+                    )
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0.0:
+                    self._n_rejected += 1
+                    raise EngineSaturated(
+                        f"queue stayed at its depth limit "
+                        f"({self._queue_depth}) for {queue_timeout} s"
+                    )
+                self._cv.wait(remaining)
+            job = _Job(
+                self._next_job_id, fn, args, nprocs,
+                cost_model=cost_model,
+                record_events=record_events,
+                isolate_payloads=isolate_payloads,
+                timeout=timeout,
+                tracer=tracer,
+                fault_plan=fault_plan,
+                label=label,
+            )
+            self._next_job_id += 1
+            self._n_submitted += 1
+            self._pending.append(job)
+            self._dispatch_locked()
+        return JobHandle(job, self)
+
+    def session(self, label: str | None = None) -> "Session":
+        """A client handle that tracks its own submissions."""
+        return Session(self, label=label)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Block until no job is pending or running; False on timeout."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while self._pending or self._inflight:
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0.0:
+                    return False
+                self._cv.wait(remaining)
+        return True
+
+    def shutdown(self, *, drain: bool = True, timeout: float | None = None) -> None:
+        """Close admission and stop the pool.
+
+        ``drain=True`` (graceful) lets queued and running jobs finish
+        first; ``drain=False`` cancels every pending job and aborts every
+        running one (their waiters see
+        :class:`~repro.errors.JobCancelled`).  Idempotent.
+        """
+        with self._cv:
+            already_joined = self._joined
+            self._closed = True
+            self._cv.notify_all()
+        if already_joined:
+            return
+        if drain:
+            self.drain(timeout)
+        else:
+            with self._cv:
+                pending = list(self._pending)
+                self._pending.clear()
+                running = list(self._running)
+                for job in pending:
+                    job.cancelled = True
+                    job.status = "cancelled"
+                    job.error = JobCancelled(
+                        f"job {job.job_id} cancelled by engine shutdown"
+                    )
+                    self._n_cancelled += 1
+                    job.done_event.set()
+                self._cv.notify_all()
+            for job in running:
+                job.cancelled = True
+                job.world.abort()
+        for box in self._boxes:
+            box.put(None)
+        join_deadline = time.monotonic() + (5.0 if timeout is None else timeout)
+        for t in self._threads:
+            t.join(timeout=max(join_deadline - time.monotonic(), 0.0))
+        self._joined = True
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+    # -- scheduling internals -----------------------------------------------
+
+    def _dispatch_locked(self) -> None:
+        """Start every head-of-queue job the free ranks can hold.
+
+        Caller holds the engine lock.  Placement is deterministic: the
+        lowest-numbered free ranks, in order — results don't depend on
+        it, but a deterministic scheduler is far easier to debug.
+        """
+        while self._pending:
+            if (
+                self._max_inflight is not None
+                and self._inflight >= self._max_inflight
+            ):
+                break
+            job = self._pending[0]
+            if job.nprocs > len(self._free):
+                break
+            self._pending.popleft()
+            members = tuple(sorted(self._free)[: job.nprocs])
+            self._free.difference_update(members)
+            self._inflight += 1
+            self._peak_inflight = max(self._peak_inflight, self._inflight)
+            self._running.add(job)
+            job.start(self._world, members)
+            for g, w in enumerate(members):
+                self._boxes[w].put((job, g))
+            self._cv.notify_all()  # queue space freed: wake submitters
+
+    def _cancel_job(self, job: _Job) -> bool:
+        """Cancel ``job`` (see :meth:`JobHandle.cancel`)."""
+        with self._cv:
+            if job.status == "pending":
+                try:
+                    self._pending.remove(job)
+                except ValueError:  # pragma: no cover - dispatch race
+                    return False
+                job.cancelled = True
+                job.status = "cancelled"
+                job.error = JobCancelled(f"job {job.job_id} cancelled")
+                self._n_cancelled += 1
+                job.done_event.set()
+                self._cv.notify_all()
+                return True
+            if job.status == "running":
+                job.cancelled = True
+            else:
+                return False
+        # Abort outside the engine lock: it takes mailbox locks.
+        job.world.abort()
+        return True
+
+    # -- worker side --------------------------------------------------------
+
+    def _worker(self, world_rank: int) -> None:
+        box = self._boxes[world_rank]
+        while True:
+            item = box.get()
+            if item is None:
+                return
+            job, group_rank = item
+            self._run_rank(job, world_rank, group_rank)
+
+    def _run_rank(self, job: _Job, w: int, g: int) -> None:
+        """Run one member rank of one job (mirrors executor.run_rank)."""
+        from repro.mpi.comm import Communicator  # local import: cycle
+
+        world = job.world
+        mailbox = self._world.mailboxes[w]
+        previous = mailbox.bind_job(world.membership, world.abort_event)
+        try:
+            try:
+                comm = Communicator(
+                    world.context(w), members=job.members, cid=world.base_cid
+                )
+                job.returns[g] = job.fn(comm, *job.args)
+            except RankFailStop:
+                # An *injected* fail-stop is part of the experiment, not
+                # a program error: the rank silently dies and survivors
+                # carry on (same contract as the standalone executor).
+                pass
+            except RuntimeAbort:
+                pass  # unwound because another rank failed
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                with job.lock:
+                    job.failures[g] = exc
+                    if job.failure_states is None:
+                        # Snapshot diagnostics while peers still block.
+                        job.failure_states = world.rank_states()
+                world.abort()
+            finally:
+                world.retire_rank(w)
+        finally:
+            mailbox.bind_job(*previous)
+            self._rank_done(job, w)
+
+    def _rank_done(self, job: _Job, w: int) -> None:
+        with self._cv:
+            self._free.add(w)
+            job.ranks_left -= 1
+            last = job.ranks_left == 0
+            if not last:
+                # The freed rank may already complete another job's gang.
+                self._dispatch_locked()
+                self._cv.notify_all()
+                return
+        # Last member rank out finalizes, outside the engine lock; the
+        # job counts as inflight until its result is assembled, so
+        # drain() cannot return with a result still being built.
+        leaked = self._finalize(job)
+        with self._cv:
+            self._inflight -= 1
+            self._running.discard(job)
+            self._leaked_drained += leaked
+            if job.status == "done":
+                self._n_completed += 1
+            elif job.status == "cancelled":
+                self._n_cancelled += 1
+            else:
+                self._n_failed += 1
+            self._dispatch_locked()
+            self._cv.notify_all()  # wake drain()ers and submitters
+
+    def _finalize(self, job: _Job) -> int:
+        """Assemble the job's result/error; sweep leaked envelopes.
+
+        Runs outside the engine lock, exactly once per job, on the
+        worker thread of the job's last-finishing rank.
+        """
+        world = job.world
+        wall = time.perf_counter() - job.t0
+        clocks = [world.clocks[w].t for w in job.members]
+        if world.run_capture is not None:
+            # Finalize even on failure so a crashed job still leaves a
+            # usable (partial) profile behind.
+            job.tracer.finish_run(
+                world.run_capture, clocks,
+                label=getattr(job.fn, "__name__", None),
+            )
+        # Messages the job sent but never received (e.g. unwound mid-
+        # collective) must not survive it: a persistent world would
+        # accumulate them forever.  The sweep is scoped to tags rooted
+        # at this job's base cid — concurrent jobs are untouched.
+        leaked = 0
+        for w in job.members:
+            leaked += self._world.mailboxes[w].drain_where(
+                lambda src, tag: world.owns_tag(tag)
+            )
+        with job.lock:
+            timed_out = job.timed_out
+        if job.cancelled:
+            job.error = JobCancelled(f"job {job.job_id} cancelled")
+            job.status = "cancelled"
+        elif job.failures:
+            job.error = SpmdError(
+                job.failures, rank_states=job.failure_states
+            )
+            job.status = "failed"
+        elif timed_out:
+            job.error = job.timeout_error
+            job.status = "failed"
+        else:
+            group_rank = {wr: gr for gr, wr in enumerate(job.members)}
+            dead = world.membership.dead_snapshot()
+            job.result = SpmdResult(
+                returns=job.returns,
+                clocks=clocks,
+                traces=[world.traces[w] for w in job.members],
+                wall_seconds=wall,
+                profile=world.run_capture,
+                failed_ranks=frozenset(group_rank[w] for w in dead),
+            )
+            job.status = "done"
+        job.done_event.set()
+        return leaked
+
+
+class Session:
+    """A client-facing handle over an :class:`Engine`.
+
+    Sessions add per-client bookkeeping on top of the engine's global
+    scheduling: each tracks the handles it submitted, so a client can
+    drain *its own* jobs without waiting on anyone else's.  Many
+    sessions (threads) may share one engine.
+    """
+
+    def __init__(self, engine: Engine, label: str | None = None):
+        self._engine = engine
+        self.label = label
+        self._lock = threading.Lock()
+        self._handles: list[JobHandle] = []
+
+    @property
+    def engine(self) -> Engine:
+        return self._engine
+
+    @property
+    def handles(self) -> list[JobHandle]:
+        """Handles of every job this session submitted (snapshot)."""
+        with self._lock:
+            return list(self._handles)
+
+    def submit(self, fn: Callable[..., Any], **kwargs: Any) -> JobHandle:
+        """Submit a job (same keywords as :meth:`Engine.submit`)."""
+        handle = self._engine.submit(fn, **kwargs)
+        with self._lock:
+            self._handles.append(handle)
+        return handle
+
+    def results(self, timeout: float | None = None) -> list:
+        """The :class:`SpmdResult` of every submitted job, in submission
+        order (raises on the first failed job, like the handle would)."""
+        return [h.result(timeout) for h in self.handles]
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait until every job this session submitted has finished."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for handle in self.handles:
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0.0:
+                return False
+            if not handle.wait(remaining):
+                return False
+        return True
+
+    def close(self, timeout: float | None = None) -> None:
+        """Drain the session's jobs (the engine itself stays up)."""
+        self.drain(timeout)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -1,0 +1,187 @@
+"""Job records and client-facing handles for the persistent engine.
+
+A **job** is one SPMD function execution multiplexed onto the engine's
+resident rank pool: the unit that used to be an entire ``spmd_run`` —
+fresh threads, fresh world and all — becomes a record that borrows pool
+ranks for its duration.  :class:`JobHandle` is the client's view: wait,
+cancel, fetch the :class:`~repro.runtime.executor.SpmdResult`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+from repro.errors import SpmdTimeout
+
+__all__ = ["JobHandle"]
+
+#: Job lifecycle states (the engine moves jobs left to right; "cancelled"
+#: can be entered from "pending" or, via abort, from "running").
+JOB_STATES = ("pending", "running", "done", "failed", "cancelled")
+
+
+class _Job:
+    """Internal per-job record; all scheduling fields are guarded by the
+    engine's lock, all completion fields by ``lock``/the done event."""
+
+    __slots__ = (
+        "job_id", "fn", "args", "nprocs", "cost_model", "record_events",
+        "isolate_payloads", "timeout", "tracer", "fault_plan", "label",
+        "status", "cancelled", "timed_out", "timeout_error", "lock",
+        "done_event", "world", "members", "returns", "failures",
+        "failure_states", "ranks_left", "t0", "result", "error",
+    )
+
+    def __init__(
+        self,
+        job_id: int,
+        fn: Callable[..., Any],
+        args: Sequence[Any],
+        nprocs: int,
+        *,
+        cost_model: Any,
+        record_events: bool,
+        isolate_payloads: bool,
+        timeout: float | None,
+        tracer: Any,
+        fault_plan: Any,
+        label: str | None,
+    ):
+        self.job_id = job_id
+        self.fn = fn
+        self.args = tuple(args)
+        self.nprocs = nprocs
+        self.cost_model = cost_model
+        self.record_events = record_events
+        self.isolate_payloads = isolate_payloads
+        self.timeout = timeout
+        self.tracer = tracer
+        self.fault_plan = fault_plan
+        self.label = label if label is not None else getattr(
+            fn, "__name__", None
+        )
+        self.status = "pending"
+        self.cancelled = False
+        self.timed_out = False
+        self.timeout_error: SpmdTimeout | None = None
+        self.lock = threading.Lock()
+        self.done_event = threading.Event()
+        self.world = None  # JobWorld, set at dispatch
+        self.members: tuple[int, ...] = ()
+        self.returns: list[Any] = []
+        self.failures: dict[int, BaseException] = {}
+        self.failure_states: list[dict] | None = None
+        self.ranks_left = 0
+        self.t0 = 0.0
+        self.result = None  # SpmdResult on success
+        self.error: BaseException | None = None  # raised by JobHandle.result
+
+    def start(self, parent_world, members: tuple[int, ...]) -> None:
+        """Bind the job to its pool placement (engine lock held)."""
+        from repro.runtime.world import JobWorld
+
+        self.members = tuple(members)
+        self.world = JobWorld(
+            parent_world,
+            self.members,
+            cost_model=self.cost_model,
+            record_events=self.record_events,
+            isolate_payloads=self.isolate_payloads,
+            tracer=self.tracer,
+            fault_plan=self.fault_plan,
+        )
+        self.returns = [None] * self.nprocs
+        self.ranks_left = self.nprocs
+        self.status = "running"
+        self.t0 = time.perf_counter()
+
+
+class JobHandle:
+    """The client's view of one submitted job.
+
+    Mirrors the ``spmd_run`` contract: :meth:`result` returns the exact
+    :class:`~repro.runtime.executor.SpmdResult` a standalone run of the
+    same function would have produced, or raises the same
+    :class:`~repro.errors.SpmdError` / :class:`~repro.errors.SpmdTimeout`.
+    """
+
+    def __init__(self, job: _Job, engine) -> None:
+        self._job = job
+        self._engine = engine
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def job_id(self) -> int:
+        """Engine-unique id, in submission order."""
+        return self._job.job_id
+
+    @property
+    def label(self) -> str | None:
+        """The submit-time label (defaults to the function's name)."""
+        return self._job.label
+
+    @property
+    def status(self) -> str:
+        """One of ``pending | running | done | failed | cancelled``."""
+        return self._job.status
+
+    def done(self) -> bool:
+        """True once the job has completed, failed or been cancelled."""
+        return self._job.done_event.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job completes; True unless ``timeout`` expired."""
+        return self._job.done_event.wait(timeout)
+
+    # -- control ------------------------------------------------------------
+
+    def cancel(self) -> bool:
+        """Cancel the job.  A pending job is withdrawn from the queue; a
+        running job is aborted (its ranks unwind and the pool ranks are
+        reclaimed).  Returns False if the job had already finished."""
+        return self._engine._cancel_job(self._job)
+
+    def result(self, timeout: float | None = None):
+        """Block for the job's :class:`SpmdResult`.
+
+        ``timeout`` defaults to the job's submit-time wall-clock budget,
+        preserving ``spmd_run``'s deadlock guard: on expiry the job is
+        aborted and :class:`~repro.errors.SpmdTimeout` is raised with the
+        stuck ranks' diagnostics.  Raises
+        :class:`~repro.errors.SpmdError` if any rank failed and
+        :class:`~repro.errors.JobCancelled` if the job was cancelled.
+        """
+        job = self._job
+        budget = job.timeout if timeout is None else timeout
+        if not job.done_event.wait(budget):
+            if job.world is None:
+                # Never dispatched: the queue (not the ranks) is stuck.
+                self._engine._cancel_job(job)
+                raise SpmdTimeout(
+                    f"job {job.job_id} was not dispatched within {budget} s "
+                    f"(engine saturated); cancelled"
+                )
+            states = job.world.rank_states()
+            err = SpmdTimeout(
+                f"SPMD run did not finish within {budget} s "
+                f"(possible deadlock); aborted",
+                rank_states=states,
+            )
+            with job.lock:
+                job.timed_out = True
+                job.timeout_error = err
+            job.world.abort()
+            job.done_event.wait(5.0)
+            raise err
+        if job.error is not None:
+            raise job.error
+        return job.result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"JobHandle(id={self.job_id}, label={self.label!r}, "
+            f"status={self.status!r})"
+        )

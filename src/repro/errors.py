@@ -18,6 +18,9 @@ __all__ = [
     "format_rank_states",
     "SpmdError",
     "SpmdTimeout",
+    "EngineClosed",
+    "EngineSaturated",
+    "JobCancelled",
     "CommunicatorError",
     "RankMismatchError",
     "TruncationError",
@@ -168,6 +171,23 @@ class SpmdTimeout(ReproError):
         if diag:
             message += "\nper-rank state at timeout:\n" + diag
         super().__init__(message)
+
+
+class EngineClosed(ReproError):
+    """A job was submitted to an :class:`repro.engine.Engine` that has
+    been shut down (or is draining for shutdown)."""
+
+
+class EngineSaturated(ReproError):
+    """Admission control rejected a job: the engine's pending queue is at
+    its configured depth and the caller asked not to block (or its
+    blocking wait timed out).  Back off and resubmit."""
+
+
+class JobCancelled(ReproError):
+    """The job was cancelled before completion — either explicitly via
+    :meth:`~repro.engine.JobHandle.cancel` or by a forced engine
+    shutdown.  Raised by :meth:`~repro.engine.JobHandle.result`."""
 
 
 class CommunicatorError(ReproError):

@@ -55,12 +55,25 @@ class FaultInjector:
     #: near-forever in virtual time.
     MAX_DROPS = 40
 
-    def __init__(self, plan: FaultPlan, nprocs: int, metrics) -> None:
+    def __init__(
+        self,
+        plan: FaultPlan,
+        nprocs: int,
+        metrics,
+        rank_map: dict[int, int] | None = None,
+    ) -> None:
         self.plan = plan
         self.nprocs = nprocs
         self.metrics = metrics
         self.lossy = plan.lossy
         self.can_fail = plan.can_fail
+        #: Runtime-rank -> plan-rank translation.  A standalone run is
+        #: the identity; an engine job placed on arbitrary pool ranks
+        #: maps each world rank back to its group rank, so the plan's
+        #: targets, RNG streams and operation counters stay in the
+        #: plan's own (group-rank) coordinates and the injected fault
+        #: sequence is independent of where the job landed.
+        self._rank_map = dict(rank_map) if rank_map is not None else None
         self._failstop: dict[int, FailStop] = {
             f.rank: f for f in plan.failstops if f.rank < nprocs
         }
@@ -72,43 +85,50 @@ class FaultInjector:
         ]
         self.rto = plan.rto
 
+    def _plan_rank(self, rank: int) -> int:
+        return rank if self._rank_map is None else self._rank_map[rank]
+
     # -- fail-stop ----------------------------------------------------------
 
     def _die(self, rank: int, world) -> None:
-        self._fired.add(rank)
+        # ``rank`` is the runtime (world) rank: membership records it,
+        # but the fired-flag is tracked in plan coordinates.
+        self._fired.add(self._plan_rank(rank))
         self.metrics.counter("faults.failstops").inc()
         world.mark_failed(rank)
         raise RankFailStop(rank)
 
     def check_failstop(self, rank: int, t: float, world) -> None:
         """Fire a virtual-time-scheduled death for ``rank`` if due."""
-        spec = self._failstop.get(rank)
+        pr = self._plan_rank(rank)
+        spec = self._failstop.get(pr)
         if (
             spec is not None
             and spec.at_time is not None
             and t >= spec.at_time
-            and rank not in self._fired
+            and pr not in self._fired
         ):
             self._die(rank, world)
 
     def on_send_op(self, rank: int, t: float, world) -> None:
         """Count a send; fire an nth-operation death if this is the nth."""
-        spec = self._failstop.get(rank)
+        pr = self._plan_rank(rank)
+        spec = self._failstop.get(pr)
         if spec is None:
             return
         if spec.at_time is not None:
             # A send is also a progress point for time-based deaths.
             self.check_failstop(rank, t, world)
             return
-        self._send_ops[rank] += 1
-        if self._send_ops[rank] == spec.at_op and rank not in self._fired:
+        self._send_ops[pr] += 1
+        if self._send_ops[pr] == spec.at_op and pr not in self._fired:
             self._die(rank, world)
 
     # -- stragglers ---------------------------------------------------------
 
     def slowdown(self, rank: int) -> float:
         """Compute-time multiplier for ``rank`` (1.0 = no slowdown)."""
-        return self._slowdown[rank]
+        return self._slowdown[self._plan_rank(rank)]
 
     # -- lossy links --------------------------------------------------------
 
@@ -123,7 +143,7 @@ class FaultInjector:
         link = self.plan.link
         if not link.any_active:
             return _CLEAN
-        rng = self._streams[rank]
+        rng = self._streams[self._plan_rank(rank)]
         drops = 0
         if link.drop_rate > 0.0:
             while rng.random() < link.drop_rate and drops < self.MAX_DROPS:

@@ -91,6 +91,27 @@ class _Channel:
         return self.comm._ctx.tracer.metrics
 
 
+#: Resolved-algorithm -> resumable plan factory (PR 4's generators).
+#: Dispatch tables instead of if/elif chains: the schedule cache hands
+#: back algorithm names, and a dict ``get`` keeps the dispatch cost flat
+#: no matter how many schedules future PRs add.
+_ALLREDUCE_PLANS = {
+    "recursive_doubling": _coll.allreduce_recursive_doubling_plan,
+    "ring": _coll.allreduce_ring_plan,
+    "rabenseifner": _coll.allreduce_rabenseifner_plan,
+}
+
+_SCAN_PLANS = {
+    "binomial": _coll.scan_simultaneous_binomial_plan,
+    "chain": _coll.scan_linear_chain_plan,
+}
+
+_IREDUCE_PLANS = {
+    "binomial": _coll.reduce_binomial_plan,
+    "pipelined_ring": _coll.reduce_ring_pipelined_plan,
+}
+
+
 class Communicator:
     """MPI-like communicator over the simulated runtime."""
 
@@ -233,6 +254,30 @@ class Communicator:
         splittable = _tuning.is_splittable(value, op, nprocs)
         return (int(value.nbytes) if splittable else 0), splittable
 
+    def _auto_choice(self, kind: str, value: Any, op: Any) -> str:
+        """Resolve ``algorithm="auto"`` for one collective call.
+
+        Goes through the world's cross-job :class:`ScheduleCache` when
+        one is attached (always, for worlds built by this package):
+        cached constant-decision spans return exactly what the tuning
+        choice functions would, amortized across every job sharing the
+        world.
+        """
+        commutative = op.commutative if isinstance(op, Op) else True
+        nbytes, splittable = self._tuning_inputs(value, op, self.size)
+        cache = getattr(self._ctx.world, "schedule_cache", None)
+        if cache is not None:
+            return cache.choose(kind, nbytes, self.size, commutative, splittable)
+        if kind == "allreduce":
+            return _tuning.choose_allreduce(
+                nbytes, self.size, commutative, splittable
+            )
+        if kind == "reduce":
+            return _tuning.choose_reduce(
+                nbytes, self.size, commutative, splittable
+            )
+        return _tuning.choose_scan(nbytes, self.size, commutative, splittable)
+
     # -- collectives ----------------------------------------------------------
 
     def barrier(self) -> None:
@@ -338,8 +383,7 @@ class Communicator:
         commutative = op.commutative if isinstance(op, Op) else True
         if fanout > 2 and commutative:
             return "kary"
-        nbytes, splittable = self._tuning_inputs(value, op, self.size)
-        return _tuning.choose_reduce(nbytes, self.size, commutative, splittable)
+        return self._auto_choice("reduce", value, op)
 
     def _reduce_impl(
         self,
@@ -411,9 +455,7 @@ class Communicator:
     def _resolve_allreduce_algorithm(self, value: Any, op: Any, algorithm: str) -> str:
         if algorithm != "auto":
             return algorithm
-        commutative = op.commutative if isinstance(op, Op) else True
-        nbytes, splittable = self._tuning_inputs(value, op, self.size)
-        return _tuning.choose_allreduce(nbytes, self.size, commutative, splittable)
+        return self._auto_choice("allreduce", value, op)
 
     def _allreduce_plan(
         self,
@@ -424,22 +466,13 @@ class Communicator:
         algorithm: str,
     ):
         algorithm = self._resolve_allreduce_algorithm(value, op, algorithm)
-        if algorithm == "ring":
-            return _coll.allreduce_ring_plan(
-                ch, value, op, combine_seconds=combine_seconds
-            )
-        if algorithm == "rabenseifner":
-            return _coll.allreduce_rabenseifner_plan(
-                ch, value, op, combine_seconds=combine_seconds
-            )
-        if algorithm != "recursive_doubling":
+        factory = _ALLREDUCE_PLANS.get(algorithm)
+        if factory is None:
             raise CommunicatorError(
                 f"unknown allreduce algorithm {algorithm!r}; choose "
                 "'auto', 'recursive_doubling', 'ring' or 'rabenseifner'"
             )
-        return _coll.allreduce_recursive_doubling_plan(
-            ch, value, op, combine_seconds=combine_seconds
-        )
+        return factory(ch, value, op, combine_seconds=combine_seconds)
 
     def _allreduce_impl(
         self,
@@ -550,23 +583,14 @@ class Communicator:
         algorithm: str,
     ):
         if algorithm == "auto":
-            commutative = op.commutative if isinstance(op, Op) else True
-            nbytes, splittable = self._tuning_inputs(value, op, self.size)
-            algorithm = _tuning.choose_scan(
-                nbytes, self.size, commutative, splittable
-            )
-        if algorithm == "chain":
-            return _coll.scan_linear_chain_plan(
-                ch, value, op,
-                exclusive=exclusive, identity=identity,
-                combine_seconds=combine_seconds,
-            )
-        if algorithm != "binomial":
+            algorithm = self._auto_choice("scan", value, op)
+        factory = _SCAN_PLANS.get(algorithm)
+        if factory is None:
             raise CommunicatorError(
                 f"unknown {name} algorithm {algorithm!r}; choose "
                 "'auto', 'binomial' or 'chain'"
             )
-        return _coll.scan_simultaneous_binomial_plan(
+        return factory(
             ch, value, op,
             exclusive=exclusive, identity=identity,
             combine_seconds=combine_seconds,
@@ -635,19 +659,13 @@ class Communicator:
         ``"kary"`` schedule has no resumable plan form and is rejected."""
         ch = self._channel("ireduce")
         algorithm = self._resolve_reduce_algorithm(value, op, 2, algorithm)
-        if algorithm == "pipelined_ring":
-            plan = _coll.reduce_ring_pipelined_plan(
-                ch, value, op, combine_seconds=combine_seconds
-            )
-        elif algorithm == "binomial":
-            plan = _coll.reduce_binomial_plan(
-                ch, value, op, combine_seconds=combine_seconds
-            )
-        else:
+        factory = _IREDUCE_PLANS.get(algorithm)
+        if factory is None:
             raise CommunicatorError(
                 f"ireduce does not support algorithm {algorithm!r}; choose "
                 "'auto', 'binomial' or 'pipelined_ring'"
             )
+        plan = factory(ch, value, op, combine_seconds=combine_seconds)
         if root != 0:
             plan = _reroot_plan(ch, plan, root)
         return self._issue("ireduce", ch, plan)

@@ -1,0 +1,111 @@
+"""Cross-job schedule cache for auto-tuned collective selection.
+
+Every ``algorithm="auto"`` collective resolves its schedule through
+:mod:`repro.mpi.tuning`: compute the payload's tuning inputs, then walk
+the decision table's rank bands and byte cutoffs.  That walk is cheap
+but not free, and under the persistent :class:`repro.engine.Engine` the
+same (kind, nprocs, operand shape) questions repeat across thousands of
+jobs — exactly the "schedules as reusable artifacts" observation of
+Träff's optimality work.  A :class:`ScheduleCache` amortizes the lookup
+across jobs sharing one :class:`~repro.runtime.world.World`.
+
+Exactness
+---------
+The cache stores **constant-decision byte spans**, not point answers:
+each entry is the maximal ``[lo, hi]`` interval around the queried size
+on which the choice function is constant
+(:func:`repro.mpi.tuning.constant_span`).  A hit anywhere inside the
+span returns precisely what ``choose_*`` would have returned, so caching
+can never move a crossover — the ``auto == explicit`` parity tests hold
+with or without the cache.
+
+Invalidation
+------------
+Entries key their validity on :func:`repro.mpi.tuning.table_generation`;
+installing a new table (``set_decision_table``/``load_decision_table``)
+bumps the generation and the next lookup drops every cached span.
+
+Thread-safety
+-------------
+Reads are lock-free (a dict ``get`` of an immutable tuple); writes and
+the generation flush take the cache lock.  The hit/miss counters are
+best-effort under concurrency — they feed throughput reports, not
+results.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.mpi import tuning as _tuning
+
+__all__ = ["ScheduleCache"]
+
+#: Log2 size-band granularity of cache keys.  Two payload sizes with the
+#: same ``bit_length`` share an entry; the stored span still decides
+#: correctness, the banding only bounds how many entries one (kind,
+#: nprocs) pair can occupy.
+def _size_band(nbytes: int) -> int:
+    return nbytes.bit_length()
+
+
+class ScheduleCache:
+    """Memoized ``choose_allreduce``/``choose_reduce``/``choose_scan``.
+
+    Keyed on ``(kind, nprocs, commutative, splittable, size_band)``;
+    valued with the constant-decision span ``(lo, hi, algorithm)``.
+    One instance lives on each :class:`~repro.runtime.world.World`;
+    engine job worlds delegate to their parent's so the amortization is
+    cross-job.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: dict[tuple, tuple[int, int, str]] = {}
+        self._generation = _tuning.table_generation()
+        self.hits = 0
+        self.misses = 0
+
+    def choose(
+        self,
+        kind: str,
+        nbytes: int,
+        nprocs: int,
+        commutative: bool = True,
+        splittable: bool = False,
+    ) -> str:
+        """The algorithm ``tuning.choose_<kind>`` would pick — cached."""
+        generation = _tuning.table_generation()
+        if generation != self._generation:
+            with self._lock:
+                if generation != self._generation:
+                    self._spans.clear()
+                    self._generation = generation
+        key = (kind, nprocs, commutative, splittable, _size_band(nbytes))
+        span = self._spans.get(key)
+        if span is not None and span[0] <= nbytes <= span[1]:
+            self.hits += 1
+            return span[2]
+        self.misses += 1
+        lo, hi, algorithm = _tuning.constant_span(
+            kind, nbytes, nprocs, commutative, splittable
+        )
+        with self._lock:
+            if generation == self._generation:
+                self._spans[key] = (lo, hi, algorithm)
+        return algorithm
+
+    def stats(self) -> dict[str, int | float]:
+        """Hit/miss counters plus entry count (best-effort under load)."""
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._spans),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+    def clear(self) -> None:
+        """Drop every cached span (counters are kept)."""
+        with self._lock:
+            self._spans.clear()

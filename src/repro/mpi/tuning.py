@@ -50,12 +50,14 @@ __all__ = [
     "choose_reduce",
     "choose_scan",
     "choose_fusion",
+    "constant_span",
     "fusion_flush_bytes",
     "is_splittable",
     "fit_decision_table",
     "get_decision_table",
     "set_decision_table",
     "load_decision_table",
+    "table_generation",
 ]
 
 #: Candidate schedules per collective.  Order-preserving (safe for
@@ -222,6 +224,16 @@ DEFAULT_TABLE = DecisionTable(
 
 _active_table: DecisionTable = DEFAULT_TABLE
 
+#: Bumped on every table install; schedule caches key their validity on
+#: it so a ``set_decision_table``/``load_decision_table`` invalidates
+#: every cached span without the caches having to subscribe anywhere.
+_table_generation: int = 0
+
+
+def table_generation() -> int:
+    """Monotonic counter identifying the active table installation."""
+    return _table_generation
+
 
 def get_decision_table() -> DecisionTable:
     """The table ``algorithm="auto"`` currently consults."""
@@ -231,9 +243,10 @@ def get_decision_table() -> DecisionTable:
 def set_decision_table(table: DecisionTable | None) -> DecisionTable:
     """Install ``table`` (or restore the default with ``None``); returns
     the previously active table."""
-    global _active_table
+    global _active_table, _table_generation
     previous = _active_table
     _active_table = DEFAULT_TABLE if table is None else table
+    _table_generation += 1
     return previous
 
 
@@ -311,6 +324,65 @@ def choose_scan(
     if nprocs <= 2:
         return "chain" if nprocs == 2 else "binomial"
     return (table or _active_table).lookup("scan", nbytes, nprocs)
+
+
+def _band_span(
+    bands: tuple[Band, ...], nbytes: int, nprocs: int
+) -> tuple[int, int, str]:
+    """The maximal ``[lo, hi]`` byte interval containing ``nbytes`` over
+    which the banded lookup is constant, plus the algorithm it returns."""
+    chosen = bands[-1]
+    for band in bands:
+        if nprocs <= band.max_ranks:
+            chosen = band
+            break
+    lo = 0
+    for max_bytes, algorithm in chosen.cutoffs:
+        if nbytes <= max_bytes:
+            return lo, max_bytes, algorithm
+        lo = max_bytes + 1
+    # Past the last threshold: Band.lookup falls through to the last
+    # algorithm, so the span is unbounded above.
+    return lo, _UNBOUNDED, chosen.cutoffs[-1][1]
+
+
+def constant_span(
+    kind: str,
+    nbytes: int,
+    nprocs: int,
+    commutative: bool = True,
+    splittable: bool = False,
+    *,
+    table: DecisionTable | None = None,
+) -> tuple[int, int, str]:
+    """``(lo, hi, algorithm)``: the byte interval around ``nbytes`` on
+    which :func:`choose_allreduce`/:func:`choose_reduce`/:func:`choose_scan`
+    (per ``kind``) is constant, and the algorithm it picks there.
+
+    This is what makes an external schedule cache *exact*: caching the
+    whole span instead of the point answer means a cached hit anywhere in
+    ``[lo, hi]`` returns precisely what the choice function would have —
+    the cache can accelerate lookups but never move a crossover.
+    The safety guards (small worlds, non-commutative/non-splittable
+    operands) are size-independent, so they yield the full ``[0, ∞)``
+    span.
+    """
+    tbl = table or _active_table
+    if kind == "allreduce":
+        if nprocs <= 2 or not (commutative and splittable):
+            return 0, _UNBOUNDED, "recursive_doubling"
+        return _band_span(tbl.allreduce, nbytes, nprocs)
+    if kind == "reduce":
+        if nprocs <= 2 or not splittable:
+            return 0, _UNBOUNDED, "binomial"
+        return _band_span(tbl.reduce, nbytes, nprocs)
+    if kind == "scan":
+        if nprocs <= 2:
+            return 0, _UNBOUNDED, ("chain" if nprocs == 2 else "binomial")
+        return _band_span(tbl.scan, nbytes, nprocs)
+    if kind == "fusion":
+        return _band_span(tbl.fusion, nbytes, nprocs)
+    raise ValueError(f"unknown tuning kind {kind!r}")
 
 
 def choose_fusion(

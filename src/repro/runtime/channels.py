@@ -128,8 +128,15 @@ class Membership:
     ``len(blocked) == active count``, nobody can ever send again.
     """
 
-    def __init__(self, nprocs: int):
+    def __init__(self, nprocs: int, members: tuple[int, ...] | None = None):
         self.nprocs = nprocs
+        #: The world ranks this membership covers.  A standalone run
+        #: covers every rank; an engine job covers only the pool ranks it
+        #: was placed on, so its watchdog and failure detector reason
+        #: about the job's ranks alone.
+        self.members: tuple[int, ...] = (
+            tuple(range(nprocs)) if members is None else tuple(members)
+        )
         self.lock = threading.Lock()
         self.dead: set[int] = set()
         self.done: set[int] = set()
@@ -198,7 +205,7 @@ class Membership:
         when every active rank is now blocked (a deadlock candidate)."""
         with self.lock:
             self.blocked[rank] = (source, tag)
-            active = self.nprocs - len(self.dead) - len(self.done)
+            active = len(self.members) - len(self.dead) - len(self.done)
             return len(self.blocked) >= active
 
     def on_wake(self, rank: int) -> None:
@@ -217,7 +224,7 @@ class Membership:
         deadlock after all.
         """
         with self.lock:
-            active = self.nprocs - len(self.dead) - len(self.done)
+            active = len(self.members) - len(self.dead) - len(self.done)
             if active == 0 or len(self.blocked) < active:
                 return None
             for source, tag in self.blocked.values():
@@ -240,7 +247,7 @@ class Membership:
             if self.mailboxes[rank].probe(source, tag):
                 return None  # someone's message is already there
         with self.lock:
-            active = self.nprocs - len(self.dead) - len(self.done)
+            active = len(self.members) - len(self.dead) - len(self.done)
             if self.version != v or len(self.blocked) < active:
                 return None  # progress happened mid-scan
         waits = ", ".join(
@@ -255,12 +262,18 @@ class Membership:
     # -- diagnostics --------------------------------------------------------
 
     def rank_states(self) -> list[dict]:
-        """Per-rank diagnostic dicts for SpmdError/SpmdTimeout messages."""
+        """Per-rank diagnostic dicts for SpmdError/SpmdTimeout messages.
+
+        One entry per *member*, labeled with the member's group rank
+        (identical to the world rank for a standalone run, where the
+        membership covers every rank); internal state is keyed by world
+        rank, which is how the executor and engine record it.
+        """
         with self.lock:
             dead, done = set(self.dead), set(self.done)
             blocked = dict(self.blocked)
         out = []
-        for r in range(self.nprocs):
+        for g, r in enumerate(self.members):
             if r in dead:
                 status = "failed"
             elif r in done:
@@ -270,7 +283,7 @@ class Membership:
             else:
                 status = "running"
             out.append({
-                "rank": r,
+                "rank": g,
                 "status": status,
                 "waiting_for": blocked.get(r),
                 "clock": self.clocks[r].t if self.clocks else 0.0,
@@ -296,6 +309,10 @@ class Mailbox:
         self._cond = threading.Condition()
         self._queues: dict[tuple[int, int], deque[Envelope]] = {}
         self._spares: list[deque[Envelope]] = []
+        # Number of threads (0 or 1 — only the owning rank) currently
+        # blocked in collect().  Maintained under the condition lock;
+        # read without it by notify_abort's fast path.
+        self._waiters = 0
 
     def deliver(self, env: Envelope, *, reorder: bool = False) -> None:
         """Called by a sender thread to enqueue a message.
@@ -317,8 +334,10 @@ class Mailbox:
             else:
                 q.append(env)
             # Exactly one thread — the owning rank — ever blocks in
-            # collect(), so a single wakeup suffices.
-            self._cond.notify()
+            # collect(), so a single wakeup suffices (and none at all
+            # when the receiver has not blocked yet).
+            if self._waiters:
+                self._cond.notify()
 
     def notify_abort(self) -> None:
         """Wake any blocked ``collect`` so it observes the abort flag.
@@ -327,9 +346,68 @@ class Mailbox:
         exists because a poll-free ``collect`` sleeps until notified.
         The same wakeup serves membership changes (a rank dying,
         finishing, or revoking a communicator).
+
+        Fast path: when nobody is blocked (``_waiters == 0``, read
+        without the lock) this is a no-op.  The unlocked read can miss
+        a waiter only in the instant between its predicate check and
+        its wait; that waiter still observes the state change within
+        ``_ABORT_RECHECK_SECONDS`` via the timed wait, so the skip
+        trades a bounded wakeup delay in a vanishingly rare race for
+        making the common case (notify a rank that finished long ago)
+        nearly free.
         """
+        if not self._waiters:
+            return
         with self._cond:
             self._cond.notify_all()
+
+    # -- job-scoped binding (engine multiplexing) ---------------------------
+
+    def bind_job(
+        self,
+        membership: Membership | None,
+        abort_event: threading.Event,
+    ) -> tuple[Membership | None, threading.Event]:
+        """Swap in a job's membership and abort event; return the old pair.
+
+        The persistent engine multiplexes jobs over one set of mailboxes.
+        Only the *owning rank's thread* ever blocks in :meth:`collect`,
+        and it calls ``bind_job`` before entering the job's SPMD function
+        and restores the previous binding after — so the membership and
+        abort flag a blocked ``collect`` consults are always the ones of
+        the job that rank is currently running.  Senders never read
+        either field (``deliver``/``probe`` touch only the queues), which
+        is what makes the swap safe without extra synchronization beyond
+        the mailbox condition lock.
+        """
+        with self._cond:
+            previous = (self._membership, self._abort)
+            self._membership = membership
+            self._abort = abort_event
+            return previous
+
+    def drain_where(self, pred) -> int:
+        """Remove every queued envelope whose ``(source, tag)`` satisfies
+        ``pred(source, tag)``; return how many were removed.
+
+        Engine job finalization uses this to sweep messages a finished
+        job sent but never received (e.g. a re-root forward raced by an
+        abort) so a long-lived world cannot accumulate leaked envelopes
+        across thousands of jobs.  The predicate is tag-scoped to the
+        finished job's context ids, so concurrent jobs' traffic is never
+        touched.
+        """
+        removed = 0
+        with self._cond:
+            for key in list(self._queues):
+                src, tag = key
+                if not pred(src, tag):
+                    continue
+                q = self._queues[key]
+                removed += len(q)
+                q.clear()
+                self._retire(key, q)
+        return removed
 
     def _retire(self, key: tuple[int, int], q: deque) -> None:
         # Caller holds the lock and has just emptied q.
@@ -417,7 +495,11 @@ class Mailbox:
                         # near-miss cannot busy-spin.
                         run_watchdog = full and m.version != last_checked_version
                     if not run_watchdog:
-                        self._cond.wait(timeout=_ABORT_RECHECK_SECONDS)
+                        self._waiters += 1
+                        try:
+                            self._cond.wait(timeout=_ABORT_RECHECK_SECONDS)
+                        finally:
+                            self._waiters -= 1
                 if run_watchdog:
                     last_checked_version = m.version
                     diagnosis = m.deadlock_diagnosis()

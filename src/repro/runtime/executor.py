@@ -6,23 +6,26 @@ function with its own :class:`repro.mpi.Communicator`; message matching is
 deterministic (per-(source, tag) FIFO), so results and virtual times do
 not depend on the thread schedule.
 
+Since the :mod:`repro.engine` refactor, ``spmd_run`` is a thin **compat
+shim** over a transient one-job :class:`~repro.engine.Engine`: the same
+job machinery that serves the persistent multi-tenant engine runs the
+one-shot case, so the two paths cannot drift apart.  Signature,
+:class:`SpmdResult` and error contracts are unchanged.
+
 Error handling follows "fail fast, unwind everyone": the first rank to
-raise sets the world's abort flag, which wakes every rank blocked in a
+raise sets the job's abort flag, which wakes every rank blocked in a
 receive with :class:`~repro.errors.RuntimeAbort`; the original exceptions
 are re-raised in the caller wrapped in :class:`~repro.errors.SpmdError`.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro.errors import RankFailStop, RuntimeAbort, SpmdError, SpmdTimeout
 from repro.obs.tracer import Tracer, active_profile
 from repro.runtime.costmodel import CostModel
 from repro.runtime.trace import Trace, merge_traces
-from repro.runtime.world import World
 
 __all__ = ["SpmdResult", "spmd_run"]
 
@@ -37,6 +40,11 @@ class SpmdResult:
     wall_seconds: float  # real elapsed wall-clock time of the whole run
     profile: Any = None  # RunCapture with spans, when a tracer was active
     failed_ranks: frozenset[int] = frozenset()  # ranks fail-stopped by a fault plan
+    # Memoized merge of `traces` (repr=False keeps debug output clean;
+    # compare=False keeps dataclass equality over the real fields only).
+    _summary_cache: Trace | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def nprocs(self) -> int:
@@ -50,8 +58,12 @@ class SpmdResult:
 
     @property
     def summary_trace(self) -> Trace:
-        """All ranks' traces merged into one aggregate."""
-        return merge_traces(self.traces)
+        """All ranks' traces merged into one aggregate (computed once;
+        repeated accesses return the same object — the per-rank traces
+        are final by the time a result exists, so the merge is pure)."""
+        if self._summary_cache is None:
+            self._summary_cache = merge_traces(self.traces)
+        return self._summary_cache
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -113,98 +125,30 @@ def spmd_run(
     -------
     SpmdResult with per-rank return values, virtual clocks and traces.
     """
-    import time as _time
-
-    from repro.mpi.comm import Communicator  # local import: avoids cycle
+    # Local import: repro.engine sits above the runtime layer (it builds
+    # SpmdResult and Communicators), so the shim resolves it lazily.
+    from repro.engine import Engine
 
     if tracer is None:
         tracer, forced_ranks = active_profile()
         if forced_ranks is not None:
             nprocs = forced_ranks
 
-    world = World(
-        nprocs,
-        cost_model,
-        record_events=record_events,
-        isolate_payloads=isolate_payloads,
-        tracer=tracer,
-        fault_plan=fault_plan,
-    )
-    returns: list[Any] = [None] * nprocs
-    failures: dict[int, BaseException] = {}
-    failure_states: list[list[dict]] = []  # rank_states at first failure
-    failures_lock = threading.Lock()
-
-    def run_rank(rank: int) -> None:
-        comm = Communicator(world.context(rank))
-        try:
-            returns[rank] = fn(comm, *args)
-        except RankFailStop:
-            # An *injected* fail-stop is part of the experiment, not a
-            # program error: the rank silently dies (mark_failed already
-            # ran at the raise site) and survivors carry on.
-            pass
-        except RuntimeAbort:
-            pass  # unwound because another rank failed
-        except BaseException as exc:  # noqa: BLE001 - reported to caller
-            with failures_lock:
-                failures[rank] = exc
-                if not failure_states:
-                    # Snapshot per-rank diagnostics while peers are still
-                    # blocked — after the abort unwinds them, everyone
-                    # would just read "done".
-                    failure_states.append(world.rank_states())
-            world.abort()
-        finally:
-            world.retire_rank(rank)
-
-    t0 = _time.perf_counter()
-    if nprocs == 1:
-        # Single rank: run inline (cheaper, and keeps tracebacks direct).
-        run_rank(0)
-    else:
-        threads = [
-            threading.Thread(
-                target=run_rank, args=(r,), name=f"spmd-rank-{r}", daemon=True
-            )
-            for r in range(nprocs)
-        ]
-        for t in threads:
-            t.start()
-        deadline = _time.perf_counter() + timeout
-        for t in threads:
-            remaining = deadline - _time.perf_counter()
-            t.join(timeout=max(remaining, 0.0))
-            if t.is_alive():
-                stuck_states = world.rank_states()
-                world.abort()
-                for t2 in threads:
-                    t2.join(timeout=5.0)
-                raise SpmdTimeout(
-                    f"SPMD run did not finish within {timeout} s "
-                    f"(possible deadlock); aborted",
-                    rank_states=stuck_states,
-                )
-    wall = _time.perf_counter() - t0
-
-    clocks = [c.t for c in world.clocks]
-    if world.run_capture is not None:
-        # Finalize even on failure so a crashed program still leaves a
-        # usable (partial) profile behind.
-        tracer.finish_run(
-            world.run_capture, clocks,
-            label=getattr(fn, "__name__", None),
+    engine = Engine(nprocs, cost_model=cost_model)
+    try:
+        handle = engine.submit(
+            fn,
+            args=args,
+            record_events=record_events,
+            isolate_payloads=isolate_payloads,
+            timeout=timeout,
+            tracer=tracer,
+            fault_plan=fault_plan,
         )
-    if failures:
-        raise SpmdError(
-            failures,
-            rank_states=failure_states[0] if failure_states else None,
-        )
-    return SpmdResult(
-        returns=returns,
-        clocks=clocks,
-        traces=world.traces,
-        wall_seconds=wall,
-        profile=world.run_capture,
-        failed_ranks=world.membership.dead_snapshot(),
-    )
+        return handle.result()
+    finally:
+        # Force mode: after result() everything is already finished, so
+        # this just retires the pool; after a timeout it aborts the
+        # stuck job and abandons (daemon) threads exactly as the
+        # pre-engine executor did.
+        engine.shutdown(drain=False, timeout=5.0)

@@ -31,7 +31,20 @@ from repro.runtime.costmodel import CostModel
 from repro.runtime.trace import Trace
 from repro.util.sizing import copy_for_transfer, payload_nbytes
 
-__all__ = ["World", "RankContext"]
+__all__ = ["World", "JobWorld", "RankContext", "cid_root"]
+
+
+def cid_root(cid: Hashable) -> Hashable:
+    """The base context id a (possibly derived) cid descends from.
+
+    ``dup``/``split``/``shrink`` derive nested-tuple cids whose second
+    element is the parent cid — ``("split", ("dup", 5, 1), 2, 0)`` roots
+    at ``5``.  The engine allocates one base cid per job, so the root
+    identifies which job's traffic a tag belongs to.
+    """
+    while isinstance(cid, tuple) and len(cid) >= 2:
+        cid = cid[1]
+    return cid
 
 
 class World:
@@ -83,9 +96,19 @@ class World:
             self.injector = None
         self._cid_lock = threading.Lock()
         self._next_cid = 1
+        # Cross-job memo for algorithm="auto" decisions.  Local import:
+        # repro.mpi.comm imports this module at its top level, so the
+        # reverse import must wait until both modules exist.
+        from repro.mpi.schedule_cache import ScheduleCache
+
+        self.schedule_cache = ScheduleCache()
 
     def allocate_context_id(self) -> int:
-        """Allocate a communicator context id (unique per World)."""
+        """Allocate a communicator context id (unique per World).
+
+        Thread-safe by a dedicated lock: the engine allocates one base
+        cid per job, and submissions race from many client threads.
+        """
         with self._cid_lock:
             cid = self._next_cid
             self._next_cid += 1
@@ -151,6 +174,155 @@ class World:
     def makespan(self) -> float:
         """Simulated completion time of the run: max over rank clocks."""
         return max(c.t for c in self.clocks)
+
+
+class JobWorld:
+    """A job-scoped view of a shared :class:`World`.
+
+    The persistent engine runs many jobs over one world: one set of
+    mailboxes, one rank-thread pool, one context-id allocator, one
+    schedule cache.  Everything *else* — clocks, traces, membership
+    (failure detector + watchdog), abort flag, tracer capture, fault
+    injector — is per job, so each job observes a fresh virtual-clock
+    epoch and its results are bit-identical to a standalone run.
+
+    A ``JobWorld`` satisfies the same interface :class:`RankContext`,
+    the communicator and the fault layers consume (duck-typed ``world``),
+    with two index conventions in play:
+
+    * **world ranks** index shared structures (``mailboxes``, and the
+      full-length ``clocks``/``traces``/``rank_tracers`` lists, which
+      carry ``None``/null entries at non-member slots);
+    * **group ranks** (0..job_size-1) label everything user-visible —
+      trace ``rank`` fields, tracer captures, fault-plan targets,
+      ``rank_states`` — which is what makes results independent of
+      where in the pool the job was placed.
+    """
+
+    def __init__(
+        self,
+        parent: World,
+        members: tuple[int, ...],
+        *,
+        cost_model: CostModel | None = None,
+        record_events: bool = False,
+        isolate_payloads: bool = True,
+        tracer: Tracer | None = None,
+        fault_plan: Any | None = None,
+    ):
+        job_size = len(members)
+        if job_size < 1:
+            raise CommunicatorError(f"nprocs must be >= 1, got {job_size}")
+        self.parent = parent
+        self.members = tuple(members)
+        self.job_size = job_size
+        self.nprocs = parent.nprocs  # pool size: world-rank address space
+        self.cost_model = (
+            cost_model if cost_model is not None else parent.cost_model
+        )
+        self.isolate_payloads = isolate_payloads
+        self.mailboxes = parent.mailboxes
+        self.schedule_cache = parent.schedule_cache
+        self.abort_event = threading.Event()
+        self.membership = Membership(parent.nprocs, members=self.members)
+        self.membership.mailboxes = parent.mailboxes
+        #: The job's root communicator context id — allocated from the
+        #: shared World, so two jobs' tags can never collide even while
+        #: their lifetimes overlap on the same mailboxes.
+        self.base_cid = parent.allocate_context_id()
+        self.clocks: list[VirtualClock | None] = [None] * parent.nprocs
+        self.traces: list[Trace | None] = [None] * parent.nprocs
+        for g, w in enumerate(self.members):
+            self.clocks[w] = VirtualClock()
+            self.traces[w] = Trace(rank=g, record_events=record_events)
+        self.membership.clocks = self.clocks
+        self.tracer = tracer
+        self.rank_tracers: list[Any] = [NULL_TRACER] * parent.nprocs
+        if tracer is not None and tracer.enabled:
+            self.run_capture = tracer.begin_run(
+                job_size, [self.clocks[w] for w in self.members]
+            )
+            for g, w in enumerate(self.members):
+                self.rank_tracers[w] = self.run_capture.ranks[g]
+        else:
+            self.run_capture = None
+        if fault_plan is not None:
+            from repro.faults.injection import FaultInjector
+
+            metrics = (
+                tracer.metrics
+                if tracer is not None and tracer.enabled
+                else NULL_METRICS
+            )
+            # Plans address ranks 0..job_size-1; the map translates the
+            # pool placement back to plan coordinates so a chaos-seeded
+            # job behaves identically wherever it lands.
+            self.injector = FaultInjector(
+                fault_plan, job_size, metrics,
+                rank_map={w: g for g, w in enumerate(self.members)},
+            )
+        else:
+            self.injector = None
+
+    def allocate_context_id(self) -> int:
+        """Delegate to the shared world's allocator (global uniqueness)."""
+        return self.parent.allocate_context_id()
+
+    @property
+    def can_fail(self) -> bool:
+        """See :attr:`World.can_fail`."""
+        return self.injector is not None and self.injector.can_fail
+
+    def _notify_members(self) -> None:
+        for w in self.members:
+            self.mailboxes[w].notify_abort()
+
+    def abort(self) -> None:
+        """Tear down *this job only*: its abort event, its members'
+        wakeups.  Concurrent jobs on other pool ranks are untouched."""
+        self.abort_event.set()
+        self._notify_members()
+
+    def mark_failed(self, rank: int) -> None:
+        """Record a fail-stop of world-rank ``rank`` within this job."""
+        self.membership.mark_dead(rank)
+        self._notify_members()
+
+    def retire_rank(self, rank: int) -> None:
+        """Record that world-rank ``rank`` finished this job's function."""
+        self.membership.mark_done(rank)
+        self._notify_members()
+
+    def revoke_cid(self, cid: Hashable) -> None:
+        """Revoke a communicator context id and wake blocked members."""
+        self.membership.revoke(cid)
+        self._notify_members()
+
+    def rank_states(self) -> list[dict]:
+        """Per-member diagnostics, labeled with group ranks."""
+        return self.membership.rank_states()
+
+    def owns_tag(self, tag: Hashable) -> bool:
+        """True when ``tag`` belongs to a communicator rooted at this
+        job's base cid (used to sweep leaked envelopes at finalize)."""
+        return (
+            isinstance(tag, tuple)
+            and len(tag) >= 2
+            and cid_root(tag[1]) == self.base_cid
+        )
+
+    def context(self, rank: int) -> "RankContext":
+        """The per-rank handle for world-rank ``rank`` (a member)."""
+        if rank not in self.membership.members:
+            raise CommunicatorError(
+                f"world rank {rank} is not a member of this job"
+            )
+        return RankContext(self, rank)
+
+    @property
+    def makespan(self) -> float:
+        """Simulated completion time of the job: max over member clocks."""
+        return max(self.clocks[w].t for w in self.members)
 
 
 class RankContext:

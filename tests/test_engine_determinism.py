@@ -1,0 +1,105 @@
+"""Scheduling determinism: job results don't depend on submission order.
+
+The same batch of jobs — submitted from one thread, from many threads,
+or in shuffled orders — must yield identical per-job return values,
+per-rank virtual times and message counts.  Which pool ranks a job
+lands on and when is scheduler business; nothing about it may reach the
+simulation model.
+"""
+
+import random
+import threading
+
+import numpy as np
+
+from repro import global_reduce, global_scan
+from repro.engine import Engine
+from repro.ops import CountsOp, MaxOp, SumOp
+from repro.runtime import spmd_run
+
+#: The job batch: (key, fn, nprocs, args).  Mixed shapes and sizes so
+#: shuffled submission orders genuinely interleave on the pool.
+def _sum_reduce(comm, scale):
+    local = np.arange(comm.rank, 16 * comm.size, comm.size, dtype=np.float64)
+    return global_reduce(comm, SumOp(), local * scale)
+
+
+def _max_scan(comm, base):
+    return global_scan(comm, MaxOp(), [float(base + comm.rank)])
+
+
+def _counts(comm, k):
+    # CountsOp categories are 1-based.
+    return global_reduce(
+        comm, CountsOp(k), [comm.rank % k + 1, (comm.rank + 1) % k + 1]
+    )
+
+
+BATCH = [
+    ("sum-4a", _sum_reduce, 4, (1.0,)),
+    ("sum-4b", _sum_reduce, 4, (2.5,)),
+    ("sum-2", _sum_reduce, 2, (0.5,)),
+    ("max-8", _max_scan, 8, (10,)),
+    ("max-3", _max_scan, 3, (7,)),
+    ("counts-4", _counts, 4, (5,)),
+    ("counts-6", _counts, 6, (3,)),
+    ("sum-8", _sum_reduce, 8, (4.0,)),
+]
+
+
+def _fingerprint(res) -> tuple:
+    """Everything the model determines: values, clocks, message counts."""
+    returns = tuple(
+        tuple(np.asarray(r).ravel().tolist()) if isinstance(r, np.ndarray)
+        else tuple(r) if isinstance(r, list) else r
+        for r in res.returns
+    )
+    return (returns, tuple(res.clocks), tuple(t.n_sends for t in res.traces))
+
+
+def _run_batch_threaded(engine, order, n_threads) -> dict:
+    """Submit the batch in ``order`` from ``n_threads`` client threads."""
+    results = {}
+    lock = threading.Lock()
+    chunks = [order[i::n_threads] for i in range(n_threads)]
+
+    def client(chunk):
+        for key, fn, nprocs, args in chunk:
+            res = engine.submit(fn, nprocs=nprocs, args=args).result()
+            with lock:
+                results[key] = _fingerprint(res)
+
+    threads = [threading.Thread(target=client, args=(c,)) for c in chunks]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return results
+
+
+def test_batch_identical_across_shuffled_concurrent_submissions():
+    baseline = {
+        key: _fingerprint(spmd_run(fn, nprocs, args=args))
+        for key, fn, nprocs, args in BATCH
+    }
+    rng = random.Random(42)
+    with Engine(8) as engine:
+        for trial, n_threads in enumerate((1, 4, 8)):
+            order = list(BATCH)
+            rng.shuffle(order)
+            got = _run_batch_threaded(engine, order, n_threads)
+            assert got == baseline, (
+                f"trial {trial} ({n_threads} client threads) diverged"
+            )
+
+
+def test_repeated_submission_is_stable():
+    """The same job resubmitted many times over a warming cache never
+    changes its fingerprint (first call misses the schedule cache,
+    later calls hit it — the answers must agree)."""
+    with Engine(8) as engine:
+        prints = {
+            _fingerprint(engine.submit(_sum_reduce, args=(3.0,)).result())
+            for _ in range(10)
+        }
+    assert len(prints) == 1

@@ -202,3 +202,14 @@ class TestTraces:
 
         res = spmd_run(prog, 4)
         assert res.summary_trace.collective_calls["barrier"] == 4
+
+    def test_summary_trace_is_cached(self):
+        def prog(comm):
+            comm.barrier()
+
+        res = spmd_run(prog, 4)
+        # The merge is memoized: repeated accesses return the same
+        # object, not a fresh merge each time (profiling loops poll it).
+        assert res.summary_trace is res.summary_trace
+        first = res.summary_trace
+        assert res.summary_trace is first
