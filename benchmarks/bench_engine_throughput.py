@@ -27,6 +27,23 @@ measured ratio well below the quiet-host figure, so a hard 2x assert
 would flake without measuring anything about the code.  Pass
 ``--strict`` on an unloaded machine to assert the full 2x acceptance
 target.
+
+The benchmark also runs the engine path a third time with
+:class:`repro.obs.telemetry.EngineTelemetry` enabled.  That pass yields
+the service-level latency series (queue-wait and end-to-end p50/p95/p99
+per job, straight from the telemetry histograms) recorded in
+``results/BENCH_engine_throughput.json``, plus the telemetry-on /
+telemetry-off throughput ratio.
+
+``--overhead`` enforces the ≤5% telemetry budget (ISSUE 6) — the CI
+telemetry-overhead smoke runs ``--smoke --overhead``.  The asserted
+quantity is the **hook fraction**: the telemetry work one job induces
+(measured deterministically by driving the full per-job hook sequence
+in a tight loop) over the measured per-job engine time.  The end-to-end
+on/off ratio is recorded too, but two ~tens-of-ms wall-clock windows on
+a shared CI container differ by ±10% from scheduler noise alone — an
+assert on that ratio would flake without measuring anything about the
+code, while the hook fraction is stable to a fraction of a percent.
 """
 
 from __future__ import annotations
@@ -42,12 +59,17 @@ import numpy as np
 
 from repro import global_reduce
 from repro.engine import Engine
+from repro.obs.telemetry import EngineTelemetry
 from repro.obs.tracer import NULL_TRACER
 from repro.ops import SumOp
 from repro.runtime import spmd_run
 
 POOL_RANKS = 8
 PAYLOAD = 64  # float64 elements per rank
+
+#: Per-job telemetry hook work may cost at most this fraction of the
+#: per-job engine time (the ≤5% budget, asserted by ``--overhead``).
+OVERHEAD_BUDGET_FRACTION = 0.05
 
 #: Floor for automated asserts (pytest / --smoke).  The 2x acceptance
 #: figure is a quiet-host number; shared CI containers lose 0.3-0.5
@@ -106,13 +128,25 @@ def run_per_call(n_jobs: int) -> tuple[float, list]:
         return time.perf_counter() - t0, results
 
 
-def run_engine(n_jobs: int) -> tuple[float, list, dict]:
+def run_engine(
+    n_jobs: int, telemetry: bool = False
+) -> tuple[float, list, dict, dict | None]:
     """n_jobs submitted up-front to one persistent engine; returns
-    (seconds, results, engine stats)."""
-    with Engine(POOL_RANKS) as engine:
+    (seconds, results, engine stats, latency summary or None).
+
+    With ``telemetry=True`` the engine stamps per-job lifecycles, and
+    the returned latency summary carries the queue-wait / e2e
+    p50/p95/p99 over exactly the timed jobs (minus the warm-up job)."""
+    tel = EngineTelemetry(POOL_RANKS) if telemetry else False
+    with Engine(POOL_RANKS, telemetry=tel) as engine:
         # Warm the pool and the schedule cache outside the timed region,
         # mirroring a resident service that has already handled traffic.
         engine.submit(reduce_job, tracer=NULL_TRACER).result()
+        if telemetry:
+            # Fresh series after warm-up: the latency histograms must
+            # cover exactly the timed jobs.
+            tel = EngineTelemetry(POOL_RANKS)
+            engine.set_telemetry(tel)
         with _no_gc():
             t0 = time.perf_counter()
             handles = [
@@ -122,7 +156,36 @@ def run_engine(n_jobs: int) -> tuple[float, list, dict]:
             results = [h.result() for h in handles]
             elapsed = time.perf_counter() - t0
         stats = engine.stats()
-    return elapsed, results, stats
+        latency = tel.latency_summary() if telemetry else None
+    return elapsed, results, stats, latency
+
+
+def hook_cost_per_job(n: int = 8000) -> float:
+    """Seconds of telemetry hook work one engine job induces.
+
+    Drives the exact per-job hook sequence the engine emits — admitted,
+    assembled (8 members), running, done (8 members) — against a real
+    :class:`EngineTelemetry` in a tight loop, and takes the best of
+    several passes (hook work is deterministic; host noise only ever
+    adds).  Quantile estimation never runs on this path — histogram
+    observes append to a bounded buffer that is drained on scrape-time
+    reads — so the loop measures what the engine's threads actually
+    pay."""
+    tel = EngineTelemetry(POOL_RANKS)
+    members = tuple(range(POOL_RANKS))
+    best = float("inf")
+    with _no_gc():
+        for _ in range(5):
+            t0 = time.perf_counter()
+            for i in range(n):
+                lc = tel.job_admitted(
+                    i, "job", None, POOL_RANKS, False, tel.now(), 1
+                )
+                tel.job_assembled(lc, members, 0, 1, 0)
+                tel.job_running(lc)
+                tel.job_done(lc, "done", 1e-6, members, 0, 0, POOL_RANKS)
+            best = min(best, (time.perf_counter() - t0) / n)
+    return best
 
 
 def measure(n_jobs: int, repeats: int = 5) -> dict:
@@ -130,20 +193,47 @@ def measure(n_jobs: int, repeats: int = 5) -> dict:
     least scheduler-noise-contaminated estimate of the true cost, which
     keeps the ratio stable run to run.  Host noise arrives in bursts on
     small CI containers, so each path needs several chances at a quiet
-    window."""
+    window.
+
+    The telemetry-on/off ratio compares two near-identical ~n_jobs·ms
+    windows, so it is far more noise-sensitive than the headline
+    speedup: both engine paths get extra interleaved repeats, and the
+    best-of minima are what the overhead budget is asserted on."""
     per_call_s, per_call_results = run_per_call(n_jobs)
-    engine_s, engine_results, stats = run_engine(n_jobs)
-    for _ in range(repeats - 1):
-        s, _ = run_per_call(n_jobs)
-        per_call_s = min(per_call_s, s)
-        s, _, stats = run_engine(n_jobs)
+    engine_s, engine_results, stats = run_engine(n_jobs)[:3]
+    tel_s, tel_results, _, latency = run_engine(n_jobs, telemetry=True)
+    engine_repeats = max(repeats, 9)
+    for i in range(engine_repeats - 1):
+        if i < repeats - 1:
+            s, _ = run_per_call(n_jobs)
+            per_call_s = min(per_call_s, s)
+        s, _, stats, _ = run_engine(n_jobs)
         engine_s = min(engine_s, s)
+        s, _, _, lat = run_engine(n_jobs, telemetry=True)
+        if s < tel_s:
+            tel_s, latency = s, lat
+
+    hook_s = hook_cost_per_job()
 
     expected = _expected()
-    for res in (per_call_results[0], engine_results[0], engine_results[-1]):
+    for res in (per_call_results[0], engine_results[0], engine_results[-1],
+                tel_results[-1]):
         assert float(res.returns[0]) == expected
     # Identical simulated makespans: the engine must not change the model.
     assert engine_results[0].time == per_call_results[0].time
+    assert tel_results[0].time == per_call_results[0].time
+
+    def _tail(summary: dict) -> dict:
+        count = summary["count"]
+        return {
+            "count": count,
+            "mean": summary["sum"] / count if count else None,
+            "min": summary["min"],
+            "max": summary["max"],
+            "p50": summary["p50"],
+            "p95": summary["p95"],
+            "p99": summary["p99"],
+        }
 
     return {
         "n_jobs": n_jobs,
@@ -154,12 +244,24 @@ def measure(n_jobs: int, repeats: int = 5) -> dict:
         "per_call_ms_per_job": 1e3 * per_call_s / n_jobs,
         "engine_ms_per_job": 1e3 * engine_s / n_jobs,
         "speedup": per_call_s / engine_s,
+        "engine_telemetry_jobs_per_s": n_jobs / tel_s,
+        "telemetry_overhead_ratio": tel_s / engine_s,
+        "telemetry_hook_us_per_job": hook_s * 1e6,
+        "telemetry_hook_fraction": hook_s / (engine_s / n_jobs),
+        "latency": {
+            "queue_wait_s": _tail(latency["queue_wait_s"]),
+            "e2e_s": _tail(latency["e2e_s"]),
+        },
         "schedule_cache": stats["schedule_cache"],
         "leaked_messages_drained": stats["leaked_messages_drained"],
     }
 
 
 def render(m: dict) -> str:
+    def _us(v):
+        return "-" if v is None else f"{v * 1e6:.0f}us"
+
+    qw, e2e = m["latency"]["queue_wait_s"], m["latency"]["e2e_s"]
     lines = [
         f"engine throughput ({m['n_jobs']} jobs, {m['nprocs']} ranks, "
         f"{m['payload_elems']} float64/rank)",
@@ -168,6 +270,14 @@ def render(m: dict) -> str:
         f"  persistent engine : {m['engine_jobs_per_s']:8.1f} jobs/s "
         f"({m['engine_ms_per_job']:.2f} ms/job)",
         f"  speedup           : {m['speedup']:.2f}x",
+        f"  with telemetry    : {m['engine_telemetry_jobs_per_s']:8.1f} "
+        f"jobs/s (e2e {100.0 * (m['telemetry_overhead_ratio'] - 1):+.1f}%, "
+        f"hook work {m['telemetry_hook_us_per_job']:.1f} us/job = "
+        f"{100.0 * m['telemetry_hook_fraction']:.2f}%)",
+        f"  queue wait        : p50 {_us(qw['p50'])}, p95 {_us(qw['p95'])}, "
+        f"p99 {_us(qw['p99'])}",
+        f"  e2e latency       : p50 {_us(e2e['p50'])}, p95 {_us(e2e['p95'])}, "
+        f"p99 {_us(e2e['p99'])}",
         f"  schedule cache    : {m['schedule_cache']['hits']} hits / "
         f"{m['schedule_cache']['misses']} misses "
         f"(hit rate {m['schedule_cache']['hit_rate']:.3f})",
@@ -193,6 +303,16 @@ class TestEngineThroughput:
         )
         assert m["schedule_cache"]["hit_rate"] > 0.9
         assert m["leaked_messages_drained"] == 0
+        # The latency series must cover every timed job with real tails.
+        for key in ("queue_wait_s", "e2e_s"):
+            tail = m["latency"][key]
+            assert tail["count"] == m["n_jobs"]
+            assert tail["p50"] is not None and tail["p99"] is not None
+            assert tail["p50"] <= tail["p99"] * (1 + 1e-9)
+        # The ≤5% telemetry budget, on the deterministic hook fraction
+        # (the e2e on/off ratio is recorded but too noisy to assert on
+        # shared CI containers — see the module docstring).
+        assert m["telemetry_hook_fraction"] <= OVERHEAD_BUDGET_FRACTION, m
 
 
 def main() -> int:
@@ -206,6 +326,13 @@ def main() -> int:
         "--strict",
         action="store_true",
         help="assert the full 2x acceptance floor (quiet machines only)",
+    )
+    parser.add_argument(
+        "--overhead",
+        action="store_true",
+        help="also assert the per-job telemetry hook work stays within "
+        f"{100.0 * OVERHEAD_BUDGET_FRACTION:.0f}% of per-job engine time "
+        "(CI telemetry smoke)",
     )
     parser.add_argument("--jobs", type=int, default=None)
     args = parser.parse_args()
@@ -226,6 +353,22 @@ def main() -> int:
         print(f"FAIL: speedup {m['speedup']:.2f}x below {floor}x floor")
         return 1
     print(f"PASS: speedup {m['speedup']:.2f}x >= {floor}x")
+    if args.overhead:
+        fraction = m["telemetry_hook_fraction"]
+        if fraction > OVERHEAD_BUDGET_FRACTION:
+            print(
+                f"FAIL: telemetry hook work is {100.0 * fraction:.2f}% of "
+                f"per-job engine time "
+                f"({m['telemetry_hook_us_per_job']:.1f} us/job), over the "
+                f"{100.0 * OVERHEAD_BUDGET_FRACTION:.0f}% budget"
+            )
+            return 1
+        print(
+            f"PASS: telemetry hook work {100.0 * fraction:.2f}% of per-job "
+            f"engine time ({m['telemetry_hook_us_per_job']:.1f} us/job), "
+            f"within the {100.0 * OVERHEAD_BUDGET_FRACTION:.0f}% budget "
+            f"(e2e ratio {m['telemetry_overhead_ratio']:.3f}, informational)"
+        )
     return 0
 
 

@@ -19,9 +19,17 @@
   combine-phase fail-stops) and check results against failure-free
   baselines (:mod:`repro.faults.chaos`).
 * ``python -m repro serve [--ranks P] [--clients N]
-  [--jobs-per-client K] [--job-ranks G] [--payload E]`` — multi-tenant
-  engine demo: N concurrent clients submit job streams to one
-  persistent :class:`repro.engine.Engine` (:mod:`repro.engine.serve`).
+  [--jobs-per-client K] [--job-ranks G] [--payload E]
+  [--metrics-port P] [--linger S] [--snapshot-out PATH]
+  [--trace-out PATH]`` — multi-tenant engine demo: N concurrent clients
+  submit job streams to one persistent :class:`repro.engine.Engine`
+  (:mod:`repro.engine.serve`); with ``--metrics-port`` the engine's
+  telemetry is served as Prometheus text on ``/metrics`` and as JSON
+  frames on ``/snapshot.json``.
+* ``python -m repro top [--port P | --url URL] [--interval S]
+  [--once]`` — live terminal dashboard over a serving engine's
+  telemetry endpoint (:mod:`repro.engine.top`): queue depth, per-rank
+  utilization bars, lifecycle counters, p50/p95/p99 latency tails.
 """
 
 from __future__ import annotations
@@ -355,8 +363,8 @@ def _cmd_chaos(argv: list[str]) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Dispatch to the tour, profiler, tuner, chaos soak or engine serve
-    demo; returns exit code."""
+    """Dispatch to the tour, profiler, tuner, chaos soak, engine serve
+    demo or telemetry dashboard; returns exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "profile":
         return _cmd_profile(argv[1:])
@@ -368,6 +376,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.engine.serve import run_serve
 
         return run_serve(argv[1:])
+    if argv and argv[0] == "top":
+        from repro.engine.top import run_top
+
+        return run_top(argv[1:])
     return _cmd_tour(argv)
 
 

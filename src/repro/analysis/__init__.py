@@ -7,9 +7,11 @@ from repro.analysis.report import (
     format_table,
 )
 from repro.analysis.timeline import (
+    engine_session_to_chrome_trace,
     to_chrome_trace,
     tracer_to_chrome_trace,
     write_chrome_trace,
+    write_engine_session_trace,
 )
 from repro.analysis.utilization import (
     RankUtilization,
@@ -30,4 +32,6 @@ __all__ = [
     "to_chrome_trace",
     "tracer_to_chrome_trace",
     "write_chrome_trace",
+    "engine_session_to_chrome_trace",
+    "write_engine_session_trace",
 ]

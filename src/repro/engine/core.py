@@ -58,6 +58,7 @@ from repro.errors import (
     SpmdError,
 )
 from repro.obs.tracer import active_tracer
+from repro.obs.telemetry import NULL_ENGINE_TELEMETRY, EngineTelemetry
 from repro.runtime.costmodel import CostModel
 from repro.runtime.executor import SpmdResult
 from repro.runtime.world import World
@@ -68,7 +69,14 @@ __all__ = ["Engine", "Session"]
 
 
 class Engine:
-    """A resident rank pool serving many SPMD jobs over one world."""
+    """A resident rank pool serving many SPMD jobs over one world.
+
+    ``telemetry`` enables the service-level observability layer
+    (:mod:`repro.obs.telemetry`): ``True`` builds a fresh
+    :class:`~repro.obs.telemetry.EngineTelemetry`, or pass a
+    preconfigured instance; the default (off) keeps the submit/schedule
+    hot path allocation-free (the same guarantee as disabled tracing).
+    """
 
     def __init__(
         self,
@@ -77,9 +85,16 @@ class Engine:
         cost_model: CostModel | None = None,
         queue_depth: int = 128,
         max_inflight: int | None = None,
+        telemetry: "bool | EngineTelemetry | None" = False,
     ):
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if telemetry is True:
+            telemetry = EngineTelemetry(nprocs)
+        elif not telemetry:
+            telemetry = NULL_ENGINE_TELEMETRY
+        self._telemetry = telemetry
+        telemetry.bind(self)
         # The shared world validates nprocs >= 1 before any thread starts.
         self._world = World(nprocs, cost_model)
         self._nprocs = nprocs
@@ -127,11 +142,40 @@ class Engine:
         """The shared world (mailboxes, cid allocator, schedule cache)."""
         return self._world
 
+    @property
+    def telemetry(self):
+        """The engine's :class:`~repro.obs.telemetry.EngineTelemetry`,
+        or the shared null object when telemetry is off (``.enabled``
+        distinguishes them)."""
+        return self._telemetry
+
+    def set_telemetry(
+        self, telemetry: "bool | EngineTelemetry | None"
+    ) -> None:
+        """Swap the telemetry layer on a live engine (``True`` builds a
+        fresh :class:`EngineTelemetry`; ``False``/``None`` disables).
+
+        Meant for quiescent points — attaching observability to a
+        warmed-up engine, or starting a fresh measurement series after
+        warm-up traffic (the throughput benchmark does the latter).
+        Jobs admitted before the swap carry lifecycles stamped by the
+        old telemetry but report their remaining transitions to the new
+        one, so swapping with jobs pending or running skews both series.
+        """
+        if telemetry is True:
+            telemetry = EngineTelemetry(self._nprocs)
+        elif not telemetry:
+            telemetry = NULL_ENGINE_TELEMETRY
+        with self._lock:
+            self._telemetry = telemetry
+        telemetry.bind(self)
+
     def stats(self) -> dict[str, Any]:
         """Scheduler and cache counters (a consistent snapshot)."""
         with self._lock:
             return {
                 "nprocs": self._nprocs,
+                "telemetry_enabled": self._telemetry.enabled,
                 "pending": len(self._pending),
                 "inflight": self._inflight,
                 "free_ranks": len(self._free),
@@ -160,6 +204,7 @@ class Engine:
         tracer: Any | None = None,
         fault_plan: Any | None = None,
         label: str | None = None,
+        session: str | None = None,
         block: bool = True,
         queue_timeout: float | None = None,
     ) -> JobHandle:
@@ -177,9 +222,16 @@ class Engine:
         * ``block=False`` raises :class:`EngineSaturated` immediately on
           a full queue.
 
+        ``session`` labels the job's telemetry lifecycle with the
+        submitting client (set automatically by :meth:`Session.submit`).
         Raises :class:`~repro.errors.EngineClosed` after :meth:`shutdown`.
         """
         nprocs = self._nprocs if nprocs is None else nprocs
+        tel = self._telemetry
+        # Entry stamp *before* any backpressure wait, so queued-submitted
+        # measures the admission stall.  The disabled branch stays
+        # allocation-free: no lifecycle object, no instrument touches.
+        t_submit = tel.now() if tel.enabled else 0.0
         if nprocs < 1:
             raise CommunicatorError(f"nprocs must be >= 1, got {nprocs}")
         if nprocs > self._nprocs:
@@ -205,6 +257,12 @@ class Engine:
                     break
                 if not block:
                     self._n_rejected += 1
+                    if tel.enabled:
+                        tel.job_rejected(
+                            label if label is not None
+                            else getattr(fn, "__name__", None),
+                            session, nprocs, t_submit,
+                        )
                     raise EngineSaturated(
                         f"pending queue is at its depth limit "
                         f"({self._queue_depth})"
@@ -215,6 +273,12 @@ class Engine:
                 )
                 if remaining is not None and remaining <= 0.0:
                     self._n_rejected += 1
+                    if tel.enabled:
+                        tel.job_rejected(
+                            label if label is not None
+                            else getattr(fn, "__name__", None),
+                            session, nprocs, t_submit,
+                        )
                     raise EngineSaturated(
                         f"queue stayed at its depth limit "
                         f"({self._queue_depth}) for {queue_timeout} s"
@@ -233,6 +297,11 @@ class Engine:
             self._next_job_id += 1
             self._n_submitted += 1
             self._pending.append(job)
+            if tel.enabled:
+                job.lifecycle = tel.job_admitted(
+                    job.job_id, job.label, session, nprocs,
+                    fault_plan is not None, t_submit, len(self._pending),
+                )
             self._dispatch_locked()
         return JobHandle(job, self)
 
@@ -284,6 +353,12 @@ class Engine:
                         f"job {job.job_id} cancelled by engine shutdown"
                     )
                     self._n_cancelled += 1
+                    if job.lifecycle is not None:
+                        self._telemetry.job_done(
+                            job.lifecycle, "cancelled", 0.0, job.members,
+                            len(self._pending), self._inflight,
+                            len(self._free),
+                        )
                     job.done_event.set()
                 self._cv.notify_all()
             for job in running:
@@ -325,6 +400,11 @@ class Engine:
             self._free.difference_update(members)
             self._inflight += 1
             self._peak_inflight = max(self._peak_inflight, self._inflight)
+            if job.lifecycle is not None:
+                self._telemetry.job_assembled(
+                    job.lifecycle, members, len(self._pending),
+                    self._inflight, len(self._free),
+                )
             self._running.add(job)
             job.start(self._world, members)
             for g, w in enumerate(members):
@@ -343,6 +423,11 @@ class Engine:
                 job.status = "cancelled"
                 job.error = JobCancelled(f"job {job.job_id} cancelled")
                 self._n_cancelled += 1
+                if job.lifecycle is not None:
+                    self._telemetry.job_done(
+                        job.lifecycle, "cancelled", 0.0, job.members,
+                        len(self._pending), self._inflight, len(self._free),
+                    )
                 job.done_event.set()
                 self._cv.notify_all()
                 return True
@@ -371,6 +456,11 @@ class Engine:
 
         world = job.world
         mailbox = self._world.mailboxes[w]
+        lc = job.lifecycle
+        if lc is not None and lc.t_running is None:
+            # First member in stamps "running"; the t_running guard makes
+            # this a one-attribute check for every later member.
+            self._telemetry.job_running(lc)
         previous = mailbox.bind_job(world.membership, world.abort_event)
         try:
             try:
@@ -422,6 +512,12 @@ class Engine:
                 self._n_cancelled += 1
             else:
                 self._n_failed += 1
+            if job.lifecycle is not None:
+                self._telemetry.job_done(
+                    job.lifecycle, job.status, job.virtual_seconds,
+                    job.members, len(self._pending), self._inflight,
+                    len(self._free),
+                )
             self._dispatch_locked()
             self._cv.notify_all()  # wake drain()ers and submitters
 
@@ -434,6 +530,7 @@ class Engine:
         world = job.world
         wall = time.perf_counter() - job.t0
         clocks = [world.clocks[w].t for w in job.members]
+        job.virtual_seconds = max(clocks) if clocks else 0.0
         if world.run_capture is not None:
             # Finalize even on failure so a crashed job still leaves a
             # usable (partial) profile behind.
@@ -505,7 +602,10 @@ class Session:
             return list(self._handles)
 
     def submit(self, fn: Callable[..., Any], **kwargs: Any) -> JobHandle:
-        """Submit a job (same keywords as :meth:`Engine.submit`)."""
+        """Submit a job (same keywords as :meth:`Engine.submit`).  The
+        session's label rides along so telemetry lifecycles attribute
+        the job to this client."""
+        kwargs.setdefault("session", self.label)
         handle = self._engine.submit(fn, **kwargs)
         with self._lock:
             self._handles.append(handle)

@@ -32,6 +32,7 @@ class _Job:
         "status", "cancelled", "timed_out", "timeout_error", "lock",
         "done_event", "world", "members", "returns", "failures",
         "failure_states", "ranks_left", "t0", "result", "error",
+        "lifecycle", "virtual_seconds",
     )
 
     def __init__(
@@ -77,6 +78,10 @@ class _Job:
         self.t0 = 0.0
         self.result = None  # SpmdResult on success
         self.error: BaseException | None = None  # raised by JobHandle.result
+        #: JobLifecycle stamps when the engine has telemetry enabled;
+        #: None on the telemetry-off (allocation-free) path.
+        self.lifecycle = None
+        self.virtual_seconds = 0.0  # simulated makespan, set at finalize
 
     def start(self, parent_world, members: tuple[int, ...]) -> None:
         """Bind the job to its pool placement (engine lock held)."""
@@ -127,6 +132,12 @@ class JobHandle:
     def status(self) -> str:
         """One of ``pending | running | done | failed | cancelled``."""
         return self._job.status
+
+    @property
+    def lifecycle(self):
+        """The job's wall-clock :class:`~repro.obs.telemetry.JobLifecycle`
+        stamps, or None when the engine runs without telemetry."""
+        return self._job.lifecycle
 
     def done(self) -> bool:
         """True once the job has completed, failed or been cancelled."""

@@ -1,0 +1,103 @@
+"""A tiny metrics HTTP endpoint over engine telemetry.
+
+``python -m repro serve --metrics-port P`` starts one of these next to
+the engine: a stdlib :class:`~http.server.ThreadingHTTPServer` on its
+own daemon thread serving
+
+* ``GET /metrics`` — Prometheus text exposition
+  (:func:`repro.obs.promexport.render_prometheus`), what a Prometheus
+  scraper or plain ``curl`` reads;
+* ``GET /snapshot.json`` — the full JSON telemetry frame
+  (:meth:`~repro.obs.telemetry.EngineTelemetry.snapshot`), what
+  ``python -m repro top`` polls.
+
+Every request takes a fresh snapshot; nothing is cached, nothing on the
+engine hot path blocks on a scrape (snapshots read counters and the
+engine's stats lock only).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.obs.promexport import render_prometheus
+
+__all__ = ["MetricsServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The telemetry object is attached to the *server* by MetricsServer.
+    server: "ThreadingHTTPServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        telemetry = getattr(self.server, "telemetry", None)
+        path = self.path.split("?", 1)[0]
+        if path in ("/metrics", "/"):
+            body = render_prometheus(telemetry).encode()
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/snapshot.json":
+            frame = (
+                telemetry.snapshot()
+                if telemetry is not None and telemetry.enabled
+                else {"type": "snapshot", "enabled": False}
+            )
+            body = (json.dumps(frame) + "\n").encode()
+            ctype = "application/json"
+        else:
+            self.send_error(404, "unknown path (try /metrics)")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, fmt: str, *args: Any) -> None:
+        pass  # scrapes are high-frequency; stay quiet
+
+
+class MetricsServer:
+    """Serve one telemetry's ``/metrics`` + ``/snapshot.json`` over HTTP.
+
+    ``port=0`` binds an ephemeral port (read it back from ``.port`` —
+    what the tests use); the server thread is a daemon, and ``close()``
+    (or the context manager) shuts it down deterministically.
+    """
+
+    def __init__(self, telemetry: Any, *, host: str = "127.0.0.1",
+                 port: int = 0):
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.telemetry = telemetry  # type: ignore[attr-defined]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        """The bound TCP port."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        """Base URL, e.g. ``http://127.0.0.1:9464``."""
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        """Stop serving and join the server thread."""
+        self._httpd.shutdown()
+        self._thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -7,6 +7,19 @@ reduction/scan jobs (the paper's bread-and-butter shapes); jobs smaller
 than the pool run concurrently, so the demo exercises multiplexing,
 per-job isolation and the cross-job schedule cache in one go.  Prints
 per-client and aggregate throughput plus the engine's counters.
+
+The engine runs with telemetry enabled, so the demo doubles as the
+observability tour:
+
+* ``--metrics-port P`` serves Prometheus text on
+  ``http://127.0.0.1:P/metrics`` and the dashboard frame on
+  ``/snapshot.json`` (``python -m repro top`` reads the latter);
+* ``--linger S`` keeps the endpoint up S seconds after the workload so
+  a scraper (or CI curl) can read the final state;
+* ``--snapshot-out PATH`` dumps the periodic snapshot ring plus the
+  per-job lifecycle records as JSONL;
+* ``--trace-out PATH`` writes the per-rank busy timeline as a
+  Chrome/Perfetto trace of the whole engine session.
 """
 
 from __future__ import annotations
@@ -70,9 +83,34 @@ def run_serve(argv: list[str]) -> int:
         "--queue-depth", type=int, default=128, metavar="D",
         help="admission-control queue bound (default: 128)",
     )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="P",
+        help="serve /metrics (Prometheus) and /snapshot.json on this "
+        "port while the demo runs (0 = pick an ephemeral port)",
+    )
+    parser.add_argument(
+        "--linger", type=float, default=0.0, metavar="S",
+        help="keep the metrics endpoint alive this many seconds after "
+        "the workload finishes (default: 0)",
+    )
+    parser.add_argument(
+        "--snapshot-interval", type=float, default=0.25, metavar="S",
+        help="periodic snapshot-ring sampling interval (default: 0.25)",
+    )
+    parser.add_argument(
+        "--snapshot-out", default=None, metavar="PATH",
+        help="write the snapshot ring + per-job lifecycle records "
+        "as JSONL to PATH",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write the per-rank busy timeline as a Chrome/Perfetto "
+        "trace to PATH",
+    )
     ns = parser.parse_args(argv)
 
     from repro.engine import Engine
+    from repro.obs.telemetry import EngineTelemetry, SnapshotRing
 
     job_ranks = ns.job_ranks if ns.job_ranks is not None else max(
         1, ns.ranks // 2
@@ -108,18 +146,36 @@ def run_serve(argv: list[str]) -> int:
             "sim_time": sum(r.time for r in results),
         }
 
-    with Engine(ns.ranks, queue_depth=ns.queue_depth) as engine:
+    telemetry = EngineTelemetry(ns.ranks)
+    ring = SnapshotRing(telemetry, interval=ns.snapshot_interval)
+    server = None
+    if ns.metrics_port is not None:
+        from repro.engine.metrics_http import MetricsServer
+
+        server = MetricsServer(telemetry, port=ns.metrics_port)
+        print(f"metrics: {server.url}/metrics  (snapshot: /snapshot.json)")
+
+    with Engine(
+        ns.ranks, queue_depth=ns.queue_depth, telemetry=telemetry
+    ) as engine:
         threads = [
             threading.Thread(target=client, args=(i, engine), daemon=True)
             for i in range(ns.clients)
         ]
         t0 = time.perf_counter()
+        ring.start()
         for t in threads:
             t.start()
         for t in threads:
             t.join()
         wall = time.perf_counter() - t0
+        if ns.linger > 0:
+            print(f"(lingering {ns.linger:g}s for scrapes ...)")
+            time.sleep(ns.linger)
+        ring.stop()
         stats = engine.stats()
+        if server is not None:
+            server.close()
 
     total_jobs = sum(c["jobs"] for c in client_stats)
     print()
@@ -143,6 +199,27 @@ def run_serve(argv: list[str]) -> int:
         f"(hit rate {cache['hit_rate']:.3f}); "
         f"leaked messages swept: {stats['leaked_messages_drained']}"
     )
+    latency = telemetry.latency_summary()
+
+    def _us(value):
+        return "-" if value is None else f"{value * 1e6:.0f}us"
+
+    for name, key in (("queue wait", "queue_wait_s"), ("e2e", "e2e_s")):
+        s = latency[key]
+        print(
+            f"latency {name}: p50 {_us(s['p50'])}, p95 {_us(s['p95'])}, "
+            f"p99 {_us(s['p99'])} over {s['count']} jobs"
+        )
+    if ns.snapshot_out:
+        n_lines = ring.write(ns.snapshot_out)
+        print(f"telemetry snapshots written to {ns.snapshot_out} "
+              f"({n_lines} JSONL records)")
+    if ns.trace_out:
+        from repro.analysis import write_engine_session_trace
+
+        write_engine_session_trace(telemetry, ns.trace_out)
+        print(f"engine-session trace written to {ns.trace_out} "
+              "(open in Perfetto)")
     ok = (
         stats["completed"] == total_jobs
         and stats["failed"] == 0

@@ -7,6 +7,14 @@ becomes measurable here.  Enable a :class:`Tracer` (directly via
 every driver call emits nested spans on the virtual clock; disable it
 and the hot paths see only the no-op :data:`NULL_TRACER`.
 
+Service-level telemetry for the persistent engine lives here too:
+:class:`EngineTelemetry` stamps wall-clock job lifecycles and scheduler
+gauges (:mod:`repro.obs.telemetry`), :class:`P2Quantile` /
+:class:`QuantileSet` give every :class:`Histogram` streaming
+p50/p95/p99 (:mod:`repro.obs.quantiles`), and
+:func:`render_prometheus` serves it all as Prometheus text
+(:mod:`repro.obs.promexport`).
+
 >>> from repro import spmd_run, global_reduce
 >>> from repro.obs import Tracer, phase_summary
 >>> from repro.ops import SumOp
@@ -33,6 +41,15 @@ from repro.obs.export import (
     phase_summary,
     phase_topmost_spans,
     write_jsonl,
+)
+from repro.obs.promexport import prom_name, render_prometheus
+from repro.obs.quantiles import DEFAULT_QUANTILES, P2Quantile, QuantileSet
+from repro.obs.telemetry import (
+    LIFECYCLE_STATES,
+    NULL_ENGINE_TELEMETRY,
+    EngineTelemetry,
+    JobLifecycle,
+    SnapshotRing,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -72,4 +89,14 @@ __all__ = [
     "dumps_jsonl",
     "write_jsonl",
     "format_text_report",
+    "P2Quantile",
+    "QuantileSet",
+    "DEFAULT_QUANTILES",
+    "EngineTelemetry",
+    "JobLifecycle",
+    "SnapshotRing",
+    "NULL_ENGINE_TELEMETRY",
+    "LIFECYCLE_STATES",
+    "render_prometheus",
+    "prom_name",
 ]

@@ -67,6 +67,12 @@ def _attribute_local(run: RunCapture, rank: int, t0: float, t1: float,
     matching the attribution rule of the phase summaries."""
     if t1 <= t0:
         return
+    if rank >= len(run.ranks):
+        # Partial capture: clocks name a rank the tracer never saw (an
+        # empty or truncated RunCapture).  There is no span to charge,
+        # so the whole interval is untracked time.
+        acc["untracked"] = acc.get("untracked", 0.0) + (t1 - t0)
+        return
     spans = [
         s for s in run.ranks[rank].spans
         if s.phase is not None and s.t_end > t0 and s.t_start < t1

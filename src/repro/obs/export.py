@@ -151,6 +151,13 @@ def format_text_report(tracer: Tracer) -> str:
     """Human-readable per-phase breakdown: one operator table per run
     set, per-rank phase totals, the critical path, and key metrics."""
     lines: list[str] = []
+    if not tracer.runs:
+        # An explicit empty report beats a zero-filled table: the usual
+        # cause is a target that never entered spmd_run under the tracer.
+        return (
+            "profile: no runs captured (nothing entered spmd_run under "
+            "this tracer)\n"
+        )
     summary = phase_summary(tracer)
     lines.append(
         f"profile: {summary['runs']} run(s), "
@@ -210,10 +217,14 @@ def format_text_report(tracer: Tracer) -> str:
         for name, value in sorted(snap["gauges"].items()):
             lines.append(f"  {name:<40s} {value}")
         for name, h in sorted(snap["histograms"].items()):
+            if not h["count"]:
+                lines.append(f"  {name:<40s} n=0")
+                continue
+            tail = ""
+            if h.get("p50") is not None:
+                tail = f" p50={h['p50']:.3g} p99={h.get('p99', 0) or 0:.3g}"
             lines.append(
                 f"  {name:<40s} n={h['count']} sum={h['sum']:.3g} "
-                f"min={h['min']:.3g} max={h['max']:.3g}"
-                if h["count"]
-                else f"  {name:<40s} n=0"
+                f"min={h['min']:.3g} max={h['max']:.3g}{tail}"
             )
     return "\n".join(lines) + "\n"

@@ -11,7 +11,10 @@ the bucket whose upper bound is the smallest power of two ``>= v``
 (bucket ``2**k`` covers ``(2**(k-1), 2**k]``).  Zero lands in a dedicated
 zero bucket and infinity in an overflow bucket, so the edge cases of
 "no latency charged" and "unbounded" stay visible instead of crashing
-the log.
+the log.  Every histogram additionally carries a
+:class:`~repro.obs.quantiles.QuantileSet` (p50/p95/p99 by default), so
+tail latency is readable straight off a snapshot without storing
+observations.
 
 The :data:`NULL_METRICS` registry accepts the same calls and does
 nothing — it is what disabled tracing hands to the hot paths.
@@ -21,7 +24,10 @@ from __future__ import annotations
 
 import math
 import threading
-from typing import Any, Iterator
+from collections import deque
+from typing import Any, Iterable, Iterator
+
+from repro.obs.quantiles import DEFAULT_QUANTILES, QuantileSet
 
 __all__ = [
     "Counter",
@@ -50,25 +56,50 @@ class Counter:
 class Gauge:
     """A last-write-wins instantaneous value."""
 
-    __slots__ = ("_lock", "value")
+    __slots__ = ("value",)
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
         self.value: float | None = None
 
     def set(self, value: float) -> None:
-        """Record the current value of the gauge."""
-        with self._lock:
-            self.value = value
+        """Record the current value of the gauge.
+
+        A single attribute store is atomic under the GIL, and
+        last-write-wins is the gauge contract, so no lock is taken —
+        gauges sit on the telemetry hot path."""
+        self.value = value
+
+
+#: Size of the bounded pending-observation buffer feeding the P²
+#: estimators.  A histogram scraped at least once per this many
+#: observations loses nothing; an unscraped one keeps the most recent
+#: window (old pending observations are evicted, never burst-drained
+#: on the writer's thread).
+_QUANTILE_PENDING_CAP = 4096
 
 
 class Histogram:
-    """Log2-bucketed distribution of non-negative observations."""
+    """Log2-bucketed distribution of non-negative observations, with
+    streaming p50/p95/p99 (P²) estimation on the side.
+
+    The P² marker updates are deliberately **never** run inside
+    :meth:`observe`: observations queue in a bounded pending buffer (a
+    deque append under the lock — O(1) always) and are drained into the
+    estimators on a quantile *read* — :meth:`quantile` or
+    :meth:`summary`.  Reads are scrape-time events (snapshots,
+    Prometheus, dashboards), so the estimation cost lands on the
+    monitoring path, not on the engine's submit/complete hot path.  A
+    histogram that is written but never scraped evicts its oldest
+    pending observations instead of draining them: its eventual
+    quantile estimates cover the most recent ``_QUANTILE_PENDING_CAP``
+    observations — the window a monitoring read wants anyway — while
+    the bucket counts, count/sum/min/max stay exact over everything.
+    """
 
     __slots__ = ("_lock", "_buckets", "zero_count", "inf_count",
-                 "count", "total", "min", "max")
+                 "count", "total", "min", "max", "_quantiles", "_pending")
 
-    def __init__(self) -> None:
+    def __init__(self, quantiles: Iterable[float] = DEFAULT_QUANTILES) -> None:
         self._lock = threading.Lock()
         self._buckets: dict[int, int] = {}  # exponent k -> count in (2^(k-1), 2^k]
         self.zero_count = 0
@@ -77,6 +108,8 @@ class Histogram:
         self.total = 0.0
         self.min: float | None = None
         self.max: float | None = None
+        self._quantiles = QuantileSet(quantiles)
+        self._pending: deque[float] = deque(maxlen=_QUANTILE_PENDING_CAP)
 
     @staticmethod
     def bucket_exponent(value: float) -> int:
@@ -105,6 +138,18 @@ class Histogram:
             else:
                 k = self.bucket_exponent(value)
                 self._buckets[k] = self._buckets.get(k, 0) + 1
+            if not math.isinf(value):
+                # Bounded append: a full buffer evicts its oldest entry
+                # instead of draining here — observe stays O(1).
+                self._pending.append(value)
+
+    def _drain_locked(self) -> None:
+        """Feed queued observations to the P² estimators (lock held)."""
+        if self._pending:
+            observe = self._quantiles.observe
+            for value in self._pending:
+                observe(value)
+            self._pending.clear()
 
     def buckets(self) -> list[tuple[float, int]]:
         """Sorted ``(upper_bound, count)`` pairs for the occupied buckets,
@@ -118,13 +163,29 @@ class Histogram:
             out.append((math.inf, self.inf_count))
         return out
 
+    @property
+    def tracked_quantiles(self) -> tuple[float, ...]:
+        """Quantile levels this histogram estimates (default p50/p95/p99)."""
+        return self._quantiles.quantiles
+
+    def quantile(self, p: float) -> float | None:
+        """Streaming estimate of the ``p`` quantile (P²; exact below five
+        observations).  ``p`` must be one of :attr:`tracked_quantiles`."""
+        with self._lock:
+            self._drain_locked()
+            return self._quantiles.value(p)
+
     def summary(self) -> dict[str, Any]:
         """JSON-serializable summary of the distribution."""
+        with self._lock:
+            self._drain_locked()
+            quantiles = self._quantiles.summary()
         return {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
             "max": self.max,
+            **quantiles,
             "buckets": [
                 ["inf" if math.isinf(le) else le, n] for le, n in self.buckets()
             ],
@@ -161,9 +222,27 @@ class MetricsRegistry:
         """The gauge named ``name`` (created on first use)."""
         return self._get(name, Gauge)
 
-    def histogram(self, name: str) -> Histogram:
-        """The histogram named ``name`` (created on first use)."""
-        return self._get(name, Histogram)
+    def histogram(
+        self, name: str, quantiles: Iterable[float] | None = None
+    ) -> Histogram:
+        """The histogram named ``name`` (created on first use).
+
+        ``quantiles`` customizes the tracked levels at creation time;
+        it is ignored on later lookups of an existing histogram.
+        """
+        if quantiles is None:
+            return self._get(name, Histogram)
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = Histogram(quantiles)
+                self._instruments[name] = inst
+            elif not isinstance(inst, Histogram):
+                raise TypeError(
+                    f"metric {name!r} is a {type(inst).__name__}, "
+                    f"not a Histogram"
+                )
+            return inst
 
     def __iter__(self) -> Iterator[tuple[str, Any]]:
         with self._lock:
@@ -203,6 +282,9 @@ class _NullInstrument:
     def observe(self, value: float) -> None:
         pass
 
+    def quantile(self, p: float) -> None:
+        return None
+
 
 _NULL_INSTRUMENT = _NullInstrument()
 
@@ -219,7 +301,9 @@ class _NullMetrics:
     def gauge(self, name: str) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def histogram(self, name: str) -> _NullInstrument:
+    def histogram(
+        self, name: str, quantiles: Iterable[float] | None = None
+    ) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
 

@@ -1,0 +1,104 @@
+"""Prometheus text-exposition rendering for telemetry and metrics.
+
+One function, no dependencies: :func:`render_prometheus` turns an
+:class:`~repro.obs.telemetry.EngineTelemetry` (or a bare
+:class:`~repro.obs.metrics.MetricsRegistry`) into the Prometheus text
+format (version 0.0.4) that ``python -m repro serve --metrics-port``
+exposes on ``/metrics``:
+
+* counters → ``<name>_total`` with ``# TYPE ... counter``;
+* gauges → ``<name>`` with ``# TYPE ... gauge``;
+* histograms → Prometheus **summaries**: ``<name>{quantile="0.5"}``
+  lines from the streaming P² estimates plus ``_sum``/``_count`` —
+  exactly the p50/p95/p99 a scrape wants, without shipping buckets;
+* per-rank utilization → ``repro_engine_rank_busy_fraction{rank="r"}``.
+
+Metric names are dotted in the registry (``engine.jobs.submitted``) and
+sanitized to Prometheus conventions here
+(``repro_engine_jobs_submitted_total``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["render_prometheus", "prom_name"]
+
+_PREFIX = "repro_"
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prom_name(name: str) -> str:
+    """A registry metric name as a Prometheus metric name."""
+    return _PREFIX + _INVALID.sub("_", name)
+
+
+def _num(value: Any) -> str:
+    """A metric value rendered the way Prometheus parsers expect."""
+    if value is None:
+        return "NaN"
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value) if value != int(value) else str(int(value))
+
+
+def _render_registry(registry: MetricsRegistry, lines: list[str]) -> None:
+    for name, inst in registry:
+        pname = prom_name(name)
+        if isinstance(inst, Counter):
+            lines.append(f"# TYPE {pname}_total counter")
+            lines.append(f"{pname}_total {_num(inst.value)}")
+        elif isinstance(inst, Gauge):
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_num(inst.value)}")
+        elif isinstance(inst, Histogram):
+            summary = inst.summary()
+            lines.append(f"# TYPE {pname} summary")
+            for p in inst.tracked_quantiles:
+                lines.append(
+                    f'{pname}{{quantile="{p:g}"}} {_num(inst.quantile(p))}'
+                )
+            lines.append(f"{pname}_sum {_num(summary['sum'])}")
+            lines.append(f"{pname}_count {_num(summary['count'])}")
+
+
+def render_prometheus(source: Any) -> str:
+    """Render ``source`` — an :class:`EngineTelemetry` or a
+    :class:`MetricsRegistry` — as Prometheus text exposition."""
+    lines: list[str] = []
+    registry = source if isinstance(source, MetricsRegistry) else None
+    telemetry = None if registry is not None else source
+    if telemetry is not None:
+        if not getattr(telemetry, "enabled", False):
+            return "# telemetry disabled\n"
+        # snapshot() refreshes the busy-fraction and schedule-cache
+        # gauges before the registry is walked.
+        frame = telemetry.snapshot()
+        registry = telemetry.registry
+        lines.append(f"# TYPE {_PREFIX}engine_uptime_seconds gauge")
+        lines.append(
+            f"{_PREFIX}engine_uptime_seconds {_num(frame['uptime_s'])}"
+        )
+        util = frame.get("utilization", [])
+        if util:
+            lines.append(f"# TYPE {_PREFIX}engine_rank_busy_fraction gauge")
+            for rank, fraction in enumerate(util):
+                lines.append(
+                    f'{_PREFIX}engine_rank_busy_fraction{{rank="{rank}"}} '
+                    f"{_num(fraction)}"
+                )
+            lines.append(f"# TYPE {_PREFIX}engine_rank_jobs_total counter")
+            for rank, jobs in enumerate(frame.get("jobs_per_rank", [])):
+                lines.append(
+                    f'{_PREFIX}engine_rank_jobs_total{{rank="{rank}"}} '
+                    f"{_num(jobs)}"
+                )
+    _render_registry(registry, lines)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,73 @@
+"""Regression: empty/truncated captures must report, not crash.
+
+Before the fix, a :class:`RunCapture` whose ``clocks`` were sealed but
+whose ``ranks`` list was empty (or shorter than the clocks — a partial
+capture) made ``critical_path`` raise ``IndexError`` out of
+``_attribute_local``, which in turn crashed ``format_text_report``; and
+an entirely empty tracer printed a confusing zero-filled table.
+"""
+
+import pytest
+
+from repro.obs import (
+    RunCapture,
+    Tracer,
+    critical_path,
+    format_text_report,
+    phase_summary,
+)
+
+
+def _empty_run_with_clocks() -> RunCapture:
+    """Clocks sealed, no per-rank tracers — the crashing shape."""
+    return RunCapture(
+        index=0, nprocs=2, ranks=[], clocks=[1.0, 2.0], makespan=2.0
+    )
+
+
+class TestCriticalPathEmpty:
+    def test_no_ranks_no_clocks(self):
+        cp = critical_path(RunCapture(index=0, nprocs=0, ranks=[]))
+        assert cp.total == 0.0
+        assert cp.steps == []
+
+    def test_clocks_without_ranks_regression(self):
+        # This exact shape used to raise IndexError.
+        cp = critical_path(_empty_run_with_clocks())
+        assert cp.total == 2.0
+        assert cp.end_rank == 1
+        # All accounted time is untracked: there are no spans to charge.
+        assert cp.phase_seconds == pytest.approx({"untracked": 2.0})
+
+    def test_truncated_ranks(self):
+        # Partial capture: 1 rank traced, 3 clocks sealed; the walk must
+        # survive the untraced end rank.
+        tracer = Tracer()
+        run = tracer.begin_run(1, [type("C", (), {"now": 0.0})()])
+        run.nprocs = 3
+        tracer.finish_run(run, [0.5, 1.5, 2.5])
+        cp = critical_path(run)
+        assert cp.total == 2.5
+        assert cp.fraction("untracked") == 1.0
+
+
+class TestEmptyReport:
+    def test_empty_tracer_explicit_message(self):
+        text = format_text_report(Tracer())
+        assert "no runs captured" in text
+        assert "0 run(s)" not in text
+
+    def test_empty_tracer_phase_summary(self):
+        summary = phase_summary(Tracer())
+        assert summary == {
+            "runs": 0, "total_virtual_seconds": 0.0, "ops": {}
+        }
+
+    def test_report_with_empty_run_does_not_crash(self):
+        tracer = Tracer()
+        tracer.runs.append(_empty_run_with_clocks())
+        text = format_text_report(tracer)
+        assert "1 run(s)" in text
+        assert "no phased spans recorded" in text
+        # The critical path of the empty run still renders (untracked).
+        assert "untracked" in text

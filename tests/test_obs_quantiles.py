@@ -1,0 +1,142 @@
+"""P² streaming quantiles: accuracy against numpy, small-sample exactness."""
+
+import numpy as np
+import pytest
+
+from repro.obs.quantiles import DEFAULT_QUANTILES, P2Quantile, QuantileSet
+
+
+class TestP2Construction:
+    def test_rejects_out_of_range(self):
+        for p in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                P2Quantile(p)
+
+    def test_empty_returns_none(self):
+        assert P2Quantile(0.5).value() is None
+        assert P2Quantile(0.5).count == 0
+
+
+class TestSmallSampleExactness:
+    """Below five observations the estimator answers exactly (it holds
+    the raw samples), matching numpy's default linear interpolation."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    @pytest.mark.parametrize("p", [0.5, 0.95, 0.99])
+    def test_matches_numpy_exactly(self, n, p):
+        rng = np.random.default_rng(42 + n)
+        xs = rng.uniform(0, 10, size=n)
+        est = P2Quantile(p)
+        for x in xs:
+            est.observe(float(x))
+        assert est.count == n
+        assert est.value() == pytest.approx(
+            float(np.percentile(xs, 100 * p)), abs=1e-12
+        )
+
+    def test_single_observation(self):
+        est = P2Quantile(0.99)
+        est.observe(7.5)
+        assert est.value() == 7.5
+
+
+class TestP2Accuracy:
+    """Estimates on known distributions stay within a small fraction of
+    the distribution's spread of numpy's exact percentiles."""
+
+    @pytest.mark.parametrize("dist,kwargs", [
+        ("uniform", {"low": 0.0, "high": 1.0}),
+        ("normal", {"loc": 5.0, "scale": 2.0}),
+        ("lognormal", {"mean": 0.0, "sigma": 0.5}),
+        ("exponential", {"scale": 1.0}),
+    ])
+    @pytest.mark.parametrize("p", [0.5, 0.95, 0.99])
+    def test_close_to_numpy(self, dist, kwargs, p):
+        rng = np.random.default_rng(7)
+        xs = getattr(rng, dist)(size=5000, **kwargs)
+        est = P2Quantile(p)
+        for x in xs:
+            est.observe(float(x))
+        exact = float(np.percentile(xs, 100 * p))
+        spread = float(np.percentile(xs, 99.5) - np.percentile(xs, 0.5))
+        assert est.value() == pytest.approx(exact, abs=0.05 * spread), (
+            f"{dist} p{100 * p}: P2 {est.value():.4f} vs exact {exact:.4f}"
+        )
+
+    def test_monotone_across_levels(self):
+        rng = np.random.default_rng(3)
+        qs = QuantileSet((0.5, 0.95, 0.99))
+        for x in rng.exponential(size=2000):
+            qs.observe(float(x))
+        assert qs.value(0.5) <= qs.value(0.95) <= qs.value(0.99)
+
+    def test_sorted_input_does_not_break_markers(self):
+        # Adversarial for marker algorithms: monotone input.
+        est = P2Quantile(0.5)
+        xs = np.arange(1000, dtype=float)
+        for x in xs:
+            est.observe(float(x))
+        exact = float(np.percentile(xs, 50))
+        assert est.value() == pytest.approx(exact, rel=0.1)
+
+
+class TestHistogramQuantileWindow:
+    """The pending buffer feeding P² is bounded: an unscraped histogram
+    evicts oldest observations (its quantiles cover the recent window)
+    while exact stats keep covering everything."""
+
+    def test_scraped_histogram_loses_nothing(self):
+        from repro.obs.metrics import Histogram
+
+        h = Histogram()
+        for x in range(1000):
+            h.observe(float(x))
+            if x % 100 == 0:
+                h.quantile(0.5)  # scrape drains the buffer
+        assert h.summary()["count"] == 1000
+        assert h.quantile(0.5) == pytest.approx(499.5, rel=0.1)
+
+    def test_unscraped_histogram_keeps_recent_window(self):
+        from repro.obs.metrics import Histogram, _QUANTILE_PENDING_CAP
+
+        h = Histogram()
+        for _ in range(2 * _QUANTILE_PENDING_CAP):
+            h.observe(0.5)
+        for _ in range(_QUANTILE_PENDING_CAP):
+            h.observe(100.0)
+        # Exact stats cover every observation ...
+        s = h.summary()
+        assert s["count"] == 3 * _QUANTILE_PENDING_CAP
+        assert s["min"] == 0.5 and s["max"] == 100.0
+        # ... while the first quantile read sees the surviving window
+        # (the most recent cap's worth: all 100s).
+        assert h.quantile(0.5) == pytest.approx(100.0)
+
+
+class TestQuantileSet:
+    def test_defaults(self):
+        qs = QuantileSet()
+        assert qs.quantiles == DEFAULT_QUANTILES
+
+    def test_needs_at_least_one(self):
+        with pytest.raises(ValueError):
+            QuantileSet(())
+
+    def test_untracked_level_raises(self):
+        qs = QuantileSet((0.5,))
+        with pytest.raises(KeyError):
+            qs.value(0.9)
+
+    def test_summary_labels(self):
+        qs = QuantileSet((0.5, 0.95, 0.99))
+        for x in range(100):
+            qs.observe(float(x))
+        s = qs.summary()
+        assert set(s) == {"p50", "p95", "p99"}
+        assert s["p50"] == pytest.approx(49.5, rel=0.15)
+
+    def test_fractional_label(self):
+        # p99.9 must not produce a dict key with a dot in it.
+        qs = QuantileSet((0.999,))
+        qs.observe(1.0)
+        assert list(qs.summary()) == ["p99_9"]

@@ -1,0 +1,413 @@
+"""Service-level engine telemetry: lifecycles, metrics, exports.
+
+Covers the ISSUE 6 tentpole: wall-clock job lifecycle stamps, scheduler
+counters/gauges, quantile-bearing latency histograms, per-rank busy
+timelines feeding the Chrome-trace exporter, JSONL snapshot rings,
+Prometheus rendering — and the cost disciplines: registry thread-safety
+under concurrent multi-client submits, and the allocation-free disabled
+path (poison-tested like the disabled tracer).
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro import global_reduce
+from repro.analysis import engine_session_to_chrome_trace
+from repro.engine import Engine
+from repro.errors import EngineSaturated
+from repro.obs import render_prometheus
+from repro.obs.telemetry import (
+    LIFECYCLE_STATES,
+    NULL_ENGINE_TELEMETRY,
+    EngineTelemetry,
+    SnapshotRing,
+)
+from repro.ops import SumOp
+
+
+def _job(comm):
+    return global_reduce(comm, SumOp(), np.arange(8.0) + comm.rank)
+
+
+def _failing_job(comm):
+    raise RuntimeError("boom")
+
+
+def _gated_job(gate):
+    """A job that holds its ranks until ``gate`` is set — deterministic
+    way to keep the pool busy while a test inspects queue behavior."""
+
+    def fn(comm):
+        gate.wait(10.0)
+        return comm.rank
+
+    return fn
+
+
+class TestJobLifecycle:
+    def test_completed_job_walks_all_stamps(self):
+        with Engine(4, telemetry=True) as eng:
+            h = eng.submit(_job, nprocs=2, session="tenant-a")
+            h.result()
+            lc = h.lifecycle
+        assert lc is not None
+        assert lc.state == "completed"
+        assert lc.state in LIFECYCLE_STATES
+        assert lc.session == "tenant-a"
+        assert lc.nprocs == 2
+        assert lc.job_id == h.job_id
+        assert not lc.has_fault_plan
+        # Monotone stamp chain: submitted <= queued <= assembled <=
+        # running <= done.
+        assert (lc.t_submitted <= lc.t_queued <= lc.t_assembled
+                <= lc.t_running <= lc.t_done)
+        assert lc.queue_wait >= 0.0
+        assert lc.exec_seconds > 0.0
+        assert lc.e2e_seconds >= lc.exec_seconds
+        assert lc.virtual_seconds > 0.0
+
+    def test_failed_job_terminal_state(self):
+        with Engine(2, telemetry=True) as eng:
+            h = eng.submit(_failing_job, nprocs=2)
+            with pytest.raises(Exception):
+                h.result()
+            assert h.lifecycle.state == "failed"
+            assert eng.telemetry.registry.counter(
+                "engine.jobs.failed"
+            ).value == 1
+
+    def test_cancelled_pending_job(self):
+        gate = threading.Event()
+        with Engine(2, telemetry=True) as eng:
+            blocker = eng.submit(_gated_job(gate), nprocs=2)
+            victim = eng.submit(_job, nprocs=2)
+            # The victim queues behind the blocker; cancel it while pending.
+            assert victim.cancel()
+            gate.set()
+            blocker.result()
+            lc = victim.lifecycle
+        assert lc.state == "cancelled"
+        assert lc.t_assembled is None  # never dispatched
+        assert lc.t_done is not None
+
+    def test_saturated_submit_records_rejection(self):
+        gate = threading.Event()
+        with Engine(2, telemetry=True, queue_depth=1) as eng:
+            tel = eng.telemetry
+            blocker = eng.submit(_gated_job(gate), nprocs=2)
+            eng.submit(_job, nprocs=2, block=False)  # fills the queue
+            with pytest.raises(EngineSaturated):
+                eng.submit(_job, nprocs=2, block=False, session="t")
+            assert tel.registry.counter("engine.jobs.rejected").value == 1
+            rejected = [
+                lc for lc in tel.recent_jobs() if lc.state == "saturated"
+            ]
+            assert len(rejected) == 1
+            assert rejected[0].session == "t"
+            gate.set()
+            blocker.result()
+
+    def test_to_record_is_json_serializable(self):
+        with Engine(2, telemetry=True) as eng:
+            h = eng.submit(_job, nprocs=2, label="my-label")
+            h.result()
+            rec = h.lifecycle.to_record()
+        text = json.dumps(rec, allow_nan=False)
+        back = json.loads(text)
+        assert back["type"] == "job"
+        assert back["label"] == "my-label"
+        assert back["state"] == "completed"
+        assert back["e2e_s"] > 0
+
+    def test_set_telemetry_swaps_series(self):
+        """A quiescent swap starts a fresh measurement series — the
+        throughput benchmark excludes warm-up traffic this way."""
+        with Engine(2, telemetry=True) as eng:
+            eng.submit(_job, nprocs=2).result()  # "warm-up"
+            old = eng.telemetry
+            eng.set_telemetry(True)
+            fresh = eng.telemetry
+            assert fresh is not old
+            eng.submit(_job, nprocs=2).result()
+            assert old.registry.counter("engine.jobs.submitted").value == 1
+            assert fresh.registry.counter(
+                "engine.jobs.submitted"
+            ).value == 1
+            assert fresh.latency_summary()["e2e_s"]["count"] == 1
+            eng.set_telemetry(False)
+            h = eng.submit(_job, nprocs=2)
+            h.result()
+            assert h.lifecycle is None
+            assert eng.telemetry is NULL_ENGINE_TELEMETRY
+
+    def test_disabled_engine_has_no_lifecycle(self):
+        with Engine(2) as eng:
+            h = eng.submit(_job, nprocs=2)
+            h.result()
+            assert h.lifecycle is None
+            assert eng.telemetry is NULL_ENGINE_TELEMETRY
+            assert eng.stats()["telemetry_enabled"] is False
+
+
+class TestSchedulerMetrics:
+    def test_counters_and_gauges_settle(self):
+        with Engine(4, telemetry=True) as eng:
+            handles = [eng.submit(_job, nprocs=2) for _ in range(6)]
+            for h in handles:
+                h.result()
+            snap = eng.telemetry.snapshot()
+        c = snap["metrics"]["counters"]
+        assert c["engine.jobs.submitted"] == 6
+        assert c["engine.jobs.completed"] == 6
+        assert c["engine.jobs.failed"] == 0
+        g = snap["metrics"]["gauges"]
+        assert g["engine.queue.depth"] == 0
+        assert g["engine.jobs.inflight"] == 0
+        assert g["engine.ranks.free"] == 4
+
+    def test_schedule_cache_mirrored_into_gauges(self):
+        with Engine(4, telemetry=True) as eng:
+            for _ in range(4):
+                eng.submit(_job, nprocs=2).result()
+            snap = eng.telemetry.snapshot()
+        g = snap["metrics"]["gauges"]
+        cache = snap["engine"]["schedule_cache"]
+        assert g["engine.schedule_cache.hits"] == cache["hits"]
+        assert g["engine.schedule_cache.misses"] == cache["misses"]
+        assert cache["hits"] > 0  # repeats of one shape must hit
+
+    def test_latency_histograms_have_quantiles(self):
+        with Engine(4, telemetry=True) as eng:
+            for _ in range(8):
+                eng.submit(_job, nprocs=2).result()
+            lat = eng.telemetry.latency_summary()
+        for key in ("queue_wait_s", "exec_s", "e2e_s", "virtual_s"):
+            s = lat[key]
+            assert s["count"] == 8
+            assert s["p50"] is not None
+            assert s["p50"] <= s["p99"] * (1 + 1e-9)
+
+    def test_utilization_and_intervals(self):
+        with Engine(4, telemetry=True) as eng:
+            for _ in range(5):
+                eng.submit(_job, nprocs=2).result()
+            tel = eng.telemetry
+            util = tel.utilization()
+            intervals = tel.intervals()
+        assert len(util) == 4
+        assert all(0.0 <= u <= 1.0 for u in util)
+        assert sum(util) > 0.0
+        # One interval per (job, member): 5 jobs x 2 members.
+        assert len(intervals) == 10
+        for rank, t0, t1, job_id, label in intervals:
+            assert 0 <= rank < 4
+            assert t1 >= t0
+        assert tel.interval_drops == 0
+
+    def test_interval_ring_is_bounded(self):
+        tel = EngineTelemetry(2, max_intervals=4)
+        with Engine(2, telemetry=tel) as eng:
+            for _ in range(6):
+                eng.submit(_job, nprocs=2).result()
+        assert len(tel.intervals()) == 4
+        assert tel.interval_drops == 6 * 2 - 4
+
+
+class TestRegistryThreadSafety:
+    def test_concurrent_multi_client_submits(self):
+        """Counters must not lose increments when many sessions hammer
+        one telemetry-enabled engine concurrently."""
+        n_clients, jobs_each = 6, 10
+        with Engine(4, telemetry=True) as eng:
+            def client(idx):
+                with eng.session(label=f"c{idx}") as s:
+                    hs = [s.submit(_job, nprocs=2) for _ in range(jobs_each)]
+                    for h in hs:
+                        h.result()
+
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(n_clients)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            snap = eng.telemetry.snapshot()
+        total = n_clients * jobs_each
+        c = snap["metrics"]["counters"]
+        assert c["engine.jobs.submitted"] == total
+        assert c["engine.jobs.completed"] == total
+        lat = snap["metrics"]["histograms"]["engine.job.e2e_seconds"]
+        assert lat["count"] == total
+        # Every member interval was accounted (2 members per job).
+        assert sum(snap["jobs_per_rank"]) == total * 2
+
+    def test_concurrent_histogram_observe(self):
+        """Raw registry hammering from plain threads (no engine lock)."""
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        hist = reg.histogram("x")
+        counter = reg.counter("n")
+        n_threads, per_thread = 8, 500
+
+        def work(seed):
+            rng = np.random.default_rng(seed)
+            for v in rng.uniform(0, 1, size=per_thread):
+                hist.observe(float(v))
+                counter.inc()
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * per_thread
+        s = hist.summary()
+        assert s["count"] == n_threads * per_thread
+        assert 0.0 <= s["p50"] <= 1.0
+
+
+class TestDisabledTelemetryAllocatesNothing:
+    """ISSUE 6 cost discipline: a telemetry-off engine must build zero
+    telemetry objects on the submit/schedule path — the disabled branch
+    is an ``enabled`` attribute check plus the shared null object."""
+
+    @pytest.fixture
+    def poisoned(self, monkeypatch):
+        from repro.obs import telemetry as telemetry_mod
+
+        def boom(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError(
+                "telemetry object constructed with telemetry disabled"
+            )
+
+        monkeypatch.setattr(telemetry_mod.JobLifecycle, "__init__", boom)
+        monkeypatch.setattr(telemetry_mod.EngineTelemetry, "__init__", boom)
+        monkeypatch.setattr(telemetry_mod.SnapshotRing, "__init__", boom)
+
+    def test_submit_path_is_clean(self, poisoned):
+        with Engine(4) as eng:
+            handles = [eng.submit(_job, nprocs=2) for _ in range(4)]
+            results = [h.result() for h in handles]
+        assert all(h.lifecycle is None for h in handles)
+        assert len(results) == 4
+
+    def test_spmd_run_compat_shim_is_clean(self, poisoned):
+        from repro import spmd_run
+
+        res = spmd_run(_job, 4)
+        assert len(res.returns) == 4
+
+    def test_saturated_path_is_clean(self, poisoned):
+        gate = threading.Event()
+        with Engine(2, queue_depth=1) as eng:
+            blocker = eng.submit(_gated_job(gate), nprocs=2)
+            eng.submit(_job, nprocs=2, block=False)
+            with pytest.raises(EngineSaturated):
+                eng.submit(_job, nprocs=2, block=False)
+            gate.set()
+            blocker.result()
+
+
+class TestSnapshotRing:
+    def test_sample_and_write(self, tmp_path):
+        with Engine(2, telemetry=True) as eng:
+            ring = SnapshotRing(eng.telemetry, interval=0.01, capacity=3)
+            for _ in range(3):
+                eng.submit(_job, nprocs=2).result()
+            for _ in range(5):
+                ring.sample()
+            frames = ring.frames()
+            assert len(frames) == 3  # bounded
+            out = tmp_path / "telemetry.jsonl"
+            n = ring.write(str(out))
+        lines = [json.loads(l) for l in out.read_text().splitlines()]
+        assert len(lines) == n
+        kinds = {l["type"] for l in lines}
+        assert kinds == {"snapshot", "job", "metrics"}
+        jobs = [l for l in lines if l["type"] == "job"]
+        assert len(jobs) == 3
+        assert all(j["state"] == "completed" for j in jobs)
+
+    def test_thread_samples_periodically(self):
+        with Engine(2, telemetry=True) as eng:
+            with SnapshotRing(eng.telemetry, interval=0.02) as ring:
+                eng.submit(_job, nprocs=2).result()
+                import time
+
+                time.sleep(0.15)
+            assert len(ring.frames()) >= 2
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            SnapshotRing(EngineTelemetry(1), interval=0.0)
+
+
+class TestChromeTraceFeed:
+    def test_engine_session_trace(self):
+        with Engine(4, telemetry=True) as eng:
+            for k in range(4):
+                eng.submit(_job, nprocs=2, label=f"j{k}").result()
+            doc = engine_session_to_chrome_trace(eng.telemetry)
+        slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(slices) == 8  # 4 jobs x 2 members
+        assert {e["name"] for e in slices} == {"j0", "j1", "j2", "j3"}
+        assert all(e["dur"] >= 0 for e in slices)
+        # One thread-name metadata row per pool rank.
+        meta = [
+            e for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e.get("name") == "thread_name"
+        ]
+        assert len(meta) == 4
+        assert doc["otherData"]["clock"] == "wall"
+        json.dumps(doc)  # must serialize
+
+    def test_write_engine_session_trace(self, tmp_path):
+        from repro.analysis import write_engine_session_trace
+
+        with Engine(2, telemetry=True) as eng:
+            eng.submit(_job, nprocs=2).result()
+            out = tmp_path / "session.json"
+            write_engine_session_trace(eng.telemetry, str(out))
+        doc = json.loads(out.read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+
+class TestPrometheusRendering:
+    def test_counters_gauges_summaries(self):
+        with Engine(4, telemetry=True) as eng:
+            for _ in range(5):
+                eng.submit(_job, nprocs=2).result()
+            text = render_prometheus(eng.telemetry)
+        assert "# TYPE repro_engine_jobs_submitted_total counter" in text
+        assert "repro_engine_jobs_submitted_total 5" in text
+        assert "# TYPE repro_engine_queue_depth gauge" in text
+        assert "# TYPE repro_engine_job_e2e_seconds summary" in text
+        assert 'repro_engine_job_e2e_seconds{quantile="0.5"}' in text
+        assert "repro_engine_job_e2e_seconds_count 5" in text
+        assert 'repro_engine_rank_busy_fraction{rank="3"}' in text
+        # Text exposition 0.0.4: every line is NAME VALUE or a comment.
+        for line in text.strip().splitlines():
+            assert line.startswith("#") or len(line.split(" ")) == 2, line
+
+    def test_disabled_telemetry_renders_stub(self):
+        assert render_prometheus(NULL_ENGINE_TELEMETRY) == (
+            "# telemetry disabled\n"
+        )
+
+    def test_bare_registry_renders(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("my.count").inc(3)
+        reg.gauge("my.level").set(0.5)
+        text = render_prometheus(reg)
+        assert "repro_my_count_total 3" in text
+        assert "repro_my_level 0.5" in text
