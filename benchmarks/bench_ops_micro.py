@@ -4,6 +4,12 @@ Wall-time measurements (pytest-benchmark) of the pieces the figure
 benchmarks charge for: vectorized accumulate phases of the paper's
 operators, combine functions, the DSL-compiled operator vs. the
 hand-written one, and a whole in-process global reduction.
+
+Also runnable directly as ``python benchmarks/bench_ops_micro.py
+--smoke``: measures the compiled-kernel tier against the scalar
+``accum`` loop at 1M elements for the elementwise operators, asserts
+the 5x floor, and writes ``results/BENCH_ops_micro_kernels.json`` —
+the CI kernels-smoke gate.
 """
 
 from __future__ import annotations
@@ -145,3 +151,159 @@ class TestEndToEnd:
 
         out = benchmark(run)
         assert out[-1] == data.min()
+
+
+# ---------------------------------------------------------------------------
+# Kernel-tier smoke (CLI entry point; no pytest/pytest-benchmark needed)
+# ---------------------------------------------------------------------------
+
+#: The elementwise operators the smoke gate times, with int64-friendly
+#: identities (so scalar and kernel paths share dtypes exactly).
+def _smoke_ops():
+    from repro.ops import BandOp, BorOp, BxorOp, MaxOp, MinOp, SumOp
+
+    return (
+        ("sum", SumOp()),
+        ("min", MinOp(np.iinfo(np.int64).max)),
+        ("max", MaxOp(np.iinfo(np.int64).min)),
+        ("band", BandOp()),
+        ("bor", BorOp()),
+        ("bxor", BxorOp()),
+    )
+
+
+def _time_best(fn, repeats=5):
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_kernel_smoke(
+    n: int = 1_000_000,
+    floor: float = 5.0,
+    scalar_probe: int = 65_536,
+    out_path: str | None = "results/BENCH_ops_micro_kernels.json",
+) -> dict:
+    """Time the compiled kernel vs the scalar accum loop at ``n``
+    elements per elementwise op.  The scalar loop is timed on a
+    ``scalar_probe``-element prefix and scaled linearly (it is O(n)
+    per-element dispatch; timing the full 1M in pure Python would just
+    make CI slower, not the comparison fairer)."""
+    import json
+    from pathlib import Path
+
+    from repro.core.kernels import compile_kernel, numba_available, numba_enabled
+
+    rng = np.random.default_rng(33)
+    data = rng.integers(1, 1 << 30, n, dtype=np.int64)
+    probe = data[: min(scalar_probe, n)]
+    scale = n / len(probe)
+
+    per_op = []
+    for name, op in _smoke_ops():
+        kern = compile_kernel(op, data)
+        state0 = op.ident()
+
+        def scalar_run(op=op, state0=state0):
+            s = state0
+            for x in probe:
+                s = op.accum(s, x)
+            return s
+
+        def kernel_run(op=op, kern=kern, state0=state0):
+            return kern.accumulate(op, state0, data)
+
+        expected = op.accum_block(op.ident(), data)
+        got = kern.accumulate(op, op.ident(), data)
+        assert np.asarray(expected).tobytes() == np.asarray(got).tobytes(), (
+            f"{name}: kernel result diverges from accum_block"
+        )
+
+        scalar_s = _time_best(scalar_run) * scale
+        kernel_s = _time_best(kernel_run)
+        per_op.append(
+            {
+                "op": name,
+                "kernel_kind": kern.kind,
+                "scalar_s": scalar_s,
+                "kernel_s": kernel_s,
+                "speedup": scalar_s / kernel_s,
+            }
+        )
+
+    report = {
+        "n_elements": n,
+        "dtype": "int64",
+        "scalar_probe_elements": int(len(probe)),
+        "floor": floor,
+        "numba_available": numba_available(),
+        "numba_enabled": numba_enabled(),
+        "ops": per_op,
+        "min_speedup": min(e["speedup"] for e in per_op),
+    }
+    if out_path is not None:
+        out = Path(out_path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Operator micro-benchmarks (kernel-tier smoke gate)."
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the kernel-vs-scalar smoke comparison and assert the "
+        "speedup floor",
+    )
+    parser.add_argument(
+        "--n", type=int, default=1_000_000, metavar="ELEMS",
+        help="elements per operator (default: 1M)",
+    )
+    parser.add_argument(
+        "--floor", type=float, default=5.0, metavar="X",
+        help="minimum acceptable kernel speedup over the scalar loop "
+        "(default: 5.0)",
+    )
+    parser.add_argument(
+        "--out", default="results/BENCH_ops_micro_kernels.json",
+        metavar="PATH", help="JSON report destination",
+    )
+    ns = parser.parse_args(argv)
+    if not ns.smoke:
+        parser.error(
+            "this entry point only implements --smoke; run the full "
+            "suite via pytest benchmarks/bench_ops_micro.py"
+        )
+    report = run_kernel_smoke(n=ns.n, floor=ns.floor, out_path=ns.out)
+    for entry in report["ops"]:
+        print(
+            f"  {entry['op']:>5}: scalar {entry['scalar_s'] * 1e3:9.1f} ms  "
+            f"kernel {entry['kernel_s'] * 1e3:7.3f} ms  "
+            f"{entry['speedup']:8.1f}x ({entry['kernel_kind']})"
+        )
+    print(
+        f"kernel smoke: min speedup {report['min_speedup']:.1f}x over "
+        f"{len(report['ops'])} ops at n={report['n_elements']} "
+        f"(floor {report['floor']}x, numba="
+        f"{'on' if report['numba_enabled'] else 'off'})"
+    )
+    if report["min_speedup"] < ns.floor:
+        print(f"FAIL: below the {ns.floor}x floor")
+        return 1
+    print(f"OK: wrote {ns.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

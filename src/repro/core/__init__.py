@@ -8,8 +8,17 @@ from repro.core.fusion import (
     ReductionBucket,
     global_reduce_many,
 )
+from repro.core.kernels import (
+    ElementwiseKernel,
+    FallbackKernel,
+    Kernel,
+    KernelCache,
+    SegmentedKernel,
+    batched_accumulate,
+    compile_kernel,
+)
 from repro.core.operator import ReduceScanOp, state_equal
-from repro.core.reduce import accumulate_local, global_reduce
+from repro.core.reduce import accumulate_local, accumulate_local_many, global_reduce
 from repro.core.scan import global_scan, global_xscan
 from repro.core.validation import (
     check_operator,
@@ -31,6 +40,14 @@ __all__ = [
     "global_scan",
     "global_xscan",
     "accumulate_local",
+    "accumulate_local_many",
+    "Kernel",
+    "ElementwiseKernel",
+    "SegmentedKernel",
+    "FallbackKernel",
+    "KernelCache",
+    "compile_kernel",
+    "batched_accumulate",
     "check_operator",
     "sequential_reduce",
     "sequential_scan",

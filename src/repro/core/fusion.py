@@ -50,7 +50,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from repro.core.operator import ReduceScanOp
-from repro.core.reduce import accumulate_local, wire_op
+from repro.core.reduce import accumulate_local, accumulate_local_many, wire_op
 from repro.errors import CommunicatorError
 from repro.localview.api import _as_op
 from repro.mpi import tuning as _tuning
@@ -155,6 +155,25 @@ class ReductionBucket:
         generate phase runs at delivery."""
         state = accumulate_local(self._comm, op, values, accum_rate=accum_rate)
         return self._enqueue(wire_op(op), state, op.red_gen)
+
+    def add_many(
+        self,
+        ops: Sequence[ReduceScanOp],
+        values: Sequence[Any] | np.ndarray,
+        *,
+        accum_rate: str | None = None,
+    ) -> list[PendingReduction]:
+        """Queue K reductions of the *same* local block, sharing one
+        accumulate-phase data sweep when every operator's kernel is
+        tile-exact (:func:`repro.core.reduce.accumulate_local_many`).
+        Results are bit-identical to K :meth:`add` calls."""
+        states = accumulate_local_many(
+            self._comm, ops, values, accum_rate=accum_rate
+        )
+        return [
+            self._enqueue(wire_op(op), state, op.red_gen)
+            for op, state in zip(ops, states)
+        ]
 
     def allreduce(
         self,
@@ -292,10 +311,29 @@ def global_reduce_many(
     """Run K global reductions as fused combine waves; returns their
     results in order.  Equivalent to (and bit-identical with)
     ``[global_reduce(comm, op, values) for op, values in items]``, at a
-    fraction of the combine-phase latency."""
+    fraction of the combine-phase latency.
+
+    Consecutive items reducing the *same* ``values`` object additionally
+    share one accumulate-phase data sweep (:meth:`ReductionBucket.add_many`)
+    when their kernels allow it — the K-operators-one-block case of
+    ``comm.fused()`` costs one pass over memory instead of K."""
     bucket = ReductionBucket(comm, max_bytes=max_bytes)
-    handles = [
-        bucket.add(op, values, accum_rate=accum_rate) for op, values in items
-    ]
+    items = list(items)
+    handles: list[PendingReduction] = []
+    i = 0
+    while i < len(items):
+        op, values = items[i]
+        j = i + 1
+        while j < len(items) and items[j][1] is values:
+            j += 1
+        if j - i > 1:
+            handles.extend(
+                bucket.add_many(
+                    [o for o, _ in items[i:j]], values, accum_rate=accum_rate
+                )
+            )
+        else:
+            handles.append(bucket.add(op, values, accum_rate=accum_rate))
+        i = j
     bucket.waitall()
     return [h.result() for h in handles]

@@ -155,6 +155,18 @@ class ReduceScanOp(Generic[In, State, Out]):
 
     # -- metadata ----------------------------------------------------------------
 
+    def kernel_signature(self) -> tuple:
+        """Hashable key under which the kernel tier caches this
+        operator's compiled kernel (see :mod:`repro.core.kernels`).
+
+        The default — the concrete class — is right for any operator
+        whose block-path *structure* is determined by its type:
+        parameterized instances (``MinKOp(3)`` vs ``MinKOp(5)``) share
+        one kernel because kernels hold no per-instance state.
+        Override when instances of one class need distinct kernels
+        (``UfuncOp`` adds its ufunc)."""
+        return (type(self),)
+
     @property
     def name(self) -> str:
         return type(self).__name__

@@ -22,6 +22,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro.core import kernels as _kernels
 from repro.core.operator import ReduceScanOp
 from repro.errors import OperatorError
 from repro.localview.api import LOCAL_ALLREDUCE, LOCAL_REDUCE
@@ -30,7 +31,12 @@ from repro.mpi.comm import Communicator
 from repro.mpi.op import Op
 from repro.util.sizing import payload_nbytes
 
-__all__ = ["global_reduce", "accumulate_local", "wire_op"]
+__all__ = [
+    "global_reduce",
+    "accumulate_local",
+    "accumulate_local_many",
+    "wire_op",
+]
 
 #: Target chunk size for the overlapped accumulate/combine pipeline.
 _OVERLAP_CHUNK_BYTES = 64 * 1024
@@ -71,6 +77,51 @@ def accumulate_local(
     return state
 
 
+def accumulate_local_many(
+    comm: Communicator,
+    ops: Sequence[ReduceScanOp],
+    values: Sequence[Any] | np.ndarray,
+    *,
+    accum_rate: str | None = None,
+) -> list[Any]:
+    """Accumulate the *same* local block under K operators, sharing one
+    data sweep when every operator's kernel is tile-exact (see
+    :func:`repro.core.kernels.batched_accumulate`).
+
+    Each returned state is byte-identical to
+    ``accumulate_local(comm, op, values)`` for the matching op, and the
+    virtual-time charges and per-op accumulate spans are the same shape
+    as K sequential calls — only the wall-clock data movement is shared.
+    """
+    n = len(values)
+    if not _kernels.kernels_enabled() or len(ops) < 2 or n == 0:
+        return [
+            accumulate_local(comm, op, values, accum_rate=accum_rate)
+            for op in ops
+        ]
+    tr = comm.tracer
+    kcache = getattr(comm.context.world, "kernel_cache", None)
+    states = _kernels.batched_accumulate(
+        ops, values, cache=kcache,
+        metrics=tr.metrics if tr.enabled else None,
+    )
+    nbytes = payload_nbytes(values)
+    for op in ops:
+        rate = accum_rate if accum_rate is not None else op.accum_rate
+        if not tr.enabled:
+            if rate is not None:
+                comm.charge_elements(rate, n, f"accum:{op.name}")
+            continue
+        # Virtual time only advances inside charge_elements, so per-op
+        # spans around the charges attribute phases exactly as K
+        # sequential accumulate_local calls would.
+        with tr.span("accumulate", phase="accumulate", op=op.name) as sp:
+            sp.add(nbytes=nbytes, elements=n)
+            if rate is not None:
+                comm.charge_elements(rate, n, f"accum:{op.name}")
+    return states
+
+
 def _accumulate_impl(
     comm: Communicator,
     op: ReduceScanOp,
@@ -81,12 +132,58 @@ def _accumulate_impl(
     n = len(values)
     if n > 0:
         state = op.pre_accum(state, values[0])
-        state = op.accum_block(state, values)
+        state = _accum_block_dispatch(comm, op, state, values, n)
         state = op.post_accum(state, values[n - 1])
     rate = accum_rate if accum_rate is not None else op.accum_rate
     if rate is not None and n > 0:
         comm.charge_elements(rate, n, f"accum:{op.name}")
     return state
+
+
+def _accum_block_dispatch(
+    comm: Communicator,
+    op: ReduceScanOp,
+    state: Any,
+    values: Sequence[Any] | np.ndarray,
+    n: int,
+) -> Any:
+    """Fold a non-empty block through the kernel tier.
+
+    With kernels disabled (``REPRO_KERNELS=0`` /
+    ``kernels.configure(enabled=False)``) this is exactly the pre-tier
+    call — ``op.accum_block`` — with no kernel objects touched (the
+    zero-alloc poison test pins that).  Otherwise the world's
+    :class:`~repro.core.kernels.KernelCache` supplies the compiled
+    kernel, and — only where the scalar loop is provably bit-identical
+    (``loop_exact``) — the ``kernel`` decision dimension may route
+    small blocks to the loop.  Results never depend on the routing.
+    """
+    if not _kernels.kernels_enabled():
+        return op.accum_block(state, values)
+    world = comm.context.world
+    kcache = getattr(world, "kernel_cache", None)
+    if kcache is None:
+        kcache = _kernels.default_cache()
+    kern = kcache.get(op, values)
+    if kern.loop_exact:
+        nbytes = values.nbytes if isinstance(values, np.ndarray) else n << 3
+        scache = getattr(world, "schedule_cache", None)
+        if scache is not None:
+            choice = scache.choose("kernel", nbytes, comm.size)
+        else:
+            choice = _tuning.choose_kernel(nbytes, comm.size)
+        if choice == "scalar":
+            m = comm.tracer.metrics
+            if m.enabled:
+                m.counter("kernels.accum.scalar").inc()
+            accum = op.accum
+            for x in values:
+                state = accum(state, x)
+            return state
+    m = comm.tracer.metrics
+    if m.enabled:
+        m.counter(f"kernels.accum.{kern.kind}").inc()
+    return kern.accumulate(op, state, values)
 
 
 def global_reduce(

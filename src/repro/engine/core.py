@@ -187,6 +187,7 @@ class Engine:
                 "peak_inflight": self._peak_inflight,
                 "leaked_messages_drained": self._leaked_drained,
                 "schedule_cache": self._world.schedule_cache.stats(),
+                "kernel_cache": self._world.kernel_cache.stats(),
             }
 
     # -- submission ---------------------------------------------------------

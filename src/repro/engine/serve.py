@@ -199,6 +199,11 @@ def run_serve(argv: list[str]) -> int:
         f"(hit rate {cache['hit_rate']:.3f}); "
         f"leaked messages swept: {stats['leaked_messages_drained']}"
     )
+    kcache = stats["kernel_cache"]
+    print(
+        f"kernel cache: {kcache['hits']} hits / {kcache['misses']} misses "
+        f"(hit rate {kcache['hit_rate']:.3f}, {kcache['entries']} entries)"
+    )
     latency = telemetry.latency_summary()
 
     def _us(value):

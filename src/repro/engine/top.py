@@ -93,6 +93,16 @@ def render_frame(frame: dict[str, Any]) -> str:
                 rate,
             )
         )
+    kernel_hits = gauges.get("engine.kernel_cache.hits")
+    if kernel_hits is not None:
+        rate = gauges.get("engine.kernel_cache.hit_rate", 0.0) or 0.0
+        lines.append(
+            "  kernel cache:   {} hits / {} misses (hit rate {:.3f})".format(
+                int(kernel_hits),
+                int(gauges.get("engine.kernel_cache.misses", 0) or 0),
+                rate,
+            )
+        )
     lines.append("")
     lines.append("  rank utilization (busy fraction since start)")
     util = frame.get("utilization", [])

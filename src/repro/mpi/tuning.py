@@ -43,6 +43,7 @@ __all__ = [
     "REDUCE_ALGORITHMS",
     "SCAN_ALGORITHMS",
     "FUSION_CANDIDATES",
+    "KERNEL_CANDIDATES",
     "Band",
     "DecisionTable",
     "DEFAULT_TABLE",
@@ -50,6 +51,7 @@ __all__ = [
     "choose_reduce",
     "choose_scan",
     "choose_fusion",
+    "choose_kernel",
     "constant_span",
     "fusion_flush_bytes",
     "is_splittable",
@@ -75,6 +77,16 @@ SCAN_ALGORITHMS = ("binomial", "chain")
 #: latency rounds; flushing lets large payloads keep their
 #: bandwidth-optimal schedules.
 FUSION_CANDIDATES = ("fuse", "flush")
+
+#: "kernel" is the accumulate-phase routing decision of
+#: :mod:`repro.core.kernels`: fold this rank's block with the scalar
+#: per-element loop ("scalar") or the compiled block kernel
+#: ("compiled")?  The compiled kernel amortizes NumPy's fixed call
+#: overhead over the block; at very small n the plain loop can win.
+#: The decision is only *applied* where the two routings are provably
+#: bit-identical (``Kernel.loop_exact``), so — like the collective
+#: safety invariants above — a bad fit can change speed, never results.
+KERNEL_CANDIDATES = ("scalar", "compiled")
 
 _UNBOUNDED = 1 << 62  # "no upper limit" sentinel for thresholds
 
@@ -105,6 +117,14 @@ _FUSION_FALLBACK_BANDS = (
     Band(_UNBOUNDED, ((16384, "fuse"), (_UNBOUNDED, "flush"))),
 )
 
+# Kernel fallback for tables fitted before the kernel dimension
+# existed: the measured crossover is tiny — NumPy's fixed overhead
+# (~2 us) equals only one or two interpreter-dispatched accum calls —
+# so the scalar loop only wins for single-element blocks.
+_KERNEL_FALLBACK_BANDS = (
+    Band(_UNBOUNDED, ((8, "scalar"), (_UNBOUNDED, "compiled"))),
+)
+
 
 @dataclass(frozen=True)
 class DecisionTable:
@@ -116,6 +136,7 @@ class DecisionTable:
     scan: tuple[Band, ...]
     source: str = "default"
     fusion: tuple[Band, ...] = _FUSION_FALLBACK_BANDS
+    kernel: tuple[Band, ...] = _KERNEL_FALLBACK_BANDS
 
     def lookup(self, kind: str, nbytes: int, nprocs: int) -> str:
         bands: tuple[Band, ...] = getattr(self, kind)
@@ -147,6 +168,7 @@ class DecisionTable:
             "reduce": enc(self.reduce),
             "scan": enc(self.scan),
             "fusion": enc(self.fusion),
+            "kernel": enc(self.kernel),
         }
 
     @classmethod
@@ -167,14 +189,16 @@ class DecisionTable:
             )
 
         fusion = data.get("fusion")
+        kernel = data.get("kernel")
         return cls(
             allreduce=dec(data["allreduce"]),
             reduce=dec(data["reduce"]),
             scan=dec(data["scan"]),
             source=str(data.get("source", "loaded")),
-            # Tables written before the fusion dimension existed load
-            # with the conservative fallback thresholds.
+            # Tables written before the fusion/kernel dimensions existed
+            # load with the conservative fallback thresholds.
             fusion=dec(fusion) if fusion else _FUSION_FALLBACK_BANDS,
+            kernel=dec(kernel) if kernel else _KERNEL_FALLBACK_BANDS,
         )
 
 
@@ -218,6 +242,14 @@ DEFAULT_TABLE = DecisionTable(
         # reductions' bandwidth-optimal schedules (Rabenseifner) beat
         # the fused wave's log2(p) full-payload hops.
         Band(_UNBOUNDED, ((16384, "fuse"), (_UNBOUNDED, "flush"))),
+    ),
+    kernel=(
+        # Fitted on the wall clock (this dimension is about interpreter
+        # dispatch vs NumPy call overhead, which the message cost model
+        # does not represent): the compiled block kernel wins from
+        # two-element blocks up, so only single-element payloads route
+        # to the scalar loop.  Rank-independent — accumulation is local.
+        Band(_UNBOUNDED, ((8, "scalar"), (_UNBOUNDED, "compiled"))),
     ),
     source="default (fitted against CostModel() defaults)",
 )
@@ -382,6 +414,8 @@ def constant_span(
         return _band_span(tbl.scan, nbytes, nprocs)
     if kind == "fusion":
         return _band_span(tbl.fusion, nbytes, nprocs)
+    if kind == "kernel":
+        return _band_span(tbl.kernel, nbytes, nprocs)
     raise ValueError(f"unknown tuning kind {kind!r}")
 
 
@@ -396,6 +430,20 @@ def choose_fusion(
     (``"flush"``)?  Consults the same fitted table as ``algorithm="auto"``
     so the two decisions can never disagree about the cost model."""
     return (table or _active_table).lookup("fusion", nbytes, nprocs)
+
+
+def choose_kernel(
+    nbytes: int,
+    nprocs: int = 1,
+    *,
+    table: DecisionTable | None = None,
+) -> str:
+    """Should the accumulate phase fold an ``nbytes`` local block with
+    the scalar per-element loop (``"scalar"``) or the compiled block
+    kernel (``"compiled"``)?  Only consulted — and only honored — where
+    the two are bit-identical (:mod:`repro.core.kernels` gates on
+    ``loop_exact``), so the table decides speed alone."""
+    return (table or _active_table).lookup("kernel", nbytes, nprocs)
 
 
 def fusion_flush_bytes(nprocs: int, *, table: DecisionTable | None = None) -> int:
@@ -462,6 +510,61 @@ def _simulate(kind: str, algorithm: str, nbytes: int, nprocs: int, cost_model):
     return spmd_run(prog, nprocs, cost_model=cost_model).time
 
 
+#: Scalar-loop measurements run on at most this many elements and are
+#: extrapolated linearly (the loop is O(n) interpreter steps), so a
+#: full-grid fit does not spend seconds per large payload.
+_KERNEL_PROBE_CAP = 8192
+
+
+def _measure_kernel(algorithm: str, nbytes: int) -> float:
+    """Wall-clock seconds to accumulate an ``nbytes`` int64 block under
+    one kernel routing.  Unlike the collective kinds this dimension
+    trades interpreter dispatch against NumPy fixed call overhead —
+    real CPU effects the virtual message cost model does not represent
+    — so it is fitted on the wall clock.  Rank-independent (the
+    accumulate phase is local), measured as best-of-5 over an inner
+    repetition loop sized so each sample is long enough to time."""
+    import time
+
+    from repro.core import kernels as _kernels
+    from repro.ops import SumOp
+
+    op = SumOp()
+    n = max(1, nbytes // 8)
+    if algorithm == "scalar":
+        probe_n = min(n, _KERNEL_PROBE_CAP)
+        arr = np.arange(probe_n, dtype=np.int64)
+        scale = n / probe_n
+        accum = op.accum
+
+        def run():
+            state = op.ident()
+            for x in arr:
+                state = accum(state, x)
+            return state
+
+    elif algorithm == "compiled":
+        arr = np.arange(n, dtype=np.int64)
+        scale = 1.0
+        kern = _kernels.compile_kernel(op, arr)
+
+        def run():
+            return kern.accumulate(op, op.ident(), arr)
+
+    else:  # pragma: no cover - internal misuse
+        raise ValueError(f"unknown kernel candidate {algorithm!r}")
+
+    run()  # warm caches and lazy imports
+    inner = max(1, 4096 // max(1, len(arr)))
+    best = math.inf
+    for _ in range(5):
+        t0 = time.perf_counter()
+        for _ in range(inner):
+            run()
+        best = min(best, (time.perf_counter() - t0) / inner)
+    return best * scale
+
+
 def _cutoffs_from_winners(
     payloads: Sequence[int], winners: Sequence[str]
 ) -> tuple[tuple[int, str], ...]:
@@ -502,7 +605,20 @@ def fit_decision_table(
         "reduce": REDUCE_ALGORITHMS,
         "scan": SCAN_ALGORITHMS,
         "fusion": FUSION_CANDIDATES,
+        "kernel": KERNEL_CANDIDATES,
     }
+    # The kernel dimension is rank-independent and wall-clock-measured;
+    # memoize per (algorithm, payload) so rank bands reuse measurements.
+    kernel_memo: dict[tuple[str, int], float] = {}
+
+    def measure(kind: str, algorithm: str, nbytes: int, p: int) -> float:
+        if kind == "kernel":
+            key = (algorithm, nbytes)
+            if key not in kernel_memo:
+                kernel_memo[key] = _measure_kernel(algorithm, nbytes)
+            return kernel_memo[key]
+        return _simulate(kind, algorithm, nbytes, p, cm)
+
     grid: dict[str, list[dict[str, Any]]] = {}
     bands: dict[str, list[Band]] = {}
     for kind, algos in candidates.items():
@@ -512,7 +628,7 @@ def fit_decision_table(
             winners: list[str] = []
             for nbytes in payloads:
                 times = {
-                    a: _simulate(kind, a, nbytes, p, cm) for a in algos
+                    a: measure(kind, a, nbytes, p) for a in algos
                 }
                 winner = min(times, key=times.get)
                 winners.append(winner)
@@ -529,6 +645,7 @@ def fit_decision_table(
         reduce=tuple(bands["reduce"]),
         scan=tuple(bands["scan"]),
         fusion=tuple(bands["fusion"]),
+        kernel=tuple(bands["kernel"]),
         source=f"fitted (ranks={ranks}, payloads={payloads[0]}..{payloads[-1]}B)",
     )
     report = {

@@ -405,6 +405,13 @@ class EngineTelemetry:
             reg.gauge("engine.schedule_cache.hits").set(cache["hits"])
             reg.gauge("engine.schedule_cache.misses").set(cache["misses"])
             reg.gauge("engine.schedule_cache.hit_rate").set(cache["hit_rate"])
+            kcache = engine_stats.get("kernel_cache")
+            if kcache is not None:
+                reg.gauge("engine.kernel_cache.hits").set(kcache["hits"])
+                reg.gauge("engine.kernel_cache.misses").set(kcache["misses"])
+                reg.gauge("engine.kernel_cache.hit_rate").set(
+                    kcache["hit_rate"]
+                )
         frame: dict[str, Any] = {
             "type": "snapshot",
             "ts": self._epoch + t,

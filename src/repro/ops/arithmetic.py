@@ -47,6 +47,11 @@ class UfuncOp(ReduceScanOp):
     def ident(self):
         return self._identity_value
 
+    def kernel_signature(self) -> tuple:
+        # Distinct ufuncs under one class (raw UfuncOp instances) must
+        # not share an elementwise kernel.
+        return (type(self), self._ufunc)
+
     def accum(self, state, x):
         return self._ufunc(state, x)
 

@@ -102,6 +102,11 @@ class World:
         from repro.mpi.schedule_cache import ScheduleCache
 
         self.schedule_cache = ScheduleCache()
+        # Compiled accumulate kernels are operator/dtype artifacts, not
+        # world state, so every world shares the process-wide cache.
+        from repro.core.kernels import default_cache
+
+        self.kernel_cache = default_cache()
 
     def allocate_context_id(self) -> int:
         """Allocate a communicator context id (unique per World).
@@ -223,6 +228,7 @@ class JobWorld:
         self.isolate_payloads = isolate_payloads
         self.mailboxes = parent.mailboxes
         self.schedule_cache = parent.schedule_cache
+        self.kernel_cache = parent.kernel_cache
         self.abort_event = threading.Event()
         self.membership = Membership(parent.nprocs, members=self.members)
         self.membership.mailboxes = parent.mailboxes

@@ -1,0 +1,562 @@
+"""The kernel-compilation tier (`repro.core.kernels`).
+
+Covers: compiler classification, the identity-oracle guarantee (kernel
+tier on/off is bit-identical for every chaos-catalogue operator, reduce
+and scan), the batched one-sweep accumulate (K=8 over the full
+{4,8,16}-rank grid), kernel-cache hit/miss accounting and generation
+invalidation, engine cross-job memoization, numba opt-in (skipped when
+numba is absent), and the zero-alloc poison test for the kernels-off
+hot path.
+"""
+
+import random
+import struct
+
+import numpy as np
+import pytest
+
+from repro import spmd_run
+from repro.core import (
+    global_reduce,
+    global_reduce_many,
+    global_scan,
+    global_xscan,
+)
+from repro.core import kernels as kernels_mod
+from repro.core.kernels import (
+    ElementwiseKernel,
+    FallbackKernel,
+    KernelCache,
+    SegmentedKernel,
+    batched_accumulate,
+    compile_kernel,
+)
+from repro.core.operator import state_equal
+from repro.faults.chaos import CHAOS_CASES
+from repro.mpi import tuning
+from repro.obs import Tracer
+from repro.ops import (
+    AllOp,
+    BandOp,
+    BorOp,
+    BxorOp,
+    CountsOp,
+    MaxOp,
+    MeanVarOp,
+    MinKOp,
+    MinOp,
+    ProdOp,
+    SumOp,
+    TranslateMinKOp,
+    UfuncOp,
+)
+
+#: Eight tile-exact operators over int data — the acceptance-grid batch.
+EIGHT_OPS = (
+    lambda: SumOp(),
+    lambda: ProdOp(np.int64(1)),
+    lambda: MinOp(np.iinfo(np.int64).max),
+    lambda: MaxOp(np.iinfo(np.int64).min),
+    lambda: BandOp(),
+    lambda: BorOp(),
+    lambda: BxorOp(),
+    lambda: AllOp(),
+)
+
+
+@pytest.fixture
+def kernels_off():
+    """Disable the kernel tier for one test, restoring it afterwards."""
+    kernels_mod.configure(enabled=False)
+    try:
+        yield
+    finally:
+        kernels_mod.configure(enabled=True)
+
+
+def bit_equal(a, b):
+    """Strict structural equality: same types, same bytes for arrays and
+    NumPy scalars (the identity-oracle guarantee is bitwise, not
+    approximate)."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, np.ndarray):
+        return (
+            a.dtype == b.dtype
+            and a.shape == b.shape
+            and a.tobytes() == b.tobytes()
+        )
+    if isinstance(a, np.generic):
+        return a.tobytes() == b.tobytes()
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(bit_equal(x, y) for x, y in zip(a, b))
+    if isinstance(a, dict):
+        return a.keys() == b.keys() and all(
+            bit_equal(v, b[k]) for k, v in a.items()
+        )
+    if isinstance(a, (set, frozenset)):
+        return a == b
+    if isinstance(a, float):
+        # Bitwise, so NaN == NaN and 0.0 != -0.0 (identity means identity).
+        return struct.pack("<d", a) == struct.pack("<d", b)
+    if hasattr(a, "__dict__"):
+        return bit_equal(vars(a), vars(b))
+    if hasattr(type(a), "__slots__"):
+        return all(
+            bit_equal(getattr(a, s), getattr(b, s))
+            for s in type(a).__slots__
+        )
+    return a == b
+
+
+class TestCompilerClassification:
+    def test_ufunc_ops_compile_elementwise(self):
+        arr = np.arange(8, dtype=np.int64)
+        for op in (SumOp(), ProdOp(), MinOp(), MaxOp(), BandOp(), AllOp()):
+            kern = compile_kernel(op, arr)
+            assert isinstance(kern, ElementwiseKernel), op.name
+            assert kern.kind == "elementwise"
+
+    def test_custom_block_ops_compile_segmented(self):
+        arr = np.arange(8, dtype=np.int64)
+        for op in (CountsOp(8), MinKOp(3), MeanVarOp()):
+            kern = compile_kernel(op, arr)
+            assert isinstance(kern, SegmentedKernel), op.name
+
+    def test_stateful_ops_compile_fallback(self):
+        from repro.ops import AffineOp
+
+        # AffineOp is the catalogue's per-element stateful operator (no
+        # block overrides), so it runs the base loop through the tier.
+        kern = compile_kernel(AffineOp(), [(2.0, 1.0)])
+        assert isinstance(kern, FallbackKernel)
+        # TranslateMinKOp ships its own block method -> segmented class.
+        kern = compile_kernel(TranslateMinKOp(3), [3.0, 1.0, 2.0])
+        assert isinstance(kern, SegmentedKernel)
+
+    def test_exactness_follows_ufunc_and_dtype(self):
+        ints = np.arange(4, dtype=np.int64)
+        floats = np.linspace(0, 1, 4)
+        # Integer add: exactly associative, loop- and tile-exact.
+        k = compile_kernel(SumOp(), ints)
+        assert k.loop_exact and k.tile_exact
+        # Float add: pairwise reduction reorders, never exact.
+        k = compile_kernel(SumOp(), floats)
+        assert not k.loop_exact and not k.tile_exact
+        # min/max: order-independent on any dtype.
+        assert compile_kernel(MinOp(), floats).loop_exact
+        assert compile_kernel(MaxOp(), floats).tile_exact
+        # Custom-block ops are never assumed exact; the base loop is.
+        assert not compile_kernel(MeanVarOp(), floats).loop_exact
+        from repro.ops import AffineOp
+
+        assert compile_kernel(AffineOp(), [(2.0, 1.0)]).loop_exact
+
+    def test_pyseq_dtype_unknown_only_any_dtype_ufuncs_exact(self):
+        assert not compile_kernel(SumOp(), [1, 2, 3]).loop_exact
+        assert compile_kernel(MinOp(), [1.0, 2.0]).loop_exact
+
+
+class TestIdentityOracle:
+    """Kernel tier on vs off must be bit-identical, reduce and scan,
+    for every operator in the chaos catalogue."""
+
+    @pytest.mark.parametrize("case", CHAOS_CASES, ids=lambda c: c.name)
+    @pytest.mark.parametrize("n", [0, 1, 2, 7, 64])
+    def test_kernel_accumulate_matches_block(self, case, n):
+        rng = random.Random(1000 + n)
+        data = case.make_data(rng, n)
+        op = case.make_op()
+        expected = op.accum_block(op.ident(), data)
+        op2 = case.make_op()
+        kern = compile_kernel(op2, data)
+        got = op2.ident()
+        if n > 0:
+            got = op2.pre_accum(got, data[0])
+            got = kern.accumulate(op2, got, data)
+            got = op2.post_accum(got, data[n - 1])
+            exp2 = case.make_op()
+            expected = exp2.ident()
+            expected = exp2.pre_accum(expected, data[0])
+            expected = exp2.accum_block(expected, data)
+            expected = exp2.post_accum(expected, data[n - 1])
+        assert state_equal(expected, got), case.name
+
+    @pytest.mark.parametrize(
+        "case",
+        [c for c in CHAOS_CASES if c.scan],
+        ids=lambda c: c.name,
+    )
+    @pytest.mark.parametrize("exclusive", [False, True])
+    def test_kernel_scan_matches_scan_block(self, case, exclusive):
+        # Rebuilt per path: the protocol lets accum mutate its state, so
+        # the seed object must not be shared between the two scans.
+        def build(case):
+            rng = random.Random(2024)
+            data = case.make_data(rng, 17)
+            op = case.make_op()
+            seed = op.accum_block(op.ident(), case.make_data(rng, 4))
+            return op, seed, data
+
+        op, seed, data = build(case)
+        expected = op.scan_block(seed, data, exclusive=exclusive)
+        op2, seed2, data2 = build(case)
+        kern = compile_kernel(op2, data2)
+        got = kern.scan(op2, seed2, data2, exclusive=exclusive)
+        assert state_equal(list(expected[0]), list(got[0])), case.name
+        assert state_equal(expected[1], got[1]), case.name
+
+    @pytest.mark.parametrize("case", CHAOS_CASES, ids=lambda c: c.name)
+    def test_global_reduce_bit_identical_on_vs_off(self, case, kernels_off):
+        rng = random.Random(31337)
+        blocks = [case.make_data(rng, 6) for _ in range(4)]
+
+        def prog(comm):
+            return global_reduce(comm, case.make_op(), blocks[comm.rank])
+
+        off = spmd_run(prog, 4).returns
+        kernels_mod.configure(enabled=True)
+        try:
+            on = spmd_run(prog, 4).returns
+        finally:
+            kernels_mod.configure(enabled=False)
+        for a, b in zip(off, on):
+            assert bit_equal(a, b), case.name
+
+    @pytest.mark.parametrize(
+        "case",
+        [c for c in CHAOS_CASES if c.scan],
+        ids=lambda c: c.name,
+    )
+    def test_global_scans_bit_identical_on_vs_off(self, case, kernels_off):
+        rng = random.Random(55)
+        blocks = [case.make_data(rng, 5) for _ in range(4)]
+
+        def prog(comm):
+            op = case.make_op()
+            inc = global_scan(comm, op, blocks[comm.rank])
+            exc = global_xscan(comm, case.make_op(), blocks[comm.rank])
+            return inc, exc
+
+        off = spmd_run(prog, 4).returns
+        kernels_mod.configure(enabled=True)
+        try:
+            on = spmd_run(prog, 4).returns
+        finally:
+            kernels_mod.configure(enabled=False)
+        for a, b in zip(off, on):
+            assert bit_equal(a, b), case.name
+
+    def test_non_commutative_ops_fall_back_cleanly(self):
+        """Non-commutative operators classify as segmented/fallback and
+        keep their order-preserving semantics through the tier."""
+        from repro.ops import ConcatOp, SegmentedOp
+
+        seg = SegmentedOp(lambda a, b: a + b, 0.0, name="segsum")
+        assert not seg.commutative
+        kern = compile_kernel(seg, [(1.0, 0), (2.0, 1)])
+        assert isinstance(kern, SegmentedKernel)
+        assert not kern.tile_exact  # never batched into a shared sweep
+        cat = ConcatOp()
+        assert isinstance(compile_kernel(cat, [1, 2]), SegmentedKernel)
+
+
+class TestBatchedAccumulate:
+    def _ops(self):
+        return [make() for make in EIGHT_OPS]
+
+    def test_single_sweep_bit_identical_to_sequential(self):
+        data = (np.arange(100_003, dtype=np.int64) % 97) + 1
+        ops = self._ops()
+        batched = batched_accumulate(ops, data, cache=KernelCache())
+        for op, got in zip(self._ops(), batched):
+            expected = op.ident()
+            expected = op.pre_accum(expected, data[0])
+            expected = op.accum_block(expected, data)
+            expected = op.post_accum(expected, data[-1])
+            assert np.asarray(got).tobytes() == np.asarray(expected).tobytes()
+            assert np.asarray(got).dtype == np.asarray(expected).dtype
+
+    def test_mixed_exactness_demotes_to_per_op_passes(self):
+        data = np.linspace(0.0, 1.0, 70_000)
+        ops = [SumOp(), MinOp(), MeanVarOp()]  # float add is not tile-exact
+
+        class Probe:
+            enabled = True
+
+            def __init__(self):
+                self.names = []
+
+            def counter(self, name):
+                probe = self
+
+                class C:
+                    def inc(self, k=1):
+                        probe.names.append(name)
+
+                return C()
+
+        probe = Probe()
+        batched_accumulate(ops, data, cache=KernelCache(), metrics=probe)
+        assert "kernels.batch.fallback_passes" in probe.names
+        assert "kernels.batch.sweeps" not in probe.names
+
+    @pytest.mark.parametrize("nprocs", [4, 8, 16])
+    def test_reduce_many_one_sweep_grid(self, nprocs):
+        """The acceptance grid: K=8 fused reductions over {4,8,16} ranks
+        share ONE data sweep per rank and stay bit-identical to the
+        sequential path."""
+        n = 40_000  # > the sweep tile size, so the tiled path engages
+        data = (np.arange(n, dtype=np.int64) % 89) + 1
+        tracer = Tracer()
+
+        def fused_prog(comm):
+            return global_reduce_many(
+                comm, [(make(), data) for make in EIGHT_OPS]
+            )
+
+        fused = spmd_run(fused_prog, nprocs, tracer=tracer).returns
+
+        def sequential_prog(comm):
+            return [global_reduce(comm, make(), data) for make in EIGHT_OPS]
+
+        sequential = spmd_run(sequential_prog, nprocs).returns
+        for rank_fused, rank_seq in zip(fused, sequential):
+            for a, b in zip(rank_fused, rank_seq):
+                assert np.asarray(a).tobytes() == np.asarray(b).tobytes()
+                assert np.asarray(a).dtype == np.asarray(b).dtype
+        snap = tracer.metrics.snapshot()["counters"]
+        assert snap.get("kernels.batch.sweeps") == nprocs  # one per rank
+        assert snap.get("kernels.batch.members") == nprocs * len(EIGHT_OPS)
+
+    def test_virtual_time_matches_sequential_charges(self):
+        """The shared sweep must not change the cost model's answer:
+        per-op element charges are identical to sequential calls."""
+        data = (np.arange(40_000, dtype=np.int64) % 13) + 1
+
+        def fused_prog(comm):
+            return global_reduce_many(
+                comm,
+                [(make(), data) for make in EIGHT_OPS],
+                accum_rate="numpy_stream",
+            )
+
+        def sequential_prog(comm):
+            out = []
+            bucket_free = [
+                global_reduce(comm, make(), data, accum_rate="numpy_stream")
+                for make in EIGHT_OPS
+            ]
+            out.extend(bucket_free)
+            return out
+
+        fused = spmd_run(fused_prog, 4)
+        sequential = spmd_run(sequential_prog, 4)
+        # Accumulate charges are per-op identical; only combine waves
+        # differ (fusion shares them), so fused can't be slower.
+        assert fused.time <= sequential.time + 1e-12
+
+
+class TestKernelCache:
+    def test_hits_and_misses(self):
+        cache = KernelCache()
+        arr = np.arange(8, dtype=np.int64)
+        k1 = cache.get(SumOp(), arr)
+        k2 = cache.get(SumOp(), arr)
+        assert k1 is k2
+        stats = cache.stats()
+        assert stats == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "hit_rate": 0.5,
+        }
+
+    def test_key_separates_dtype_and_shape_class(self):
+        cache = KernelCache()
+        op = SumOp()
+        cache.get(op, np.arange(4, dtype=np.int64))
+        cache.get(op, np.arange(4, dtype=np.float64))
+        cache.get(op, np.zeros((2, 2)))
+        cache.get(op, [1, 2, 3])
+        assert cache.stats()["entries"] == 4
+
+    def test_distinct_ufuncs_get_distinct_kernels(self):
+        cache = KernelCache()
+        arr = np.arange(4, dtype=np.int64)
+        kmin = cache.get(UfuncOp(np.minimum, np.inf, "min"), arr)
+        kmax = cache.get(UfuncOp(np.maximum, -np.inf, "max"), arr)
+        assert kmin is not kmax
+        assert kmin.ufunc is np.minimum and kmax.ufunc is np.maximum
+
+    def test_parameterized_ops_share_one_entry(self):
+        cache = KernelCache()
+        arr = [5.0, 1.0, 3.0]
+        cache.get(MinKOp(3), arr)
+        cache.get(MinKOp(7), arr)
+        assert cache.stats()["entries"] == 1
+        assert cache.stats()["hits"] == 1
+
+    def test_configure_bumps_generation_and_flushes(self):
+        cache = KernelCache()
+        arr = np.arange(4, dtype=np.int64)
+        cache.get(SumOp(), arr)
+        assert cache.stats()["entries"] == 1
+        before = kernels_mod.cache_generation()
+        kernels_mod.configure()  # no-arg configure still bumps
+        assert kernels_mod.cache_generation() == before + 1
+        cache.get(SumOp(), arr)  # flush happens lazily on next get
+        stats = cache.stats()
+        assert stats["entries"] == 1 and stats["misses"] == 2
+
+    def test_worlds_share_the_process_cache(self):
+        from repro.runtime.world import World
+
+        w = World(2)
+        assert w.kernel_cache is kernels_mod.default_cache()
+
+
+class TestEngineMemoization:
+    def test_cross_job_hit_rate(self):
+        """Repeated engine submits of the same operator/dtype re-derive
+        nothing: after the first job compiles the kernel, every later
+        lookup is a hit (the ScheduleCache-style generation mechanism
+        keeps entries valid across jobs)."""
+        from repro.engine import Engine
+
+        data = np.arange(512, dtype=np.int64)
+
+        def job(comm):
+            return global_reduce(comm, SumOp(), data)
+
+        with Engine(4) as eng:
+            first = eng.submit(job, nprocs=2)
+            first.result()
+            base = eng.stats()["kernel_cache"]
+            for _ in range(10):
+                eng.submit(job, nprocs=2).result()
+            after = eng.stats()["kernel_cache"]
+        assert after["misses"] == base["misses"]  # nothing recompiled
+        assert after["hits"] >= base["hits"] + 10
+
+    def test_engine_stats_expose_kernel_cache(self):
+        from repro.engine import Engine
+
+        with Engine(2) as eng:
+            stats = eng.stats()["kernel_cache"]
+        assert set(stats) == {"entries", "hits", "misses", "hit_rate"}
+
+
+class TestTuningDimension:
+    def test_choose_kernel_default_crossover(self):
+        assert tuning.choose_kernel(8, 4) == "scalar"
+        assert tuning.choose_kernel(8192, 4) == "compiled"
+
+    def test_constant_span_kernel_kind(self):
+        lo, hi, algo = tuning.constant_span("kernel", 4, 4)
+        assert lo == 0 and algo == "scalar"
+        lo2, hi2, algo2 = tuning.constant_span("kernel", 1 << 20, 4)
+        assert algo2 == "compiled" and lo2 == hi + 1
+
+    def test_scalar_routing_only_when_loop_exact(self):
+        """Routing to the scalar loop is gated on loop_exact, so a table
+        that says "scalar" for everything still can't change float
+        results."""
+        always_scalar = tuning.DecisionTable(
+            allreduce=tuning.DEFAULT_TABLE.allreduce,
+            reduce=tuning.DEFAULT_TABLE.reduce,
+            scan=tuning.DEFAULT_TABLE.scan,
+            fusion=tuning.DEFAULT_TABLE.fusion,
+            kernel=(
+                tuning.Band(1 << 62, (((1 << 62), "scalar"),)),
+            ),
+        )
+        data = np.linspace(0.0, 1.0, 4096)
+
+        def prog(comm):
+            return global_reduce(comm, SumOp(), data)
+
+        baseline = spmd_run(prog, 2).returns[0]
+        previous = tuning.set_decision_table(always_scalar)
+        try:
+            forced = spmd_run(prog, 2).returns[0]
+        finally:
+            tuning.set_decision_table(previous)
+        # Float add is not loop-exact, so the block kernel still ran —
+        # bit-identical to the default routing.
+        assert np.asarray(forced).tobytes() == np.asarray(baseline).tobytes()
+
+
+@pytest.mark.skipif(
+    not kernels_mod.numba_available(), reason="numba not installed"
+)
+class TestNumbaSpecialization:
+    @pytest.fixture(autouse=True)
+    def numba_on(self):
+        kernels_mod.configure(numba=True)
+        try:
+            yield
+        finally:
+            kernels_mod.configure(numba=False)
+
+    def test_jit_matches_oracle_bitwise(self):
+        arr = (np.arange(10_000, dtype=np.int64) % 101) + 1
+        for op in (SumOp(), ProdOp(np.int64(1)), MinOp(np.iinfo(np.int64).max),
+                   BandOp(), BorOp(), BxorOp()):
+            kern = compile_kernel(op, arr)
+            oracle = op.accum_block(op.ident(), arr)
+            got = kern.accumulate(op, op.ident(), arr)
+            assert np.asarray(got).tobytes() == np.asarray(oracle).tobytes(), (
+                op.name
+            )
+
+    def test_float_ops_keep_the_numpy_oracle(self):
+        # Float add is not loop-exact, so no jit fold is attached.
+        kern = compile_kernel(SumOp(), np.linspace(0, 1, 64))
+        assert kern._jit is None
+
+
+class TestKernelsOffZeroAlloc:
+    """With the tier disabled, the hot path must not touch kernel
+    machinery at all: no compilations, no cache lookups, no kernel
+    objects (the poison idiom of the disabled-tracer tests)."""
+
+    @pytest.fixture
+    def poisoned(self, monkeypatch, kernels_off):
+        def boom(*a, **k):
+            raise AssertionError(
+                "kernel machinery touched on the kernels-off path"
+            )
+
+        monkeypatch.setattr(kernels_mod.KernelCache, "get", boom)
+        monkeypatch.setattr(kernels_mod, "compile_kernel", boom)
+        for cls in (ElementwiseKernel, SegmentedKernel, FallbackKernel):
+            monkeypatch.setattr(cls, "__init__", boom)
+
+    def test_reduce_scan_and_fusion_stay_clean(self, poisoned):
+        data = np.arange(64, dtype=np.int64)
+
+        def prog(comm):
+            r = global_reduce(comm, SumOp(), data)
+            s = global_scan(comm, MaxOp(np.int64(0)), data)
+            many = global_reduce_many(
+                comm, [(SumOp(), data), (BorOp(), data)]
+            )
+            return r, s[-1], many
+
+        out = spmd_run(prog, 4).returns[0]
+        assert out[0] == 4 * int(data.sum())
+
+    def test_disabled_results_match_enabled(self, kernels_off):
+        data = np.arange(100, dtype=np.int64)
+
+        def prog(comm):
+            return global_reduce(comm, SumOp(), data)
+
+        off = spmd_run(prog, 2).returns[0]
+        kernels_mod.configure(enabled=True)
+        try:
+            on = spmd_run(prog, 2).returns[0]
+        finally:
+            kernels_mod.configure(enabled=False)
+        assert bit_equal(off, on)

@@ -471,3 +471,47 @@ class TestFusionDimension:
 
         for threshold in run_all(prog, 4):
             assert threshold == fusion_flush_bytes(4)
+
+
+class TestKernelDimension:
+    """The scalar-vs-compiled accumulate routing lives in the fitted
+    decision table too (`python -m repro tune` measures it on wall
+    clock — kernel dispatch is a real-time cost, not a modeled one)."""
+
+    def test_choose_kernel_small_scalar_large_compiled(self):
+        from repro.mpi.tuning import choose_kernel
+
+        assert choose_kernel(8) == "scalar"
+        assert choose_kernel(1 << 20) == "compiled"
+
+    def test_round_trip_preserves_kernel(self):
+        doc = DEFAULT_TABLE.to_dict()
+        assert "kernel" in doc
+        back = DecisionTable.from_dict(doc)
+        assert back.kernel == DEFAULT_TABLE.kernel
+
+    def test_from_dict_without_kernel_key_falls_back(self):
+        """Tables written before the kernel dimension still load."""
+        doc = DEFAULT_TABLE.to_dict()
+        del doc["kernel"]
+        back = DecisionTable.from_dict(doc)
+        from repro.mpi.tuning import choose_kernel
+
+        assert choose_kernel(1 << 20, table=back) in ("scalar", "compiled")
+
+    def test_fit_includes_kernel(self):
+        table, report = fit_decision_table(
+            rank_grid=(4,), payload_grid=(64, 4096)
+        )
+        assert table.kernel
+        doc = table.to_dict()
+        assert "kernel" in doc
+        back = DecisionTable.from_dict(doc)
+        assert back.kernel == table.kernel
+
+    def test_constant_span_covers_kernel(self):
+        from repro.mpi.tuning import constant_span
+
+        lo, hi, choice = constant_span("kernel", 1 << 20, 4)
+        assert lo <= (1 << 20) <= hi
+        assert choice in ("scalar", "compiled")

@@ -1,12 +1,14 @@
-"""Block-accumulate parity: ``accum_block`` must equal the scalar
-``accum`` loop for every public operator (the vectorized overrides are
-pure optimizations, never semantic changes)."""
+"""Block parity: ``accum_block`` (and ``scan_block``) must equal the
+scalar ``accum``/``scan_gen`` loops for every public operator — the
+vectorized overrides and the kernel tier built on top of them are pure
+optimizations, never semantic changes."""
 
 import random
 
 import numpy as np
 import pytest
 
+from repro.core.kernels import compile_kernel
 from repro.core.operator import ReduceScanOp, state_equal
 from repro.faults.chaos import CHAOS_CASES
 from repro.ops import SegmentedOp
@@ -16,6 +18,21 @@ def scalar_loop(op: ReduceScanOp, state, values):
     for x in values:
         state = op.accum(state, x)
     return state
+
+
+def scalar_scan(op: ReduceScanOp, state, values, *, exclusive):
+    """The base-class ``scan_block`` loop, spelled out element by
+    element, as the parity oracle for the vectorized overrides."""
+    out = []
+    if exclusive:
+        for x in values:
+            out.append(op.scan_gen(state, x))
+            state = op.accum(state, x)
+    else:
+        for x in values:
+            state = op.accum(state, x)
+            out.append(op.scan_gen(state, x))
+    return out, state
 
 
 @pytest.mark.parametrize("case", CHAOS_CASES, ids=lambda c: c.name)
@@ -42,6 +59,107 @@ def test_block_from_seeded_state(case):
     op2 = case.make_op()
     got = op2.accum_block(scalar_loop(op2, op2.ident(), prefix), rest)
     assert state_equal(expected, got)
+
+
+SCAN_CASES = [c for c in CHAOS_CASES if c.scan]
+
+
+@pytest.mark.parametrize("case", SCAN_CASES, ids=lambda c: c.name)
+@pytest.mark.parametrize("n", [0, 1, 2, 7, 32])
+@pytest.mark.parametrize("exclusive", [False, True])
+def test_scan_block_equals_scalar_loop(case, n, exclusive):
+    if case.name == "segmented" and exclusive:
+        # SegmentedOp's exclusive scan_block is a semantic definition,
+        # not a vectorization: segment heads emit the identity, which
+        # the generic accum/scan_gen loop cannot express.
+        pytest.skip("segmented exclusive scan defines its own semantics")
+    # Fresh (op, data) per path: the protocol lets accum mutate state.
+    rng = random.Random(9000 + n)
+    data = case.make_data(rng, n)
+    op1 = case.make_op()
+    expected = scalar_scan(op1, op1.ident(), data, exclusive=exclusive)
+    op2 = case.make_op()
+    got = op2.scan_block(op2.ident(), data, exclusive=exclusive)
+    assert state_equal(list(expected[0]), list(got[0])), (
+        f"{op2.name}: scan_block outputs diverge from the scalar loop "
+        f"at n={n}, exclusive={exclusive}"
+    )
+    assert state_equal(expected[1], got[1]), (
+        f"{op2.name}: scan_block final state diverges at n={n}"
+    )
+
+
+@pytest.mark.parametrize("case", SCAN_CASES, ids=lambda c: c.name)
+@pytest.mark.parametrize("exclusive", [False, True])
+def test_scan_block_from_seeded_state(case, exclusive):
+    """Scan parity from a state that already saw a prefix (the shape
+    every rank but 0 sees in a global scan)."""
+    if case.name == "segmented" and exclusive:
+        pytest.skip("segmented exclusive scan defines its own semantics")
+
+    def build():
+        rng = random.Random(555)
+        op = case.make_op()
+        seed = scalar_loop(op, op.ident(), case.make_data(rng, 6))
+        return op, seed, case.make_data(rng, 11)
+
+    op1, seed1, data1 = build()
+    expected = scalar_scan(op1, seed1, data1, exclusive=exclusive)
+    op2, seed2, data2 = build()
+    got = op2.scan_block(seed2, data2, exclusive=exclusive)
+    assert state_equal(list(expected[0]), list(got[0])), case.name
+    assert state_equal(expected[1], got[1]), case.name
+
+
+@pytest.mark.parametrize("case", CHAOS_CASES, ids=lambda c: c.name)
+@pytest.mark.parametrize("n", [0, 1, 7, 32])
+def test_kernel_tier_accum_equals_scalar_loop(case, n):
+    """The compiled-kernel tier must agree with the scalar loop for
+    every catalogue operator — including the non-commutative ones,
+    which classify as segmented/fallback kernels and must run the
+    operator's own (order-preserving) block path, never a reordering
+    reduction."""
+    rng = random.Random(6100 + n)
+    data = case.make_data(rng, n)
+    op1 = case.make_op()
+    expected = scalar_loop(op1, op1.ident(), data)
+    op2 = case.make_op()
+    kern = compile_kernel(op2, data)
+    got = kern.accumulate(op2, op2.ident(), data)
+    assert state_equal(expected, got), (
+        f"{op2.name}: {kern.kind} kernel diverges from the accum loop "
+        f"at n={n}"
+    )
+
+
+@pytest.mark.parametrize("case", SCAN_CASES, ids=lambda c: c.name)
+@pytest.mark.parametrize("exclusive", [False, True])
+def test_kernel_tier_scan_equals_op_scan_block(case, exclusive):
+    """The compiled kernel must preserve the operator's own scan
+    semantics (which for segmented ops differ from the base loop)."""
+    op1 = case.make_op()
+    data1 = case.make_data(random.Random(31), 19)
+    expected = op1.scan_block(op1.ident(), data1, exclusive=exclusive)
+    op2 = case.make_op()
+    data2 = case.make_data(random.Random(31), 19)
+    kern = compile_kernel(op2, data2)
+    got = kern.scan(op2, op2.ident(), data2, exclusive=exclusive)
+    assert state_equal(list(expected[0]), list(got[0])), case.name
+    assert state_equal(expected[1], got[1]), case.name
+
+
+def test_non_commutative_op_never_compiles_elementwise():
+    """Order-sensitive operators must take the clean fallback: an
+    elementwise kernel's ufunc.reduce would reorder them."""
+    from repro.core.kernels import ElementwiseKernel
+
+    for case in CHAOS_CASES:
+        op = case.make_op()
+        if getattr(op, "commutative", True):
+            continue
+        data = case.make_data(random.Random(7), 8)
+        kern = compile_kernel(op, data)
+        assert not isinstance(kern, ElementwiseKernel), op.name
 
 
 class TestSegmentedEdges:
