@@ -21,15 +21,18 @@
 * ``python -m repro serve [--ranks P] [--clients N]
   [--jobs-per-client K] [--job-ranks G] [--payload E]
   [--metrics-port P] [--linger S] [--snapshot-out PATH]
-  [--trace-out PATH]`` — multi-tenant engine demo: N concurrent clients
-  submit job streams to one persistent :class:`repro.engine.Engine`
-  (:mod:`repro.engine.serve`); with ``--metrics-port`` the engine's
-  telemetry is served as Prometheus text on ``/metrics`` and as JSON
-  frames on ``/snapshot.json``.
+  [--trace-out PATH] [--chaos]`` — multi-tenant engine demo: N
+  concurrent clients submit job streams to one persistent
+  :class:`repro.engine.Engine` (:mod:`repro.engine.serve`); with
+  ``--metrics-port`` the engine's telemetry is served as Prometheus
+  text on ``/metrics`` and as JSON frames on ``/snapshot.json``;
+  ``--chaos`` adds a chaos tenant (fault-injected jobs under a
+  RetryPolicy) to demo the self-healing layer.
 * ``python -m repro top [--port P | --url URL] [--interval S]
   [--once]`` — live terminal dashboard over a serving engine's
   telemetry endpoint (:mod:`repro.engine.top`): queue depth, per-rank
-  utilization bars, lifecycle counters, p50/p95/p99 latency tails.
+  utilization bars, effective capacity / quarantined ranks / degraded
+  status, lifecycle counters, p50/p95/p99 latency tails.
 """
 
 from __future__ import annotations

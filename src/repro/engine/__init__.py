@@ -28,11 +28,23 @@ Quick tour
 ``spmd_run`` itself is now a thin compat shim over a transient engine,
 so existing callers get the same machinery without code changes.
 
-See ``docs/engine.md`` for lifecycle, isolation model, backpressure
-semantics and the schedule cache.
+The engine self-heals: a supervisor thread quarantines and revives
+pool ranks that die inside jobs, reaps stuck jobs, and re-runs jobs
+submitted with a :class:`RetryPolicy` until they succeed (bit-identical
+to a fault-free run) or exhaust their attempts.  See ``docs/engine.md``
+for lifecycle, isolation model, backpressure semantics, the schedule
+cache and the self-healing contract.
 """
 
 from repro.engine.core import Engine, Session
 from repro.engine.job import JobHandle
+from repro.engine.resilience import RetryPolicy, Supervisor, SupervisorConfig
 
-__all__ = ["Engine", "Session", "JobHandle"]
+__all__ = [
+    "Engine",
+    "Session",
+    "JobHandle",
+    "RetryPolicy",
+    "Supervisor",
+    "SupervisorConfig",
+]

@@ -38,10 +38,28 @@ Admission control
 ``max_inflight`` optionally caps concurrently *running* jobs below what
 free ranks would allow.  :meth:`Engine.drain` waits for quiescence;
 :meth:`Engine.shutdown` closes admission and either drains or aborts.
+
+Self-healing
+------------
+A :class:`~repro.engine.resilience.Supervisor` thread (on by default)
+closes the loop between job outcomes and pool health: ranks a finished
+job reports dead are **quarantined** (the gang scheduler skips them)
+and periodically probed back to life; jobs submitted with a
+:class:`~repro.engine.resilience.RetryPolicy` that fail with a
+retryable error are re-run on a fresh
+:class:`~repro.runtime.world.JobWorld` after a deterministic backoff;
+jobs stuck past their deadline are reaped server-side.  Admission
+control tracks **effective capacity** (pool minus quarantined): a job
+that no longer fits raises :class:`~repro.errors.EngineDegraded` (or
+waits, when blocking) unless submitted with ``allow_shrink=True``, in
+which case it is gang-assembled onto the ranks that remain.  See
+``docs/engine.md`` ("Self-healing").
 """
 
 from __future__ import annotations
 
+import heapq
+import logging
 import queue
 import threading
 import time
@@ -51,11 +69,13 @@ from typing import Any, Callable, Sequence
 from repro.errors import (
     CommunicatorError,
     EngineClosed,
+    EngineDegraded,
     EngineSaturated,
     JobCancelled,
     RankFailStop,
     RuntimeAbort,
     SpmdError,
+    SpmdTimeout,
 )
 from repro.obs.tracer import active_tracer
 from repro.obs.telemetry import NULL_ENGINE_TELEMETRY, EngineTelemetry
@@ -64,8 +84,21 @@ from repro.runtime.executor import SpmdResult
 from repro.runtime.world import World
 
 from repro.engine.job import JobHandle, _Job
+from repro.engine.resilience import RetryPolicy, Supervisor, SupervisorConfig
 
 __all__ = ["Engine", "Session"]
+
+logger = logging.getLogger("repro.engine")
+
+
+def _probe_fn(comm):
+    """Supervisor health probe: one self-send/recv round trip through
+    the rank's own mailbox — the minimal proof that the rank's worker
+    thread, mailbox and clock plumbing are serviceable again."""
+    token = ("engine-probe", comm.rank)
+    comm.send(token, comm.rank, tag=0)
+    echo = comm.recv(source=comm.rank, tag=0)
+    return "ok" if echo == token else "bad"
 
 
 class Engine:
@@ -76,7 +109,18 @@ class Engine:
     :class:`~repro.obs.telemetry.EngineTelemetry`, or pass a
     preconfigured instance; the default (off) keeps the submit/schedule
     hot path allocation-free (the same guarantee as disabled tracing).
+
+    ``supervisor`` controls the self-healing layer: ``True`` (default)
+    runs a :class:`~repro.engine.resilience.Supervisor` thread with
+    default :class:`~repro.engine.resilience.SupervisorConfig`; pass a
+    config to tune it, or ``False`` to disable (retries then re-admit
+    inline with no backoff, and quarantine/reaping are off).
     """
+
+    #: Default wall-clock budget for joining the pool's worker threads
+    #: at :meth:`shutdown` (previously a hardcoded, undocumented 5.0 s
+    #: inside shutdown itself).  Override per call via ``join_timeout``.
+    DEFAULT_JOIN_TIMEOUT = 5.0
 
     def __init__(
         self,
@@ -86,6 +130,7 @@ class Engine:
         queue_depth: int = 128,
         max_inflight: int | None = None,
         telemetry: "bool | EngineTelemetry | None" = False,
+        supervisor: "bool | SupervisorConfig | None" = True,
     ):
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
@@ -117,6 +162,25 @@ class Engine:
         self._n_rejected = 0
         self._peak_inflight = 0
         self._leaked_drained = 0
+        # Self-healing state (all guarded by the engine lock).
+        self._quarantined: set[int] = set()
+        self._quarantined_at: dict[int, float] = {}
+        self._retry_due: list[tuple[float, int, _Job]] = []  # backoff heap
+        self._retry_seq = 0
+        self._degraded = False
+        self._join_clean = True
+        self._n_retried = 0
+        self._n_reaped = 0
+        self._n_quarantines = 0
+        self._n_revivals = 0
+        self._n_shrunk = 0
+        self._revival_swept = 0
+        if supervisor is True:
+            self._sup_cfg: SupervisorConfig | None = SupervisorConfig()
+        elif supervisor is False or supervisor is None:
+            self._sup_cfg = None
+        else:
+            self._sup_cfg = supervisor
         self._boxes: list[queue.SimpleQueue] = [
             queue.SimpleQueue() for _ in range(nprocs)
         ]
@@ -129,6 +193,10 @@ class Engine:
         ]
         for t in self._threads:
             t.start()
+        self._supervisor = (
+            Supervisor(self, self._sup_cfg).start()
+            if self._sup_cfg is not None else None
+        )
 
     # -- introspection ------------------------------------------------------
 
@@ -171,8 +239,11 @@ class Engine:
         telemetry.bind(self)
 
     def stats(self) -> dict[str, Any]:
-        """Scheduler and cache counters (a consistent snapshot)."""
+        """Scheduler, cache and self-healing counters (a consistent
+        snapshot).  ``effective_capacity`` is the pool minus quarantined
+        ranks — what admission control actually schedules against."""
         with self._lock:
+            effective = self._nprocs - len(self._quarantined)
             return {
                 "nprocs": self._nprocs,
                 "telemetry_enabled": self._telemetry.enabled,
@@ -186,9 +257,31 @@ class Engine:
                 "rejected": self._n_rejected,
                 "peak_inflight": self._peak_inflight,
                 "leaked_messages_drained": self._leaked_drained,
+                "quarantined_ranks": sorted(self._quarantined),
+                "effective_capacity": effective,
+                "degraded": self._degraded,
+                "retried": self._n_retried,
+                "retry_backlog": len(self._retry_due),
+                "reaped": self._n_reaped,
+                "quarantines": self._n_quarantines,
+                "revivals": self._n_revivals,
+                "shrunk": self._n_shrunk,
+                "revival_swept_messages": self._revival_swept,
+                "status": (
+                    "closed" if self._closed
+                    else "degraded" if self._degraded else "ok"
+                ),
                 "schedule_cache": self._world.schedule_cache.stats(),
                 "kernel_cache": self._world.kernel_cache.stats(),
             }
+
+    def status(self) -> str:
+        """Coarse health: ``"ok"``, ``"degraded"`` (schedulable capacity
+        below the supervisor's ``capacity_floor``) or ``"closed"``."""
+        with self._lock:
+            if self._closed:
+                return "closed"
+            return "degraded" if self._degraded else "ok"
 
     # -- submission ---------------------------------------------------------
 
@@ -208,6 +301,8 @@ class Engine:
         session: str | None = None,
         block: bool = True,
         queue_timeout: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        allow_shrink: bool = False,
     ) -> JobHandle:
         """Submit ``fn(comm, *args)`` as a job; returns a :class:`JobHandle`.
 
@@ -222,6 +317,20 @@ class Engine:
           :class:`~repro.errors.EngineSaturated`;
         * ``block=False`` raises :class:`EngineSaturated` immediately on
           a full queue.
+
+        Self-healing extensions:
+
+        * ``fault_plan`` may be a static plan **or** a callable
+          ``attempt -> plan`` (attempt 0 = first run) — the chaos-tenant
+          contract (:func:`repro.faults.transient_plan`);
+        * ``retry_policy`` re-runs retryable failures on a fresh
+          :class:`~repro.runtime.world.JobWorld` per attempt (results of
+          an eventual success are bit-identical to a fault-free run);
+        * ``allow_shrink=True`` lets the scheduler gang-assemble the job
+          onto fewer ranks when quarantine has shrunk the pool below
+          ``nprocs``; without it such a job raises
+          :class:`~repro.errors.EngineDegraded` (non-blocking) or waits
+          for revival (blocking).
 
         ``session`` labels the job's telemetry lifecycle with the
         submitting client (set automatically by :meth:`Session.submit`).
@@ -250,21 +359,36 @@ class Engine:
             None if queue_timeout is None
             else time.monotonic() + queue_timeout
         )
+        # Resolve the first attempt's fault plan up front (the source —
+        # possibly a callable — rides along on the job for retries).
+        if retry_policy is not None:
+            plan0 = retry_policy.fault_plan_for(fault_plan, 0)
+        elif callable(fault_plan):
+            plan0 = fault_plan(0)
+        else:
+            plan0 = fault_plan
         with self._cv:
             while True:
                 if self._closed:
                     raise EngineClosed("engine is shut down")
-                if len(self._pending) < self._queue_depth:
+                effective = self._nprocs - len(self._quarantined)
+                degraded_block = (not allow_shrink) and nprocs > effective
+                if (
+                    not degraded_block
+                    and len(self._pending) < self._queue_depth
+                ):
                     break
-                if not block:
-                    self._n_rejected += 1
-                    if tel.enabled:
-                        tel.job_rejected(
-                            label if label is not None
-                            else getattr(fn, "__name__", None),
-                            session, nprocs, t_submit,
-                        )
-                    raise EngineSaturated(
+                if degraded_block:
+                    exc_type: type[EngineSaturated] = EngineDegraded
+                    reason = (
+                        f"job requests {nprocs} ranks but only {effective} "
+                        f"of {self._nprocs} are schedulable "
+                        f"({len(self._quarantined)} quarantined); resubmit "
+                        f"with allow_shrink=True or back off until revival"
+                    )
+                else:
+                    exc_type = EngineSaturated
+                    reason = (
                         f"pending queue is at its depth limit "
                         f"({self._queue_depth})"
                     )
@@ -272,7 +396,8 @@ class Engine:
                     None if deadline is None
                     else deadline - time.monotonic()
                 )
-                if remaining is not None and remaining <= 0.0:
+                expired = remaining is not None and remaining <= 0.0
+                if not block or expired:
                     self._n_rejected += 1
                     if tel.enabled:
                         tel.job_rejected(
@@ -280,10 +405,9 @@ class Engine:
                             else getattr(fn, "__name__", None),
                             session, nprocs, t_submit,
                         )
-                    raise EngineSaturated(
-                        f"queue stayed at its depth limit "
-                        f"({self._queue_depth}) for {queue_timeout} s"
-                    )
+                    if expired:
+                        reason += f" (waited {queue_timeout} s)"
+                    raise exc_type(reason)
                 self._cv.wait(remaining)
             job = _Job(
                 self._next_job_id, fn, args, nprocs,
@@ -292,16 +416,21 @@ class Engine:
                 isolate_payloads=isolate_payloads,
                 timeout=timeout,
                 tracer=tracer,
-                fault_plan=fault_plan,
+                fault_plan=plan0,
                 label=label,
             )
+            job.fault_plan_source = fault_plan
+            job.retry_policy = retry_policy
+            job.allow_shrink = allow_shrink
+            job.session = session
+            job.admitted_at = time.perf_counter()
             self._next_job_id += 1
             self._n_submitted += 1
             self._pending.append(job)
             if tel.enabled:
                 job.lifecycle = tel.job_admitted(
                     job.job_id, job.label, session, nprocs,
-                    fault_plan is not None, t_submit, len(self._pending),
+                    plan0 is not None, t_submit, len(self._pending),
                 )
             self._dispatch_locked()
         return JobHandle(job, self)
@@ -313,10 +442,11 @@ class Engine:
     # -- lifecycle ----------------------------------------------------------
 
     def drain(self, timeout: float | None = None) -> bool:
-        """Block until no job is pending or running; False on timeout."""
+        """Block until no job is pending, running or awaiting retry;
+        False on timeout."""
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cv:
-            while self._pending or self._inflight:
+            while self._pending or self._inflight or self._retry_due:
                 remaining = (
                     None if deadline is None
                     else deadline - time.monotonic()
@@ -326,28 +456,46 @@ class Engine:
                 self._cv.wait(remaining)
         return True
 
-    def shutdown(self, *, drain: bool = True, timeout: float | None = None) -> None:
+    def shutdown(
+        self,
+        *,
+        drain: bool = True,
+        timeout: float | None = None,
+        join_timeout: float | None = None,
+    ) -> bool:
         """Close admission and stop the pool.
 
-        ``drain=True`` (graceful) lets queued and running jobs finish
-        first; ``drain=False`` cancels every pending job and aborts every
-        running one (their waiters see
-        :class:`~repro.errors.JobCancelled`).  Idempotent.
+        ``drain=True`` (graceful) lets queued, running and retrying jobs
+        finish first (up to ``timeout`` seconds); ``drain=False``
+        cancels every pending/retrying job and aborts every running one
+        (their waiters see :class:`~repro.errors.JobCancelled`).
+
+        ``join_timeout`` bounds how long the worker threads get to join
+        afterwards; it defaults to ``timeout`` when that is set, else
+        :data:`DEFAULT_JOIN_TIMEOUT` (5.0 s).  Threads that fail to
+        join within the budget are logged as a warning and the call
+        returns ``False`` — previously the 5 s cap was hardcoded and
+        a wedged pool "shut down" silently.  Idempotent: repeat calls
+        return the first call's join verdict.
         """
         with self._cv:
             already_joined = self._joined
             self._closed = True
             self._cv.notify_all()
         if already_joined:
-            return
+            return self._join_clean
         if drain:
             self.drain(timeout)
         else:
             with self._cv:
                 pending = list(self._pending)
                 self._pending.clear()
+                retrying = [entry[2] for entry in self._retry_due]
+                self._retry_due.clear()
                 running = list(self._running)
-                for job in pending:
+                for job in (*pending, *retrying):
+                    if job.done_event.is_set():
+                        continue
                     job.cancelled = True
                     job.status = "cancelled"
                     job.error = JobCancelled(
@@ -365,12 +513,30 @@ class Engine:
             for job in running:
                 job.cancelled = True
                 job.world.abort()
+        if self._supervisor is not None:
+            self._supervisor.stop()
         for box in self._boxes:
             box.put(None)
-        join_deadline = time.monotonic() + (5.0 if timeout is None else timeout)
+        if join_timeout is None:
+            join_timeout = (
+                self.DEFAULT_JOIN_TIMEOUT if timeout is None else timeout
+            )
+        join_deadline = time.monotonic() + join_timeout
+        stragglers = []
         for t in self._threads:
             t.join(timeout=max(join_deadline - time.monotonic(), 0.0))
+            if t.is_alive():
+                stragglers.append(t.name)
+        clean = not stragglers
+        if stragglers:
+            logger.warning(
+                "engine shutdown: %d worker thread(s) failed to join "
+                "within %.1f s: %s",
+                len(stragglers), join_timeout, ", ".join(stragglers),
+            )
         self._joined = True
+        self._join_clean = clean
+        return clean
 
     def __enter__(self) -> "Engine":
         return self
@@ -394,9 +560,21 @@ class Engine:
             ):
                 break
             job = self._pending[0]
-            if job.nprocs > len(self._free):
+            want = job.nprocs
+            effective = self._nprocs - len(self._quarantined)
+            if want > effective and job.allow_shrink and effective >= 1:
+                # Degraded pool: gang-assemble onto what remains rather
+                # than queueing forever.  Only quarantine shrinks a job
+                # — contention for free ranks still means waiting.
+                want = effective
+            if want > len(self._free):
                 break
             self._pending.popleft()
+            if want != job.nprocs:
+                job.nprocs = want
+                self._n_shrunk += 1
+                if job.lifecycle is not None:
+                    self._telemetry.job_shrunk(job.lifecycle, want)
             members = tuple(sorted(self._free)[: job.nprocs])
             self._free.difference_update(members)
             self._inflight += 1
@@ -415,6 +593,24 @@ class Engine:
     def _cancel_job(self, job: _Job) -> bool:
         """Cancel ``job`` (see :meth:`JobHandle.cancel`)."""
         with self._cv:
+            if job.status == "retrying":
+                # Parked in backoff: withdraw it from the retry heap so
+                # drain() does not wait on a cancelled job.
+                self._retry_due = [
+                    entry for entry in self._retry_due
+                    if entry[2] is not job
+                ]
+                heapq.heapify(self._retry_due)
+                job.cancelled = True
+                job.status = "cancelled"
+                job.error = JobCancelled(f"job {job.job_id} cancelled")
+                self._n_cancelled += 1
+                # No telemetry job_done here: the failed attempt's
+                # lifecycle already went terminal ("retrying") in
+                # job_retried, and the next attempt never got one.
+                job.done_event.set()
+                self._cv.notify_all()
+                return True
             if job.status == "pending":
                 try:
                     self._pending.remove(job)
@@ -491,7 +687,11 @@ class Engine:
 
     def _rank_done(self, job: _Job, w: int) -> None:
         with self._cv:
-            self._free.add(w)
+            if not job.is_probe and w not in self._quarantined:
+                # A rank quarantined mid-job (by another job's finalize)
+                # stays withheld; probes run *on* quarantined ranks and
+                # never touch the free set.
+                self._free.add(w)
             job.ranks_left -= 1
             last = job.ranks_left == 0
             if not last:
@@ -503,24 +703,53 @@ class Engine:
         # job counts as inflight until its result is assembled, so
         # drain() cannot return with a result still being built.
         leaked = self._finalize(job)
+        if job.is_probe:
+            # Probes bypass all scheduler accounting; _probe_rank reads
+            # job.status off the done event.
+            return
+        retry_inline = False
         with self._cv:
             self._inflight -= 1
             self._running.discard(job)
             self._leaked_drained += leaked
-            if job.status == "done":
-                self._n_completed += 1
-            elif job.status == "cancelled":
-                self._n_cancelled += 1
-            else:
-                self._n_failed += 1
-            if job.lifecycle is not None:
-                self._telemetry.job_done(
-                    job.lifecycle, job.status, job.virtual_seconds,
-                    job.members, len(self._pending), self._inflight,
-                    len(self._free),
+            self._quarantine_locked(job)
+            if job.status == "retrying":
+                self._n_retried += 1
+                delay = job.retry_policy.backoff_seconds(
+                    job.attempt, job.job_id
                 )
+                if self._supervisor is None:
+                    # No supervisor thread to wake: re-admit inline,
+                    # immediately (backoff needs someone to keep time).
+                    delay = 0.0
+                    retry_inline = True
+                self._retry_seq += 1
+                heapq.heappush(
+                    self._retry_due,
+                    (time.perf_counter() + delay, self._retry_seq, job),
+                )
+                if job.lifecycle is not None:
+                    self._telemetry.job_retried(
+                        job.lifecycle, job.attempt, delay, job.members,
+                        leaked=leaked,
+                    )
+            else:
+                if job.status == "done":
+                    self._n_completed += 1
+                elif job.status == "cancelled":
+                    self._n_cancelled += 1
+                else:
+                    self._n_failed += 1
+                if job.lifecycle is not None:
+                    self._telemetry.job_done(
+                        job.lifecycle, job.status, job.virtual_seconds,
+                        job.members, len(self._pending), self._inflight,
+                        len(self._free), leaked=leaked,
+                    )
             self._dispatch_locked()
             self._cv.notify_all()  # wake drain()ers and submitters
+        if retry_inline:
+            self._admit_due_retries()
 
     def _finalize(self, job: _Job) -> int:
         """Assemble the job's result/error; sweep leaked envelopes.
@@ -550,18 +779,18 @@ class Engine:
             )
         with job.lock:
             timed_out = job.timed_out
+        err: BaseException | None = None
+        terminal = "failed"
         if job.cancelled:
-            job.error = JobCancelled(f"job {job.job_id} cancelled")
-            job.status = "cancelled"
+            err = JobCancelled(f"job {job.job_id} cancelled")
+            terminal = "cancelled"
         elif job.failures:
-            job.error = SpmdError(
+            err = SpmdError(
                 job.failures, rank_states=job.failure_states
             )
-            job.status = "failed"
         elif timed_out:
-            job.error = job.timeout_error
-            job.status = "failed"
-        else:
+            err = job.timeout_error
+        if err is None:
             group_rank = {wr: gr for gr, wr in enumerate(job.members)}
             dead = world.membership.dead_snapshot()
             job.result = SpmdResult(
@@ -573,8 +802,241 @@ class Engine:
                 failed_ranks=frozenset(group_rank[w] for w in dead),
             )
             job.status = "done"
+            job.done_event.set()
+            return leaked
+        policy = job.retry_policy
+        if (
+            terminal == "failed"
+            and policy is not None
+            and not self._closed
+            and policy.should_retry(job.attempt, err)
+        ):
+            # Transient failure under a RetryPolicy: park for backoff
+            # instead of going terminal.  The done event stays unset —
+            # the client keeps waiting — and _rank_done schedules the
+            # re-admission.  On exhausted retries the *last* attempt's
+            # error (with its rank_states) is what surfaces.
+            job.last_error = err
+            job.status = "retrying"
+            return leaked
+        job.error = err
+        job.status = terminal
         job.done_event.set()
         return leaked
+
+    # -- self-healing internals (called by the Supervisor) ------------------
+
+    def _quarantine_locked(self, job: _Job) -> None:
+        """Quarantine pool ranks ``job`` reports dead (engine lock held).
+
+        Feeds rank-pool health from job finalize: a world rank that
+        fail-stopped inside the job is pulled from the free set and
+        withheld from gang assembly until a probe revives it.
+        """
+        cfg = self._sup_cfg
+        if cfg is None or not cfg.quarantine or job.world is None:
+            return
+        now = time.perf_counter()
+        for w in job.world.membership.dead_snapshot():
+            if w in self._quarantined:
+                continue
+            self._quarantined.add(w)
+            self._quarantined_at[w] = now
+            self._free.discard(w)
+            self._n_quarantines += 1
+            if self._telemetry.enabled:
+                self._telemetry.rank_quarantined(
+                    w, len(self._quarantined),
+                    self._nprocs - len(self._quarantined),
+                )
+        self._update_degraded_locked()
+
+    def _update_degraded_locked(self) -> None:
+        cfg = self._sup_cfg
+        effective = self._nprocs - len(self._quarantined)
+        degraded = (
+            cfg is not None and effective < cfg.capacity_floor * self._nprocs
+        )
+        if degraded != self._degraded:
+            self._degraded = degraded
+            if self._telemetry.enabled:
+                self._telemetry.degraded_changed(degraded, effective)
+
+    def _admit_due_retries(self) -> None:
+        """Re-admit retry-parked jobs whose backoff has elapsed (every
+        parked job, once the engine is closing — a graceful drain lets
+        retries finish rather than stranding their waiters)."""
+        while True:
+            with self._cv:
+                if not self._retry_due:
+                    return
+                due_at, _, job = self._retry_due[0]
+                if due_at > time.perf_counter() and not self._closed:
+                    return
+                heapq.heappop(self._retry_due)
+                if job.done_event.is_set():
+                    # Cancelled while parked; heap shrank: wake drain().
+                    self._cv.notify_all()
+                    continue
+            self._readmit_retry(job)
+
+    def _readmit_retry(self, job: _Job) -> None:
+        """Queue the next attempt of a retry-parked job."""
+        job.attempt += 1
+        plan = job.retry_policy.fault_plan_for(
+            job.fault_plan_source, job.attempt - 1
+        )
+        job.fault_plan = plan
+        job.world = None
+        job.members = ()
+        job.timed_out = False
+        job.timeout_error = None
+        job.nprocs = job.requested_nprocs  # a prior attempt may have shrunk
+        job.admitted_at = time.perf_counter()
+        job.status = "pending"
+        tel = self._telemetry
+        with self._cv:
+            if job.done_event.is_set():  # pragma: no cover - cancel race
+                return
+            self._pending.append(job)
+            if tel.enabled:
+                job.lifecycle = tel.job_admitted(
+                    job.job_id, job.label, job.session, job.nprocs,
+                    plan is not None, tel.now(), len(self._pending),
+                    attempt=job.attempt,
+                )
+            self._dispatch_locked()
+            self._cv.notify_all()
+
+    def _reap_stuck_jobs(self) -> None:
+        """Fail jobs stuck past their deadline, server-side.
+
+        Escalation above the per-collective hang watchdog and the
+        *client-side* ``JobHandle.result`` timeout: even with no client
+        blocked in ``result()``, a job that exceeds its submit-time
+        ``timeout`` (plus the supervisor's grace) is aborted and
+        unwound, so an abandoned wedged job can never hold pool ranks
+        forever.  Pending jobs past their deadline are failed in place.
+        """
+        cfg = self._sup_cfg
+        if cfg is None or not cfg.reap:
+            return
+        now = time.perf_counter()
+        to_abort: list[_Job] = []
+        with self._cv:
+            for job in self._running:
+                if job.is_probe or job.timeout is None or job.cancelled:
+                    continue
+                if now - job.t0 <= job.timeout + cfg.reap_grace:
+                    continue
+                with job.lock:
+                    if job.timed_out:
+                        continue
+                to_abort.append(job)
+            expired = [
+                job for job in self._pending
+                if job.timeout is not None
+                and now - job.admitted_at > job.timeout + cfg.reap_grace
+            ]
+            for job in expired:
+                self._pending.remove(job)
+                job.status = "failed"
+                job.error = SpmdTimeout(
+                    f"job {job.job_id} spent over {job.timeout} s queued "
+                    f"without being dispatched (pool saturated or "
+                    f"degraded); reaped by the engine supervisor"
+                )
+                self._n_failed += 1
+                self._n_reaped += 1
+                if self._telemetry.enabled:
+                    self._telemetry.job_reaped(job.job_id)
+                if job.lifecycle is not None:
+                    self._telemetry.job_done(
+                        job.lifecycle, "failed", 0.0, (),
+                        len(self._pending), self._inflight, len(self._free),
+                    )
+                job.done_event.set()
+            if expired:
+                self._cv.notify_all()
+        for job in to_abort:
+            states = job.world.rank_states()
+            err = SpmdTimeout(
+                f"job {job.job_id} exceeded its {job.timeout} s deadline; "
+                f"reaped by the engine supervisor (aborted and unwound)",
+                rank_states=states,
+            )
+            with job.lock:
+                if job.timed_out:  # pragma: no cover - client-side race
+                    continue
+                job.timed_out = True
+                job.timeout_error = err
+            with self._cv:
+                self._n_reaped += 1
+            if self._telemetry.enabled:
+                self._telemetry.job_reaped(job.job_id)
+            # Abort outside the engine lock: it takes mailbox locks.
+            job.world.abort()
+
+    def _probe_quarantined(self) -> None:
+        """Probe quarantined ranks whose cool-down elapsed; revive the
+        ones that pass (return them to the free set and re-dispatch)."""
+        cfg = self._sup_cfg
+        if cfg is None or not cfg.quarantine:
+            return
+        now = time.perf_counter()
+        with self._cv:
+            if self._closed:
+                return
+            due = [
+                w for w, t in self._quarantined_at.items()
+                if now - t >= cfg.probe_after
+            ]
+        for w in due:
+            ok = self._probe_rank(w)
+            with self._cv:
+                if self._closed or w not in self._quarantined:
+                    continue
+                if ok:
+                    self._quarantined.discard(w)
+                    del self._quarantined_at[w]
+                    self._free.add(w)
+                    self._n_revivals += 1
+                    if self._telemetry.enabled:
+                        self._telemetry.rank_revived(
+                            w, len(self._quarantined),
+                            self._nprocs - len(self._quarantined),
+                        )
+                    self._update_degraded_locked()
+                    self._dispatch_locked()
+                    self._cv.notify_all()
+                else:  # pragma: no cover - probe failure is exceptional
+                    self._quarantined_at[w] = time.perf_counter()
+
+    def _probe_rank(self, w: int) -> bool:
+        """One health probe of quarantined rank ``w``: revive its shared
+        world state (membership + stale-mailbox sweep), then run a
+        1-rank probe job on it through the normal worker path."""
+        if not self._threads[w].is_alive():
+            return False
+        swept = self._world.revive_rank(w)
+        with self._cv:
+            if self._closed:
+                return False
+            self._revival_swept += swept
+            probe_id = self._next_job_id
+            self._next_job_id += 1
+        job = _Job(
+            probe_id, _probe_fn, (), 1,
+            cost_model=None, record_events=False, isolate_payloads=True,
+            timeout=None, tracer=None, fault_plan=None,
+            label=f"probe-rank-{w}",
+        )
+        job.is_probe = True
+        job.start(self._world, (w,))
+        self._boxes[w].put((job, 0))
+        if not job.done_event.wait(self._sup_cfg.probe_timeout):
+            return False
+        return job.status == "done" and job.returns == ["ok"]
 
 
 class Session:

@@ -18,8 +18,12 @@ from repro.errors import SpmdTimeout
 __all__ = ["JobHandle"]
 
 #: Job lifecycle states (the engine moves jobs left to right; "cancelled"
-#: can be entered from "pending" or, via abort, from "running").
-JOB_STATES = ("pending", "running", "done", "failed", "cancelled")
+#: can be entered from "pending" or, via abort, from "running";
+#: "retrying" loops a failed attempt back to "pending" under a
+#: RetryPolicy).
+JOB_STATES = (
+    "pending", "running", "retrying", "done", "failed", "cancelled",
+)
 
 
 class _Job:
@@ -33,6 +37,10 @@ class _Job:
         "done_event", "world", "members", "returns", "failures",
         "failure_states", "ranks_left", "t0", "result", "error",
         "lifecycle", "virtual_seconds",
+        # Self-healing fields (engine/resilience.py):
+        "retry_policy", "attempt", "fault_plan_source", "last_error",
+        "allow_shrink", "requested_nprocs", "session", "admitted_at",
+        "is_probe",
     )
 
     def __init__(
@@ -82,11 +90,34 @@ class _Job:
         #: None on the telemetry-off (allocation-free) path.
         self.lifecycle = None
         self.virtual_seconds = 0.0  # simulated makespan, set at finalize
+        #: RetryPolicy, or None when failures are terminal on the first
+        #: attempt (the pre-resilience contract).
+        self.retry_policy = None
+        self.attempt = 1  # 1-based; bumped at each retry re-admission
+        #: What submit() was given as fault_plan: None, a static plan,
+        #: or a callable attempt -> plan.  ``fault_plan`` holds the plan
+        #: *resolved for the current attempt*.
+        self.fault_plan_source = fault_plan
+        self.last_error: BaseException | None = None
+        self.allow_shrink = False
+        self.requested_nprocs = nprocs  # nprocs may shrink per attempt
+        self.session: str | None = None
+        self.admitted_at = 0.0  # perf_counter at (re-)admission
+        #: Internal supervisor health probes bypass all job accounting.
+        self.is_probe = False
 
     def start(self, parent_world, members: tuple[int, ...]) -> None:
-        """Bind the job to its pool placement (engine lock held)."""
+        """Bind the job to its pool placement (engine lock held).
+
+        Re-callable: a retried attempt starts over with a **fresh**
+        :class:`~repro.runtime.world.JobWorld` (new clocks, membership,
+        abort flag, base cid) and cleared failure state, which is what
+        makes a successful retry bit-identical to a fault-free run.
+        """
         from repro.runtime.world import JobWorld
 
+        self.failures = {}
+        self.failure_states = None
         self.members = tuple(members)
         self.world = JobWorld(
             parent_world,
@@ -130,8 +161,15 @@ class JobHandle:
 
     @property
     def status(self) -> str:
-        """One of ``pending | running | done | failed | cancelled``."""
+        """One of ``pending | running | retrying | done | failed |
+        cancelled``."""
         return self._job.status
+
+    @property
+    def attempt(self) -> int:
+        """Which attempt (1-based) the job is on — above 1 only under a
+        :class:`~repro.engine.resilience.RetryPolicy`."""
+        return self._job.attempt
 
     @property
     def lifecycle(self):
@@ -168,12 +206,15 @@ class JobHandle:
         job = self._job
         budget = job.timeout if timeout is None else timeout
         if not job.done_event.wait(budget):
-            if job.world is None:
-                # Never dispatched: the queue (not the ranks) is stuck.
+            if job.world is None or job.status in ("pending", "retrying"):
+                # Not currently on any ranks: either never dispatched
+                # (queue stuck) or parked in retry backoff.  Aborting a
+                # world would be meaningless — withdraw the job instead.
                 self._engine._cancel_job(job)
                 raise SpmdTimeout(
-                    f"job {job.job_id} was not dispatched within {budget} s "
-                    f"(engine saturated); cancelled"
+                    f"job {job.job_id} did not complete within {budget} s "
+                    f"(queued or awaiting retry, attempt {job.attempt}); "
+                    f"cancelled"
                 )
             states = job.world.rank_states()
             err = SpmdTimeout(

@@ -20,6 +20,14 @@ observability tour:
   per-job lifecycle records as JSONL;
 * ``--trace-out PATH`` writes the per-rank busy timeline as a
   Chrome/Perfetto trace of the whole engine session.
+
+``--chaos`` adds a chaos tenant beside the healthy clients: a session
+whose jobs run under :func:`repro.faults.transient_plan` fault plans
+(per-attempt fail-stops and lossy links) with a
+:class:`~repro.engine.resilience.RetryPolicy`, exercising the engine's
+self-healing layer — retries, rank quarantine, probe-and-revive,
+degraded-capacity scheduling — live, with the quarantine/degraded
+state printed in the summary (and visible in ``python -m repro top``).
 """
 
 from __future__ import annotations
@@ -51,6 +59,25 @@ def _make_jobs(payload: int):
         return global_scan(comm, SumOp(), local)
 
     return (reduce_job, scan_job)
+
+
+def _make_chaos_job(payload: int):
+    """The chaos tenant's workload: a reduction over the *non-resilient*
+    allreduce path, so an injected fail-stop fails the attempt (instead
+    of being absorbed by the restartable driver) and the engine's
+    RetryPolicy has to re-run it."""
+    from repro.core.reduce import accumulate_local, wire_op
+    from repro.ops import SumOp
+
+    def chaos_job(comm):
+        op = SumOp()
+        local = np.arange(
+            comm.rank, payload * comm.size, comm.size, dtype=np.float64
+        )
+        acc = accumulate_local(comm, op, local)
+        return op.red_gen(comm.allreduce(acc, wire_op(op)))
+
+    return chaos_job
 
 
 def run_serve(argv: list[str]) -> int:
@@ -107,6 +134,16 @@ def run_serve(argv: list[str]) -> int:
         help="write the per-rank busy timeline as a Chrome/Perfetto "
         "trace to PATH",
     )
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="run a chaos tenant alongside the healthy clients: jobs "
+        "under transient fault plans with a RetryPolicy (self-healing "
+        "demo)",
+    )
+    parser.add_argument(
+        "--chaos-jobs", type=int, default=16, metavar="K",
+        help="jobs the chaos tenant submits (default: 16)",
+    )
     ns = parser.parse_args(argv)
 
     from repro.engine import Engine
@@ -146,6 +183,42 @@ def run_serve(argv: list[str]) -> int:
             "sim_time": sum(r.time for r in results),
         }
 
+    chaos_stats: dict = {}
+
+    def chaos_client(engine) -> None:
+        from repro.engine.resilience import RetryPolicy
+        from repro.errors import SpmdError
+        from repro.faults import transient_plan
+
+        chaos_job = _make_chaos_job(ns.payload)
+        policy = RetryPolicy(max_attempts=8, backoff_base=0.002)
+        succeeded = retried = failed = 0
+        with engine.session(label="chaos-tenant") as session:
+            handles = [
+                session.submit(
+                    chaos_job,
+                    nprocs=job_ranks,
+                    fault_plan=transient_plan(
+                        k, job_ranks, failstop_rate=0.6
+                    ),
+                    retry_policy=policy,
+                    timeout=60.0,
+                    label=f"chaos-{k}",
+                )
+                for k in range(ns.chaos_jobs)
+            ]
+            for h in handles:
+                try:
+                    h.result()
+                    succeeded += 1
+                except SpmdError:
+                    failed += 1
+                retried += h.attempt - 1
+        chaos_stats.update(
+            jobs=ns.chaos_jobs, succeeded=succeeded,
+            failed=failed, retries=retried,
+        )
+
     telemetry = EngineTelemetry(ns.ranks)
     ring = SnapshotRing(telemetry, interval=ns.snapshot_interval)
     server = None
@@ -162,6 +235,12 @@ def run_serve(argv: list[str]) -> int:
             threading.Thread(target=client, args=(i, engine), daemon=True)
             for i in range(ns.clients)
         ]
+        if ns.chaos:
+            threads.append(
+                threading.Thread(
+                    target=chaos_client, args=(engine,), daemon=True
+                )
+            )
         t0 = time.perf_counter()
         ring.start()
         for t in threads:
@@ -195,6 +274,20 @@ def run_serve(argv: list[str]) -> int:
         f"cancelled {stats['cancelled']}, rejected {stats['rejected']}"
     )
     print(
+        f"health: status {stats['status']}, effective capacity "
+        f"{stats['effective_capacity']}/{stats['nprocs']} "
+        f"({len(stats['quarantined_ranks'])} quarantined), "
+        f"{stats['retried']} retries, {stats['quarantines']} quarantines, "
+        f"{stats['revivals']} revivals, {stats['reaped']} reaped"
+    )
+    if ns.chaos and chaos_stats:
+        print(
+            f"chaos tenant: {chaos_stats['succeeded']}/"
+            f"{chaos_stats['jobs']} jobs eventually succeeded "
+            f"({chaos_stats['retries']} retries, "
+            f"{chaos_stats['failed']} exhausted)"
+        )
+    print(
         f"schedule cache: {cache['hits']} hits / {cache['misses']} misses "
         f"(hit rate {cache['hit_rate']:.3f}); "
         f"leaked messages swept: {stats['leaked_messages_drained']}"
@@ -225,9 +318,13 @@ def run_serve(argv: list[str]) -> int:
         write_engine_session_trace(telemetry, ns.trace_out)
         print(f"engine-session trace written to {ns.trace_out} "
               "(open in Perfetto)")
+    # Healthy clients must all complete; the chaos tenant's exhausted-
+    # retry failures (if any) are its own lane, reported above.
+    chaos_ok = chaos_stats.get("succeeded", 0) if ns.chaos else 0
+    chaos_failed = chaos_stats.get("failed", 0) if ns.chaos else 0
     ok = (
-        stats["completed"] == total_jobs
-        and stats["failed"] == 0
+        stats["completed"] == total_jobs + chaos_ok
+        and stats["failed"] == chaos_failed
         and total_jobs == ns.clients * ns.jobs_per_client
     )
     print("serve demo OK" if ok else "serve demo FAILED")

@@ -83,6 +83,23 @@ def render_frame(frame: dict[str, Any]) -> str:
             counters.get("engine.jobs.rejected", 0),
         )
     )
+    eng = frame.get("engine")
+    if eng and "effective_capacity" in eng:
+        degraded = " ** DEGRADED **" if eng.get("degraded") else ""
+        lines.append(
+            "  capacity: {}/{} ranks schedulable ({} quarantined){}".format(
+                eng["effective_capacity"], eng.get("nprocs", nprocs),
+                len(eng.get("quarantined_ranks", [])), degraded,
+            )
+        )
+        lines.append(
+            "  self-heal: {} retries, {} quarantines, {} revivals, "
+            "{} reaped, {} shrunk".format(
+                eng.get("retried", 0), eng.get("quarantines", 0),
+                eng.get("revivals", 0), eng.get("reaped", 0),
+                eng.get("shrunk", 0),
+            )
+        )
     cache_hits = gauges.get("engine.schedule_cache.hits")
     if cache_hits is not None:
         rate = gauges.get("engine.schedule_cache.hit_rate", 0.0) or 0.0

@@ -20,6 +20,7 @@ __all__ = [
     "SpmdTimeout",
     "EngineClosed",
     "EngineSaturated",
+    "EngineDegraded",
     "JobCancelled",
     "CommunicatorError",
     "RankMismatchError",
@@ -182,6 +183,16 @@ class EngineSaturated(ReproError):
     """Admission control rejected a job: the engine's pending queue is at
     its configured depth and the caller asked not to block (or its
     blocking wait timed out).  Back off and resubmit."""
+
+
+class EngineDegraded(EngineSaturated):
+    """Admission control rejected a job because the pool is running
+    below its capacity floor: enough ranks are quarantined that the job
+    cannot be placed at its requested size.  Subclasses
+    :class:`EngineSaturated` so existing backpressure handlers keep
+    working; clients that care can catch it specifically, resubmit with
+    ``allow_shrink=True``, or back off until the supervisor revives
+    quarantined ranks."""
 
 
 class JobCancelled(ReproError):

@@ -30,7 +30,15 @@ never on the thread schedule.
 """
 
 from repro.faults.injection import FaultInjector
-from repro.faults.plan import FailStop, FaultPlan, LinkFaults, random_plan
+from repro.faults.plan import (
+    FailStop,
+    FaultPlan,
+    LinkFaults,
+    TransientPlan,
+    random_plan,
+    reseed,
+    transient_plan,
+)
 from repro.faults.reliable import Frame
 
 __all__ = [
@@ -39,5 +47,8 @@ __all__ = [
     "FaultPlan",
     "Frame",
     "LinkFaults",
+    "TransientPlan",
     "random_plan",
+    "reseed",
+    "transient_plan",
 ]

@@ -18,7 +18,15 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
-__all__ = ["FailStop", "LinkFaults", "FaultPlan", "random_plan"]
+__all__ = [
+    "FailStop",
+    "LinkFaults",
+    "FaultPlan",
+    "random_plan",
+    "reseed",
+    "TransientPlan",
+    "transient_plan",
+]
 
 
 @dataclass(frozen=True)
@@ -203,3 +211,106 @@ def random_plan(
     if stragglers and rng.random() < 0.5:
         slow[rng.randrange(nprocs)] = rng.uniform(1.5, 8.0)
     return FaultPlan(seed=seed, failstops=failstops, link=link, stragglers=slow)
+
+
+def reseed(plan: FaultPlan, attempt: int) -> FaultPlan:
+    """Derive the fault plan for retry ``attempt`` (0 = first attempt).
+
+    A retried job must not replay the exact fault stream that killed it
+    — a deterministic at-op fail-stop would recur forever — so the
+    engine's :class:`~repro.engine.resilience.RetryPolicy` reseeds the
+    plan per attempt.  The derivation is itself deterministic (seed
+    arithmetic, no entropy), preserving the reproducibility contract:
+    the same submitted plan and attempt number always yield the same
+    derived plan.  Fail-stop schedules are kept only on attempt 0; link
+    faults and stragglers persist (the reliable layer makes them
+    bit-transparent) with a reseeded probabilistic stream.
+    """
+    if attempt == 0:
+        return plan
+    return FaultPlan(
+        seed=plan.seed + 1_000_003 * attempt,
+        failstops=(),
+        link=plan.link,
+        stragglers=plan.stragglers,
+        rto=plan.rto,
+    )
+
+
+class TransientPlan:
+    """A callable fault-plan source modelling *transient* faults.
+
+    The engine accepts either a static :class:`FaultPlan` or a callable
+    ``attempt -> FaultPlan | None`` as a job's ``fault_plan``; this is
+    the canonical callable: each attempt independently (but
+    deterministically, from the seed) draws whether a fail-stop strikes,
+    so a job under a :class:`~repro.engine.resilience.RetryPolicy`
+    eventually lands a clean attempt and completes bit-identically to a
+    fault-free run.  This is the chaos-tenant primitive used by
+    ``python -m repro serve --chaos`` and the chaos-soak benchmark.
+    """
+
+    __slots__ = ("seed", "nprocs", "failstop_rate", "lossy", "max_drop")
+
+    def __init__(
+        self,
+        seed: int,
+        nprocs: int,
+        *,
+        failstop_rate: float = 0.5,
+        lossy: bool = True,
+        max_drop: float = 0.2,
+    ):
+        if not 0.0 <= failstop_rate <= 1.0:
+            raise ValueError(
+                f"failstop_rate must be in [0, 1], got {failstop_rate}"
+            )
+        self.seed = seed
+        self.nprocs = nprocs
+        self.failstop_rate = failstop_rate
+        self.lossy = lossy
+        self.max_drop = max_drop
+
+    def __call__(self, attempt: int) -> FaultPlan:
+        rng = random.Random(
+            f"transient:{self.seed}:{self.nprocs}:{attempt}"
+        )
+        failstops: tuple[FailStop, ...] = ()
+        if self.nprocs >= 2 and rng.random() < self.failstop_rate:
+            victim = rng.randrange(1, self.nprocs)
+            failstops = (FailStop(rank=victim, at_op=1),)
+        link = LinkFaults()
+        if self.lossy:
+            link = LinkFaults(
+                drop_rate=rng.uniform(0.0, self.max_drop),
+                dup_rate=rng.uniform(0.0, 0.2),
+                delay_rate=rng.uniform(0.0, 0.2),
+                delay_seconds=10 ** rng.uniform(-5, -4),
+                reorder_rate=rng.uniform(0.0, 0.2),
+            )
+        return FaultPlan(
+            seed=self.seed + 1_000_003 * attempt,
+            failstops=failstops,
+            link=link,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransientPlan(seed={self.seed}, nprocs={self.nprocs}, "
+            f"failstop_rate={self.failstop_rate:g})"
+        )
+
+
+def transient_plan(
+    seed: int,
+    nprocs: int,
+    *,
+    failstop_rate: float = 0.5,
+    lossy: bool = True,
+    max_drop: float = 0.2,
+) -> TransientPlan:
+    """Convenience constructor for :class:`TransientPlan` (chaos tenants)."""
+    return TransientPlan(
+        seed, nprocs,
+        failstop_rate=failstop_rate, lossy=lossy, max_drop=max_drop,
+    )

@@ -70,8 +70,10 @@ __all__ = [
 ]
 
 #: Lifecycle states in transition order; the last four are terminal.
+#: "retrying" is the self-healing loop: a failed attempt re-enters
+#: "queued" (with a bumped ``attempt``) after its backoff elapses.
 LIFECYCLE_STATES = (
-    "submitted", "queued", "gang-assembled", "running",
+    "submitted", "queued", "gang-assembled", "running", "retrying",
     "completed", "failed", "cancelled", "saturated",
 )
 
@@ -91,7 +93,7 @@ class JobLifecycle:
     __slots__ = (
         "job_id", "label", "session", "nprocs", "has_fault_plan",
         "t_submitted", "t_queued", "t_assembled", "t_running", "t_done",
-        "state", "virtual_seconds",
+        "state", "virtual_seconds", "attempt",
     )
 
     def __init__(
@@ -102,6 +104,7 @@ class JobLifecycle:
         nprocs: int,
         has_fault_plan: bool,
         t_submitted: float,
+        attempt: int = 1,
     ):
         self.job_id = job_id
         self.label = label
@@ -109,6 +112,7 @@ class JobLifecycle:
         self.nprocs = nprocs
         self.has_fault_plan = has_fault_plan
         self.t_submitted = t_submitted
+        self.attempt = attempt
         self.t_queued: float | None = None
         self.t_assembled: float | None = None
         self.t_running: float | None = None
@@ -149,6 +153,7 @@ class JobLifecycle:
             "nprocs": self.nprocs,
             "fault_plan": self.has_fault_plan,
             "state": self.state,
+            "attempt": self.attempt,
             "t_submitted": self.t_submitted,
             "t_queued": self.t_queued,
             "t_assembled": self.t_assembled,
@@ -216,9 +221,23 @@ class EngineTelemetry:
         self._h_exec = reg.histogram("engine.job.exec_seconds")
         self._h_e2e = reg.histogram("engine.job.e2e_seconds")
         self._h_virtual = reg.histogram("engine.job.virtual_seconds")
+        # Self-healing instruments (PR 8): retries, leak sweeps, rank
+        # quarantine/revival, degraded-capacity gauges.
+        self._c_retried = reg.counter("engine.jobs.retried")
+        self._c_reaped = reg.counter("engine.jobs.reaped")
+        self._c_shrunk = reg.counter("engine.jobs.shrunk")
+        self._c_leaked = reg.counter("engine.jobs.leaked_messages")
+        self._c_quarantines = reg.counter("engine.ranks.quarantines")
+        self._c_revivals = reg.counter("engine.ranks.revivals")
+        self._g_quarantined = reg.gauge("engine.ranks.quarantined")
+        self._g_effective = reg.gauge("engine.capacity.effective")
+        self._g_degraded = reg.gauge("engine.capacity.degraded")
         self._g_queue.set(0)
         self._g_inflight.set(0)
         self._g_free.set(nprocs)
+        self._g_quarantined.set(0)
+        self._g_effective.set(nprocs)
+        self._g_degraded.set(0)
 
     def bind(self, engine: Any) -> None:
         """Attach the owning engine (snapshot reads its scheduler stats)."""
@@ -239,19 +258,24 @@ class EngineTelemetry:
         has_fault_plan: bool,
         t_submitted: float,
         queue_depth: int,
+        attempt: int = 1,
     ) -> JobLifecycle:
         """A job entered the pending queue; returns its lifecycle record.
 
         ``t_submitted`` is the hook-captured entry time into ``submit``
         — before any backpressure wait — so ``t_queued - t_submitted``
-        is the admission stall.
+        is the admission stall.  A retried attempt re-enters here with
+        ``attempt > 1`` (a fresh lifecycle per attempt; the failed
+        attempt's record stays in the history with state "retrying").
         """
         lc = JobLifecycle(
-            job_id, label, session, nprocs, has_fault_plan, t_submitted
+            job_id, label, session, nprocs, has_fault_plan, t_submitted,
+            attempt=attempt,
         )
         lc.t_queued = self.now()
         lc.state = "queued"
-        self._c_submitted.inc()
+        if attempt == 1:
+            self._c_submitted.inc()
         self._g_queue.set(queue_depth)
         return lc
 
@@ -316,9 +340,12 @@ class EngineTelemetry:
         queue_depth: int,
         inflight: int,
         free_ranks: int,
+        leaked: int = 0,
     ) -> None:
         """Terminal transition: ``status`` is the job's final engine state
-        (``done``/``failed``/``cancelled``).
+        (``done``/``failed``/``cancelled``).  ``leaked`` is the number
+        of envelopes the finalize sweep drained for this job (messages
+        it sent but never received, e.g. unwound mid-collective).
 
         Closes the busy interval of every member rank at gang
         granularity — one ``(rank, t_start, t_done)`` slice per member,
@@ -338,6 +365,8 @@ class EngineTelemetry:
         }.get(status)
         if counter is not None:
             counter.inc()
+        if leaked:
+            self._c_leaked.inc(leaked)
         if lc.t_assembled is not None:
             t_start = lc.t_running if lc.t_running is not None else lc.t_assembled
             for r in members:
@@ -353,6 +382,79 @@ class EngineTelemetry:
         self._g_free.set(free_ranks)
         with self._lock:
             self._history.append(lc)
+
+    def job_retried(
+        self,
+        lc: JobLifecycle,
+        attempt: int,
+        delay: float,
+        members: tuple[int, ...],
+        leaked: int = 0,
+    ) -> None:
+        """Attempt ``attempt`` of a job failed and will be re-run after
+        ``delay`` seconds of backoff.
+
+        Called (like :meth:`job_done`) with the engine lock held.  The
+        failed attempt's lifecycle goes terminal here with state
+        "retrying"; the re-admitted attempt gets a *fresh* lifecycle
+        from :meth:`job_admitted` with ``attempt + 1``, so per-attempt
+        histories stay intact and the latency histograms measure each
+        attempt's real execution.
+        """
+        t = self.now()
+        lc.t_done = t
+        lc.state = "retrying"
+        self._c_retried.inc()
+        if leaked:
+            self._c_leaked.inc(leaked)
+        if lc.t_assembled is not None:
+            t_start = (
+                lc.t_running if lc.t_running is not None else lc.t_assembled
+            )
+            for r in members:
+                self._open[r] = None
+                self._busy[r] += t - t_start
+                self._closed_per_rank[r] += 1
+                self._intervals.append((r, t_start, t, lc.job_id, lc.label))
+        with self._lock:
+            self._history.append(lc)
+
+    def job_reaped(self, job_id: int) -> None:
+        """The supervisor's stuck-job reaper cancelled+unwound a job
+        that exceeded its deadline (escalation past the collective
+        watchdog).  The terminal :meth:`job_done` still follows."""
+        self._c_reaped.inc()
+
+    def job_shrunk(self, lc: JobLifecycle, nprocs: int) -> None:
+        """An ``allow_shrink=True`` job was gang-assembled onto
+        ``nprocs`` ranks — fewer than requested — because the pool is
+        running degraded.  Called with the engine lock held, just
+        before :meth:`job_assembled`."""
+        lc.nprocs = nprocs
+        self._c_shrunk.inc()
+
+    def rank_quarantined(
+        self, rank: int, quarantined: int, effective: int
+    ) -> None:
+        """Pool ``rank`` died inside a job and was quarantined; the gang
+        scheduler will skip it until a probe revives it."""
+        self._c_quarantines.inc()
+        self._g_quarantined.set(quarantined)
+        self._g_effective.set(effective)
+
+    def rank_revived(
+        self, rank: int, quarantined: int, effective: int
+    ) -> None:
+        """A quarantined rank passed its health probe and rejoined the
+        schedulable pool."""
+        self._c_revivals.inc()
+        self._g_quarantined.set(quarantined)
+        self._g_effective.set(effective)
+
+    def degraded_changed(self, degraded: bool, effective: int) -> None:
+        """The engine crossed its capacity floor (either direction)."""
+        self._g_degraded.set(1 if degraded else 0)
+        self._g_effective.set(effective)
 
     # -- cold-path reads ----------------------------------------------------
 
@@ -479,6 +581,24 @@ class _NullEngineTelemetry:
         pass
 
     def job_done(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def job_retried(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def job_reaped(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def job_shrunk(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def rank_quarantined(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def rank_revived(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def degraded_changed(self, *a: Any, **k: Any) -> None:
         pass
 
     def utilization(self, now: float | None = None) -> list[float]:

@@ -165,6 +165,23 @@ class Membership:
             self.blocked.pop(rank, None)
             self.version += 1
 
+    def mark_alive(self, rank: int) -> None:
+        """Forget a recorded fail-stop of ``rank`` (rank revival).
+
+        The engine supervisor calls this through
+        :meth:`~repro.runtime.world.World.revive_rank` when a
+        quarantined pool rank passes its health probe: the shared
+        world's detector must stop reporting the rank dead before new
+        jobs can be gang-scheduled onto it.  Job-scoped memberships are
+        never revived — a job that watched a member die keeps that view
+        for its whole lifetime (the ULFM model has no un-fail).
+        """
+        with self.lock:
+            self.dead.discard(rank)
+            self.done.discard(rank)
+            self.blocked.pop(rank, None)
+            self.version += 1
+
     def revoke(self, cid: Hashable) -> None:
         with self.lock:
             self.revoked.add(cid)

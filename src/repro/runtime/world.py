@@ -163,6 +163,25 @@ class World:
         for mailbox in self.mailboxes:
             mailbox.notify_abort()
 
+    def revive_rank(self, rank: int) -> int:
+        """Restore a pool rank to scheduling health after a fail-stop job.
+
+        Called by the engine supervisor before probing a quarantined
+        rank: clears any shared-membership record for the rank and
+        sweeps every envelope still queued in its mailbox (a dead rank
+        can be left holding messages no live job will ever receive —
+        finalize sweeps only tags the *finished* job owns).  Returns the
+        number of stale envelopes swept.  Job-scoped views
+        (:class:`JobWorld` memberships) are untouched: a job that saw
+        the rank die keeps that view forever.
+        """
+        if not 0 <= rank < self.nprocs:
+            raise CommunicatorError(
+                f"rank {rank} out of range for world of size {self.nprocs}"
+            )
+        self.membership.mark_alive(rank)
+        return self.mailboxes[rank].drain_where(lambda src, tag: True)
+
     def rank_states(self) -> list[dict]:
         """Per-rank diagnostics (status, blocked wait, clock, queue)."""
         return self.membership.rank_states()
