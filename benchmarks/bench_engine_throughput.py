@@ -110,7 +110,7 @@ def _no_gc():
             gc.enable()
 
 
-def run_per_call(n_jobs: int) -> tuple[float, list]:
+def run_per_call(n_jobs: int, backend: str = "thread") -> tuple[float, list]:
     """n_jobs back-to-back spmd_run calls; returns (seconds, results).
 
     Tracing is pinned off (NULL_TRACER) in both paths: the comparison
@@ -122,14 +122,15 @@ def run_per_call(n_jobs: int) -> tuple[float, list]:
     with _no_gc():
         t0 = time.perf_counter()
         results = [
-            spmd_run(reduce_job, POOL_RANKS, tracer=NULL_TRACER)
+            spmd_run(reduce_job, POOL_RANKS, tracer=NULL_TRACER,
+                     backend=backend)
             for _ in range(n_jobs)
         ]
         return time.perf_counter() - t0, results
 
 
 def run_engine(
-    n_jobs: int, telemetry: bool = False
+    n_jobs: int, telemetry: bool = False, backend: str = "thread"
 ) -> tuple[float, list, dict, dict | None]:
     """n_jobs submitted up-front to one persistent engine; returns
     (seconds, results, engine stats, latency summary or None).
@@ -138,7 +139,7 @@ def run_engine(
     the returned latency summary carries the queue-wait / e2e
     p50/p95/p99 over exactly the timed jobs (minus the warm-up job)."""
     tel = EngineTelemetry(POOL_RANKS) if telemetry else False
-    with Engine(POOL_RANKS, telemetry=tel) as engine:
+    with Engine(POOL_RANKS, telemetry=tel, backend=backend) as engine:
         # Warm the pool and the schedule cache outside the timed region,
         # mirroring a resident service that has already handled traffic.
         engine.submit(reduce_job, tracer=NULL_TRACER).result()
@@ -188,7 +189,7 @@ def hook_cost_per_job(n: int = 8000) -> float:
     return best
 
 
-def measure(n_jobs: int, repeats: int = 5) -> dict:
+def measure(n_jobs: int, repeats: int = 5, backend: str = "thread") -> dict:
     """Best-of-``repeats`` for each path: the minimum elapsed time is the
     least scheduler-noise-contaminated estimate of the true cost, which
     keeps the ratio stable run to run.  Host noise arrives in bursts on
@@ -199,17 +200,19 @@ def measure(n_jobs: int, repeats: int = 5) -> dict:
     windows, so it is far more noise-sensitive than the headline
     speedup: both engine paths get extra interleaved repeats, and the
     best-of minima are what the overhead budget is asserted on."""
-    per_call_s, per_call_results = run_per_call(n_jobs)
-    engine_s, engine_results, stats = run_engine(n_jobs)[:3]
-    tel_s, tel_results, _, latency = run_engine(n_jobs, telemetry=True)
+    per_call_s, per_call_results = run_per_call(n_jobs, backend)
+    engine_s, engine_results, stats = run_engine(n_jobs, backend=backend)[:3]
+    tel_s, tel_results, _, latency = run_engine(
+        n_jobs, telemetry=True, backend=backend
+    )
     engine_repeats = max(repeats, 9)
     for i in range(engine_repeats - 1):
         if i < repeats - 1:
-            s, _ = run_per_call(n_jobs)
+            s, _ = run_per_call(n_jobs, backend)
             per_call_s = min(per_call_s, s)
-        s, _, stats, _ = run_engine(n_jobs)
+        s, _, stats, _ = run_engine(n_jobs, backend=backend)
         engine_s = min(engine_s, s)
-        s, _, _, lat = run_engine(n_jobs, telemetry=True)
+        s, _, _, lat = run_engine(n_jobs, telemetry=True, backend=backend)
         if s < tel_s:
             tel_s, latency = s, lat
 
@@ -238,6 +241,7 @@ def measure(n_jobs: int, repeats: int = 5) -> dict:
     return {
         "n_jobs": n_jobs,
         "nprocs": POOL_RANKS,
+        "backend": backend,
         "payload_elems": PAYLOAD,
         "per_call_jobs_per_s": n_jobs / per_call_s,
         "engine_jobs_per_s": n_jobs / engine_s,
@@ -264,7 +268,8 @@ def render(m: dict) -> str:
     qw, e2e = m["latency"]["queue_wait_s"], m["latency"]["e2e_s"]
     lines = [
         f"engine throughput ({m['n_jobs']} jobs, {m['nprocs']} ranks, "
-        f"{m['payload_elems']} float64/rank)",
+        f"{m['payload_elems']} float64/rank, "
+        f"{m.get('backend', 'thread')} backend)",
         f"  per-call spmd_run : {m['per_call_jobs_per_s']:8.1f} jobs/s "
         f"({m['per_call_ms_per_job']:.2f} ms/job)",
         f"  persistent engine : {m['engine_jobs_per_s']:8.1f} jobs/s "
@@ -334,20 +339,33 @@ def main() -> int:
         f"{100.0 * OVERHEAD_BUDGET_FRACTION:.0f}% of per-job engine time "
         "(CI telemetry smoke)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("thread", "process"),
+        default="thread",
+        help="engine world backend for both paths (default: thread). "
+        "The 64-element payload sits below the process backend's "
+        "offload threshold, so `--backend process` measures the "
+        "backend's *idle* cost on engine-bound workloads — it should "
+        "track the thread figures closely (offload wins are measured "
+        "by bench_backend_speedup.py, which uses payloads large "
+        "enough to cross the threshold).",
+    )
     parser.add_argument("--jobs", type=int, default=None)
     args = parser.parse_args()
 
     n_jobs = args.jobs if args.jobs is not None else (20 if args.smoke else 50)
     floor = STRICT_FLOOR if args.strict else NOISE_TOLERANT_FLOOR
-    m = measure(n_jobs)
+    m = measure(n_jobs, backend=args.backend)
     print(render(m))
 
     results = Path(__file__).resolve().parent.parent / "results"
     results.mkdir(exist_ok=True)
-    (results / "BENCH_engine_throughput.json").write_text(
+    suffix = "" if args.backend == "thread" else f"_{args.backend}"
+    (results / f"BENCH_engine_throughput{suffix}.json").write_text(
         json.dumps(m, indent=2) + "\n"
     )
-    (results / "engine_throughput.txt").write_text(render(m) + "\n")
+    (results / f"engine_throughput{suffix}.txt").write_text(render(m) + "\n")
 
     if m["speedup"] < floor:
         print(f"FAIL: speedup {m['speedup']:.2f}x below {floor}x floor")

@@ -29,6 +29,7 @@ from repro.localview.api import LOCAL_ALLREDUCE, LOCAL_REDUCE
 from repro.mpi import tuning as _tuning
 from repro.mpi.comm import Communicator
 from repro.mpi.op import Op
+from repro.runtime.procworld import MISS as _proc_MISS
 from repro.util.sizing import payload_nbytes
 
 __all__ = [
@@ -128,8 +129,22 @@ def _accumulate_impl(
     values: Sequence[Any] | np.ndarray,
     accum_rate: str | None,
 ) -> Any:
-    state = op.ident()
     n = len(values)
+    pool = getattr(comm.context.world, "proc_pool", None)
+    if pool is not None and n > 0:
+        # Process backend: offload the fold to this rank's worker
+        # process.  The worker runs the identical kernel-tier fold
+        # (byte-identical by the identity-oracle guarantee); virtual
+        # time is charged here, in the parent, exactly as the
+        # in-process fold below would charge it — so clocks, traces
+        # and schedules cannot depend on where the fold ran.
+        state = pool.accumulate(comm.context.rank, op, values)
+        if state is not _proc_MISS:
+            rate = accum_rate if accum_rate is not None else op.accum_rate
+            if rate is not None:
+                comm.charge_elements(rate, n, f"accum:{op.name}")
+            return state
+    state = op.ident()
     if n > 0:
         state = op.pre_accum(state, values[0])
         state = _accum_block_dispatch(comm, op, state, values, n)

@@ -115,6 +115,14 @@ class Engine:
     default :class:`~repro.engine.resilience.SupervisorConfig`; pass a
     config to tune it, or ``False`` to disable (retries then re-admit
     inline with no backoff, and quarantine/reaping are off).
+
+    ``backend`` selects the execution backend (see ``docs/backends.md``):
+    ``"thread"`` (default) folds accumulate phases in-process — the
+    bit-identity oracle; ``"process"`` offloads them to a
+    :class:`~repro.runtime.procworld.ProcPool` of forked rank workers
+    over shared-memory rings, byte-identical by contract and enforced
+    by the backend identity grid.  ``backend_options`` forwards keyword
+    arguments (``ring_bytes``, ``min_offload_bytes``) to the pool.
     """
 
     #: Default wall-clock budget for joining the pool's worker threads
@@ -131,9 +139,15 @@ class Engine:
         max_inflight: int | None = None,
         telemetry: "bool | EngineTelemetry | None" = False,
         supervisor: "bool | SupervisorConfig | None" = True,
+        backend: str = "thread",
+        backend_options: dict | None = None,
     ):
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process', got {backend!r}"
+            )
         if telemetry is True:
             telemetry = EngineTelemetry(nprocs)
         elif not telemetry:
@@ -142,6 +156,17 @@ class Engine:
         telemetry.bind(self)
         # The shared world validates nprocs >= 1 before any thread starts.
         self._world = World(nprocs, cost_model)
+        self._backend = backend
+        if backend == "process":
+            # Fork the rank workers *before* the rank threads start:
+            # forking a single-threaded parent cannot inherit a lock
+            # held mid-acquire by another thread.
+            from repro.runtime.procworld import ProcPool
+
+            self._proc_pool = ProcPool(nprocs, **(backend_options or {}))
+            self._world.proc_pool = self._proc_pool
+        else:
+            self._proc_pool = None
         self._nprocs = nprocs
         self._queue_depth = queue_depth
         self._max_inflight = max_inflight
@@ -211,6 +236,16 @@ class Engine:
         return self._world
 
     @property
+    def backend(self) -> str:
+        """The execution backend: ``"thread"`` or ``"process"``."""
+        return self._backend
+
+    @property
+    def proc_pool(self):
+        """The process backend's worker pool, or None (thread backend)."""
+        return self._proc_pool
+
+    @property
     def telemetry(self):
         """The engine's :class:`~repro.obs.telemetry.EngineTelemetry`,
         or the shared null object when telemetry is off (``.enabled``
@@ -273,6 +308,11 @@ class Engine:
                 ),
                 "schedule_cache": self._world.schedule_cache.stats(),
                 "kernel_cache": self._world.kernel_cache.stats(),
+                "backend": self._backend,
+                "ipc": (
+                    self._proc_pool.ipc_stats()
+                    if self._proc_pool is not None else None
+                ),
             }
 
     def status(self) -> str:
@@ -534,6 +574,11 @@ class Engine:
                 "within %.1f s: %s",
                 len(stragglers), join_timeout, ", ".join(stragglers),
             )
+        if self._proc_pool is not None:
+            # After the rank threads: no thread can be mid-offload once
+            # they are joined, and a straggler's in-flight request dies
+            # with the worker (its MISS fallback path tolerates that).
+            self._proc_pool.shutdown(timeout=join_timeout)
         self._joined = True
         self._join_clean = clean
         return clean
@@ -1012,12 +1057,31 @@ class Engine:
                 else:  # pragma: no cover - probe failure is exceptional
                     self._quarantined_at[w] = time.perf_counter()
 
+    def _probe_backend(self) -> None:
+        """Supervisor step: restart dead process-backend workers.
+
+        A dead worker is never a correctness problem — its rank's
+        accumulates fall back to the in-process fold — but it silently
+        costs parallelism, so the supervisor re-forks it.  No-op on the
+        thread backend.
+        """
+        pool = self._proc_pool
+        if pool is None or pool.closed:
+            return
+        for r in pool.dead_workers():
+            pool.restart_worker(r)
+
     def _probe_rank(self, w: int) -> bool:
         """One health probe of quarantined rank ``w``: revive its shared
         world state (membership + stale-mailbox sweep), then run a
         1-rank probe job on it through the normal worker path."""
         if not self._threads[w].is_alive():
             return False
+        if self._proc_pool is not None and not self._proc_pool.ping(w):
+            # Process backend: a quarantined rank only counts revived
+            # when its offload worker answers too (restart first).
+            if not self._proc_pool.restart_worker(w):
+                return False
         swept = self._world.revive_rank(w)
         with self._cv:
             if self._closed:

@@ -197,7 +197,7 @@ class Supervisor:
 
     Pure driver: each tick calls back into the engine's supervision
     entry points (``_admit_due_retries``, ``_reap_stuck_jobs``,
-    ``_probe_quarantined``), which own all locking.  A tick that raises
+    ``_probe_quarantined``, ``_probe_backend``), which own all locking.  A tick that raises
     is logged-and-survived — a supervisor that silently dies would turn
     every retrying job into a hang.
     """
@@ -244,6 +244,7 @@ class Supervisor:
             eng._admit_due_retries,
             eng._reap_stuck_jobs,
             eng._probe_quarantined,
+            eng._probe_backend,
         ):
             try:
                 step()

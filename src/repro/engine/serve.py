@@ -144,6 +144,12 @@ def run_serve(argv: list[str]) -> int:
         "--chaos-jobs", type=int, default=16, metavar="K",
         help="jobs the chaos tenant submits (default: 16)",
     )
+    parser.add_argument(
+        "--backend", choices=("thread", "process"), default="thread",
+        help="execution backend: 'thread' (bit-identity oracle) or "
+        "'process' (accumulate offload to forked rank workers over "
+        "shared memory; see docs/backends.md)",
+    )
     ns = parser.parse_args(argv)
 
     from repro.engine import Engine
@@ -229,7 +235,8 @@ def run_serve(argv: list[str]) -> int:
         print(f"metrics: {server.url}/metrics  (snapshot: /snapshot.json)")
 
     with Engine(
-        ns.ranks, queue_depth=ns.queue_depth, telemetry=telemetry
+        ns.ranks, queue_depth=ns.queue_depth, telemetry=telemetry,
+        backend=ns.backend,
     ) as engine:
         threads = [
             threading.Thread(target=client, args=(i, engine), daemon=True)
@@ -297,6 +304,18 @@ def run_serve(argv: list[str]) -> int:
         f"kernel cache: {kcache['hits']} hits / {kcache['misses']} misses "
         f"(hit rate {kcache['hit_rate']:.3f}, {kcache['entries']} entries)"
     )
+    ipc = stats.get("ipc")
+    if ipc is not None:
+        offloads = ipc["shm_hits"] + ipc["pickle_fallbacks"]
+        cov = ipc["shm_hits"] / offloads if offloads else 0.0
+        print(
+            f"backend: {stats['backend']}; ipc {ipc['frames']} frames, "
+            f"{ipc['bytes']} bytes, {ipc['shm_hits']} shm hits / "
+            f"{ipc['pickle_fallbacks']} pickle fallbacks "
+            f"(zero-copy {cov:.0%}), {ipc['worker_restarts']} restarts"
+        )
+    else:
+        print(f"backend: {stats['backend']}")
     latency = telemetry.latency_summary()
 
     def _us(value):

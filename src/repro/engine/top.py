@@ -120,6 +120,27 @@ def render_frame(frame: dict[str, Any]) -> str:
                 rate,
             )
         )
+    backend = (eng or {}).get("backend")
+    if backend is not None:
+        lines.append(f"  backend: {backend}")
+    ipc_frames = gauges.get("backend.ipc.frames")
+    if ipc_frames is not None:
+        total = (
+            int(gauges.get("backend.ipc.shm_hits", 0) or 0)
+            + int(gauges.get("backend.ipc.pickle_fallbacks", 0) or 0)
+        )
+        shm = int(gauges.get("backend.ipc.shm_hits", 0) or 0)
+        cov = shm / total if total else 0.0
+        lines.append(
+            "  backend ipc: {} frames, {} bytes, {} shm hits / "
+            "{} pickle fallbacks (zero-copy {:.0%})".format(
+                int(ipc_frames),
+                int(gauges.get("backend.ipc.bytes", 0) or 0),
+                shm,
+                int(gauges.get("backend.ipc.pickle_fallbacks", 0) or 0),
+                cov,
+            )
+        )
     lines.append("")
     lines.append("  rank utilization (busy fraction since start)")
     util = frame.get("utilization", [])

@@ -23,6 +23,7 @@ __all__ = [
     "EngineDegraded",
     "JobCancelled",
     "CommunicatorError",
+    "TransferError",
     "RankMismatchError",
     "TruncationError",
     "OperatorError",
@@ -203,6 +204,17 @@ class JobCancelled(ReproError):
 
 class CommunicatorError(ReproError):
     """Invalid use of a communicator (bad rank, bad tag, empty group...)."""
+
+
+class TransferError(CommunicatorError):
+    """A payload cannot cross a rank boundary.
+
+    Raised at the *send* boundary (:func:`repro.util.sizing.copy_for_transfer`)
+    or the process-backend frame codec when an operator state is neither
+    :class:`~repro.util.sizing.TransferSafe` nor copyable/picklable.  The
+    message names the offending type, so the failure surfaces where the
+    payload entered the channel layer instead of deep inside it.
+    """
 
 
 class RankMismatchError(CommunicatorError):

@@ -514,6 +514,16 @@ class EngineTelemetry:
                 reg.gauge("engine.kernel_cache.hit_rate").set(
                     kcache["hit_rate"]
                 )
+            ipc = engine_stats.get("ipc")
+            if ipc is not None:
+                # Process-backend IPC counters, so zero-copy coverage
+                # is observable in Prometheus/top (docs/backends.md).
+                reg.gauge("backend.ipc.frames").set(ipc["frames"])
+                reg.gauge("backend.ipc.bytes").set(ipc["bytes"])
+                reg.gauge("backend.ipc.shm_hits").set(ipc["shm_hits"])
+                reg.gauge("backend.ipc.pickle_fallbacks").set(
+                    ipc["pickle_fallbacks"]
+                )
         frame: dict[str, Any] = {
             "type": "snapshot",
             "ts": self._epoch + t,

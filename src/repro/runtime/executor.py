@@ -83,6 +83,8 @@ def spmd_run(
     timeout: float = 300.0,
     tracer: Tracer | None = None,
     fault_plan: Any | None = None,
+    backend: str = "thread",
+    backend_options: dict | None = None,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args)`` on ``nprocs`` simulated ranks.
 
@@ -120,6 +122,13 @@ def spmd_run(
         ``SpmdResult.failed_ranks`` (its return value stays ``None``)
         and survivors observe it through the failure detector as
         :class:`~repro.errors.RankFailedError`.
+    backend:
+        ``"thread"`` (default) folds accumulate phases in-process;
+        ``"process"`` offloads them to forked rank workers over
+        shared-memory rings (``repro.runtime.procworld``) — results
+        are byte-identical, wall-clock is parallel.  See
+        ``docs/backends.md``.  ``backend_options`` forwards pool
+        keywords (``ring_bytes``, ``min_offload_bytes``).
 
     Returns
     -------
@@ -134,7 +143,10 @@ def spmd_run(
         if forced_ranks is not None:
             nprocs = forced_ranks
 
-    engine = Engine(nprocs, cost_model=cost_model)
+    engine = Engine(
+        nprocs, cost_model=cost_model,
+        backend=backend, backend_options=backend_options,
+    )
     try:
         handle = engine.submit(
             fn,

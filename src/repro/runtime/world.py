@@ -107,6 +107,10 @@ class World:
         from repro.core.kernels import default_cache
 
         self.kernel_cache = default_cache()
+        # Process-backend accumulate offload pool; installed by the
+        # engine when it was built with backend="process", else None
+        # (the threaded world folds in-process).
+        self.proc_pool = None
 
     def allocate_context_id(self) -> int:
         """Allocate a communicator context id (unique per World).
@@ -248,6 +252,10 @@ class JobWorld:
         self.mailboxes = parent.mailboxes
         self.schedule_cache = parent.schedule_cache
         self.kernel_cache = parent.kernel_cache
+        # Jobs inherit the engine's accumulate-offload pool: worker r
+        # serves world rank r, so concurrent jobs on disjoint ranks
+        # never contend for a worker.
+        self.proc_pool = getattr(parent, "proc_pool", None)
         self.abort_event = threading.Event()
         self.membership = Membership(parent.nprocs, members=self.members)
         self.membership.mailboxes = parent.mailboxes

@@ -22,9 +22,12 @@ from typing import Any
 
 import numpy as np
 
+from repro.errors import TransferError
+
 __all__ = [
     "payload_nbytes",
     "copy_for_transfer",
+    "ensure_transferable",
     "TransferSized",
     "TransferSafe",
 ]
@@ -139,4 +142,33 @@ def copy_for_transfer(obj: Any) -> Any:
         return [copy_for_transfer(x) for x in obj]
     if isinstance(obj, dict):
         return {copy_for_transfer(k): copy_for_transfer(v) for k, v in obj.items()}
-    return copy.deepcopy(obj)
+    try:
+        return copy.deepcopy(obj)
+    except Exception as exc:
+        # Fail at the send boundary with the offending type in hand,
+        # not deep inside the channel layer with a bare TypeError.
+        raise TransferError(
+            f"payload of type {type(obj).__name__!r} cannot cross the rank "
+            f"boundary: it is neither TransferSafe (immutable, sent by "
+            f"reference) nor deep-copyable/picklable ({exc}); mark the "
+            f"class with __transfer_safe__ = True if receivers never "
+            f"mutate it, or make its state picklable"
+        ) from exc
+
+
+def ensure_transferable(obj: Any) -> bytes:
+    """Pickle ``obj`` for a process boundary, or raise :class:`TransferError`.
+
+    The process-backend channel layer uses this to validate a payload
+    *before* committing to an IPC frame, so an unpicklable operator or
+    state fails with the offending type named instead of a pickle
+    traceback from inside a worker pipe.
+    """
+    try:
+        return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise TransferError(
+            f"payload of type {type(obj).__name__!r} cannot cross the "
+            f"process boundary: it is neither TransferSafe nor picklable "
+            f"({exc})"
+        ) from exc

@@ -1,0 +1,216 @@
+"""Unit tests for the process-backend worker pool.
+
+Covers the :class:`~repro.runtime.procworld.ProcPool` contract directly
+(offload vs MISS, IPC counters, worker death → inline fallback →
+supervisor restart) and the lifecycle guarantees the engine builds on:
+``Engine.shutdown`` terminates worker processes and reaps every
+``/dev/shm`` segment, proven by a repeated create/shutdown soak.
+"""
+
+import glob
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import Engine
+from repro.ops import SumOp, SegmentedOp
+from repro.core.reduce import global_reduce
+from repro.runtime.procworld import MISS, ProcPool, SHM_PREFIX, _fold_state
+
+
+def _leaked_segments():
+    return glob.glob(f"/dev/shm/{SHM_PREFIX}-*")
+
+
+@pytest.fixture
+def pool():
+    p = ProcPool(2, ring_bytes=1 << 20, min_offload_bytes=0)
+    try:
+        yield p
+    finally:
+        p.shutdown()
+
+
+def test_accumulate_matches_inline_fold(pool):
+    op = SumOp()
+    values = np.arange(10_000, dtype=np.float64)
+    state = pool.accumulate(0, op, values)
+    assert state is not MISS
+    expected = _fold_state(op, values)
+    assert type(state) is type(expected) or isinstance(state, np.ndarray) == isinstance(expected, np.ndarray)
+    assert np.asarray(state).tobytes() == np.asarray(expected).tobytes()
+    stats = pool.ipc_stats()
+    assert stats["frames"] >= 2
+    assert stats["shm_hits"] >= 1
+    assert stats["bytes"] > values.nbytes
+
+
+def test_list_payload_uses_pickle_fallback(pool):
+    op = SumOp()
+    values = [float(i) for i in range(100)]
+    state = pool.accumulate(0, op, values)
+    assert state is not MISS
+    assert float(np.asarray(state)) == sum(values)
+    assert pool.ipc_stats()["pickle_fallbacks"] >= 1
+
+
+def test_small_block_misses_below_threshold():
+    p = ProcPool(1, ring_bytes=1 << 20, min_offload_bytes=1 << 16)
+    try:
+        assert p.accumulate(0, SumOp(), np.arange(4.0)) is MISS
+        assert p.ipc_stats()["frames"] == 0
+    finally:
+        p.shutdown()
+
+
+def test_unpicklable_operator_misses(pool):
+    op = SegmentedOp(lambda x, y: x + y, 0)
+    assert pool.accumulate(0, op, np.arange(100.0)) is MISS
+    assert pool.ipc_stats()["inline_fallbacks"] >= 1
+
+
+def test_oversize_frame_falls_back_to_pipe():
+    p = ProcPool(1, ring_bytes=1 << 12, min_offload_bytes=0)
+    try:
+        values = np.arange(10_000, dtype=np.float64)  # 80 KB > 4 KB ring
+        state = p.accumulate(0, SumOp(), values)
+        assert state is not MISS
+        assert np.asarray(state) == values.sum()
+        assert p.ipc_stats()["pickle_fallbacks"] >= 1
+    finally:
+        p.shutdown()
+
+
+def test_out_of_range_rank_misses(pool):
+    assert pool.accumulate(5, SumOp(), np.arange(100.0)) is MISS
+
+
+def test_ping_and_worker_alive(pool):
+    assert pool.worker_alive(0)
+    assert pool.ping(0)
+    assert pool.dead_workers() == []
+
+
+def test_worker_death_falls_back_then_restarts(pool):
+    values = np.arange(1000, dtype=np.float64)
+    assert pool.accumulate(0, SumOp(), values) is not MISS
+    os.kill(pool._workers[0].proc.pid, signal.SIGKILL)
+    pool._workers[0].proc.join(timeout=5.0)
+    # The first request against the dead worker degrades to MISS...
+    assert pool.accumulate(0, SumOp(), values) is MISS
+    assert 0 in pool.dead_workers()
+    assert pool.ipc_stats()["worker_deaths"] >= 1
+    # ...rank 1 is unaffected...
+    assert pool.accumulate(1, SumOp(), values) is not MISS
+    # ...and a restart (what the engine supervisor does) revives rank 0.
+    assert pool.restart_worker(0)
+    assert pool.worker_alive(0)
+    state = pool.accumulate(0, SumOp(), values)
+    assert state is not MISS
+    assert np.asarray(state) == values.sum()
+    assert pool.ipc_stats()["worker_restarts"] >= 1
+
+
+def test_kernel_config_resync(pool):
+    from repro.core import kernels
+
+    values = np.arange(5000, dtype=np.int64)
+    before = pool.accumulate(0, SumOp(), values)
+    kernels.configure(enabled=False)
+    try:
+        after = pool.accumulate(0, SumOp(), values)
+    finally:
+        kernels.configure(enabled=True)
+    assert np.asarray(before).tobytes() == np.asarray(after).tobytes()
+
+
+def test_shutdown_idempotent_and_reaps(pool):
+    names = pool.shm_names()
+    assert len(names) == 4  # 2 workers x req+resp
+    pool.shutdown()
+    pool.shutdown()  # idempotent
+    assert pool.closed
+    for name in names:
+        assert not os.path.exists(f"/dev/shm/{name}")
+    assert pool.accumulate(0, SumOp(), np.arange(100.0)) is MISS
+
+
+def test_engine_supervisor_restarts_dead_worker():
+    eng = Engine(
+        2, backend="process",
+        backend_options={"min_offload_bytes": 0, "ring_bytes": 1 << 20},
+    )
+    try:
+        pool = eng.proc_pool
+        os.kill(pool._workers[1].proc.pid, signal.SIGKILL)
+        pool._workers[1].proc.join(timeout=5.0)
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            eng._probe_backend()
+            if pool.worker_alive(1) and pool.ping(1):
+                break
+            time.sleep(0.05)
+        assert pool.worker_alive(1)
+        # And jobs keep producing correct results throughout.
+        def job(comm):
+            return global_reduce(
+                comm, SumOp(), np.arange(1000.0) + comm.rank
+            )
+        res = eng.submit(job).result()
+        assert res.returns[0] == 2 * np.arange(1000.0).sum() + 1000
+    finally:
+        eng.shutdown(drain=False)
+
+
+def test_engine_shutdown_soak_no_leaks():
+    """50 create/shutdown cycles leak neither processes nor segments."""
+    baseline_segments = set(_leaked_segments())
+    for cycle in range(50):
+        eng = Engine(
+            2, backend="process",
+            backend_options={"min_offload_bytes": 0, "ring_bytes": 1 << 18},
+        )
+        if cycle % 10 == 0:  # exercise real traffic on some cycles
+            res = eng.submit(
+                lambda comm: global_reduce(comm, SumOp(), np.arange(100.0))
+            ).result()
+            # 2 ranks each contribute the same block.
+            assert res.returns[0] == 2 * np.arange(100.0).sum()
+        pids = [w.proc.pid for w in eng.proc_pool._workers]
+        assert eng.shutdown() is True
+        assert set(_leaked_segments()) == baseline_segments, (
+            f"cycle {cycle} leaked shm segments"
+        )
+        for pid in pids:
+            # The child must be gone (or a reaped zombie at worst).
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                continue
+            # Still exists: give the OS a beat, then require it dead.
+            time.sleep(0.2)
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)
+
+
+def test_spmd_run_backend_kwarg():
+    def job(comm):
+        return global_reduce(comm, SumOp(), np.arange(500.0) * (comm.rank + 1))
+
+    from repro.runtime import spmd_run
+
+    r_thread = spmd_run(job, 2)
+    r_proc = spmd_run(
+        job, 2, backend="process", backend_options={"min_offload_bytes": 0}
+    )
+    assert r_proc.returns == r_thread.returns
+    assert r_proc.clocks == r_thread.clocks
+    assert not _leaked_segments()
+
+
+def test_engine_rejects_unknown_backend():
+    with pytest.raises(ValueError, match="backend"):
+        Engine(2, backend="gpu")

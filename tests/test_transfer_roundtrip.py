@@ -1,0 +1,191 @@
+"""Round-trip property tests for the process-boundary transfer layer.
+
+Every operator state the catalogue can produce must survive both
+transports the process backend uses — validated pickle and the
+shared-memory frame codec — **byte-identically**, not merely
+``state_equal``-close: the backend identity grid compares virtual
+times and message bytes downstream of these states, so a single
+flipped mantissa bit would cascade.
+
+Also covers the ndarray edge cases the codec must get right (0-d,
+empty, non-contiguous, Fortran-order, bool/complex/datetime dtypes)
+and the :class:`~repro.errors.TransferError` contract: unpicklable
+payloads fail at the boundary with the offending type named.
+"""
+
+import pickle
+import random
+import struct
+
+import numpy as np
+import pytest
+
+from repro.errors import TransferError
+from repro.faults.chaos import CHAOS_CASES
+from repro.runtime.channels import (
+    FrameTooLarge,
+    decode_frame,
+    encode_frame,
+)
+from repro.runtime.procworld import _fold_state
+from repro.util.sizing import copy_for_transfer, ensure_transferable
+
+N_ELEMENTS = 7
+
+
+def bytes_identical(a, b) -> bool:
+    """Strict byte-level structural equality (no float tolerance)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        if not (isinstance(a, np.ndarray) and isinstance(b, np.ndarray)):
+            return False
+        return (
+            a.dtype == b.dtype
+            and a.shape == b.shape
+            and np.ascontiguousarray(a).tobytes()
+            == np.ascontiguousarray(b).tobytes()
+        )
+    if isinstance(a, float) and isinstance(b, float):
+        return struct.pack("<d", a) == struct.pack("<d", b)
+    if isinstance(a, (tuple, list)) and isinstance(b, (tuple, list)):
+        return (
+            type(a) is type(b)
+            and len(a) == len(b)
+            and all(bytes_identical(x, y) for x, y in zip(a, b))
+        )
+    if isinstance(a, dict) and isinstance(b, dict):
+        return a.keys() == b.keys() and all(
+            bytes_identical(v, b[k]) for k, v in a.items()
+        )
+    if type(a) is type(b) and hasattr(a, "__dict__"):
+        return bytes_identical(vars(a), vars(b))
+    if type(a) is type(b) and hasattr(type(a), "__slots__"):
+        return all(
+            bytes_identical(getattr(a, s), getattr(b, s))
+            for s in type(a).__slots__
+        )
+    return type(a) is type(b) and a == b
+
+
+def frame_roundtrip(obj, capacity=1 << 20):
+    buf = memoryview(bytearray(capacity))
+    end, kind = encode_frame(obj, buf, 0)
+    out, end2 = decode_frame(buf, 0, copy=True)
+    assert end2 == end
+    return out
+
+
+def _state_for(case):
+    op = case.make_op()
+    data = case.make_data(random.Random(42), N_ELEMENTS)
+    return op, _fold_state(op, data)
+
+
+@pytest.mark.parametrize("case", CHAOS_CASES, ids=lambda c: c.name)
+def test_state_pickle_roundtrip(case):
+    op, state = _state_for(case)
+    try:
+        blob = ensure_transferable(state)
+    except TransferError:
+        pytest.skip(f"{case.name} state is not picklable by contract")
+    assert bytes_identical(pickle.loads(blob), state)
+
+
+@pytest.mark.parametrize("case", CHAOS_CASES, ids=lambda c: c.name)
+def test_state_frame_roundtrip(case):
+    op, state = _state_for(case)
+    try:
+        out = frame_roundtrip(state)
+    except TransferError:
+        pytest.skip(f"{case.name} state is not picklable by contract")
+    assert bytes_identical(out, state)
+
+
+@pytest.mark.parametrize("case", CHAOS_CASES, ids=lambda c: c.name)
+def test_operator_pickle_roundtrip(case):
+    """Operators themselves cross the boundary once per offload; a
+    pickled-and-revived operator must fold to the identical state."""
+    op = case.make_op()
+    data = case.make_data(random.Random(43), N_ELEMENTS)
+    try:
+        blob = ensure_transferable(op)
+    except TransferError:
+        pytest.skip(f"{case.name} operator is not picklable by contract")
+    revived = pickle.loads(blob)
+    assert bytes_identical(_fold_state(revived, data), _fold_state(op, data))
+
+
+NDARRAY_CASES = {
+    "zero_d": np.array(3.5),
+    "empty_1d": np.empty((0,), dtype=np.float64),
+    "empty_2d": np.empty((0, 3), dtype=np.int32),
+    "contiguous": np.arange(100, dtype=np.float64),
+    "non_contiguous": np.arange(24, dtype=np.float64).reshape(4, 6)[:, ::2],
+    "fortran_order": np.asfortranarray(np.arange(12.0).reshape(3, 4)),
+    "negative_stride": np.arange(10, dtype=np.int64)[::-1],
+    "bool": np.array([True, False, True]),
+    "complex": np.array([1 + 2j, 3 - 4j]),
+    "float32": np.linspace(0, 1, 17, dtype=np.float32),
+    "uint8": np.arange(256, dtype=np.uint8),
+    "datetime": np.array(["2026-08-09", "1970-01-01"], dtype="datetime64[D]"),
+    "nan_inf": np.array([np.nan, np.inf, -np.inf, -0.0]),
+}
+
+
+@pytest.mark.parametrize("arr", NDARRAY_CASES.values(), ids=NDARRAY_CASES.keys())
+def test_ndarray_frame_roundtrip(arr):
+    out = frame_roundtrip(arr)
+    assert bytes_identical(out, arr)
+
+
+def test_object_dtype_falls_back_to_pickle():
+    arr = np.array([{"a": 1}, None, (2, 3)], dtype=object)
+    buf = memoryview(bytearray(1 << 16))
+    from repro.runtime.channels import FRAME_PICKLE
+
+    _, kind = encode_frame(arr, buf, 0)
+    assert kind == FRAME_PICKLE
+    out, _ = decode_frame(buf, 0)
+    assert list(out) == list(arr)
+
+
+def test_zero_copy_decode_is_readonly_view():
+    arr = np.arange(64, dtype=np.float64)
+    buf = memoryview(bytearray(1 << 12))
+    encode_frame(arr, buf, 0)
+    view, _ = decode_frame(buf, 0)
+    assert not view.flags.writeable
+    assert not view.flags.owndata  # genuinely a view into the buffer
+    assert bytes_identical(np.asarray(view).copy(), arr)
+
+
+def test_frame_too_large():
+    with pytest.raises(FrameTooLarge):
+        encode_frame(np.arange(1024, dtype=np.float64), memoryview(bytearray(256)), 0)
+
+
+def test_ensure_transferable_names_offending_type():
+    class Unpicklable:
+        def __reduce__(self):
+            raise TypeError("nope")
+
+    with pytest.raises(TransferError, match="Unpicklable"):
+        ensure_transferable(Unpicklable())
+    with pytest.raises(TransferError, match="lambda"):
+        ensure_transferable(lambda x: x)
+
+
+def test_copy_for_transfer_names_offending_type():
+    class Undeepcopyable:
+        def __deepcopy__(self, memo):
+            raise TypeError("no address-space copy for you")
+
+    with pytest.raises(TransferError, match="Undeepcopyable"):
+        copy_for_transfer(Undeepcopyable())
+
+
+def test_copy_for_transfer_transfer_safe_passthrough():
+    class Frozen:
+        __transfer_safe__ = True
+
+    obj = Frozen()
+    assert copy_for_transfer(obj) is obj
