@@ -83,6 +83,7 @@ __all__ = [
     "kernels_enabled",
     "numba_available",
     "numba_enabled",
+    "numba_requested",
     "cache_generation",
     "batched_accumulate",
 ]
@@ -131,6 +132,14 @@ def numba_enabled() -> bool:
     """True when numba specialization is both requested (opt-in via
     ``configure(numba=True)`` or ``REPRO_NUMBA=1``) and importable."""
     return bool(_numba_requested) and numba_available()
+
+
+def numba_requested() -> bool | None:
+    """The raw numba opt-in flag: ``True``/``False`` after an explicit
+    ``configure(numba=...)`` or ``REPRO_NUMBA=1``, ``None`` when unset.
+    Unlike :func:`numba_enabled` this ignores importability — it is what
+    another process must pass to :func:`configure` to mirror this one."""
+    return _numba_requested
 
 
 def cache_generation() -> int:

@@ -140,6 +140,15 @@ def _accumulate_impl(
         # and schedules cannot depend on where the fold ran.
         state = pool.accumulate(comm.context.rank, op, values)
         if state is not _proc_MISS:
+            # Record the same schedule-cache ``kernel`` decision and
+            # ``kernels.accum.*`` counter the inline fold would have,
+            # so kernel-routing observability and adaptive-cache state
+            # cannot depend on the backend either.
+            if _kernels.kernels_enabled():
+                _, kind = _kernel_route(comm, op, values, n)
+                m = comm.tracer.metrics
+                if m.enabled:
+                    m.counter(f"kernels.accum.{kind}").inc()
             rate = accum_rate if accum_rate is not None else op.accum_rate
             if rate is not None:
                 comm.charge_elements(rate, n, f"accum:{op.name}")
@@ -175,6 +184,31 @@ def _accum_block_dispatch(
     """
     if not _kernels.kernels_enabled():
         return op.accum_block(state, values)
+    kern, kind = _kernel_route(comm, op, values, n)
+    m = comm.tracer.metrics
+    if m.enabled:
+        m.counter(f"kernels.accum.{kind}").inc()
+    if kind == "scalar":
+        accum = op.accum
+        for x in values:
+            state = accum(state, x)
+        return state
+    return kern.accumulate(op, state, values)
+
+
+def _kernel_route(
+    comm: Communicator,
+    op: ReduceScanOp,
+    values: Sequence[Any] | np.ndarray,
+    n: int,
+) -> tuple[Any, str]:
+    """The kernel-tier routing decision for a non-empty block: the
+    compiled kernel plus the routing kind that will be (or, on the
+    process backend, would have been) executed — ``"scalar"`` when the
+    schedule cache routes a ``loop_exact`` kernel's block to the scalar
+    loop, else the kernel's own kind.  Consulting the schedule cache is
+    part of the decision: it feeds the adaptive-cache state, so both
+    backends must make the same query."""
     world = comm.context.world
     kcache = getattr(world, "kernel_cache", None)
     if kcache is None:
@@ -188,17 +222,8 @@ def _accum_block_dispatch(
         else:
             choice = _tuning.choose_kernel(nbytes, comm.size)
         if choice == "scalar":
-            m = comm.tracer.metrics
-            if m.enabled:
-                m.counter("kernels.accum.scalar").inc()
-            accum = op.accum
-            for x in values:
-                state = accum(state, x)
-            return state
-    m = comm.tracer.metrics
-    if m.enabled:
-        m.counter(f"kernels.accum.{kern.kind}").inc()
-    return kern.accumulate(op, state, values)
+            return kern, "scalar"
+    return kern, kern.kind
 
 
 def global_reduce(

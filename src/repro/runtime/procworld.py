@@ -47,6 +47,7 @@ import multiprocessing
 import os
 import pickle
 import threading
+import time
 import weakref
 from typing import Any
 
@@ -137,17 +138,26 @@ def _worker_main(conn, req_shm, resp_shm) -> None:
             msg = conn.recv()
         except (EOFError, OSError):
             break
+        except (KeyboardInterrupt, SystemExit):
+            # A Ctrl-C delivered to the process group must terminate the
+            # worker, not turn into an error reply the parent misreads.
+            break
         if msg is None:
             break
+        # Every request carries a sequence id, echoed in the reply, so
+        # the parent can discard a reply it has stopped waiting for
+        # (e.g. the late pong of a timed-out probe) instead of
+        # attributing it to the next request.
         if msg[0] == "ping":
             try:
-                conn.send(("pong", msg[1]))
+                conn.send((msg[1], True, "pong"))
             except (BrokenPipeError, OSError):
                 break
             continue
-        # ("accum", op_bytes, ("shm", offset) | ("pipe", values), kcfg)
+        # ("accum", seq, op_bytes, ("shm", offset) | ("pipe", blob), kcfg)
+        seq = msg[1]
         try:
-            _, op_bytes, payload, kcfg = msg
+            _, _, op_bytes, payload, kcfg = msg
             enabled, numba_req, gen = kcfg
             if gen != synced_gen:
                 # Parent reconfigured the kernel tier since our last
@@ -158,15 +168,17 @@ def _worker_main(conn, req_shm, resp_shm) -> None:
             if payload[0] == "shm":
                 values, _ = decode_frame(req_buf, payload[1])
             else:
-                values = payload[1]
+                values = pickle.loads(payload[1])
             state = _fold_state(op, values)
             try:
                 encode_frame(state, resp_buf, 0)
-                reply = (True, ("shm", 0))
+                reply = (seq, True, ("shm", 0))
             except (FrameTooLarge, TransferError):
-                reply = (True, ("pipe", state))
-        except BaseException as exc:  # noqa: BLE001 - reported to parent
-            reply = (False, f"{type(exc).__name__}: {exc}")
+                reply = (seq, True, ("pipe", state))
+        except (KeyboardInterrupt, SystemExit):
+            break
+        except Exception as exc:  # noqa: BLE001 - reported to parent
+            reply = (seq, False, f"{type(exc).__name__}: {exc}")
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
@@ -175,7 +187,7 @@ def _worker_main(conn, req_shm, resp_shm) -> None:
             # The state itself refused to pickle through the pipe; the
             # parent is still waiting, so degrade to a miss report.
             try:
-                conn.send((False, "state not transferable"))
+                conn.send((seq, False, "state not transferable"))
             except Exception:
                 break
     os._exit(0)
@@ -208,7 +220,7 @@ class _Ring:
 
 
 class _Worker:
-    __slots__ = ("rank", "proc", "conn", "req", "resp", "lock", "alive")
+    __slots__ = ("rank", "proc", "conn", "req", "resp", "lock", "alive", "seq")
 
     def __init__(self, rank: int, req: _Ring, resp: _Ring):
         self.rank = rank
@@ -218,6 +230,7 @@ class _Worker:
         self.proc = None
         self.conn = None
         self.alive = False
+        self.seq = 0
 
     def spawn(self, ctx) -> None:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
@@ -231,6 +244,7 @@ class _Worker:
         child_conn.close()
         self.conn = parent_conn
         self.alive = True
+        self.seq = 0
         self.req.cursor = 0
 
 
@@ -273,6 +287,13 @@ class ProcPool:
         self._worker_restarts = 0
         self._shms: list[Any] = []
         self._workers: list[_Worker] = []
+        # Pickled-operator memo: operators rarely change between
+        # requests, so their bytes are cached per op instance instead of
+        # re-pickled on every accumulate (weak keys — the memo never
+        # keeps an operator alive).
+        self._op_cache: "weakref.WeakKeyDictionary[Any, bytes]" = (
+            weakref.WeakKeyDictionary()
+        )
         try:
             for r in range(nranks):
                 req = shared_memory.SharedMemory(
@@ -314,7 +335,7 @@ class ProcPool:
         if nbytes < self.min_offload_bytes:
             return MISS
         try:
-            op_bytes = ensure_transferable(op)
+            op_bytes = self._op_bytes(op)
         except TransferError:
             with self._stats_lock:
                 self._inline_fallbacks += 1
@@ -323,14 +344,14 @@ class ProcPool:
 
         kcfg = (
             _kernels.kernels_enabled(),
-            bool(_kernels._numba_requested),
+            bool(_kernels.numba_requested()),
             _kernels.cache_generation(),
         )
         with w.lock:
             if not w.alive:
                 return MISS
             try:
-                return self._roundtrip(w, op_bytes, values, nbytes, kcfg)
+                return self._roundtrip(w, op_bytes, values, kcfg)
             except (BrokenPipeError, EOFError, OSError):
                 self._mark_dead(w)
                 return MISS
@@ -339,7 +360,36 @@ class ProcPool:
                     self._inline_fallbacks += 1
                 return MISS
 
-    def _roundtrip(self, w: _Worker, op_bytes, values, nbytes, kcfg) -> Any:
+    def _op_bytes(self, op: Any) -> bytes:
+        """Pickle ``op`` for the process boundary, memoized per operator
+        instance (raises :class:`TransferError` exactly as
+        :func:`ensure_transferable` does)."""
+        try:
+            cached = self._op_cache.get(op)
+        except TypeError:  # unhashable or non-weakrefable operator
+            return ensure_transferable(op)
+        if cached is not None:
+            return cached
+        blob = ensure_transferable(op)
+        try:
+            self._op_cache[op] = blob
+        except TypeError:
+            pass
+        return blob
+
+    @staticmethod
+    def _matched_recv(w: _Worker, seq: int) -> tuple:
+        """Receive the reply to request ``seq``, discarding any stale
+        reply an abandoned earlier request (e.g. a timed-out probe) left
+        queued on the pipe — the worker echoes every request's sequence
+        id, so a late reply can never be attributed to the wrong
+        request."""
+        while True:
+            reply = w.conn.recv()
+            if reply[0] == seq:
+                return reply[1], reply[2]
+
+    def _roundtrip(self, w: _Worker, op_bytes, values, kcfg) -> Any:
         need = frame_nbytes_needed(values)
         payload = None
         if need:
@@ -354,13 +404,17 @@ class ProcPool:
                 payload = None
         if payload is None:
             # Not a raw-encodable ndarray (or too big for the ring):
-            # validated pickle over the command pipe.
-            ensure_transferable(values)
-            payload = ("pipe", values)
+            # send the validated pickle bytes themselves over the
+            # command pipe — the worker loads them, so the payload is
+            # pickled exactly once.
+            blob = ensure_transferable(values)
+            payload = ("pipe", blob)
             shm_hit = False
-            framed = nbytes
-        w.conn.send(("accum", op_bytes, payload, kcfg))
-        ok, result = w.conn.recv()
+            framed = len(blob)
+        w.seq += 1
+        seq = w.seq
+        w.conn.send(("accum", seq, op_bytes, payload, kcfg))
+        ok, result = self._matched_recv(w, seq)
         with self._stats_lock:
             self._frames += 2
             self._bytes += framed
@@ -412,7 +466,15 @@ class ProcPool:
     def ping(self, rank: int, timeout: float = 1.0) -> bool:
         """Liveness probe: one command-pipe round trip to worker
         ``rank``.  Non-blocking with respect to in-flight accumulates:
-        a busy worker (lock held) counts as alive."""
+        a busy worker (lock held) counts as alive.
+
+        A probe that times out marks the worker **dead**: its late
+        reply would otherwise sit queued on the pipe in front of the
+        next request's reply, so the pipe cannot be trusted again until
+        :meth:`restart_worker` re-forks the worker with a fresh one.
+        (The per-request sequence ids are a second line of defense: a
+        stale reply that does reach a reader is discarded, never
+        returned as a fold result.)"""
         if self._closed:
             return False
         w = self._workers[rank]
@@ -421,11 +483,20 @@ class ProcPool:
         if not w.lock.acquire(timeout=timeout):
             return True  # busy folding == alive
         try:
-            token = ("probe", rank)
-            w.conn.send(("ping", token))
-            if not w.conn.poll(timeout):
-                return False
-            return w.conn.recv() == ("pong", token)
+            w.seq += 1
+            seq = w.seq
+            w.conn.send(("ping", seq))
+            deadline = time.monotonic() + timeout
+            while True:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not w.conn.poll(remaining):
+                    self._mark_dead(w)
+                    return False
+                reply = w.conn.recv()
+                if reply[0] == seq:
+                    return bool(reply[1]) and reply[2] == "pong"
+                # Stale reply from an earlier abandoned request: discard
+                # and keep waiting for our own pong.
         except (BrokenPipeError, EOFError, OSError):
             self._mark_dead(w)
             return False
@@ -433,17 +504,34 @@ class ProcPool:
             w.lock.release()
 
     def restart_worker(self, rank: int) -> bool:
-        """Re-fork a dead worker over its existing shm rings."""
+        """Re-fork a dead or unresponsive worker over its existing shm
+        rings.
+
+        An ``is_alive()`` process is not proof of a serviceable worker:
+        the state a ping timeout leaves behind is alive-but-unresponsive
+        with a desynced pipe.  So a seemingly healthy worker is trusted
+        only after a fresh ping round trip; anything else is terminated
+        and re-forked with a fresh pipe."""
         if self._closed:
             return False
         w = self._workers[rank]
-        with w.lock:
-            if w.proc is not None and w.proc.is_alive() and w.alive:
+        if w.alive and w.proc is not None and w.proc.is_alive():
+            if self.ping(rank):
                 return True
+            # The ping failed and marked the worker dead: fall through
+            # to the re-fork so the desynced pipe is replaced.
+        with w.lock:
+            if self._closed:
+                return False
             try:
                 if w.proc is not None:
                     w.proc.terminate()
                     w.proc.join(timeout=1.0)
+                    if w.proc.is_alive():
+                        # SIGTERM stays pending on a stopped process;
+                        # SIGKILL does not.
+                        w.proc.kill()
+                        w.proc.join(timeout=1.0)
                 if w.conn is not None:
                     w.conn.close()
                 w.spawn(self._ctx)

@@ -94,6 +94,60 @@ def test_ping_and_worker_alive(pool):
     assert pool.dead_workers() == []
 
 
+def test_stale_probe_reply_never_corrupts_results(pool):
+    """A reply left queued by an abandoned probe (the timed-out-ping
+    scenario) must be discarded by sequence id, not returned as the
+    next accumulate's folded state."""
+    w = pool._workers[0]
+    with w.lock:
+        w.seq += 1
+        w.conn.send(("ping", w.seq))  # request sent, reply never read
+    time.sleep(0.2)  # let the late pong land on the pipe, unread
+    values = np.arange(10_000, dtype=np.float64)
+    state = pool.accumulate(0, SumOp(), values)
+    assert state is not MISS
+    assert float(np.asarray(state)) == values.sum()
+
+
+def test_ping_timeout_marks_dead_and_restart_reforks(pool):
+    """An alive-but-unresponsive worker is marked dead on ping timeout,
+    and restart_worker re-forks it (fresh pipe) instead of trusting
+    ``is_alive()``."""
+    w = pool._workers[0]
+    old_pid = w.proc.pid
+    os.kill(old_pid, signal.SIGSTOP)  # alive, but will never answer
+    try:
+        assert pool.ping(0, timeout=0.2) is False
+        assert not w.alive
+        assert 0 in pool.dead_workers()
+        assert pool.accumulate(0, SumOp(), np.arange(1000.0)) is MISS
+    finally:
+        os.kill(old_pid, signal.SIGCONT)
+    assert pool.restart_worker(0)
+    assert w.proc.pid != old_pid  # re-forked, not reused
+    state = pool.accumulate(0, SumOp(), np.arange(10_000.0))
+    assert state is not MISS
+    assert float(np.asarray(state)) == np.arange(10_000.0).sum()
+    assert pool.ipc_stats()["worker_restarts"] >= 1
+
+
+def test_restart_worker_keeps_healthy_worker(pool):
+    """restart_worker on a responsive worker verifies with a ping and
+    leaves the process in place."""
+    pid = pool._workers[0].proc.pid
+    assert pool.restart_worker(0)
+    assert pool._workers[0].proc.pid == pid
+
+
+def test_op_bytes_memoized_across_calls(pool):
+    op = SumOp()
+    values = np.arange(10_000, dtype=np.float64)
+    first = pool.accumulate(0, op, values)
+    assert op in pool._op_cache  # pickled once, reused afterwards
+    second = pool.accumulate(0, op, values)
+    assert np.asarray(first).tobytes() == np.asarray(second).tobytes()
+
+
 def test_worker_death_falls_back_then_restarts(pool):
     values = np.arange(1000, dtype=np.float64)
     assert pool.accumulate(0, SumOp(), values) is not MISS
@@ -209,6 +263,35 @@ def test_spmd_run_backend_kwarg():
     assert r_proc.returns == r_thread.returns
     assert r_proc.clocks == r_thread.clocks
     assert not _leaked_segments()
+
+
+def test_kernel_routing_counters_match_thread_backend():
+    """A successful offload records the same schedule-cache decision and
+    ``kernels.accum.*`` tracer counters the inline fold would have, so
+    kernel-routing observability does not depend on the backend."""
+    from repro.obs import Tracer
+    from repro.runtime import spmd_run
+
+    def job(comm):
+        return global_reduce(
+            comm, SumOp(), np.arange(20_000.0) * (comm.rank + 1)
+        )
+
+    def accum_counters(backend, **opts):
+        tracer = Tracer()
+        spmd_run(
+            job, 2, tracer=tracer, backend=backend,
+            backend_options=opts or None,
+        )
+        snap = tracer.metrics.snapshot()["counters"]
+        return {
+            k: v for k, v in snap.items() if k.startswith("kernels.accum.")
+        }
+
+    thread = accum_counters("thread")
+    process = accum_counters("process", min_offload_bytes=0)
+    assert thread  # the fold actually routed through the kernel tier
+    assert process == thread
 
 
 def test_engine_rejects_unknown_backend():
