@@ -239,24 +239,45 @@ def _cmd_tune(argv: list[str]) -> int:
         "(default: results/BENCH_tune_decision_table.json)",
     )
     parser.add_argument(
+        "--topology", default=None, metavar="SPEC",
+        help="fabric to fit against: 'flat' (default), 'multi_node:R' or "
+        "'fat_tree:RxN[xO]' (repro.runtime.fabric.parse_topology); a "
+        "non-flat fit adds the 'hierarchical' candidates and writes "
+        "topology-suffixed output files",
+    )
+    parser.add_argument(
         "--dry-run", action="store_true",
         help="fit on a reduced grid and print the table without writing "
         "any files (CI smoke)",
     )
     ns = parser.parse_args(argv)
 
+    topology = None
+    if ns.topology is not None:
+        from repro.runtime.fabric import parse_topology
+
+        topology = parse_topology(ns.topology)
+        if topology.is_flat:
+            topology = None
+
     rank_grid = ns.ranks or tuning.DEFAULT_RANK_GRID
     payload_grid = ns.payloads or tuning.DEFAULT_PAYLOAD_GRID
     if ns.dry_run and ns.ranks is None and ns.payloads is None:
         rank_grid = (4, 8)
         payload_grid = tuple(8 * 16**k for k in range(4))
+        if topology is not None:
+            # A 2-node smoke cell so the hierarchical candidates are
+            # exercised across the slow tier, not just degenerately.
+            rpn = getattr(topology, "ranks_per_node", 4)
+            rank_grid = (rpn, 2 * rpn)
 
+    topo_sig = topology.signature if topology is not None else "flat"
     print(
         f"fitting decision table over ranks={list(rank_grid)}, "
-        f"payloads={list(payload_grid)} ..."
+        f"payloads={list(payload_grid)}, topology={topo_sig} ..."
     )
     table, report = tuning.fit_decision_table(
-        rank_grid=rank_grid, payload_grid=payload_grid
+        rank_grid=rank_grid, payload_grid=payload_grid, topology=topology
     )
     print(json.dumps(table.to_dict(), indent=2))
     n_cells = sum(len(v) for v in report["grid"].values())
@@ -264,6 +285,14 @@ def _cmd_tune(argv: list[str]) -> int:
     if ns.dry_run:
         print("dry run: nothing written")
         return 0
+    if topology is not None:
+        # Keep the flat table's filenames stable: per-fabric fits write
+        # alongside them with the signature in the name.
+        suffix = topo_sig.replace(":", "_").replace("x", "x")
+        if ns.out == parser.get_default("out"):
+            ns.out = f"results/decision_table_{suffix}.json"
+        if ns.bench == parser.get_default("bench"):
+            ns.bench = f"results/BENCH_tune_decision_table_{suffix}.json"
     out = Path(ns.out)
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(json.dumps(table.to_dict(), indent=2) + "\n")

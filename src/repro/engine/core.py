@@ -123,6 +123,13 @@ class Engine:
     over shared-memory rings, byte-identical by contract and enforced
     by the backend identity grid.  ``backend_options`` forwards keyword
     arguments (``ring_bytes``, ``min_offload_bytes``) to the pool.
+
+    ``topology`` installs a :class:`repro.runtime.fabric.Topology` on
+    the pool's world (flat by default — bit-identical to the plain cost
+    model).  ``placement`` selects gang placement: ``"locality"``
+    (default) packs gangs into as few nodes/racks as the fabric allows,
+    ``"lowest"`` forces the historical lowest-free-rank policy; on the
+    flat topology both are identical.  See ``docs/topology.md``.
     """
 
     #: Default wall-clock budget for joining the pool's worker threads
@@ -141,12 +148,18 @@ class Engine:
         supervisor: "bool | SupervisorConfig | None" = True,
         backend: str = "thread",
         backend_options: dict | None = None,
+        topology: Any | None = None,
+        placement: str = "locality",
     ):
         if queue_depth < 1:
             raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
         if backend not in ("thread", "process"):
             raise ValueError(
                 f"backend must be 'thread' or 'process', got {backend!r}"
+            )
+        if placement not in ("locality", "lowest"):
+            raise ValueError(
+                f"placement must be 'locality' or 'lowest', got {placement!r}"
             )
         if telemetry is True:
             telemetry = EngineTelemetry(nprocs)
@@ -155,7 +168,8 @@ class Engine:
         self._telemetry = telemetry
         telemetry.bind(self)
         # The shared world validates nprocs >= 1 before any thread starts.
-        self._world = World(nprocs, cost_model)
+        self._world = World(nprocs, cost_model, topology=topology)
+        self._placement = placement
         self._backend = backend
         if backend == "process":
             # Fork the rank workers *before* the rank threads start:
@@ -200,6 +214,10 @@ class Engine:
         self._n_revivals = 0
         self._n_shrunk = 0
         self._revival_swept = 0
+        # Locality placement counters (guarded by the engine lock).
+        self._gangs_placed = 0
+        self._spread_sum = 0
+        self._single_node_gangs = 0
         if supervisor is True:
             self._sup_cfg: SupervisorConfig | None = SupervisorConfig()
         elif supervisor is False or supervisor is None:
@@ -313,6 +331,17 @@ class Engine:
                     self._proc_pool.ipc_stats()
                     if self._proc_pool is not None else None
                 ),
+                "topology": self._world.topology.signature,
+                "placement": {
+                    "policy": self._placement,
+                    "gangs_placed": self._gangs_placed,
+                    "mean_gang_spread": (
+                        self._spread_sum / self._gangs_placed
+                        if self._gangs_placed else 0.0
+                    ),
+                    "single_node_gangs": self._single_node_gangs,
+                },
+                "fabric": self._world.topology.stats(),
             }
 
     def status(self) -> str:
@@ -591,12 +620,69 @@ class Engine:
 
     # -- scheduling internals -----------------------------------------------
 
+    def _assemble_members_locked(self, k: int) -> tuple[int, ...]:
+        """Pick ``k`` free ranks for a gang.  Caller holds the engine lock.
+
+        On the flat topology (or ``placement="lowest"``) this is exactly
+        the historical policy — the lowest-numbered free ranks — so
+        pre-fabric engine behavior is untouched.  On a multi-tier fabric
+        with ``placement="locality"`` the gang is packed to minimize the
+        tiers its collectives must cross: the *tightest* single node
+        that fits (best-fit keeps big holes open for big gangs), else
+        the tightest single rack filled from its fullest nodes, else a
+        global fill by descending node free count.  Members are returned
+        sorted, which keeps each node's ranks a contiguous group-rank
+        range — the layout the hierarchical collectives exploit.  All
+        choices are deterministic (sorted sets, index tie-breaks), and
+        job *results* never depend on placement, only virtual times.
+        """
+        free = sorted(self._free)
+        topo = self._world.topology
+        if self._placement != "locality" or topo.is_flat:
+            return tuple(free[:k])
+        by_node: dict[int, list[int]] = {}
+        for r in free:
+            by_node.setdefault(topo.node_of(r), []).append(r)
+        # 1) Tightest single node that fits.
+        fits = [(len(rs), n) for n, rs in by_node.items() if len(rs) >= k]
+        if fits:
+            _, node = min(fits)
+            return tuple(by_node[node][:k])
+        # 2) Tightest single rack, filled from its fullest nodes.
+        by_rack: dict[int, list[int]] = {}
+        for node, rs in by_node.items():
+            by_rack.setdefault(topo.rack_of(rs[0]), []).append(node)
+        rack_fits = [
+            (sum(len(by_node[n]) for n in nodes), rack)
+            for rack, nodes in by_rack.items()
+            if sum(len(by_node[n]) for n in nodes) >= k
+        ]
+        if rack_fits:
+            _, rack = min(rack_fits)
+            pool_nodes = sorted(
+                by_rack[rack], key=lambda n: (-len(by_node[n]), n)
+            )
+        else:
+            # 3) Span racks: fill by descending node free count globally.
+            pool_nodes = sorted(
+                by_node, key=lambda n: (-len(by_node[n]), n)
+            )
+        chosen: list[int] = []
+        for node in pool_nodes:
+            take = min(k - len(chosen), len(by_node[node]))
+            chosen.extend(by_node[node][:take])
+            if len(chosen) == k:
+                break
+        return tuple(sorted(chosen))
+
     def _dispatch_locked(self) -> None:
         """Start every head-of-queue job the free ranks can hold.
 
-        Caller holds the engine lock.  Placement is deterministic: the
-        lowest-numbered free ranks, in order — results don't depend on
-        it, but a deterministic scheduler is far easier to debug.
+        Caller holds the engine lock.  Placement is deterministic (see
+        :meth:`_assemble_members_locked`): the lowest-numbered free
+        ranks on the flat default, locality-packed on a multi-tier
+        fabric — results don't depend on it, but a deterministic
+        scheduler is far easier to debug.
         """
         while self._pending:
             if (
@@ -620,8 +706,15 @@ class Engine:
                 self._n_shrunk += 1
                 if job.lifecycle is not None:
                     self._telemetry.job_shrunk(job.lifecycle, want)
-            members = tuple(sorted(self._free)[: job.nprocs])
+            members = self._assemble_members_locked(job.nprocs)
             self._free.difference_update(members)
+            topo = self._world.topology
+            if not topo.is_flat:
+                spread = topo.nodes_spanned(members)
+                self._gangs_placed += 1
+                self._spread_sum += spread
+                if spread == 1:
+                    self._single_node_gangs += 1
             self._inflight += 1
             self._peak_inflight = max(self._peak_inflight, self._inflight)
             if job.lifecycle is not None:

@@ -20,8 +20,10 @@ from dataclasses import dataclass, field
 
 __all__ = [
     "FailStop",
+    "RackFailure",
     "LinkFaults",
     "FaultPlan",
+    "expand_rack_failures",
     "random_plan",
     "reseed",
     "TransientPlan",
@@ -53,6 +55,33 @@ class FailStop:
             raise ValueError("FailStop needs exactly one of at_time / at_op")
         if self.at_op is not None and self.at_op < 1:
             raise ValueError(f"at_op is 1-based, got {self.at_op}")
+
+
+@dataclass(frozen=True)
+class RackFailure:
+    """Schedule the loss of one rack-level fault domain.
+
+    A rack failure (ToR switch death, PDU trip) takes out *every* rank
+    placed under that switch at once.  Racks are a property of the
+    world's :class:`~repro.runtime.fabric.Topology`, not of the plan, so
+    a ``RackFailure`` stays symbolic until a world binds the plan:
+    :func:`expand_rack_failures` lowers it to one per-rank
+    :class:`FailStop` (``at_time``-triggered) per member placed in the
+    doomed rack.  From there the existing machinery — fail-stop checks,
+    ULFM revoke/shrink, engine quarantine — applies unchanged.
+
+    On a flat topology every rank is in rack 0: ``RackFailure(rack=0)``
+    is then a whole-world failure.
+    """
+
+    rack: int
+    at_time: float = 0.0
+
+    def __post_init__(self):
+        if self.rack < 0:
+            raise ValueError(f"rack must be >= 0, got {self.rack}")
+        if self.at_time < 0:
+            raise ValueError(f"at_time must be >= 0, got {self.at_time}")
 
 
 @dataclass(frozen=True)
@@ -120,6 +149,11 @@ class FaultPlan:
         Base retransmission timeout (virtual seconds) for the reliable
         layer's exponential backoff: attempt *i* of a dropped message
         costs ``rto * 2**i`` extra virtual time at the sender.
+    rack_failures:
+        Rack-scoped fault domains: each entry fail-stops every rank the
+        world's topology places in that rack (lowered to per-rank
+        :class:`FailStop` entries by :func:`expand_rack_failures` when a
+        world binds the plan).
     """
 
     seed: int = 0
@@ -127,6 +161,7 @@ class FaultPlan:
     link: LinkFaults = field(default_factory=LinkFaults)
     stragglers: dict[int, float] = field(default_factory=dict)
     rto: float = 1e-4
+    rack_failures: tuple[RackFailure, ...] = ()
 
     def __post_init__(self):
         ranks = [f.rank for f in self.failstops]
@@ -141,7 +176,7 @@ class FaultPlan:
     @property
     def can_fail(self) -> bool:
         """True if the plan schedules any rank fail-stop."""
-        return bool(self.failstops)
+        return bool(self.failstops) or bool(self.rack_failures)
 
     @property
     def lossy(self) -> bool:
@@ -170,7 +205,42 @@ class FaultPlan:
                     f"{r}x{m:g}" for r, m in sorted(self.stragglers.items())
                 ) + ")"
             )
+        for rf in self.rack_failures:
+            parts.append(f"rack_failure(rack={rf.rack}, t={rf.at_time:g})")
         return "FaultPlan(" + ", ".join(parts) + ")"
+
+
+def expand_rack_failures(plan, topology, members) -> "FaultPlan":
+    """Lower a plan's rack-scoped failures for one concrete placement.
+
+    ``members`` is the group-rank-ordered tuple of world ranks the plan
+    will govern (``range(nprocs)`` for a standalone world, the gang's
+    pool placement for an engine job); ``topology`` maps world ranks to
+    racks.  Every member whose rack appears in ``plan.rack_failures``
+    gains an ``at_time`` :class:`FailStop` addressed by its *group*
+    rank — the coordinate space fault plans always use, which keeps a
+    rack-chaos job reproducible wherever the pool places it.  Members
+    that already carry an explicit ``FailStop`` keep it (the
+    at-most-one-per-rank invariant).  Plans without rack failures are
+    returned unchanged.
+    """
+    racks = getattr(plan, "rack_failures", ())
+    if not racks:
+        return plan
+    claimed = {f.rank for f in plan.failstops}
+    extra: list[FailStop] = []
+    for rf in racks:
+        for g, w in enumerate(members):
+            if topology.rack_of(w) == rf.rack and g not in claimed:
+                extra.append(FailStop(rank=g, at_time=rf.at_time))
+                claimed.add(g)
+    return FaultPlan(
+        seed=plan.seed,
+        failstops=plan.failstops + tuple(extra),
+        link=plan.link,
+        stragglers=plan.stragglers,
+        rto=plan.rto,
+    )
 
 
 def random_plan(

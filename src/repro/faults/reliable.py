@@ -67,7 +67,9 @@ def reliable_send(ctx, inj, dest: int, tag: Hashable, payload: Any, nbytes: int)
     for i in range(tx.drops):
         ctx.clock.advance(inj.rto * (2 ** i))
     cm = ctx.cost_model
-    wire = 0.0 if dest == ctx.rank else cm.wire_time(nbytes)
+    # Same pricing as the fault-free path: the topology charges for the
+    # tiers crossed (flat fabric == cm.wire_time, 0.0 for self-sends).
+    wire = ctx.world.topology.path_cost(ctx.rank, dest, nbytes, cm)
     available_at = ctx.clock.t + wire + tx.delay
     ctx.trace.on_send(dest, tag, nbytes, ctx.clock.t)
     if ctx.tracer.enabled:

@@ -40,6 +40,7 @@ __all__ = [
     "CollChannel",
     "Recv",
     "run_plan",
+    "SubgroupChannel",
     "reduce_binomial_ordered",
     "reduce_binomial_plan",
     "reduce_kary_available",
@@ -51,12 +52,18 @@ __all__ = [
     "allreduce_ring_plan",
     "allreduce_rabenseifner",
     "allreduce_rabenseifner_plan",
+    "allreduce_hierarchical",
+    "allreduce_hierarchical_plan",
     "reduce_scatter_ring",
+    "reduce_scatter_ring_plan",
     "bcast_binomial",
+    "bcast_binomial_plan",
     "scan_simultaneous_binomial",
     "scan_simultaneous_binomial_plan",
     "scan_linear_chain",
     "scan_linear_chain_plan",
+    "scan_hierarchical",
+    "scan_hierarchical_plan",
     "gather_binomial",
     "scatter_binomial",
     "barrier_dissemination",
@@ -505,8 +512,8 @@ def scan_linear_chain(
 # --------------------------------------------------------------------------
 
 
-def bcast_binomial(ch: CollChannel, value: Any, root: int = 0) -> Any:
-    """Broadcast from ``root`` over a binomial tree (rank-renamed)."""
+def bcast_binomial_plan(ch: CollChannel, value: Any, root: int = 0) -> Plan:
+    """Plan form of :func:`bcast_binomial`."""
     rank, size = ch.rank, ch.size
     if not 0 <= root < size:
         raise CommunicatorError(f"bcast root {root} out of range [0, {size})")
@@ -515,7 +522,7 @@ def bcast_binomial(ch: CollChannel, value: Any, root: int = 0) -> Any:
     while mask < size:
         if vr & mask:
             src = (vr - mask + root) % size
-            value = ch.recv(src)
+            value = yield Recv(src)
             break
         mask <<= 1
     mask >>= 1
@@ -524,6 +531,11 @@ def bcast_binomial(ch: CollChannel, value: Any, root: int = 0) -> Any:
             ch.send((vr + mask + root) % size, value)
         mask >>= 1
     return value
+
+
+def bcast_binomial(ch: CollChannel, value: Any, root: int = 0) -> Any:
+    """Broadcast from ``root`` over a binomial tree (rank-renamed)."""
+    return run_plan(ch, bcast_binomial_plan(ch, value, root))
 
 
 def gather_binomial(ch: CollChannel, value: Any, root: int = 0) -> list[Any] | None:
@@ -697,20 +709,14 @@ def allreduce_ring(
     )
 
 
-def reduce_scatter_ring(
+def reduce_scatter_ring_plan(
     ch: CollChannel,
     value,
     op: Op | Callable[[Any, Any], Any],
     *,
     combine_seconds: float = 0.0,
-):
-    """Ring reduce-scatter: rank r ends up with segment r of the
-    element-wise reduction, having moved only (p-1)/p of the data.
-
-    Returns ``(segment, (lo, hi))`` where ``[lo, hi)`` is the global
-    index range of the segment.  Commutative operations only (ring
-    order).
-    """
+) -> Plan:
+    """Plan form of :func:`reduce_scatter_ring`."""
     import numpy as np
 
     if isinstance(op, Op) and not op.commutative:
@@ -738,12 +744,32 @@ def reduce_scatter_ring(
     # reduced segment at rank r is segment r (MPI_Reduce_scatter_block).
     for t in range(size - 1):
         ch.send(right, arr[seg(rank - t - 1)].copy())
-        got = ch.recv(left)
+        got = yield Recv(left)
         s = seg(rank - t - 2)
         arr[s] = op(got, arr[s])
         _charge_combine(ch, combine_seconds)
     lo, hi = int(bounds[rank]), int(bounds[rank + 1])
     return arr[lo:hi], (lo, hi)
+
+
+def reduce_scatter_ring(
+    ch: CollChannel,
+    value,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    combine_seconds: float = 0.0,
+):
+    """Ring reduce-scatter: rank r ends up with segment r of the
+    element-wise reduction, having moved only (p-1)/p of the data.
+
+    Returns ``(segment, (lo, hi))`` where ``[lo, hi)`` is the global
+    index range of the segment.  Commutative operations only (ring
+    order).
+    """
+    return run_plan(
+        ch,
+        reduce_scatter_ring_plan(ch, value, op, combine_seconds=combine_seconds),
+    )
 
 
 def allreduce_rabenseifner_plan(
@@ -858,4 +884,342 @@ def allreduce_rabenseifner(
     return run_plan(
         ch,
         allreduce_rabenseifner_plan(ch, value, op, combine_seconds=combine_seconds),
+    )
+
+
+# --------------------------------------------------------------------------
+# Hierarchical (topology-aware) collectives
+# --------------------------------------------------------------------------
+#
+# On a multi-tier fabric (see ``repro.runtime.fabric``) not all links are
+# equal: ranks sharing a node talk over memory-class links while
+# inter-node messages pay network latency and bandwidth.  The schedules
+# below exploit that by confining the bulky phases to intra-node links
+# and crossing the slow tier as few times — and as *concurrently* — as
+# possible.  They are composed from the flat plans above running over
+# :class:`SubgroupChannel` views, so every message still bottoms out in
+# the same point-to-point machinery and costs stay emergent.
+#
+# ``groups`` is the node partition as *group-rank* tuples, contiguous and
+# ascending (``repro.runtime.fabric.contiguous_node_groups`` builds it
+# from a communicator's placement).  Contiguity is what keeps the leader
+# phase order-preserving for non-commutative operations: each node's
+# partial covers a contiguous rank range and lower ranges stay the left
+# operand.  With ``groups=None`` (or all-singleton groups) the schedules
+# degrade gracefully to their flat counterparts.
+
+
+class SubgroupChannel:
+    """A :class:`CollChannel` view onto a subset of a channel's ranks.
+
+    ``ranks`` lists the parent group ranks belonging to the subgroup, in
+    subgroup rank order; the calling rank must be among them.  Sends,
+    receives and collects translate subgroup ranks to parent ranks, so
+    any flat plan runs unmodified over the subgroup — the composition
+    trick the hierarchical schedules are built on.  Plans written
+    against a subgroup yield :class:`Recv` markers in *subgroup*
+    coordinates; :func:`_drive_sub` re-yields them translated so the
+    outer driver sees parent group ranks.
+    """
+
+    __slots__ = ("parent", "ranks", "rank", "size")
+
+    def __init__(self, parent: CollChannel, ranks: Sequence[int]):
+        self.parent = parent
+        self.ranks = tuple(ranks)
+        self.rank = self.ranks.index(parent.rank)
+        self.size = len(self.ranks)
+
+    @property
+    def metrics(self):
+        return getattr(self.parent, "metrics", NULL_METRICS)
+
+    def send(self, dest: int, payload: Any) -> None:
+        self.parent.send(self.ranks[dest], payload)
+
+    def recv(self, source: int) -> Any:
+        return self.parent.recv(self.ranks[source])
+
+    def collect(self, source: int):
+        return self.parent.collect(self.ranks[source])
+
+    def apply(self, env) -> Any:
+        return self.parent.apply(env)
+
+    def charge(self, seconds: float, label: str) -> None:
+        self.parent.charge(seconds, label)
+
+
+def _drive_sub(plan: Plan, ranks: Sequence[int]) -> Plan:
+    """Relay a subgroup plan, translating its Recv sources to parent ranks."""
+    try:
+        step = next(plan)
+        while True:
+            got = yield Recv(ranks[step.source])
+            step = plan.send(got)
+    except StopIteration as stop:
+        return stop.value
+
+
+def _locate_group(
+    groups: Sequence[Sequence[int]], rank: int
+) -> tuple[int, tuple[int, ...], int]:
+    """Find ``rank``'s ``(group_index, group, local_index)`` in a partition."""
+    for j, grp in enumerate(groups):
+        if rank in grp:
+            return j, tuple(grp), tuple(grp).index(rank)
+    raise CommunicatorError(
+        f"rank {rank} missing from hierarchical groups {groups!r}"
+    )
+
+
+def _singleton_groups(size: int) -> tuple[tuple[int, ...], ...]:
+    return tuple((r,) for r in range(size))
+
+
+def allreduce_hierarchical_plan(
+    ch: CollChannel,
+    value: Any,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    groups: Sequence[Sequence[int]] | None = None,
+    combine_seconds: float = 0.0,
+) -> Plan:
+    """Plan form of :func:`allreduce_hierarchical`."""
+    import numpy as np
+
+    rank, size = ch.rank, ch.size
+    if groups is None:
+        groups = _singleton_groups(size)
+    _, g, li = _locate_group(groups, rank)
+    nnodes = len(groups)
+    m = _metrics(ch)
+    if m.enabled and rank == 0:
+        m.counter("collective.allreduce_hier.calls").inc()
+        m.histogram("collective.allreduce_hier.nodes").observe(nnodes)
+    commutative = isinstance(op, Op) and op.commutative
+    elementwise = getattr(op, "elementwise", False)
+    nlocal = len(g)
+    sub = SubgroupChannel(ch, g)
+    # The 2-D schedule needs every rank to own a distinct segment, which
+    # requires equal-size node groups (segment l of node j pairs with
+    # segment l of every other node) and a vector long enough to split.
+    uniform = all(len(grp) == nlocal for grp in groups)
+    if (
+        uniform and nlocal > 1 and nnodes > 1 and commutative and elementwise
+        and isinstance(value, np.ndarray) and value.ndim == 1
+        and len(value) >= size
+    ):
+        # 2-D SMP-aware schedule: (1) intra-node ring reduce-scatter on
+        # the cheap links leaves local rank l holding segment l of the
+        # node sum; (2) the "column" of same-index ranks across nodes
+        # allreduces its segment — all nlocal columns cross the slow
+        # tier concurrently, each moving only n/nlocal bytes; (3) an
+        # intra-node ring allgather reassembles the vector.  Inter-node
+        # bytes per rank drop from ~2n (leader schedules) to ~2n/nlocal.
+        seg_val, (lo, hi) = yield from _drive_sub(
+            reduce_scatter_ring_plan(
+                sub, value, op, combine_seconds=combine_seconds
+            ),
+            g,
+        )
+        col = tuple(grp[li] for grp in groups)
+        seg_val = yield from _drive_sub(
+            allreduce_rabenseifner_plan(
+                SubgroupChannel(ch, col), seg_val, op,
+                combine_seconds=combine_seconds,
+            ),
+            col,
+        )
+        out = np.empty(len(value), dtype=np.asarray(seg_val).dtype)
+        out[lo:hi] = seg_val
+        bounds = np.linspace(0, len(value), nlocal + 1).astype(int)
+        right, left = g[(li + 1) % nlocal], g[(li - 1) % nlocal]
+        for t in range(nlocal - 1):
+            si = (li - t) % nlocal
+            ch.send(right, out[bounds[si] : bounds[si + 1]].copy())
+            got = yield Recv(left)
+            di = (li - t - 1) % nlocal
+            out[bounds[di] : bounds[di + 1]] = got
+        return out
+    # Leader schedule (any operation, any payload): order-preserving
+    # intra-node binomial reduce to the node leader, an allreduce among
+    # leaders, then an intra-node broadcast.  Node partials cover
+    # contiguous rank ranges, so non-commutative ops stay correct.
+    partial = yield from _drive_sub(
+        reduce_binomial_plan(sub, value, op, combine_seconds=combine_seconds),
+        g,
+    )
+    if li == 0 and nnodes > 1:
+        leaders = tuple(grp[0] for grp in groups)
+        lsub = SubgroupChannel(ch, leaders)
+        if (
+            commutative and elementwise
+            and isinstance(partial, np.ndarray) and partial.ndim == 1
+            and len(partial) >= nnodes
+        ):
+            lplan = allreduce_rabenseifner_plan(
+                lsub, partial, op, combine_seconds=combine_seconds
+            )
+        else:
+            lplan = allreduce_recursive_doubling_plan(
+                lsub, partial, op, combine_seconds=combine_seconds
+            )
+        partial = yield from _drive_sub(lplan, leaders)
+    result = yield from _drive_sub(bcast_binomial_plan(sub, partial, root=0), g)
+    return result
+
+
+def allreduce_hierarchical(
+    ch: CollChannel,
+    value: Any,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    groups: Sequence[Sequence[int]] | None = None,
+    combine_seconds: float = 0.0,
+) -> Any:
+    """Topology-aware all-reduce over a node partition of the group.
+
+    For commutative elementwise operations on sufficiently long vectors
+    with equal-size groups, runs the 2-D SMP-aware schedule (intra-node
+    reduce-scatter, concurrent per-segment inter-node allreduce,
+    intra-node allgather), cutting slow-tier traffic per rank by the
+    node size.  Everything else takes the leader schedule (intra-node
+    binomial reduce, leader allreduce, intra-node bcast), which is
+    order-preserving and non-commutative safe because groups are
+    contiguous rank ranges.  With ``groups=None`` degrades to the flat
+    recursive-doubling/Rabenseifner schedules.
+    """
+    return run_plan(
+        ch,
+        allreduce_hierarchical_plan(
+            ch, value, op, groups=groups, combine_seconds=combine_seconds
+        ),
+    )
+
+
+def _scan_both_plan(
+    ch: CollChannel,
+    value: Any,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    combine_seconds: float = 0.0,
+) -> Plan:
+    """Simultaneous binomial prefix returning ``(exclusive, inclusive)``.
+
+    Identical message pattern to :func:`scan_simultaneous_binomial_plan`;
+    the hierarchical scan needs both prefixes at once (the node total is
+    the last local rank's *inclusive* prefix while its result needs the
+    exclusive one), so this variant keeps the pair.  Rank 0's exclusive
+    slot is ``None``.
+    """
+    rank, size = ch.rank, ch.size
+    full = value
+    partial = None
+    d = 1
+    while d < size:
+        if rank + d < size:
+            ch.send(rank + d, full)
+        if rank - d >= 0:
+            theirs = yield Recv(rank - d)
+            # ``theirs`` feeds two combines and a combine may mutate its
+            # left operand — isolate one use (same as the flat scan).
+            if partial is None:
+                partial = theirs
+                theirs_for_full = copy_for_transfer(theirs)
+            else:
+                theirs_for_full = copy_for_transfer(theirs)
+                partial = op(theirs, partial)
+                _charge_combine(ch, combine_seconds)
+            full = op(theirs_for_full, full)
+            _charge_combine(ch, combine_seconds)
+        d <<= 1
+    return partial, full
+
+
+def scan_hierarchical_plan(
+    ch: CollChannel,
+    value: Any,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    groups: Sequence[Sequence[int]] | None = None,
+    exclusive: bool = False,
+    identity: Callable[[], Any] | None = None,
+    combine_seconds: float = 0.0,
+) -> Plan:
+    """Plan form of :func:`scan_hierarchical`."""
+    rank, size = ch.rank, ch.size
+    if groups is None:
+        groups = _singleton_groups(size)
+    _, g, li = _locate_group(groups, rank)
+    nnodes = len(groups)
+    m = _metrics(ch)
+    if m.enabled and rank == 0:
+        m.counter("collective.scan_hier.calls").inc()
+        m.histogram("collective.scan_hier.nodes").observe(nnodes)
+    sub = SubgroupChannel(ch, g)
+    # Intra-node prefix on the cheap links.  The last local rank's
+    # inclusive prefix *is* the node total — no extra combine needed.
+    excl, incl = yield from _drive_sub(
+        _scan_both_plan(sub, value, op, combine_seconds=combine_seconds), g
+    )
+    prev = None  # combined total of all preceding nodes
+    if nnodes > 1:
+        if li == len(g) - 1:
+            reps = tuple(grp[-1] for grp in groups)
+            prev, _ = yield from _drive_sub(
+                _scan_both_plan(
+                    SubgroupChannel(ch, reps), incl, op,
+                    combine_seconds=combine_seconds,
+                ),
+                reps,
+            )
+        # Node j's rep now holds T_0 op ... op T_{j-1} (None for node 0);
+        # share it with the node.  Group contiguity makes prev op local
+        # an order-preserving contiguous prefix.
+        prev = yield from _drive_sub(
+            bcast_binomial_plan(sub, prev, root=len(g) - 1), g
+        )
+    mine = excl if exclusive else incl
+    if prev is None:
+        if mine is None:  # global rank 0, exclusive
+            return identity() if identity is not None else None
+        return mine
+    if mine is None:  # first rank of a later node, exclusive
+        return prev
+    # ``prev`` may be shared with other ranks of the node (broadcast
+    # payload) and a combine may mutate its left operand — isolate it.
+    out = op(copy_for_transfer(prev), mine)
+    _charge_combine(ch, combine_seconds)
+    return out
+
+
+def scan_hierarchical(
+    ch: CollChannel,
+    value: Any,
+    op: Op | Callable[[Any, Any], Any],
+    *,
+    groups: Sequence[Sequence[int]] | None = None,
+    exclusive: bool = False,
+    identity: Callable[[], Any] | None = None,
+    combine_seconds: float = 0.0,
+) -> Any:
+    """Topology-aware prefix scan/exscan over a node partition.
+
+    Three phases: a simultaneous-binomial prefix *within* each node
+    (cheap links), an exclusive prefix of node totals among the node
+    representatives (the only inter-node rounds — ``ceil(log2 nodes)``
+    versus the flat scan's inter-node majority), and an intra-node
+    broadcast of each node's predecessor total, combined once into every
+    local prefix.  Order-preserving for non-commutative operations
+    because node groups are contiguous rank ranges.  ``exclusive=True``
+    gives the exscan; global rank 0 returns ``identity()`` if given,
+    else ``None`` (the MPI_Exscan convention).
+    """
+    return run_plan(
+        ch,
+        scan_hierarchical_plan(
+            ch, value, op, groups=groups, exclusive=exclusive,
+            identity=identity, combine_seconds=combine_seconds,
+        ),
     )

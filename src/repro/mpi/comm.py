@@ -24,6 +24,7 @@ from repro.mpi import request as _req
 from repro.mpi import tuning as _tuning
 from repro.mpi.op import Op
 from repro.runtime.channels import ANY_SOURCE, ANY_TAG
+from repro.runtime.fabric import contiguous_node_groups
 from repro.runtime.world import RankContext
 
 __all__ = ["Communicator", "ANY_SOURCE", "ANY_TAG"]
@@ -134,6 +135,10 @@ class Communicator:
         self._coll_seq = 0
         self._split_seq = 0
         self._agree_seq = 0
+        # Node partition of the members under the world's topology,
+        # computed on first use (False = not yet computed; the computed
+        # value may legitimately be None on a flat fabric).
+        self._node_groups_cache: Any = False
 
     # -- introspection ------------------------------------------------------
 
@@ -254,6 +259,21 @@ class Communicator:
         splittable = _tuning.is_splittable(value, op, nprocs)
         return (int(value.nbytes) if splittable else 0), splittable
 
+    def _node_groups(self) -> tuple[tuple[int, ...], ...] | None:
+        """The members' node partition under the world's topology (group
+        ranks, contiguous by construction), or ``None`` when there is no
+        hierarchy to exploit.  Computed once per communicator — members
+        and topology are both immutable."""
+        if self._node_groups_cache is False:
+            self._node_groups_cache = contiguous_node_groups(
+                getattr(self._ctx.world, "topology", None), self._members
+            )
+        return self._node_groups_cache
+
+    def _topology_signature(self) -> str:
+        topo = getattr(self._ctx.world, "topology", None)
+        return "flat" if topo is None else topo.signature
+
     def _auto_choice(self, kind: str, value: Any, op: Any) -> str:
         """Resolve ``algorithm="auto"`` for one collective call.
 
@@ -261,22 +281,31 @@ class Communicator:
         one is attached (always, for worlds built by this package):
         cached constant-decision spans return exactly what the tuning
         choice functions would, amortized across every job sharing the
-        world.
+        world.  The world's topology signature joins the decision key:
+        a fabric with a fitted per-topology table gets its own answers
+        (possibly ``"hierarchical"``), everyone else falls back to the
+        flat table.
         """
         commutative = op.commutative if isinstance(op, Op) else True
         nbytes, splittable = self._tuning_inputs(value, op, self.size)
+        topology = self._topology_signature()
         cache = getattr(self._ctx.world, "schedule_cache", None)
         if cache is not None:
-            return cache.choose(kind, nbytes, self.size, commutative, splittable)
+            return cache.choose(
+                kind, nbytes, self.size, commutative, splittable,
+                topology=topology,
+            )
         if kind == "allreduce":
             return _tuning.choose_allreduce(
-                nbytes, self.size, commutative, splittable
+                nbytes, self.size, commutative, splittable, topology=topology
             )
         if kind == "reduce":
             return _tuning.choose_reduce(
-                nbytes, self.size, commutative, splittable
+                nbytes, self.size, commutative, splittable, topology=topology
             )
-        return _tuning.choose_scan(nbytes, self.size, commutative, splittable)
+        return _tuning.choose_scan(
+            nbytes, self.size, commutative, splittable, topology=topology
+        )
 
     # -- collectives ----------------------------------------------------------
 
@@ -440,9 +469,11 @@ class Communicator:
         from recursive doubling.  Explicit choices:
         ``"recursive_doubling"`` (latency-optimal, order-preserving,
         works for any operand), ``"ring"`` (bandwidth-optimal for large
-        NumPy arrays; commutative only) or ``"rabenseifner"``
+        NumPy arrays; commutative only), ``"rabenseifner"``
         (reduce-scatter + allgather; best latency/bandwidth balance for
-        medium-to-large arrays; commutative only).
+        medium-to-large arrays; commutative only) or ``"hierarchical"``
+        (topology-aware node/leader schedule; wins on multi-tier fabrics
+        and degrades to recursive doubling on the flat one).
         """
         tr = self._ctx.tracer
         if not tr.enabled:
@@ -466,11 +497,21 @@ class Communicator:
         algorithm: str,
     ):
         algorithm = self._resolve_allreduce_algorithm(value, op, algorithm)
+        if algorithm == "hierarchical":
+            # Needs the node partition, so it lives outside the flat
+            # dispatch dict.  With no hierarchy (flat fabric, or all
+            # members on one node) the plan degrades to the flat
+            # schedules internally.
+            return _coll.allreduce_hierarchical_plan(
+                ch, value, op, groups=self._node_groups(),
+                combine_seconds=combine_seconds,
+            )
         factory = _ALLREDUCE_PLANS.get(algorithm)
         if factory is None:
             raise CommunicatorError(
                 f"unknown allreduce algorithm {algorithm!r}; choose "
-                "'auto', 'recursive_doubling', 'ring' or 'rabenseifner'"
+                "'auto', 'recursive_doubling', 'ring', 'rabenseifner' "
+                "or 'hierarchical'"
             )
         return factory(ch, value, op, combine_seconds=combine_seconds)
 
@@ -525,8 +566,10 @@ class Communicator:
         """Inclusive prefix reduction over ranks (MPI_Scan).
 
         ``algorithm``: ``"auto"`` (default; table-driven), ``"binomial"``
-        (simultaneous binomial, log2(p) rounds) or ``"chain"`` (linear
-        chain, p-1 serialized hops but minimal total traffic).
+        (simultaneous binomial, log2(p) rounds), ``"chain"`` (linear
+        chain, p-1 serialized hops but minimal total traffic) or
+        ``"hierarchical"`` (intra-node prefix + node-total exscan among
+        node representatives; topology-aware).
         """
         tr = self._ctx.tracer
         if not tr.enabled:
@@ -584,11 +627,17 @@ class Communicator:
     ):
         if algorithm == "auto":
             algorithm = self._auto_choice("scan", value, op)
+        if algorithm == "hierarchical":
+            return _coll.scan_hierarchical_plan(
+                ch, value, op, groups=self._node_groups(),
+                exclusive=exclusive, identity=identity,
+                combine_seconds=combine_seconds,
+            )
         factory = _SCAN_PLANS.get(algorithm)
         if factory is None:
             raise CommunicatorError(
                 f"unknown {name} algorithm {algorithm!r}; choose "
-                "'auto', 'binomial' or 'chain'"
+                "'auto', 'binomial', 'chain' or 'hierarchical'"
             )
         return factory(
             ch, value, op,
@@ -804,13 +853,22 @@ class Communicator:
         seq = self._agree_seq
         ctx = self._ctx
         membership = ctx.world.membership
-        attempt = 0
+        # The control tags deliberately do NOT carry a re-election
+        # attempt number.  Survivors may enter the protocol with
+        # different failure knowledge (several ranks dying at once —
+        # e.g. a rack failure — is detected at different times), so the
+        # same logical round can be attempt 0 for one member and
+        # attempt 1 for another; attempt-stamped tags then never match
+        # and the survivors deadlock.  Tags stay unambiguous without
+        # the stamp: every re-election moves to a strictly higher
+        # leader rank, so for one ``(cid, seq)`` any (member, leader)
+        # pair exchanges at most one ask and one reply.
         while True:
             dead = membership.dead_snapshot()
             alive = [w for w in self._members if w not in dead]
             leader = alive[0]
-            ask = ("ft", self._cid, seq, attempt)
-            reply = ("ftr", self._cid, seq, attempt)
+            ask = ("ft", self._cid, seq)
+            reply = ("ftr", self._cid, seq)
             if ctx.rank == leader:
                 result = bool(flag)
                 for w in alive:
@@ -828,7 +886,7 @@ class Communicator:
             try:
                 return bool(ctx.recv_raw(leader, reply))
             except RankFailedError:
-                attempt += 1  # leader died: re-elect and retry
+                continue  # leader died: re-elect and retry
 
     # -- communicator management ----------------------------------------------
 

@@ -52,7 +52,8 @@ def _size_band(nbytes: int) -> int:
 class ScheduleCache:
     """Memoized ``choose_allreduce``/``choose_reduce``/``choose_scan``.
 
-    Keyed on ``(kind, nprocs, commutative, splittable, size_band)``;
+    Keyed on ``(kind, nprocs, commutative, splittable, size_band,
+    topology_signature)``;
     valued with the constant-decision span ``(lo, hi, algorithm)``.
     One instance lives on each :class:`~repro.runtime.world.World`;
     engine job worlds delegate to their parent's so the amortization is
@@ -73,22 +74,33 @@ class ScheduleCache:
         nprocs: int,
         commutative: bool = True,
         splittable: bool = False,
+        *,
+        topology: str = "flat",
     ) -> str:
-        """The algorithm ``tuning.choose_<kind>`` would pick — cached."""
+        """The algorithm ``tuning.choose_<kind>`` would pick — cached.
+
+        ``topology`` is the world's fabric signature; it joins the cache
+        key because per-fabric decision tables can place crossovers
+        differently (a flat world and a ``multi_node:4`` world sharing
+        one cache must never cross-contaminate answers)."""
         generation = _tuning.table_generation()
         if generation != self._generation:
             with self._lock:
                 if generation != self._generation:
                     self._spans.clear()
                     self._generation = generation
-        key = (kind, nprocs, commutative, splittable, _size_band(nbytes))
+        key = (
+            kind, nprocs, commutative, splittable, _size_band(nbytes),
+            topology,
+        )
         span = self._spans.get(key)
         if span is not None and span[0] <= nbytes <= span[1]:
             self.hits += 1
             return span[2]
         self.misses += 1
         lo, hi, algorithm = _tuning.constant_span(
-            kind, nbytes, nprocs, commutative, splittable
+            kind, nbytes, nprocs, commutative, splittable,
+            topology=topology,
         )
         with self._lock:
             if generation == self._generation:

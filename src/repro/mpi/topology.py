@@ -103,7 +103,14 @@ def tree_depth(nodes: list[TreeNode]) -> int:
 def dims_create(nprocs: int, ndims: int) -> tuple[int, ...]:
     """Factor ``nprocs`` into ``ndims`` balanced dimensions (like
     ``MPI_Dims_create``): dimensions are as close to equal as possible,
-    sorted in non-increasing order."""
+    sorted in non-increasing order.
+
+    Edge cases (matching the MPI standard, which requires ``nnodes`` to
+    be positive): ``nprocs == 0`` is rejected with
+    :class:`~repro.errors.CommunicatorError` rather than returning a
+    degenerate all-zero shape, and ``nprocs == 1`` returns the trivial
+    grid ``(1,) * ndims`` — a single rank occupies every dimension.
+    """
     if nprocs < 1 or ndims < 1:
         raise CommunicatorError(
             f"dims_create needs nprocs >= 1 and ndims >= 1, got "

@@ -137,6 +137,12 @@ class DecisionTable:
     source: str = "default"
     fusion: tuple[Band, ...] = _FUSION_FALLBACK_BANDS
     kernel: tuple[Band, ...] = _KERNEL_FALLBACK_BANDS
+    #: Fabric signature this table was fitted against
+    #: (:attr:`repro.runtime.fabric.Topology.signature`).  ``"flat"``
+    #: tables are the process-wide default; non-flat tables install into
+    #: a per-signature registry consulted only by communicators whose
+    #: world runs on that fabric.
+    topology: str = "flat"
 
     def lookup(self, kind: str, nbytes: int, nprocs: int) -> str:
         bands: tuple[Band, ...] = getattr(self, kind)
@@ -164,6 +170,7 @@ class DecisionTable:
 
         return {
             "source": self.source,
+            "topology": self.topology,
             "allreduce": enc(self.allreduce),
             "reduce": enc(self.reduce),
             "scan": enc(self.scan),
@@ -199,6 +206,8 @@ class DecisionTable:
             # load with the conservative fallback thresholds.
             fusion=dec(fusion) if fusion else _FUSION_FALLBACK_BANDS,
             kernel=dec(kernel) if kernel else _KERNEL_FALLBACK_BANDS,
+            # Tables written before fabrics existed are flat tables.
+            topology=str(data.get("topology", "flat")),
         )
 
 
@@ -256,6 +265,14 @@ DEFAULT_TABLE = DecisionTable(
 
 _active_table: DecisionTable = DEFAULT_TABLE
 
+#: Per-fabric tables keyed by topology signature ("multi_node:4", ...).
+#: A communicator whose world runs on a non-flat fabric consults this
+#: registry first and falls back to the flat active table — so the
+#: "hierarchical" schedules are never auto-chosen until a table fitted
+#: for that fabric has been installed (``python -m repro tune
+#: --topology ...``).
+_topology_tables: dict[str, DecisionTable] = {}
+
 #: Bumped on every table install; schedule caches key their validity on
 #: it so a ``set_decision_table``/``load_decision_table`` invalidates
 #: every cached span without the caches having to subscribe anywhere.
@@ -267,23 +284,47 @@ def table_generation() -> int:
     return _table_generation
 
 
-def get_decision_table() -> DecisionTable:
-    """The table ``algorithm="auto"`` currently consults."""
+def get_decision_table(topology: str = "flat") -> DecisionTable:
+    """The table ``algorithm="auto"`` consults for a world on fabric
+    ``topology`` (a :attr:`~repro.runtime.fabric.Topology.signature`).
+    Falls back to the flat active table when no per-fabric table has
+    been installed."""
+    if topology != "flat":
+        table = _topology_tables.get(topology)
+        if table is not None:
+            return table
     return _active_table
 
 
-def set_decision_table(table: DecisionTable | None) -> DecisionTable:
-    """Install ``table`` (or restore the default with ``None``); returns
-    the previously active table."""
+def set_decision_table(
+    table: DecisionTable | None, *, topology: str | None = None
+) -> DecisionTable | None:
+    """Install ``table`` and return the table it replaced.
+
+    ``topology=None`` (the default) installs under the table's own
+    :attr:`DecisionTable.topology` signature — ``"flat"`` replaces the
+    process-wide active table (``table=None`` restores the shipped
+    default); a non-flat signature installs into the per-fabric registry
+    (``table=None`` clears that fabric's entry).
+    """
     global _active_table, _table_generation
-    previous = _active_table
-    _active_table = DEFAULT_TABLE if table is None else table
+    if topology is None:
+        topology = "flat" if table is None else table.topology
     _table_generation += 1
-    return previous
+    if topology == "flat":
+        previous: DecisionTable | None = _active_table
+        _active_table = DEFAULT_TABLE if table is None else table
+        return previous
+    if table is None:
+        return _topology_tables.pop(topology, None)
+    prev = _topology_tables.get(topology)
+    _topology_tables[topology] = table
+    return prev
 
 
 def load_decision_table(path: str | Path) -> DecisionTable:
-    """Load a table emitted by ``python -m repro tune`` and install it."""
+    """Load a table emitted by ``python -m repro tune`` and install it
+    (under its own topology signature)."""
     table = DecisionTable.from_dict(json.loads(Path(path).read_text()))
     set_decision_table(table)
     return table
@@ -313,17 +354,21 @@ def choose_allreduce(
     splittable: bool = False,
     *,
     table: DecisionTable | None = None,
+    topology: str = "flat",
 ) -> str:
     """Pick the all-reduce schedule for one call site.
 
     Non-commutative or non-splittable operands always get the
     order-preserving recursive doubling; otherwise the decision table's
-    byte thresholds decide between recursive doubling, ring and
-    Rabenseifner.
+    byte thresholds decide between recursive doubling, ring,
+    Rabenseifner and (on fabrics with a fitted per-topology table) the
+    hierarchical node/leader schedule.
     """
     if nprocs <= 2 or not (commutative and splittable):
         return "recursive_doubling"
-    return (table or _active_table).lookup("allreduce", nbytes, nprocs)
+    return (table or get_decision_table(topology)).lookup(
+        "allreduce", nbytes, nprocs
+    )
 
 
 def choose_reduce(
@@ -333,13 +378,16 @@ def choose_reduce(
     splittable: bool = False,
     *,
     table: DecisionTable | None = None,
+    topology: str = "flat",
 ) -> str:
     """Pick the rooted-reduce schedule.  The pipelined ring is
     order-preserving, so commutativity does not restrict the choice —
     only splittability does."""
     if nprocs <= 2 or not splittable:
         return "binomial"
-    return (table or _active_table).lookup("reduce", nbytes, nprocs)
+    return (table or get_decision_table(topology)).lookup(
+        "reduce", nbytes, nprocs
+    )
 
 
 def choose_scan(
@@ -349,13 +397,16 @@ def choose_scan(
     splittable: bool = False,
     *,
     table: DecisionTable | None = None,
+    topology: str = "flat",
 ) -> str:
     """Pick the scan/exscan schedule.  Both candidates are
     order-preserving and neither segments the payload, so the table
     decides unconditionally."""
     if nprocs <= 2:
         return "chain" if nprocs == 2 else "binomial"
-    return (table or _active_table).lookup("scan", nbytes, nprocs)
+    return (table or get_decision_table(topology)).lookup(
+        "scan", nbytes, nprocs
+    )
 
 
 def _band_span(
@@ -386,6 +437,7 @@ def constant_span(
     splittable: bool = False,
     *,
     table: DecisionTable | None = None,
+    topology: str = "flat",
 ) -> tuple[int, int, str]:
     """``(lo, hi, algorithm)``: the byte interval around ``nbytes`` on
     which :func:`choose_allreduce`/:func:`choose_reduce`/:func:`choose_scan`
@@ -399,7 +451,7 @@ def constant_span(
     operands) are size-independent, so they yield the full ``[0, ∞)``
     span.
     """
-    tbl = table or _active_table
+    tbl = table or get_decision_table(topology)
     if kind == "allreduce":
         if nprocs <= 2 or not (commutative and splittable):
             return 0, _UNBOUNDED, "recursive_doubling"
@@ -472,8 +524,12 @@ DEFAULT_PAYLOAD_GRID = tuple(8 * 4**k for k in range(10))
 DEFAULT_RANK_GRID = (4, 8, 16, 32)
 
 
-def _simulate(kind: str, algorithm: str, nbytes: int, nprocs: int, cost_model):
-    """Virtual makespan of one collective call under ``cost_model``."""
+def _simulate(
+    kind: str, algorithm: str, nbytes: int, nprocs: int, cost_model,
+    topology=None,
+):
+    """Virtual makespan of one collective call under ``cost_model`` (and
+    optionally a non-flat fabric ``topology``)."""
     # Imported here: tuning is imported by repro.mpi.comm, and the
     # executor imports the communicator (cycle otherwise).
     from repro.mpi.op import SUM
@@ -507,7 +563,9 @@ def _simulate(kind: str, algorithm: str, nbytes: int, nprocs: int, cost_model):
         else:  # pragma: no cover - internal misuse
             raise ValueError(f"unknown collective kind {kind!r}")
 
-    return spmd_run(prog, nprocs, cost_model=cost_model).time
+    return spmd_run(
+        prog, nprocs, cost_model=cost_model, topology=topology
+    ).time
 
 
 #: Scalar-loop measurements run on at most this many elements and are
@@ -587,9 +645,16 @@ def fit_decision_table(
     *,
     rank_grid: Sequence[int] = DEFAULT_RANK_GRID,
     payload_grid: Sequence[int] = DEFAULT_PAYLOAD_GRID,
+    topology=None,
 ) -> tuple[DecisionTable, dict[str, Any]]:
     """Re-fit the decision table by simulating every candidate on every
     ``(nprocs, payload)`` grid point.
+
+    When ``topology`` (a :class:`repro.runtime.fabric.Topology`) is
+    non-flat, every candidate is simulated on that fabric and the
+    topology-aware ``"hierarchical"`` schedules join the allreduce and
+    scan candidate pools — they only enter decision tables through a
+    fit that actually measured them winning on a multi-tier fabric.
 
     Returns ``(table, report)``; the report carries the full measurement
     grid (virtual seconds per candidate per cell) for benchmarking /
@@ -598,12 +663,25 @@ def fit_decision_table(
     from repro.runtime.costmodel import CostModel
 
     cm = cost_model if cost_model is not None else CostModel()
+    topo_sig = "flat"
+    fit_topology = None
+    if topology is not None and not getattr(topology, "is_flat", True):
+        fit_topology = topology
+        topo_sig = topology.signature
     payloads = sorted(int(b) for b in payload_grid)
     ranks = sorted(int(p) for p in rank_grid)
     candidates = {
-        "allreduce": ALLREDUCE_ALGORITHMS,
+        "allreduce": (
+            ALLREDUCE_ALGORITHMS + ("hierarchical",)
+            if fit_topology is not None
+            else ALLREDUCE_ALGORITHMS
+        ),
         "reduce": REDUCE_ALGORITHMS,
-        "scan": SCAN_ALGORITHMS,
+        "scan": (
+            SCAN_ALGORITHMS + ("hierarchical",)
+            if fit_topology is not None
+            else SCAN_ALGORITHMS
+        ),
         "fusion": FUSION_CANDIDATES,
         "kernel": KERNEL_CANDIDATES,
     }
@@ -617,7 +695,7 @@ def fit_decision_table(
             if key not in kernel_memo:
                 kernel_memo[key] = _measure_kernel(algorithm, nbytes)
             return kernel_memo[key]
-        return _simulate(kind, algorithm, nbytes, p, cm)
+        return _simulate(kind, algorithm, nbytes, p, cm, fit_topology)
 
     grid: dict[str, list[dict[str, Any]]] = {}
     bands: dict[str, list[Band]] = {}
@@ -646,7 +724,11 @@ def fit_decision_table(
         scan=tuple(bands["scan"]),
         fusion=tuple(bands["fusion"]),
         kernel=tuple(bands["kernel"]),
-        source=f"fitted (ranks={ranks}, payloads={payloads[0]}..{payloads[-1]}B)",
+        source=(
+            f"fitted (ranks={ranks}, payloads={payloads[0]}.."
+            f"{payloads[-1]}B, topology={topo_sig})"
+        ),
+        topology=topo_sig,
     )
     report = {
         "cost_model": {
@@ -655,6 +737,7 @@ def fit_decision_table(
             "send_overhead": cm.send_overhead,
             "recv_overhead": cm.recv_overhead,
         },
+        "topology": topo_sig,
         "rank_grid": ranks,
         "payload_grid": payloads,
         "grid": grid,

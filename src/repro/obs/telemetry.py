@@ -524,6 +524,26 @@ class EngineTelemetry:
                 reg.gauge("backend.ipc.pickle_fallbacks").set(
                     ipc["pickle_fallbacks"]
                 )
+            placement = engine_stats.get("placement")
+            if placement is not None:
+                # Locality placement quality (docs/topology.md): how
+                # many fabric nodes the average gang straddles, and how
+                # often packing achieved the single-node ideal.
+                reg.gauge("engine.placement.gangs").set(
+                    placement["gangs_placed"]
+                )
+                reg.gauge("engine.placement.gang_spread").set(
+                    placement["mean_gang_spread"]
+                )
+                reg.gauge("engine.placement.single_node_gangs").set(
+                    placement["single_node_gangs"]
+                )
+            fabric = engine_stats.get("fabric")
+            if fabric:
+                # Multi-tier fabric traffic counters — only non-flat
+                # topologies report any (FlatTopology.stats() is {}).
+                for name, value in fabric.items():
+                    reg.gauge(f"fabric.congestion.{name}").set(value)
         frame: dict[str, Any] = {
             "type": "snapshot",
             "ts": self._epoch + t,

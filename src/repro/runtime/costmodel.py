@@ -13,6 +13,15 @@ A message of ``b`` bytes sent at sender-time ``t_s`` becomes available to
 the receiver at ``t_s + o_s + L + b*G``; the sender's clock advances by
 ``o_s`` only (eager/asynchronous send).
 
+``L + b*G`` (:meth:`CostModel.wire_time`) is the price of one *uniform*
+link.  Worlds no longer call it directly: every send is priced through
+the world's :class:`repro.runtime.fabric.Topology` via
+``path_cost(src, dst, nbytes, cost_model)``, which on the default flat
+topology evaluates exactly this formula — the model above is the flat
+fabric — while multi-tier fabrics substitute per-tier parameters (see
+``docs/topology.md``).  This object remains the single source of truth
+for overheads, compute rates, and the inter-node tier's defaults.
+
 Local computation is charged through named **rates** (seconds/element).
 Rates can be fixed (the deterministic defaults below, loosely modeled on a
 2000s-era cluster node so the compute/latency ratio is realistic) or

@@ -85,6 +85,7 @@ def spmd_run(
     fault_plan: Any | None = None,
     backend: str = "thread",
     backend_options: dict | None = None,
+    topology: Any | None = None,
 ) -> SpmdResult:
     """Execute ``fn(comm, *args)`` on ``nprocs`` simulated ranks.
 
@@ -129,6 +130,10 @@ def spmd_run(
         are byte-identical, wall-clock is parallel.  See
         ``docs/backends.md``.  ``backend_options`` forwards pool
         keywords (``ring_bytes``, ``min_offload_bytes``).
+    topology:
+        A :class:`repro.runtime.fabric.Topology` pricing each message by
+        the network tiers it crosses.  Defaults to the flat fabric,
+        which reproduces the plain cost-model wire times bit-for-bit.
 
     Returns
     -------
@@ -146,6 +151,7 @@ def spmd_run(
     engine = Engine(
         nprocs, cost_model=cost_model,
         backend=backend, backend_options=backend_options,
+        topology=topology,
     )
     try:
         handle = engine.submit(

@@ -28,6 +28,7 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.runtime.channels import Envelope, Mailbox, Membership
 from repro.runtime.clock import VirtualClock
 from repro.runtime.costmodel import CostModel
+from repro.runtime.fabric import FLAT, Topology
 from repro.runtime.trace import Trace
 from repro.util.sizing import copy_for_transfer, payload_nbytes
 
@@ -59,11 +60,16 @@ class World:
         isolate_payloads: bool = True,
         tracer: Tracer | None = None,
         fault_plan: Any | None = None,
+        topology: Topology | None = None,
     ):
         if nprocs < 1:
             raise CommunicatorError(f"nprocs must be >= 1, got {nprocs}")
         self.nprocs = nprocs
         self.cost_model = cost_model if cost_model is not None else CostModel()
+        #: The network fabric every message is priced against.  The flat
+        #: singleton (the default) delegates straight to the cost model,
+        #: reproducing pre-fabric wire times bit-for-bit.
+        self.topology = topology if topology is not None else FLAT
         self.isolate_payloads = isolate_payloads
         self.abort_event = threading.Event()
         self.membership = Membership(nprocs)
@@ -85,11 +91,17 @@ class World:
             self.rank_tracers = [NULL_TRACER] * nprocs
         if fault_plan is not None:
             from repro.faults.injection import FaultInjector
+            from repro.faults.plan import expand_rack_failures
 
             metrics = (
                 tracer.metrics
                 if tracer is not None and tracer.enabled
                 else NULL_METRICS
+            )
+            # Rack-scoped fault domains are symbolic until bound to a
+            # placement: lower them to per-rank fail-stops here.
+            fault_plan = expand_rack_failures(
+                fault_plan, self.topology, tuple(range(nprocs))
             )
             self.injector = FaultInjector(fault_plan, nprocs, metrics)
         else:
@@ -248,6 +260,9 @@ class JobWorld:
         self.cost_model = (
             cost_model if cost_model is not None else parent.cost_model
         )
+        # The fabric is pool infrastructure, shared like the mailboxes:
+        # a job pays for the links its placement actually crosses.
+        self.topology = parent.topology
         self.isolate_payloads = isolate_payloads
         self.mailboxes = parent.mailboxes
         self.schedule_cache = parent.schedule_cache
@@ -281,11 +296,17 @@ class JobWorld:
             self.run_capture = None
         if fault_plan is not None:
             from repro.faults.injection import FaultInjector
+            from repro.faults.plan import expand_rack_failures
 
             metrics = (
                 tracer.metrics
                 if tracer is not None and tracer.enabled
                 else NULL_METRICS
+            )
+            # Rack failures depend on where the pool placed the gang:
+            # expand them against the actual members before binding.
+            fault_plan = expand_rack_failures(
+                fault_plan, self.topology, self.members
             )
             # Plans address ranks 0..job_size-1; the map translates the
             # pool placement back to plan coordinates so a chaos-seeded
@@ -448,7 +469,13 @@ class RankContext:
 
             reliable_send(self, inj, dest, tag, payload, nbytes)
             return
-        available_at = self.clock.t + (0.0 if dest == self.rank else cm.wire_time(nbytes))
+        # Wire time is a property of the *path*, not just the size: the
+        # world's topology prices the tiers the message crosses.  The
+        # flat default evaluates to exactly the old
+        # ``cm.wire_time(nbytes)`` (0.0 for self-sends).
+        available_at = self.clock.t + self.world.topology.path_cost(
+            self.rank, dest, nbytes, cm
+        )
         self.trace.on_send(dest, tag, nbytes, self.clock.t)
         if self.tracer.enabled:
             self.tracer.on_send(dest, tag, nbytes, self.clock.t, available_at)

@@ -30,6 +30,10 @@ class TestBinomialTree:
     def test_depth_is_log(self, size):
         assert tree_depth(binomial_tree(size)) == int(math.log2(size))
 
+    def test_depth_single_rank(self):
+        # A 1-rank tree is just the root: zero edges, not an error.
+        assert tree_depth(binomial_tree(1)) == 0
+
     def test_subtrees_cover_contiguous_ranges(self):
         # the property that licenses non-commutative reductions
         for size in (5, 8, 12, 16):
@@ -104,3 +108,8 @@ class TestDimsCreate:
             dims_create(0, 3)
         with pytest.raises(CommunicatorError):
             dims_create(4, 0)
+
+    def test_single_rank_trivial_grid(self):
+        # MPI_Dims_create semantics: one rank fills every dimension.
+        assert dims_create(1, 1) == (1,)
+        assert dims_create(1, 4) == (1, 1, 1, 1)
